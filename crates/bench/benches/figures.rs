@@ -1,0 +1,64 @@
+//! Macro benchmarks: scaled-down (1 ms) versions of every figure's
+//! experiment, one benchmark per paper artefact. These measure end-to-end
+//! simulation throughput per policy and keep `cargo bench` representative
+//! of the full harness without its minutes-long runtimes; the full 33 ms
+//! regenerations live in the `fig5..fig9` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sara_memctrl::PolicyKind;
+use sara_sim::experiment::{frequency_sweep, run_camcorder};
+use sara_types::CoreKind;
+use sara_workloads::TestCase;
+
+const BENCH_MS: f64 = 1.0;
+
+fn fig5_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_case_a_1ms");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::FrameQos,
+        PolicyKind::Priority,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(run_camcorder(TestCase::A, policy, BENCH_MS).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn fig6_case_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_case_b_1ms");
+    group.sample_size(10);
+    group.bench_function("QoS", |b| {
+        b.iter(|| black_box(run_camcorder(TestCase::B, PolicyKind::Priority, BENCH_MS).unwrap()))
+    });
+    group.finish();
+}
+
+fn fig7_sweep_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_sweep_1ms");
+    group.sample_size(10);
+    group.bench_function("1300MHz", |b| {
+        b.iter(|| {
+            black_box(frequency_sweep(CoreKind::ImageProcessor, &[1300], BENCH_MS).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn fig8_row_buffer_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_bandwidth_1ms");
+    group.sample_size(10);
+    for policy in [PolicyKind::QosRowBuffer, PolicyKind::FrFcfs] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(run_camcorder(TestCase::A, policy, BENCH_MS).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, fig5_policies, fig6_case_b, fig7_sweep_point, fig8_row_buffer_policies);
+criterion_main!(figures);

@@ -1,0 +1,105 @@
+//! Microbenchmarks of the hot paths: DRAM command legality/issue, address
+//! decoding, policy selection over a full candidate set, meter updates and
+//! the NPI→priority look-up. These bound the simulator's events/second and
+//! document the cost of the paper's hardware (a divider + 8 comparators per
+//! core — §3.4 — is microseconds of silicon and nanoseconds here).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sara_core::{FrameProgressMeter, LatencyMeter, Npi, PerformanceMeter, PriorityMap};
+use sara_dram::{Dram, DramConfig, Interleave};
+use sara_memctrl::{select, Candidate, PolicyKind, PolicyState};
+use sara_types::{Addr, Cycle, DmaId, MemOp, Priority};
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/sequential_read_txn", |b| {
+        let mut dram = Dram::new(DramConfig::table1_1866(), Interleave::default()).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut addr = 0u64;
+        b.iter(|| {
+            let loc = dram.decode(Addr::new(addr));
+            addr = (addr + 128) & ((1 << 28) - 1);
+            loop {
+                now = now.max(dram.earliest(&loc, MemOp::Read));
+                if dram.issue(&loc, MemOp::Read, now).completion().is_some() {
+                    break;
+                }
+            }
+            black_box(now)
+        });
+    });
+
+    c.bench_function("dram/decode", |b| {
+        let dram = Dram::new(DramConfig::table1_1866(), Interleave::default()).unwrap();
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x1_2345_6780);
+            black_box(dram.decode(Addr::new(addr)))
+        });
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    // A full 42-entry candidate set, worst case for the selection loop.
+    let candidates: Vec<Candidate> = (0..42)
+        .map(|i| Candidate {
+            queue: i % 5,
+            seq: (i * 37 % 42) as u64,
+            dma: DmaId::new((i % 21) as u16),
+            priority: Priority::new((i % 8) as u8),
+            effective_priority: (i % 8) as u8,
+            urgent: i % 5 == 0,
+            row_hit: i % 3 == 0,
+        })
+        .collect();
+    let mut group = c.benchmark_group("policy/select42");
+    for policy in PolicyKind::ALL {
+        group.bench_function(policy.name(), |b| {
+            let mut state = PolicyState::default();
+            b.iter(|| {
+                black_box(select(
+                    policy,
+                    black_box(&candidates),
+                    &mut state,
+                    Priority::new(6),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_meters(c: &mut Criterion) {
+    c.bench_function("meter/latency_update_and_npi", |b| {
+        let mut meter = LatencyMeter::new(653.0, 0.05);
+        let mut now = Cycle::ZERO;
+        b.iter(|| {
+            now = now + 100;
+            meter.on_inject(now);
+            meter.on_complete(now + 1, 128, 400, MemOp::Read);
+            black_box(meter.npi(now + 1))
+        });
+    });
+
+    c.bench_function("meter/frame_progress_npi", |b| {
+        let mut meter = FrameProgressMeter::new(40_000_000, 62_000_000);
+        let mut now = Cycle::ZERO;
+        b.iter(|| {
+            now = now + 64;
+            meter.on_complete(now, 128, 500, MemOp::Read);
+            black_box(meter.npi(now))
+        });
+    });
+
+    c.bench_function("meter/priority_lut", |b| {
+        let map = PriorityMap::paper_default();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.013) % 2.0;
+            black_box(map.map(Npi::new(x)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_dram, bench_policies, bench_meters);
+criterion_main!(benches);

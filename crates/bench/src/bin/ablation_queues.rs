@@ -1,0 +1,40 @@
+//! Ablation: splitting the controller's 42-entry budget across the five
+//! class queues. Table 1 fixes the total; the split is a design choice
+//! (DESIGN.md). Media-heavy splits match the camcorder's traffic mix.
+
+use sara_bench::figure_duration_ms;
+use sara_memctrl::{McConfig, PolicyKind, NUM_QUEUES};
+use sara_sim::{Simulation, SystemConfig};
+use sara_workloads::TestCase;
+
+fn main() {
+    let ms = figure_duration_ms();
+    println!("== ablation: 42-entry queue split [CPU,GPU,DSP,media,system] ({ms:.1} ms) ==");
+    println!(
+        "{:<22} {:>10} {:>9}  {}",
+        "split", "GB/s", "failures", "failed cores"
+    );
+    let splits: [[usize; NUM_QUEUES]; 4] = [
+        [6, 6, 4, 20, 6],  // default: media-weighted
+        [8, 8, 6, 12, 8],  // balanced
+        [9, 9, 8, 8, 8],   // uniform-ish
+        [4, 4, 2, 28, 4],  // extreme media
+    ];
+    for split in splits {
+        let mut cfg =
+            SystemConfig::camcorder(TestCase::A, PolicyKind::Priority).expect("case A builds");
+        cfg.mc = McConfig::builder(PolicyKind::Priority)
+            .queue_capacities(split)
+            .build()
+            .expect("valid split");
+        let report = Simulation::new(cfg).expect("system builds").run_for_ms(ms);
+        let failed: Vec<&str> = report.failed_cores().iter().map(|k| k.name()).collect();
+        println!(
+            "{:<22} {:>10.2} {:>9}  {}",
+            format!("{split:?}"),
+            report.bandwidth_gbs,
+            failed.len(),
+            if failed.is_empty() { "-".into() } else { failed.join(", ") }
+        );
+    }
+}

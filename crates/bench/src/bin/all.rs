@@ -1,0 +1,38 @@
+//! Runs the complete evaluation: both tables, all five figures and the
+//! four ablations, writing CSVs to `results/`. With the default full-frame
+//! duration this takes tens of minutes; set `SARA_FIG_MS=8` for a preview.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "table2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "ablation_delta",
+        "ablation_aging",
+        "ablation_bits",
+        "ablation_queues",
+        "calibrate",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================= {bin} =================");
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("\nall experiments done; CSVs in results/");
+}

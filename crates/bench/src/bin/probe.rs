@@ -1,0 +1,66 @@
+//! Diagnostic probe: deep-dive one policy run (not a paper figure).
+
+use sara_bench::figure_duration_ms;
+use sara_memctrl::PolicyKind;
+use sara_sim::{Simulation, SystemConfig};
+use sara_types::CoreClass;
+use sara_workloads::TestCase;
+
+fn main() {
+    let policy = match std::env::args().nth(1).as_deref() {
+        Some("fcfs") => PolicyKind::Fcfs,
+        Some("rr") => PolicyKind::RoundRobin,
+        Some("frame") => PolicyKind::FrameQos,
+        Some("qosrb") => PolicyKind::QosRowBuffer,
+        Some("frfcfs") => PolicyKind::FrFcfs,
+        _ => PolicyKind::Priority,
+    };
+    let mut cfg = SystemConfig::camcorder(TestCase::A, policy).expect("config");
+    if std::env::var("SARA_NO_AGING").is_ok() {
+        cfg.mc = sara_memctrl::McConfig::builder(policy)
+            .aging_threshold(None)
+            .build()
+            .expect("mc config");
+    }
+    if let Ok(d) = std::env::var("SARA_DELTA") {
+        let delta = sara_types::Priority::new(d.parse().expect("delta"));
+        cfg.mc = sara_memctrl::McConfig::builder(policy)
+            .aging_threshold(if std::env::var("SARA_NO_AGING").is_ok() {
+                None
+            } else {
+                Some(10_000)
+            })
+            .delta(delta)
+            .build()
+            .expect("mc config");
+    }
+    let mut sim = Simulation::new(cfg).expect("build");
+    let report = sim.run_for_ms(figure_duration_ms());
+    println!("{}", report.summary());
+    println!("-- MC per class --");
+    for class in CoreClass::ALL {
+        let c = report.mc.class(class);
+        println!(
+            "{:<8} accepted={:<9} completed={:<9} rejected={:<9} meanWait={:<8.0} maxWait={:<8} aged={}",
+            class.name(), c.accepted, c.completed, c.rejected, c.mean_wait(), c.max_wait, c.aged
+        );
+    }
+    println!(
+        "-- MC peak occupancy {} / commands {}",
+        report.mc.peak_occupancy, report.mc.commands_issued
+    );
+    println!(
+        "-- NoC root forwarded {} -- DRAM acts={} pre={} rd={} wr={} ref={} hits={} miss={} conf={}",
+        report.noc_forwarded,
+        report.dram.total.activates,
+        report.dram.total.precharges,
+        report.dram.total.reads,
+        report.dram.total.writes,
+        report.dram.total.refreshes,
+        report.dram.total.row_hits,
+        report.dram.total.row_misses,
+        report.dram.total.row_conflicts,
+    );
+    let util = report.dram.total.data_beats as f64 / report.elapsed_cycles as f64;
+    println!("-- data-bus beats/cycle (2 channels max 2.0): {util:.3}");
+}

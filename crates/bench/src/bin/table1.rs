@@ -1,0 +1,52 @@
+//! Table 1 — simulation settings: test cases, memory controller and DRAM
+//! parameters, printed from the live configuration objects (no hard-coded
+//! copy; if the models drift from Table 1 this binary shows it).
+
+use sara_dram::DramConfig;
+use sara_memctrl::{McConfig, PolicyKind};
+use sara_workloads::TestCase;
+
+fn main() {
+    println!("== Table 1: simulation settings ==");
+    println!("Test cases");
+    for (case, label) in [(TestCase::A, "A"), (TestCase::B, "B")] {
+        let inactive: Vec<&str> = case.inactive().iter().map(|k| k.name()).collect();
+        println!(
+            "  Case {label}: {} cores active{} with DRAM @ {}",
+            case.cores().len(),
+            if inactive.is_empty() {
+                String::new()
+            } else {
+                format!(" (inactive: {})", inactive.join(", "))
+            },
+            case.dram_freq(),
+        );
+    }
+
+    let mc = McConfig::builder(PolicyKind::Priority).build().expect("default MC config");
+    println!("Memory controller");
+    println!("  Total entries        {}", mc.total_entries());
+    println!("  Transaction queues   {}", sara_memctrl::NUM_QUEUES);
+    println!("  Queue capacities     {:?}", mc.queue_capacities());
+    println!("  Aging threshold T    {:?} cycles", mc.aging_threshold());
+    println!("  Row-buffer delta     {}", mc.delta());
+
+    let d = DramConfig::table1_1866();
+    let t = d.timing();
+    println!("DRAM");
+    println!("  Volume               {} GB", d.capacity_bytes() >> 30);
+    println!("  Max I/O bus freq.    {}", d.io_freq());
+    println!("  CL-tRCD-tRP          {}-{}-{}", t.cl(), t.trcd(), t.trp());
+    println!("  tWTR-tRTP-tWR        {}-{}-{}", t.twtr(), t.trtp(), t.twr());
+    println!("  tRRD-tFAW            {}-{}", t.trrd(), t.tfaw());
+    println!(
+        "  Channels-Ranks-Banks {}-{}-{}",
+        d.channels(),
+        d.ranks(),
+        d.banks()
+    );
+    println!(
+        "  Peak bandwidth       {:.2} GB/s",
+        d.peak_bandwidth_bytes_per_s() / 1e9
+    );
+}

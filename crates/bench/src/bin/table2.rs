@@ -1,0 +1,66 @@
+//! Table 2 — the heterogeneous cores and their target-performance types,
+//! printed from the live workload (plus the per-DMA traffic parameters this
+//! reproduction assigns to each).
+
+use sara_workloads::{camcorder_cores, MeterSpec, TrafficSpec};
+
+fn meter_label(meter: &MeterSpec) -> &'static str {
+    match meter {
+        MeterSpec::FrameRate => "frame rate",
+        MeterSpec::Latency { .. } => "latency",
+        MeterSpec::Occupancy { .. } => "buffer occupancy",
+        MeterSpec::Bandwidth { .. } => "bandwidth",
+        MeterSpec::WorkUnit => "processing time",
+        MeterSpec::BestEffort => "best effort",
+    }
+}
+
+fn traffic_label(traffic: &TrafficSpec) -> String {
+    match traffic {
+        TrafficSpec::Burst { bytes_per_s } => format!("burst {:.0} MB/s", bytes_per_s / 1e6),
+        TrafficSpec::Constant { bytes_per_s } => {
+            format!("constant {:.0} MB/s", bytes_per_s / 1e6)
+        }
+        TrafficSpec::Poisson { bytes_per_s } => format!("poisson {:.0} MB/s", bytes_per_s / 1e6),
+        TrafficSpec::Batch {
+            unit_bytes,
+            period_ns,
+            deadline_ns,
+        } => format!(
+            "{} KiB / {:.1} ms (deadline {:.1} ms)",
+            unit_bytes >> 10,
+            period_ns / 1e6,
+            deadline_ns / 1e6
+        ),
+        TrafficSpec::Elastic => "elastic".to_string(),
+    }
+}
+
+fn main() {
+    println!("== Table 2: heterogeneous cores and target performance types ==");
+    println!(
+        "{:<16} {:<18} {:<12} {:<10} {}",
+        "core", "performance type", "class", "DMAs", "per-DMA traffic"
+    );
+    let mut total_fixed = 0.0;
+    for core in camcorder_cores() {
+        let traffic: Vec<String> = core
+            .dmas
+            .iter()
+            .map(|d| format!("{} ({})", d.name, traffic_label(&d.traffic)))
+            .collect();
+        println!(
+            "{:<16} {:<18} {:<12} {:<10} {}",
+            core.kind.name(),
+            meter_label(&core.dmas[0].meter),
+            core.kind.class().name(),
+            core.dmas.len(),
+            traffic.join(", ")
+        );
+        total_fixed += core.mean_demand_bytes_per_s();
+    }
+    println!(
+        "\nFixed aggregate demand: {:.2} GB/s (+ elastic CPU best-effort)",
+        total_fixed / 1e9
+    );
+}

@@ -1,0 +1,62 @@
+//! Distributed performance meters (§3.1).
+//!
+//! Each DMA carries a lightweight meter that measures its own notion of
+//! performance against its own target and normalises the result into an
+//! [`Npi`](crate::Npi). Five meter families cover Table 2's target types:
+//!
+//! | Meter | Target type | Cores |
+//! |---|---|---|
+//! | [`LatencyMeter`] | average latency limit (Eqn 1) | DSP, audio |
+//! | [`FrameProgressMeter`] | frame rate via frame progress (Eqn 2) | GPU, image processor, video codec, rotator, JPEG |
+//! | [`OccupancyMeter`] | buffer occupancy (Eqn 3) | display, camera |
+//! | [`BandwidthMeter`] | average bandwidth | WiFi, USB |
+//! | [`WorkUnitMeter`] | processing time per work unit | GPS, modem |
+
+mod bandwidth;
+mod frame;
+mod latency;
+mod occupancy;
+mod work_unit;
+
+pub use bandwidth::BandwidthMeter;
+pub use frame::FrameProgressMeter;
+pub use latency::LatencyMeter;
+pub use occupancy::{BufferDirection, OccupancyMeter};
+pub use work_unit::WorkUnitMeter;
+
+use core::fmt::Debug;
+
+use sara_types::{Cycle, MemOp};
+
+use crate::npi::Npi;
+
+/// A self-monitoring performance meter attached to one DMA.
+///
+/// The simulation feeds the meter its own transaction completions
+/// ([`PerformanceMeter::on_complete`]) and polls its health
+/// ([`PerformanceMeter::npi`]). Meters are deliberately cheap — the paper's
+/// hardware budget is one divider plus an 8-entry LUT per DMA (§3.4).
+pub trait PerformanceMeter: Debug {
+    /// Records that the DMA injected a transaction at `now`.
+    ///
+    /// Meters that judge health purely from completions are blind to total
+    /// starvation (no completions → stale reading); latency-style meters
+    /// use the injection stream to age outstanding work. The default
+    /// implementation ignores injections.
+    fn on_inject(&mut self, now: Cycle) {
+        let _ = now;
+    }
+
+    /// Records a completed transaction of `bytes` bytes that spent
+    /// `latency` cycles between injection and data completion.
+    fn on_complete(&mut self, now: Cycle, bytes: u32, latency: u64, op: MemOp);
+
+    /// The current Normalized Performance Indicator.
+    fn npi(&self, now: Cycle) -> Npi;
+
+    /// One-line description of the target (for reports).
+    fn describe_target(&self) -> String;
+}
+
+/// Convenience: boxed meter used by heterogeneous DMA collections.
+pub type BoxedMeter = Box<dyn PerformanceMeter + Send>;

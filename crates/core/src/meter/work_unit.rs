@@ -1,0 +1,196 @@
+//! Processing-time meter: work units with deadlines (GPS, modem).
+
+use sara_types::{Cycle, MemOp};
+
+use crate::meter::PerformanceMeter;
+use crate::npi::Npi;
+
+/// Processing-time meter for batch cores (GPS, modem; Table 2 "processing
+/// time").
+///
+/// A work unit of `unit_bytes` of memory traffic arrives every `period`
+/// cycles and must finish within `deadline` cycles of its arrival. While a
+/// unit is in flight the NPI compares achieved progress against the pace
+/// needed to meet the deadline; between units it holds the ratio
+/// `deadline / actual processing time` of the last completed unit.
+///
+/// # Examples
+///
+/// ```
+/// use sara_core::{PerformanceMeter, WorkUnitMeter};
+/// use sara_types::{Cycle, MemOp};
+///
+/// // 1 KiB of traffic every 10_000 cycles, deadline 2_000 cycles.
+/// let mut m = WorkUnitMeter::new(1024, 10_000, 2_000);
+/// m.on_complete(Cycle::new(1_000), 1024, 50, MemOp::Read);
+/// assert!(m.npi(Cycle::new(1_500)).is_met()); // finished in half the deadline
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkUnitMeter {
+    unit_bytes: u64,
+    period: u64,
+    deadline: u64,
+    completed: u64,
+    /// `deadline / processing time` of the last finished unit.
+    held_npi: f64,
+    /// Completion cycle of the unit currently being finished (for the held
+    /// ratio computation).
+    last_unit_finished_at: Option<Cycle>,
+}
+
+impl WorkUnitMeter {
+    /// Creates a meter: `unit_bytes` of traffic per `period`, each unit due
+    /// `deadline` cycles after its arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `deadline > period` (units would
+    /// overlap their deadlines).
+    pub fn new(unit_bytes: u64, period: u64, deadline: u64) -> Self {
+        assert!(unit_bytes > 0 && period > 0 && deadline > 0, "parameters must be positive");
+        assert!(deadline <= period, "deadline must fit within the period");
+        WorkUnitMeter {
+            unit_bytes,
+            period,
+            deadline,
+            completed: 0,
+            held_npi: 1.0,
+            last_unit_finished_at: None,
+        }
+    }
+
+    /// Units that have arrived by `now` (unit k arrives at `k * period`).
+    fn units_arrived(&self, now: Cycle) -> u64 {
+        now.as_u64() / self.period + 1
+    }
+
+    /// Fully completed units.
+    fn units_done(&self) -> u64 {
+        self.completed / self.unit_bytes
+    }
+}
+
+impl PerformanceMeter for WorkUnitMeter {
+    fn on_complete(&mut self, now: Cycle, bytes: u32, _latency: u64, _op: MemOp) {
+        let before = self.units_done();
+        self.completed += bytes as u64;
+        let after = self.units_done();
+        if after > before {
+            // A unit just finished: record its processing time against the
+            // arrival of the *last* finished unit.
+            let arrival = (after - 1) * self.period;
+            let took = now.as_u64().saturating_sub(arrival).max(1);
+            self.held_npi = self.deadline as f64 / took as f64;
+            self.last_unit_finished_at = Some(now);
+        }
+    }
+
+    fn npi(&self, now: Cycle) -> Npi {
+        let arrived = self.units_arrived(now);
+        let done = self.units_done();
+        if done >= arrived {
+            // All arrived work finished: hold the last ratio.
+            return Npi::new(self.held_npi.max(0.0));
+        }
+        // Oldest unfinished unit: progress vs the pace its deadline demands.
+        let unit = done;
+        let arrival = unit * self.period;
+        let elapsed = now.as_u64().saturating_sub(arrival).max(1) as f64;
+        let progress = (self.completed - unit * self.unit_bytes) as f64 / self.unit_bytes as f64;
+        let pace = elapsed / self.deadline as f64;
+        let q = 0.01;
+        Npi::new((progress + q) / (pace + q))
+    }
+
+    fn describe_target(&self) -> String {
+        format!(
+            "{} bytes within {} cycles of each {}-cycle period",
+            self.unit_bytes, self.deadline, self.period
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_on_target() {
+        let m = WorkUnitMeter::new(1000, 10_000, 2_000);
+        // Unit 0 arrived at t=0, nothing done, but no time elapsed either.
+        assert!((m.npi(Cycle::ZERO).as_f64() - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn fast_completion_is_healthy() {
+        let mut m = WorkUnitMeter::new(1000, 10_000, 2_000);
+        m.on_complete(Cycle::new(500), 1000, 20, MemOp::Read);
+        // Finished in 500 < 2000: held NPI = 4.
+        assert!((m.npi(Cycle::new(5_000)).as_f64() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_deadline_shows_below_one() {
+        let mut m = WorkUnitMeter::new(1000, 10_000, 2_000);
+        // Unit 0 still incomplete at its deadline.
+        m.on_complete(Cycle::new(1_000), 200, 20, MemOp::Read);
+        assert!(!m.npi(Cycle::new(2_500)).is_met());
+        // Late completion holds a sub-one ratio (took 4000 > 2000).
+        m.on_complete(Cycle::new(4_000), 800, 20, MemOp::Read);
+        assert!((m.npi(Cycle::new(5_000)).as_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_counts_against_oldest_unit() {
+        let m = WorkUnitMeter::new(1000, 10_000, 2_000);
+        // Nothing completes for two periods: NPI judged on unit 0's age.
+        let npi = m.npi(Cycle::new(15_000));
+        assert!(npi.as_f64() < 0.1, "npi = {npi}");
+    }
+
+    #[test]
+    fn progress_during_unit_tracks_pace() {
+        let mut m = WorkUnitMeter::new(1000, 10_000, 2_000);
+        // 50% done at 50% of the deadline: on pace.
+        m.on_complete(Cycle::new(1_000), 500, 20, MemOp::Read);
+        let npi = m.npi(Cycle::new(1_000));
+        assert!((npi.as_f64() - 1.0).abs() < 0.05, "npi = {npi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn deadline_longer_than_period_rejected() {
+        let _ = WorkUnitMeter::new(1000, 1_000, 2_000);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Completing more work never lowers the NPI at a fixed instant,
+        /// and the NPI stays well-formed throughout.
+        #[test]
+        fn progress_is_monotone_in_served_bytes(
+            unit_kb in 1u64..64,
+            served_steps in prop::collection::vec(64u32..4_096, 1..30),
+            query in 1u64..200_000,
+        ) {
+            let unit = unit_kb * 1024;
+            let mut meter = WorkUnitMeter::new(unit, 250_000, 100_000);
+            let mut prev = meter.npi(Cycle::new(query)).as_f64();
+            prop_assert!(prev >= 0.0);
+            let mut t = 0u64;
+            for bytes in served_steps {
+                t += 50;
+                meter.on_complete(Cycle::new(t.min(query)), bytes, 10, MemOp::Read);
+                let now = meter.npi(Cycle::new(query)).as_f64();
+                prop_assert!(now.is_finite() && now >= 0.0);
+                prop_assert!(now + 1e-9 >= prev, "NPI fell from {prev} to {now}");
+                prev = now;
+            }
+        }
+    }
+}

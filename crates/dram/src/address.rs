@@ -1,0 +1,291 @@
+//! Physical address ↔ DRAM location mapping.
+//!
+//! The mapping determines how much bank/channel parallelism and row locality
+//! a given traffic pattern enjoys, which is exactly what the paper's
+//! row-buffer-hit experiments probe. Two interleavings are provided; the
+//! default puts the channel bit right above the burst offset so sequential
+//! streams stripe across channels while still hitting open rows.
+
+use core::fmt;
+
+use sara_types::{Addr, ConfigError};
+
+use crate::config::DramConfig;
+
+/// A fully decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column-burst index within the row.
+    pub col: u32,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}:r{}:b{}:row{}:col{}",
+            self.channel, self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+/// Bit-interleaving scheme for the address map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Interleave {
+    /// `row | rank | bank | col | channel | offset` (LSB on the right).
+    ///
+    /// Channel interleaving at burst granularity; consecutive bursts in one
+    /// channel walk the columns of an open row. Default; maximises both
+    /// channel parallelism and row locality for sequential streams.
+    #[default]
+    RowRankBankColChan,
+    /// `row | col | rank | bank | channel | offset`.
+    ///
+    /// Bank interleaving at burst granularity: sequential streams touch a
+    /// new bank every burst (more bank parallelism, less row locality).
+    RowColRankBankChan,
+}
+
+/// Maps physical byte addresses to DRAM locations and back.
+///
+/// # Examples
+///
+/// ```
+/// use sara_dram::{AddressMap, DramConfig, Interleave};
+/// use sara_types::Addr;
+///
+/// let map = AddressMap::new(&DramConfig::table1_1866(), Interleave::default())?;
+/// let loc = map.decode(Addr::new(0x1234_5680));
+/// let back = map.encode(loc);
+/// // encode() returns the burst-aligned base of the decoded location
+/// assert_eq!(back.as_u64(), 0x1234_5680 & !(128 - 1));
+/// # Ok::<(), sara_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    offset_bits: u32,
+    chan_bits: u32,
+    col_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    row_bits: u32,
+    scheme: Interleave,
+    capacity_mask: u64,
+}
+
+impl AddressMap {
+    /// Creates a map for `cfg` with the given interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any geometry dimension is not a power of
+    /// two (the map is pure bit slicing).
+    pub fn new(cfg: &DramConfig, scheme: Interleave) -> Result<Self, ConfigError> {
+        fn log2(name: &str, v: u64) -> Result<u32, ConfigError> {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(ConfigError::new(format!(
+                    "{name} ({v}) must be a power of two for bit-sliced mapping"
+                )));
+            }
+            Ok(v.trailing_zeros())
+        }
+        let offset_bits = log2("burst size", cfg.burst_bytes() as u64)?;
+        let chan_bits = log2("channels", cfg.channels() as u64)?;
+        let col_bits = log2("columns", cfg.cols() as u64)?;
+        let bank_bits = log2("banks", cfg.banks() as u64)?;
+        let rank_bits = log2("ranks", cfg.ranks() as u64)?;
+        let row_bits = log2("rows", cfg.rows() as u64)?;
+        Ok(AddressMap {
+            offset_bits,
+            chan_bits,
+            col_bits,
+            bank_bits,
+            rank_bits,
+            row_bits,
+            scheme,
+            capacity_mask: cfg.capacity_bytes() - 1,
+        })
+    }
+
+    /// Decodes an address into its DRAM location.
+    ///
+    /// Addresses beyond the device capacity wrap (the simulator's traffic
+    /// generators treat the address space as toroidal).
+    pub fn decode(&self, addr: Addr) -> Location {
+        let a = addr.as_u64() & self.capacity_mask;
+        let mut bits = a >> self.offset_bits;
+        let mut take = |n: u32| {
+            let v = bits & ((1u64 << n) - 1);
+            bits >>= n;
+            v
+        };
+        match self.scheme {
+            Interleave::RowRankBankColChan => {
+                let channel = take(self.chan_bits) as usize;
+                let col = take(self.col_bits) as u32;
+                let bank = take(self.bank_bits) as usize;
+                let rank = take(self.rank_bits) as usize;
+                let row = take(self.row_bits) as u32;
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+            Interleave::RowColRankBankChan => {
+                let channel = take(self.chan_bits) as usize;
+                let bank = take(self.bank_bits) as usize;
+                let rank = take(self.rank_bits) as usize;
+                let col = take(self.col_bits) as u32;
+                let row = take(self.row_bits) as u32;
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+        }
+    }
+
+    /// Re-encodes a location into the burst-aligned base address.
+    pub fn encode(&self, loc: Location) -> Addr {
+        let mut bits: u64 = 0;
+        let mut shift = 0u32;
+        let mut put = |v: u64, n: u32| {
+            bits |= (v & ((1u64 << n) - 1)) << shift;
+            shift += n;
+        };
+        match self.scheme {
+            Interleave::RowRankBankColChan => {
+                put(loc.channel as u64, self.chan_bits);
+                put(loc.col as u64, self.col_bits);
+                put(loc.bank as u64, self.bank_bits);
+                put(loc.rank as u64, self.rank_bits);
+                put(loc.row as u64, self.row_bits);
+            }
+            Interleave::RowColRankBankChan => {
+                put(loc.channel as u64, self.chan_bits);
+                put(loc.bank as u64, self.bank_bits);
+                put(loc.rank as u64, self.rank_bits);
+                put(loc.col as u64, self.col_bits);
+                put(loc.row as u64, self.row_bits);
+            }
+        }
+        Addr::new(bits << self.offset_bits)
+    }
+
+    /// The interleaving scheme in use.
+    #[inline]
+    pub fn scheme(&self) -> Interleave {
+        self.scheme
+    }
+
+    /// Bytes covered by consecutive columns of one row in one channel
+    /// (i.e. how long a sequential stream stays in an open row).
+    pub fn sequential_row_span(&self) -> u64 {
+        match self.scheme {
+            Interleave::RowRankBankColChan => {
+                1u64 << (self.offset_bits + self.chan_bits + self.col_bits)
+            }
+            Interleave::RowColRankBankChan => 1u64 << (self.offset_bits + self.chan_bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn map(scheme: Interleave) -> AddressMap {
+        AddressMap::new(&DramConfig::table1_1866(), scheme).unwrap()
+    }
+
+    #[test]
+    fn sequential_bursts_alternate_channels() {
+        let m = map(Interleave::default());
+        let a = m.decode(Addr::new(0));
+        let b = m.decode(Addr::new(128));
+        assert_eq!(a.channel, 0);
+        assert_eq!(b.channel, 1);
+        // Burst 2 returns to channel 0, next column.
+        let c = m.decode(Addr::new(256));
+        assert_eq!(c.channel, 0);
+        assert_eq!(c.col, a.col + 1);
+        assert_eq!(c.row, a.row);
+    }
+
+    #[test]
+    fn sequential_stream_stays_in_row_for_span() {
+        let m = map(Interleave::default());
+        let span = m.sequential_row_span();
+        assert_eq!(span, 128 * 2 * 16); // burst * channels * cols
+        let first = m.decode(Addr::new(0));
+        let last = m.decode(Addr::new(span - 128));
+        assert_eq!(first.row, last.row);
+        assert_eq!(first.bank, last.bank);
+        let next = m.decode(Addr::new(span));
+        assert_ne!(
+            (next.row, next.bank),
+            (first.row, first.bank),
+            "crossing the span must leave the row"
+        );
+    }
+
+    #[test]
+    fn bank_interleave_rotates_banks() {
+        let m = map(Interleave::RowColRankBankChan);
+        let a = m.decode(Addr::new(0));
+        let b = m.decode(Addr::new(256)); // same channel, next unit
+        assert_eq!(a.channel, b.channel);
+        assert_ne!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let m = map(Interleave::default());
+        let cap = DramConfig::table1_1866().capacity_bytes();
+        assert_eq!(m.decode(Addr::new(0x80)), m.decode(Addr::new(cap + 0x80)));
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_roundtrip_default(addr in 0u64..(2u64 << 30)) {
+            let m = map(Interleave::default());
+            let aligned = addr & !127;
+            let loc = m.decode(Addr::new(addr));
+            prop_assert_eq!(m.encode(loc).as_u64(), aligned);
+        }
+
+        #[test]
+        fn decode_encode_roundtrip_bank_interleave(addr in 0u64..(2u64 << 30)) {
+            let m = map(Interleave::RowColRankBankChan);
+            let aligned = addr & !127;
+            let loc = m.decode(Addr::new(addr));
+            prop_assert_eq!(m.encode(loc).as_u64(), aligned);
+        }
+
+        #[test]
+        fn decoded_fields_in_range(addr in any::<u64>()) {
+            let m = map(Interleave::default());
+            let loc = m.decode(Addr::new(addr));
+            prop_assert!(loc.channel < 2);
+            prop_assert!(loc.rank < 2);
+            prop_assert!(loc.bank < 8);
+            prop_assert!((loc.row as usize) < 32 * 1024);
+            prop_assert!((loc.col as usize) < 16);
+        }
+    }
+}

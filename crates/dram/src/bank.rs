@@ -1,0 +1,212 @@
+//! Per-bank row-buffer state machine.
+
+use sara_types::Cycle;
+
+use crate::command::NextCommand;
+
+/// Why the bank's row buffer is currently closed / how it was last opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpenOrigin {
+    /// Bank has never been activated (or was closed by refresh).
+    FreshOrRefresh,
+    /// The currently-open row replaced one evicted by an explicit PRE.
+    AfterPrecharge,
+}
+
+/// State of one DRAM bank: the open row (if any) plus the earliest cycles at
+/// which the next ACT / PRE / column command may legally issue.
+#[derive(Debug, Clone)]
+pub(crate) struct Bank {
+    row: Option<u32>,
+    /// Earliest next ACT (covers tRP after PRE, tRFC after refresh).
+    act_at: Cycle,
+    /// Earliest next PRE (covers tRAS, tRTP, write recovery).
+    pre_at: Cycle,
+    /// Earliest next RD/WR (covers tRCD after ACT).
+    cas_at: Cycle,
+    /// True until the first column access after an ACT (row hit/miss
+    /// classification).
+    fresh_act: bool,
+    origin: OpenOrigin,
+}
+
+impl Bank {
+    pub(crate) fn new() -> Self {
+        Bank {
+            row: None,
+            act_at: Cycle::ZERO,
+            pre_at: Cycle::ZERO,
+            cas_at: Cycle::ZERO,
+            fresh_act: false,
+            origin: OpenOrigin::FreshOrRefresh,
+        }
+    }
+
+    /// The currently open row.
+    #[inline]
+    pub(crate) fn open_row(&self) -> Option<u32> {
+        self.row
+    }
+
+    /// What command a transaction targeting `row` needs next.
+    pub(crate) fn next_command(&self, row: u32) -> NextCommand {
+        match self.row {
+            Some(open) if open == row => NextCommand::Column,
+            Some(_) => NextCommand::Precharge,
+            None => NextCommand::Activate,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn act_at(&self) -> Cycle {
+        self.act_at
+    }
+
+    #[inline]
+    pub(crate) fn pre_at(&self) -> Cycle {
+        self.pre_at
+    }
+
+    #[inline]
+    pub(crate) fn cas_at(&self) -> Cycle {
+        self.cas_at
+    }
+
+    /// Applies an ACT issued at `t` (caller has validated legality).
+    pub(crate) fn apply_activate(&mut self, t: Cycle, row: u32, trcd: u64, tras: u64) {
+        debug_assert!(self.row.is_none(), "ACT on open bank");
+        debug_assert!(t >= self.act_at, "ACT violates tRP/tRFC");
+        self.row = Some(row);
+        self.cas_at = t + trcd;
+        self.pre_at = self.pre_at.max(t + tras);
+        self.fresh_act = true;
+    }
+
+    /// Applies a PRE issued at `t`.
+    pub(crate) fn apply_precharge(&mut self, t: Cycle, trp: u64) {
+        debug_assert!(self.row.is_some(), "PRE on closed bank");
+        debug_assert!(t >= self.pre_at, "PRE violates tRAS/tRTP/tWR");
+        self.row = None;
+        self.act_at = self.act_at.max(t + trp);
+        self.fresh_act = false;
+        self.origin = OpenOrigin::AfterPrecharge;
+    }
+
+    /// Applies a read burst issued at `t`; returns the row-buffer outcome of
+    /// this access (`true` = row hit).
+    pub(crate) fn apply_read(&mut self, t: Cycle, trtp: u64) -> AccessOutcome {
+        debug_assert!(self.row.is_some(), "RD on closed bank");
+        debug_assert!(t >= self.cas_at, "RD violates tRCD");
+        self.pre_at = self.pre_at.max(t + trtp);
+        self.consume_freshness()
+    }
+
+    /// Applies a write burst issued at `t` whose data completes at
+    /// `data_done`; write recovery runs from the end of data.
+    pub(crate) fn apply_write(&mut self, t: Cycle, data_done: Cycle, twr: u64) -> AccessOutcome {
+        debug_assert!(self.row.is_some(), "WR on closed bank");
+        debug_assert!(t >= self.cas_at, "WR violates tRCD");
+        self.pre_at = self.pre_at.max(data_done + twr);
+        self.consume_freshness()
+    }
+
+    /// Forcibly closes the bank for an all-bank refresh ending at `until`.
+    pub(crate) fn apply_refresh(&mut self, until: Cycle) {
+        self.row = None;
+        self.act_at = self.act_at.max(until);
+        self.fresh_act = false;
+        self.origin = OpenOrigin::FreshOrRefresh;
+    }
+
+    fn consume_freshness(&mut self) -> AccessOutcome {
+        if self.fresh_act {
+            self.fresh_act = false;
+            match self.origin {
+                OpenOrigin::AfterPrecharge => AccessOutcome::Conflict,
+                OpenOrigin::FreshOrRefresh => AccessOutcome::Miss,
+            }
+        } else {
+            AccessOutcome::Hit
+        }
+    }
+}
+
+/// Row-buffer outcome of a column access, per the paper's taxonomy: hits
+/// avoid activate/precharge penalties entirely (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Access to an already-open row that required no new ACT.
+    Hit,
+    /// First access after opening a bank that was closed (no eviction).
+    Miss,
+    /// First access after evicting another row (PRE + ACT paid).
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_bank_needs_activate() {
+        let b = Bank::new();
+        assert_eq!(b.next_command(5), NextCommand::Activate);
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn open_row_hit_and_conflict_paths() {
+        let mut b = Bank::new();
+        b.apply_activate(Cycle::new(0), 5, 34, 68);
+        assert_eq!(b.next_command(5), NextCommand::Column);
+        assert_eq!(b.next_command(6), NextCommand::Precharge);
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn activate_sets_cas_and_pre_windows() {
+        let mut b = Bank::new();
+        b.apply_activate(Cycle::new(10), 1, 34, 68);
+        assert_eq!(b.cas_at(), Cycle::new(44));
+        assert_eq!(b.pre_at(), Cycle::new(78));
+    }
+
+    #[test]
+    fn first_access_after_fresh_activate_is_miss_then_hits() {
+        let mut b = Bank::new();
+        b.apply_activate(Cycle::new(0), 1, 34, 68);
+        assert_eq!(b.apply_read(Cycle::new(34), 14), AccessOutcome::Miss);
+        assert_eq!(b.apply_read(Cycle::new(50), 14), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn access_after_eviction_is_conflict() {
+        let mut b = Bank::new();
+        b.apply_activate(Cycle::new(0), 1, 34, 68);
+        let _ = b.apply_read(Cycle::new(34), 14);
+        b.apply_precharge(Cycle::new(100), 34);
+        b.apply_activate(Cycle::new(134), 2, 34, 68);
+        assert_eq!(b.apply_read(Cycle::new(168), 14), AccessOutcome::Conflict);
+    }
+
+    #[test]
+    fn refresh_closes_and_resets_origin() {
+        let mut b = Bank::new();
+        b.apply_activate(Cycle::new(0), 1, 34, 68);
+        let _ = b.apply_read(Cycle::new(34), 14);
+        b.apply_precharge(Cycle::new(100), 34);
+        b.apply_refresh(Cycle::new(700));
+        assert_eq!(b.act_at(), Cycle::new(700));
+        b.apply_activate(Cycle::new(700), 3, 34, 68);
+        // refresh resets the "after precharge" origin → miss, not conflict
+        assert_eq!(b.apply_read(Cycle::new(734), 14), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn write_recovery_extends_precharge_window() {
+        let mut b = Bank::new();
+        b.apply_activate(Cycle::new(0), 1, 34, 68);
+        let _ = b.apply_write(Cycle::new(40), Cycle::new(74), 34);
+        assert_eq!(b.pre_at(), Cycle::new(108)); // data_done + tWR
+    }
+}

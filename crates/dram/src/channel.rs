@@ -1,0 +1,440 @@
+//! Per-channel timing engine: banks, rank constraints, data/command buses,
+//! and the refresh engine.
+
+use std::collections::VecDeque;
+
+use sara_types::{Cycle, MemOp};
+
+use crate::address::Location;
+use crate::bank::Bank;
+use crate::command::{Issued, NextCommand};
+use crate::stats::ChannelStats;
+use crate::timing::TimingParams;
+
+/// Rank-scoped activation bookkeeping (tRRD spacing and the tFAW window).
+#[derive(Debug, Clone)]
+struct RankTiming {
+    last_act: Cycle,
+    has_act: bool,
+    /// Issue times of up to the last four ACTs (for tFAW).
+    recent_acts: VecDeque<Cycle>,
+}
+
+impl RankTiming {
+    fn new() -> Self {
+        RankTiming {
+            last_act: Cycle::ZERO,
+            has_act: false,
+            recent_acts: VecDeque::with_capacity(4),
+        }
+    }
+
+    fn earliest_act(&self, timing: &TimingParams) -> Cycle {
+        let mut at = Cycle::ZERO;
+        if self.has_act {
+            at = at.max(self.last_act + timing.trrd());
+        }
+        if self.recent_acts.len() == 4 {
+            at = at.max(*self.recent_acts.front().expect("len checked") + timing.tfaw());
+        }
+        at
+    }
+
+    fn record_act(&mut self, t: Cycle) {
+        self.last_act = t;
+        self.has_act = true;
+        if self.recent_acts.len() == 4 {
+            self.recent_acts.pop_front();
+        }
+        self.recent_acts.push_back(t);
+    }
+}
+
+/// One DRAM channel: an independent command/data bus with its own ranks and
+/// banks, enforcing every timing constraint of [`TimingParams`].
+#[derive(Debug, Clone)]
+pub(crate) struct Channel {
+    timing: TimingParams,
+    banks_per_rank: usize,
+    burst_bytes: u32,
+    banks: Vec<Bank>,
+    ranks: Vec<RankTiming>,
+    /// First cycle a new data burst may start on the data bus.
+    bus_free_at: Cycle,
+    /// Earliest next CAS command (tCCD).
+    cas_ready: Cycle,
+    /// Earliest next RD command (write→read turnaround).
+    rd_ready: Cycle,
+    /// Earliest next WR command (read→write bus turnaround).
+    wr_ready: Cycle,
+    /// Command bus: one command per cycle.
+    cmd_free_at: Cycle,
+    /// Next due time for all-bank refresh (if enabled).
+    refresh_due: Cycle,
+    /// Channel blocked for refresh until this cycle.
+    refresh_busy_until: Cycle,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    pub(crate) fn new(timing: TimingParams, ranks: usize, banks: usize, burst_bytes: u32) -> Self {
+        let refresh_due = if timing.refresh_enabled() {
+            Cycle::new(timing.trefi())
+        } else {
+            Cycle::MAX
+        };
+        Channel {
+            banks_per_rank: banks,
+            burst_bytes,
+            banks: (0..ranks * banks).map(|_| Bank::new()).collect(),
+            ranks: (0..ranks).map(|_| RankTiming::new()).collect(),
+            bus_free_at: Cycle::ZERO,
+            cas_ready: Cycle::ZERO,
+            rd_ready: Cycle::ZERO,
+            wr_ready: Cycle::ZERO,
+            cmd_free_at: Cycle::ZERO,
+            refresh_due,
+            refresh_busy_until: Cycle::ZERO,
+            stats: ChannelStats::default(),
+            timing,
+        }
+    }
+
+    #[inline]
+    fn bank_index(&self, loc: &Location) -> usize {
+        loc.rank * self.banks_per_rank + loc.bank
+    }
+
+    #[inline]
+    fn bank(&self, loc: &Location) -> &Bank {
+        &self.banks[self.bank_index(loc)]
+    }
+
+    pub(crate) fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// Lazily performs any refresh that has become due by `now`.
+    ///
+    /// Refresh is modelled conservatively: once due, the channel stops
+    /// accepting new commands, waits until every bank may precharge, then
+    /// spends `tRP + tRFC` refreshing. Banks come back closed.
+    pub(crate) fn advance(&mut self, now: Cycle) {
+        if !self.timing.refresh_enabled() {
+            return;
+        }
+        while now >= self.refresh_due {
+            // Refresh may only start once every bank can legally precharge
+            // and any previously scheduled refresh has finished.
+            let mut start = self.refresh_due.max(self.refresh_busy_until);
+            for bank in &self.banks {
+                if bank.open_row().is_some() {
+                    start = start.max(bank.pre_at());
+                }
+            }
+            let end = start + (self.timing.trp() + self.timing.trfc());
+            for bank in &mut self.banks {
+                bank.apply_refresh(end);
+            }
+            self.refresh_busy_until = end;
+            self.refresh_due = self.refresh_due + self.timing.trefi();
+            self.stats.refreshes += 1;
+        }
+    }
+
+    /// The command a transaction at `loc` needs next.
+    pub(crate) fn next_command(&self, loc: &Location) -> NextCommand {
+        self.bank(loc).next_command(loc.row)
+    }
+
+    /// Earliest cycle at which the *next* command for (`loc`, `op`) may
+    /// legally issue. Always ≥ the refresh-busy horizon.
+    pub(crate) fn earliest(&self, loc: &Location, op: MemOp) -> Cycle {
+        let bank = self.bank(loc);
+        let t = &self.timing;
+        let base = self.cmd_free_at.max(self.refresh_busy_until);
+        match bank.next_command(loc.row) {
+            NextCommand::Activate => base
+                .max(bank.act_at())
+                .max(self.ranks[loc.rank].earliest_act(t)),
+            NextCommand::Precharge => base.max(bank.pre_at()),
+            NextCommand::Column => {
+                let mut at = base.max(bank.cas_at()).max(self.cas_ready);
+                match op {
+                    MemOp::Read => {
+                        at = at.max(self.rd_ready);
+                        // Data may start at issue + CL; it must not overlap
+                        // the bus reservation.
+                        let data_gate = self.bus_free_at.saturating_sub(Cycle::new(t.cl()));
+                        at = at.max(Cycle::new(data_gate));
+                    }
+                    MemOp::Write => {
+                        at = at.max(self.wr_ready);
+                        let data_gate = self.bus_free_at.saturating_sub(Cycle::new(t.wl()));
+                        at = at.max(Cycle::new(data_gate));
+                    }
+                }
+                at
+            }
+        }
+    }
+
+    /// Issues the next command needed by (`loc`, `op`) at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all builds) if `now` is earlier than [`Self::earliest`]
+    /// allows — the memory controller must never issue an illegal command.
+    pub(crate) fn issue(&mut self, loc: &Location, op: MemOp, now: Cycle) -> Issued {
+        let legal_at = self.earliest(loc, op);
+        assert!(
+            now >= legal_at,
+            "illegal command issue at {now} (earliest {legal_at}) for {loc} {op}"
+        );
+        let t = self.timing.clone();
+        let bank_idx = self.bank_index(loc);
+        let need = self.banks[bank_idx].next_command(loc.row);
+        let issued = match need {
+            NextCommand::Activate => {
+                self.banks[bank_idx].apply_activate(now, loc.row, t.trcd(), t.tras());
+                self.ranks[loc.rank].record_act(now);
+                self.stats.activates += 1;
+                Issued::Activate
+            }
+            NextCommand::Precharge => {
+                self.banks[bank_idx].apply_precharge(now, t.trp());
+                self.stats.precharges += 1;
+                Issued::Precharge
+            }
+            NextCommand::Column => {
+                let bl = t.burst_beats();
+                self.cas_ready = now + t.tccd();
+                match op {
+                    MemOp::Read => {
+                        let data_start = now + t.cl();
+                        let data_end = data_start + bl;
+                        self.bus_free_at = data_end;
+                        // Read→write: write data must wait for the bus plus
+                        // a turnaround gap.
+                        let wr_gate = (data_end + t.rtw_gap())
+                            .saturating_sub(Cycle::new(t.wl()));
+                        self.wr_ready = self.wr_ready.max(Cycle::new(wr_gate));
+                        let outcome = self.banks[bank_idx].apply_read(now, t.trtp());
+                        self.stats.record_outcome(outcome);
+                        self.stats.reads += 1;
+                        self.stats.data_beats += bl;
+                        self.stats.read_bytes += self.burst_bytes as u64;
+                        Issued::Read {
+                            data_ready: data_end,
+                        }
+                    }
+                    MemOp::Write => {
+                        let data_start = now + t.wl();
+                        let data_end = data_start + bl;
+                        self.bus_free_at = data_end;
+                        // Write→read turnaround measured from end of data.
+                        self.rd_ready = self.rd_ready.max(data_end + t.twtr());
+                        let outcome = self.banks[bank_idx].apply_write(now, data_end, t.twr());
+                        self.stats.record_outcome(outcome);
+                        self.stats.writes += 1;
+                        self.stats.data_beats += bl;
+                        self.stats.write_bytes += self.burst_bytes as u64;
+                        Issued::Write {
+                            data_done: data_end,
+                        }
+                    }
+                }
+            }
+        };
+        self.cmd_free_at = now + 1;
+        issued
+    }
+
+    /// Cycle when the channel next becomes usable if it is refresh-blocked.
+    pub(crate) fn refresh_horizon(&self) -> Cycle {
+        self.refresh_busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_channel() -> Channel {
+        Channel::new(TimingParams::lpddr4_1866(), 2, 8, 128)
+    }
+
+    fn loc(rank: usize, bank: usize, row: u32, col: u32) -> Location {
+        Location {
+            channel: 0,
+            rank,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Drives the transaction at `loc` to completion, returning (finish
+    /// cycle, commands issued).
+    fn complete(ch: &mut Channel, l: &Location, op: MemOp, mut now: Cycle) -> (Cycle, u32) {
+        let mut cmds = 0;
+        loop {
+            now = now.max(ch.earliest(l, op));
+            let issued = ch.issue(l, op, now);
+            cmds += 1;
+            if let Some(done) = issued.completion() {
+                return (done, cmds);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_bank_read_pays_act_plus_cas() {
+        let mut ch = test_channel();
+        let l = loc(0, 0, 10, 0);
+        let (done, cmds) = complete(&mut ch, &l, MemOp::Read, Cycle::ZERO);
+        assert_eq!(cmds, 2); // ACT + RD
+        // ACT@0, RD@tRCD=34, data ends at 34+CL+BL = 34+36+16
+        assert_eq!(done, Cycle::new(86));
+        assert_eq!(ch.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn row_hit_skips_activate() {
+        let mut ch = test_channel();
+        let l = loc(0, 0, 10, 0);
+        let (_, _) = complete(&mut ch, &l, MemOp::Read, Cycle::ZERO);
+        let l2 = loc(0, 0, 10, 1);
+        let (done, cmds) = complete(&mut ch, &l2, MemOp::Read, Cycle::new(50));
+        assert_eq!(cmds, 1);
+        assert_eq!(ch.stats().row_hits, 1);
+        // second RD can issue at tCCD after the first (34+16=50)
+        assert_eq!(done, Cycle::new(50 + 36 + 16));
+    }
+
+    #[test]
+    fn row_conflict_pays_pre_act_cas() {
+        let mut ch = test_channel();
+        let (_, _) = complete(&mut ch, &loc(0, 0, 10, 0), MemOp::Read, Cycle::ZERO);
+        let other_row = loc(0, 0, 11, 0);
+        let (_, cmds) = complete(&mut ch, &other_row, MemOp::Read, Cycle::new(100));
+        assert_eq!(cmds, 3); // PRE + ACT + RD
+        assert_eq!(ch.stats().row_conflicts, 1);
+        assert_eq!(ch.stats().precharges, 1);
+    }
+
+    #[test]
+    fn trrd_spaces_activates_same_rank() {
+        let mut ch = test_channel();
+        ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::ZERO); // ACT bank0
+        let e = ch.earliest(&loc(0, 1, 1, 0), MemOp::Read);
+        assert_eq!(e, Cycle::new(19)); // tRRD
+    }
+
+    #[test]
+    fn different_ranks_not_trrd_constrained() {
+        let mut ch = test_channel();
+        ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::ZERO);
+        let e = ch.earliest(&loc(1, 0, 1, 0), MemOp::Read);
+        // only command-bus spacing applies
+        assert_eq!(e, Cycle::new(1));
+    }
+
+    #[test]
+    fn four_activate_window_with_table1_params_is_trrd_bound() {
+        let mut ch = test_channel();
+        let mut now = Cycle::ZERO;
+        for b in 0..4 {
+            let l = loc(0, b, 1, 0);
+            now = now.max(ch.earliest(&l, MemOp::Read));
+            ch.issue(&l, MemOp::Read, now);
+        }
+        // ACTs at 0, 19, 38, 57. With Table 1 values 4·tRRD (76) exceeds
+        // tFAW (75), so pairwise spacing dominates the window.
+        let e = ch.earliest(&loc(0, 4, 1, 0), MemOp::Read);
+        assert_eq!(e, Cycle::new(76));
+    }
+
+    #[test]
+    fn tfaw_binds_when_trrd_is_small() {
+        let timing = TimingParams::builder().trrd(10).build().unwrap();
+        let mut ch = Channel::new(timing, 2, 8, 128);
+        let mut now = Cycle::ZERO;
+        for b in 0..4 {
+            let l = loc(0, b, 1, 0);
+            now = now.max(ch.earliest(&l, MemOp::Read));
+            ch.issue(&l, MemOp::Read, now);
+        }
+        // ACTs at 0, 10, 20, 30; 5th gated by tFAW from the 1st (75), not
+        // tRRD from the 4th (40).
+        let e = ch.earliest(&loc(0, 4, 1, 0), MemOp::Read);
+        assert_eq!(e, Cycle::new(75));
+    }
+
+    #[test]
+    fn write_to_read_turnaround_enforced() {
+        let mut ch = test_channel();
+        let l = loc(0, 0, 1, 0);
+        let (done, _) = complete(&mut ch, &l, MemOp::Write, Cycle::ZERO);
+        // WR issued at 34, data ends 34+18+16=68
+        assert_eq!(done, Cycle::new(68));
+        let e = ch.earliest(&loc(0, 0, 1, 1), MemOp::Read);
+        // rd_ready = data_end + tWTR = 68 + 19 = 87
+        assert_eq!(e, Cycle::new(87));
+    }
+
+    #[test]
+    fn data_bus_serialises_bursts_across_banks() {
+        let mut ch = test_channel();
+        // Open two banks.
+        ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::ZERO);
+        ch.issue(&loc(0, 1, 1, 0), MemOp::Read, Cycle::new(19));
+        // Read bank 0 at 34 → data [70, 86).
+        let e0 = ch.earliest(&loc(0, 0, 1, 0), MemOp::Read);
+        assert_eq!(e0, Cycle::new(34));
+        ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::new(34));
+        // Bank 1 CAS legal at 53 (tRCD), but tCCD forces 50 → 53; bus would
+        // collide only if issue+CL < 86, i.e. tCCD (16) already spaces it.
+        let e1 = ch.earliest(&loc(0, 1, 1, 0), MemOp::Read);
+        assert_eq!(e1, Cycle::new(53));
+    }
+
+    #[test]
+    fn refresh_blocks_channel_and_closes_banks() {
+        let mut ch = test_channel();
+        let l = loc(0, 0, 1, 0);
+        let (_, _) = complete(&mut ch, &l, MemOp::Read, Cycle::ZERO);
+        assert_eq!(ch.stats().refreshes, 0);
+        // Jump past the refresh interval.
+        ch.advance(Cycle::new(8000));
+        assert_eq!(ch.stats().refreshes, 1);
+        // Bank was closed by refresh → needs ACT, gated by the horizon.
+        assert_eq!(ch.next_command(&l), NextCommand::Activate);
+        assert!(ch.earliest(&l, MemOp::Read) >= ch.refresh_horizon());
+        assert!(ch.refresh_horizon() >= Cycle::new(7280 + 34 + 522));
+    }
+
+    #[test]
+    fn multiple_overdue_refreshes_processed() {
+        let mut ch = test_channel();
+        ch.advance(Cycle::new(7280 * 3 + 10));
+        assert_eq!(ch.stats().refreshes, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal command issue")]
+    fn premature_issue_panics() {
+        let mut ch = test_channel();
+        ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::ZERO); // ACT
+        // RD before tRCD elapses must panic.
+        ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::new(10));
+    }
+
+    #[test]
+    fn refresh_disabled_never_refreshes() {
+        let timing = TimingParams::builder().refresh_enabled(false).build().unwrap();
+        let mut ch = Channel::new(timing, 2, 8, 128);
+        ch.advance(Cycle::new(100_000_000));
+        assert_eq!(ch.stats().refreshes, 0);
+    }
+}

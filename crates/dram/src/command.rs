@@ -1,0 +1,140 @@
+//! DRAM command vocabulary.
+
+use core::fmt;
+
+use sara_types::Cycle;
+
+use crate::address::Location;
+
+/// A DRAM device command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open `row` into the bank's row buffer.
+    Activate {
+        /// Row to open.
+        row: u32,
+    },
+    /// Close the bank's open row.
+    Precharge,
+    /// Column read burst from the open row.
+    Read,
+    /// Column write burst into the open row.
+    Write,
+    /// All-bank refresh (issued internally by the refresh engine).
+    RefreshAll,
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCommand::Activate { row } => write!(f, "ACT(row{row})"),
+            DramCommand::Precharge => f.write_str("PRE"),
+            DramCommand::Read => f.write_str("RD"),
+            DramCommand::Write => f.write_str("WR"),
+            DramCommand::RefreshAll => f.write_str("REFab"),
+        }
+    }
+}
+
+/// The next command a transaction needs, given current bank state.
+///
+/// Also encodes the paper's row-buffer outcome taxonomy: `Column` on an
+/// already-open matching row is a *row hit*; `Activate` on a closed bank is a
+/// *row miss*; `Precharge` (another row is open) is a *row conflict*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NextCommand {
+    /// The bank holds the needed row open: RD/WR can issue (row hit).
+    Column,
+    /// The bank is closed: ACT must issue first.
+    Activate,
+    /// The bank holds a different row: PRE must issue first.
+    Precharge,
+}
+
+impl NextCommand {
+    /// Whether the transaction would hit the open row right now.
+    #[inline]
+    pub fn is_row_hit(self) -> bool {
+        matches!(self, NextCommand::Column)
+    }
+}
+
+/// Outcome of issuing one command for a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Issued {
+    /// An ACT was issued; the column access still has to follow.
+    Activate,
+    /// A PRE was issued; ACT and column access still have to follow.
+    Precharge,
+    /// The read burst was issued; data is fully returned at `data_ready`.
+    Read {
+        /// Cycle at which the last data beat arrives at the controller.
+        data_ready: Cycle,
+    },
+    /// The write burst was issued; data is fully written at `data_done`.
+    Write {
+        /// Cycle at which the last data beat is absorbed by the DRAM.
+        data_done: Cycle,
+    },
+}
+
+impl Issued {
+    /// The completion cycle if this was a column access.
+    #[inline]
+    pub fn completion(self) -> Option<Cycle> {
+        match self {
+            Issued::Read { data_ready } => Some(data_ready),
+            Issued::Write { data_done } => Some(data_done),
+            _ => None,
+        }
+    }
+}
+
+/// A command together with when and where it was issued — the unit of the
+/// command trace consumed by [`crate::TimingChecker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Issue cycle.
+    pub at: Cycle,
+    /// Target location (row/col meaningful per command kind).
+    pub loc: Location,
+    /// The command.
+    pub cmd: DramCommand,
+}
+
+impl fmt::Display for CommandRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} {}", self.at, self.loc, self.cmd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_command_hit_classification() {
+        assert!(NextCommand::Column.is_row_hit());
+        assert!(!NextCommand::Activate.is_row_hit());
+        assert!(!NextCommand::Precharge.is_row_hit());
+    }
+
+    #[test]
+    fn completion_only_for_column_accesses() {
+        assert_eq!(Issued::Activate.completion(), None);
+        assert_eq!(Issued::Precharge.completion(), None);
+        assert_eq!(
+            Issued::Read {
+                data_ready: Cycle::new(50)
+            }
+            .completion(),
+            Some(Cycle::new(50))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DramCommand::Activate { row: 3 }.to_string(), "ACT(row3)");
+        assert_eq!(DramCommand::Precharge.to_string(), "PRE");
+    }
+}

@@ -1,0 +1,160 @@
+//! Switch-allocation arbitration policies.
+//!
+//! §3.3: "In on-chip network routers, transactions with higher priorities
+//! are preferentially selected during switch allocation." The same four
+//! policies evaluated in the memory controller exist here so that the whole
+//! memory path applies a consistent QoS discipline (the paper's critique of
+//! single-layer QoS is precisely that an interconnect with a different
+//! policy undoes the controller's guarantees).
+
+use sara_types::{Priority, TransactionId};
+
+/// Arbitration discipline used by an [`crate::ArbiterNode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArbiterKind {
+    /// Oldest transaction first (global arrival order).
+    Fcfs,
+    /// Rotate across input ports; FIFO within a port.
+    #[default]
+    RoundRobin,
+    /// Frame-urgency first (the DAC'12 frame-rate QoS baseline): urgent
+    /// transactions beat non-urgent; FCFS within each group.
+    FrameUrgent,
+    /// SARA: highest priority level first, round-robin as tiebreaker.
+    Priority,
+}
+
+impl ArbiterKind {
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbiterKind::Fcfs => "FCFS",
+            ArbiterKind::RoundRobin => "RR",
+            ArbiterKind::FrameUrgent => "FrameQoS",
+            ArbiterKind::Priority => "Priority",
+        }
+    }
+}
+
+/// Head-of-port metadata fed to the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contender {
+    /// Input-port index this head sits in.
+    pub port: usize,
+    /// Transaction id (global injection order).
+    pub id: TransactionId,
+    /// SARA priority level.
+    pub priority: Priority,
+    /// Frame-urgency flag.
+    pub urgent: bool,
+}
+
+/// Picks the winning input port among `contenders` (heads of non-empty,
+/// ready input ports).
+///
+/// `cursor` is the round-robin position: ports "after" the cursor win ties.
+/// Returns `None` when there are no contenders.
+///
+/// # Examples
+///
+/// ```
+/// use sara_noc::{select, ArbiterKind, Contender};
+/// use sara_types::{Priority, TransactionId};
+///
+/// let heads = [
+///     Contender { port: 0, id: TransactionId::new(9), priority: Priority::new(1), urgent: false },
+///     Contender { port: 1, id: TransactionId::new(5), priority: Priority::new(6), urgent: false },
+/// ];
+/// assert_eq!(select(ArbiterKind::Priority, &heads, 0).unwrap().port, 1);
+/// assert_eq!(select(ArbiterKind::Fcfs, &heads, 0).unwrap().port, 1); // id 5 older
+/// ```
+pub fn select(kind: ArbiterKind, contenders: &[Contender], cursor: usize) -> Option<Contender> {
+    if contenders.is_empty() {
+        return None;
+    }
+    // Distance from the cursor, so that round-robin ties rotate fairly.
+    let rr_key = |c: &Contender| {
+        let n = contenders.iter().map(|x| x.port).max().unwrap_or(0) + 1;
+        (c.port + n - (cursor % n)) % n
+    };
+    let winner = match kind {
+        ArbiterKind::Fcfs => contenders.iter().min_by_key(|c| c.id),
+        ArbiterKind::RoundRobin => contenders.iter().min_by_key(|c| rr_key(c)),
+        ArbiterKind::FrameUrgent => contenders
+            .iter()
+            .min_by_key(|c| (core::cmp::Reverse(c.urgent as u8), c.id)),
+        ArbiterKind::Priority => contenders
+            .iter()
+            .min_by_key(|c| (core::cmp::Reverse(c.priority.as_u8()), rr_key(c))),
+    };
+    winner.copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(port: usize, id: u64, prio: u8, urgent: bool) -> Contender {
+        Contender {
+            port,
+            id: TransactionId::new(id),
+            priority: Priority::new(prio),
+            urgent,
+        }
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        assert_eq!(select(ArbiterKind::Fcfs, &[], 0), None);
+    }
+
+    #[test]
+    fn fcfs_picks_oldest() {
+        let heads = [c(0, 10, 7, true), c(1, 3, 0, false)];
+        assert_eq!(select(ArbiterKind::Fcfs, &heads, 0).unwrap().port, 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_with_cursor() {
+        let heads = [c(0, 1, 0, false), c(1, 2, 0, false), c(2, 3, 0, false)];
+        assert_eq!(select(ArbiterKind::RoundRobin, &heads, 0).unwrap().port, 0);
+        assert_eq!(select(ArbiterKind::RoundRobin, &heads, 1).unwrap().port, 1);
+        assert_eq!(select(ArbiterKind::RoundRobin, &heads, 2).unwrap().port, 2);
+        assert_eq!(select(ArbiterKind::RoundRobin, &heads, 3).unwrap().port, 0);
+    }
+
+    #[test]
+    fn round_robin_skips_empty_ports() {
+        // Port 1 missing: cursor at 1 should pick the next present port (2).
+        let heads = [c(0, 1, 0, false), c(2, 3, 0, false)];
+        assert_eq!(select(ArbiterKind::RoundRobin, &heads, 1).unwrap().port, 2);
+    }
+
+    #[test]
+    fn priority_beats_age() {
+        let heads = [c(0, 1, 2, false), c(1, 50, 6, false)];
+        assert_eq!(select(ArbiterKind::Priority, &heads, 0).unwrap().port, 1);
+    }
+
+    #[test]
+    fn priority_tie_breaks_round_robin() {
+        let heads = [c(0, 1, 4, false), c(1, 2, 4, false)];
+        assert_eq!(select(ArbiterKind::Priority, &heads, 0).unwrap().port, 0);
+        assert_eq!(select(ArbiterKind::Priority, &heads, 1).unwrap().port, 1);
+    }
+
+    #[test]
+    fn frame_urgent_preempts_older_traffic() {
+        let heads = [c(0, 1, 0, false), c(1, 99, 0, true)];
+        assert_eq!(select(ArbiterKind::FrameUrgent, &heads, 0).unwrap().port, 1);
+        // Without urgency it degrades to FCFS.
+        let calm = [c(0, 1, 0, false), c(1, 99, 0, false)];
+        assert_eq!(select(ArbiterKind::FrameUrgent, &calm, 0).unwrap().port, 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ArbiterKind::Priority.name(), "Priority");
+        assert_eq!(ArbiterKind::default(), ArbiterKind::RoundRobin);
+    }
+}

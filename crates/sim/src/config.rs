@@ -1,0 +1,153 @@
+//! Whole-system configuration: clock, policy, workload, substrates.
+
+use sara_dram::{DramConfig, Interleave};
+use sara_memctrl::{McConfig, PolicyKind};
+use sara_noc::{ArbiterKind, NocConfig};
+use sara_types::{Clock, ConfigError, MegaHertz, PriorityBits};
+use sara_workloads::{CoreSpec, TestCase, FRAMES_PER_SECOND};
+
+/// The NoC arbitration discipline matching a memory-controller policy, so
+/// the whole path applies one consistent QoS scheme (§2's end-to-end
+/// argument).
+pub fn arbiter_for(policy: PolicyKind) -> ArbiterKind {
+    match policy {
+        PolicyKind::Fcfs => ArbiterKind::Fcfs,
+        PolicyKind::RoundRobin => ArbiterKind::RoundRobin,
+        PolicyKind::FrameQos => ArbiterKind::FrameUrgent,
+        PolicyKind::Priority | PolicyKind::QosRowBuffer => ArbiterKind::Priority,
+        // FR-FCFS is a controller-level optimisation; its interconnect is
+        // plain FCFS.
+        PolicyKind::FrFcfs => ArbiterKind::Fcfs,
+    }
+}
+
+/// Complete configuration of one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use sara_memctrl::PolicyKind;
+/// use sara_sim::SystemConfig;
+/// use sara_workloads::TestCase;
+///
+/// let cfg = SystemConfig::camcorder(TestCase::A, PolicyKind::Priority)?;
+/// assert_eq!(cfg.freq.as_u32(), 1866);
+/// assert!(cfg.frame_period_cycles > 60_000_000); // 33.3 ms at 1866 MHz
+/// # Ok::<(), sara_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// DRAM I/O frequency (also the simulation beat clock).
+    pub freq: MegaHertz,
+    /// Memory scheduling policy (NoC arbiters follow via [`arbiter_for`]).
+    pub policy: PolicyKind,
+    /// The workload.
+    pub cores: Vec<CoreSpec>,
+    /// Frame period in cycles (camcorder default: 1/30 s).
+    pub frame_period_cycles: u64,
+    /// On-chip network configuration.
+    pub noc: NocConfig,
+    /// Memory-controller configuration.
+    pub mc: McConfig,
+    /// DRAM configuration (frequency must match `freq`).
+    pub dram: DramConfig,
+    /// Address interleaving.
+    pub interleave: Interleave,
+    /// NPI/priority sampling period in cycles.
+    pub sample_period: u64,
+    /// Cycles ignored by failure verdicts while meters settle.
+    pub warmup_cycles: u64,
+    /// Extra cycles for read data to travel back through the interconnect.
+    pub read_response_latency: u64,
+    /// Master seed for all stochastic generators.
+    pub seed: u64,
+    /// Priority encoding width k (the paper uses 3 bits; the ablation
+    /// sweeps 1..=4). Non-default widths replace every core's custom map
+    /// with a linear ramp of the chosen width.
+    pub priority_bits: PriorityBits,
+    /// Per-transaction trace ring size (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+impl SystemConfig {
+    /// The paper's camcorder configuration for a test case and policy:
+    /// Table 1 DRAM, 42-entry controller, matching NoC discipline, 30 fps
+    /// frame period, ~10 µs NPI sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the derived substrate configs are
+    /// inconsistent (should not happen for the built-in cases).
+    pub fn camcorder(case: TestCase, policy: PolicyKind) -> Result<Self, ConfigError> {
+        Self::custom(case.dram_freq(), policy, case.cores())
+    }
+
+    /// A configuration with default substrates for an arbitrary workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the substrate configuration is invalid.
+    pub fn custom(
+        freq: MegaHertz,
+        policy: PolicyKind,
+        cores: Vec<CoreSpec>,
+    ) -> Result<Self, ConfigError> {
+        let clock = Clock::new(freq);
+        let frame_period_cycles = clock.cycles_from_ns(1e9 / FRAMES_PER_SECOND);
+        Ok(SystemConfig {
+            freq,
+            policy,
+            cores,
+            frame_period_cycles,
+            noc: NocConfig::new(arbiter_for(policy)),
+            mc: McConfig::builder(policy).build()?,
+            dram: DramConfig::table1(freq),
+            interleave: Interleave::default(),
+            sample_period: clock.cycles_from_ns(10_000.0), // 10 µs
+            warmup_cycles: clock.cycles_from_ns(1_000_000.0), // 1 ms
+            read_response_latency: 10,
+            seed: 0x5a5a_0001,
+            priority_bits: PriorityBits::PAPER,
+            trace_capacity: 0,
+        })
+    }
+
+    /// The clock for wall-clock conversions.
+    pub fn clock(&self) -> Clock {
+        Clock::new(self.freq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_mapping_is_consistent() {
+        assert_eq!(arbiter_for(PolicyKind::Fcfs), ArbiterKind::Fcfs);
+        assert_eq!(arbiter_for(PolicyKind::RoundRobin), ArbiterKind::RoundRobin);
+        assert_eq!(arbiter_for(PolicyKind::FrameQos), ArbiterKind::FrameUrgent);
+        assert_eq!(arbiter_for(PolicyKind::Priority), ArbiterKind::Priority);
+        assert_eq!(arbiter_for(PolicyKind::QosRowBuffer), ArbiterKind::Priority);
+        assert_eq!(arbiter_for(PolicyKind::FrFcfs), ArbiterKind::Fcfs);
+    }
+
+    #[test]
+    fn camcorder_config_matches_case() {
+        let a = SystemConfig::camcorder(TestCase::A, PolicyKind::Priority).unwrap();
+        assert_eq!(a.freq.as_u32(), 1866);
+        assert_eq!(a.dram.io_freq().as_u32(), 1866);
+        assert_eq!(a.cores.len(), 14);
+        let b = SystemConfig::camcorder(TestCase::B, PolicyKind::Fcfs).unwrap();
+        assert_eq!(b.freq.as_u32(), 1700);
+        assert_eq!(b.cores.len(), 10);
+        assert!(b.frame_period_cycles < a.frame_period_cycles);
+    }
+
+    #[test]
+    fn frame_period_is_one_thirtieth_second() {
+        let cfg = SystemConfig::camcorder(TestCase::A, PolicyKind::Priority).unwrap();
+        let expected = 1866.0e6 / 30.0;
+        assert!((cfg.frame_period_cycles as f64 - expected).abs() < 2.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! The deterministic event-driven co-simulation engine.
+//!
+//! Wires DMAs → NoC → memory controller → DRAM exactly as Fig. 3 of the
+//! paper, and advances the system through five event kinds:
+//!
+//! * `Inject`  — a DMA's stimulus released transactions; stamp priorities
+//!   and push them into the NoC (backpressure-aware),
+//! * `Pump`    — sweep the NoC arbitration tree,
+//! * `McTick`  — the controller attempts one DRAM command on a channel,
+//! * `Deliver` — completed data returns to the DMA; its meter and priority
+//!   adaptation update,
+//! * `Sample`  — periodic NPI/priority/bandwidth sampling.
+//!
+//! Wake-up suppression keeps the event count proportional to transaction
+//! count rather than simulated cycles, so a full 33 ms frame at 1866 MHz
+//! (≈62 M cycles, millions of transactions) simulates in seconds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sara_dram::Dram;
+use sara_memctrl::{MemoryController, TickResult};
+use sara_noc::Noc;
+use sara_types::{
+    Clock, ConfigError, CoreClass, Cycle, DmaId, MemOp, Transaction, TransactionId,
+};
+
+use crate::config::SystemConfig;
+use crate::report::{ReportBuilder, SimReport};
+use crate::runtime::{build_dmas, DmaRuntime, BURST_BYTES};
+use crate::sampling::Samplers;
+use crate::trace::{TraceRecord, TransactionTrace};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Inject(u16),
+    Pump,
+    McTick(u8),
+    Deliver {
+        dma: u16,
+        bytes: u32,
+        injected_at: Cycle,
+        is_read: bool,
+    },
+    Sample,
+}
+
+type Entry = Reverse<(Cycle, u64, EventKind)>;
+
+/// One runnable system instance.
+///
+/// # Examples
+///
+/// ```no_run
+/// use sara_memctrl::PolicyKind;
+/// use sara_sim::{Simulation, SystemConfig};
+/// use sara_workloads::TestCase;
+///
+/// let cfg = SystemConfig::camcorder(TestCase::A, PolicyKind::Priority)?;
+/// let mut sim = Simulation::new(cfg)?;
+/// let report = sim.run_for_ms(33.3);
+/// assert!(report.all_targets_met());
+/// # Ok::<(), sara_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SystemConfig,
+    clock: Clock,
+    dram: Dram,
+    mc: MemoryController,
+    noc: Noc,
+    dmas: Vec<DmaRuntime>,
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    now: Cycle,
+    txn_seq: u64,
+    channels: usize,
+    dma_pending: Vec<Option<Cycle>>,
+    mc_pending: Vec<Option<Cycle>>,
+    noc_pending: Option<Cycle>,
+    leaf_forwarded: [u64; 5],
+    samplers: Samplers,
+    next_sample: Cycle,
+    trace: TransactionTrace,
+}
+
+impl Simulation {
+    /// Builds a system from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the workload or substrate configuration
+    /// is inconsistent.
+    pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
+        let clock = cfg.clock();
+        if cfg.dram.io_freq() != cfg.freq {
+            return Err(ConfigError::new(format!(
+                "DRAM frequency {} does not match system clock {}",
+                cfg.dram.io_freq(),
+                cfg.freq
+            )));
+        }
+        let dram = Dram::new(cfg.dram.clone(), cfg.interleave)?;
+        let mc = MemoryController::new(cfg.mc.clone());
+        let dmas = build_dmas(
+            &cfg.cores,
+            clock,
+            cfg.frame_period_cycles,
+            cfg.dram.capacity_bytes(),
+            cfg.seed,
+            cfg.priority_bits,
+        )?;
+        let classes: Vec<CoreClass> = dmas.iter().map(|d| d.class).collect();
+        let noc = Noc::class_tree(cfg.noc.clone(), &classes)?;
+        let channels = cfg.dram.channels();
+        let samplers = Samplers::new(dmas.len(), cfg.sample_period);
+        let mut sim = Simulation {
+            clock,
+            dram,
+            mc,
+            noc,
+            dma_pending: vec![None; dmas.len()],
+            mc_pending: vec![None; channels],
+            noc_pending: None,
+            leaf_forwarded: [0; 5],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycle::ZERO,
+            txn_seq: 0,
+            channels,
+            samplers,
+            next_sample: Cycle::new(cfg.sample_period),
+            trace: TransactionTrace::new(cfg.trace_capacity),
+            dmas,
+            cfg,
+        };
+        for i in 0..sim.dmas.len() {
+            sim.schedule_inject(i, Cycle::ZERO);
+        }
+        sim.push(sim.next_sample, EventKind::Sample);
+        Ok(sim)
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs until `end` (absolute cycle), then reports.
+    pub fn run_until(&mut self, end: Cycle) -> SimReport {
+        while let Some(Reverse((at, _, _))) = self.heap.peek() {
+            if *at > end {
+                break;
+            }
+            let Reverse((at, _, kind)) = self.heap.pop().expect("peeked");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.dispatch(at, kind);
+        }
+        self.now = end;
+        self.report()
+    }
+
+    /// Runs for a wall-clock duration in milliseconds (from time zero).
+    pub fn run_for_ms(&mut self, ms: f64) -> SimReport {
+        let end = Cycle::new(self.clock.cycles_from_ms(ms));
+        self.run_until(end)
+    }
+
+    fn dispatch(&mut self, at: Cycle, kind: EventKind) {
+        match kind {
+            EventKind::Inject(i) => {
+                let i = i as usize;
+                if self.dma_pending[i] != Some(at) {
+                    return; // superseded wake
+                }
+                self.dma_pending[i] = None;
+                self.try_inject(i);
+            }
+            EventKind::Pump => {
+                if self.noc_pending != Some(at) {
+                    return;
+                }
+                self.noc_pending = None;
+                self.pump();
+            }
+            EventKind::McTick(ch) => {
+                let ch = ch as usize;
+                if self.mc_pending[ch] != Some(at) {
+                    return;
+                }
+                self.mc_pending[ch] = None;
+                self.tick(ch);
+            }
+            EventKind::Deliver {
+                dma,
+                bytes,
+                injected_at,
+                is_read,
+            } => self.deliver(dma as usize, bytes, injected_at, is_read),
+            EventKind::Sample => self.sample(),
+        }
+    }
+
+    fn push(&mut self, at: Cycle, kind: EventKind) {
+        self.heap.push(Reverse((at, self.seq, kind)));
+        self.seq += 1;
+    }
+
+    fn schedule_inject(&mut self, dma: usize, at: Cycle) {
+        let at = at.max(self.now);
+        if matches!(self.dma_pending[dma], Some(t) if t <= at) {
+            return;
+        }
+        self.dma_pending[dma] = Some(at);
+        self.push(at, EventKind::Inject(dma as u16));
+    }
+
+    fn schedule_pump(&mut self, at: Cycle) {
+        let at = at.max(self.now);
+        if matches!(self.noc_pending, Some(t) if t <= at) {
+            return;
+        }
+        self.noc_pending = Some(at);
+        self.push(at, EventKind::Pump);
+    }
+
+    fn schedule_mc(&mut self, ch: usize, at: Cycle) {
+        let at = at.max(self.now);
+        if matches!(self.mc_pending[ch], Some(t) if t <= at) {
+            return;
+        }
+        self.mc_pending[ch] = Some(at);
+        self.push(at, EventKind::McTick(ch as u8));
+    }
+
+    fn try_inject(&mut self, i: usize) {
+        let now = self.now;
+        let released = self.dmas[i].stimulus.released(now);
+        let mut injected_any = false;
+        loop {
+            let dma = &mut self.dmas[i];
+            if dma.injected >= released || dma.inflight >= dma.window {
+                dma.blocked_on_noc = false;
+                break;
+            }
+            if !self.noc.can_inject(i) {
+                dma.blocked_on_noc = true;
+                break;
+            }
+            dma.adapter.refresh(now);
+            let txn = Transaction {
+                id: TransactionId::new(self.txn_seq),
+                dma: DmaId::new(i as u16),
+                core: dma.core,
+                class: dma.class,
+                op: dma.op,
+                addr: dma.pattern.next_addr(BURST_BYTES),
+                bytes: BURST_BYTES,
+                injected_at: now,
+                priority: dma.adapter.priority(),
+                // The frame-rate QoS baseline only understands media
+                // real-time urgency (§2).
+                urgent: dma.adapter.is_urgent() && dma.class == CoreClass::Media,
+            };
+            self.txn_seq += 1;
+            self.noc
+                .inject(i, now, txn)
+                .unwrap_or_else(|_| unreachable!("can_inject checked"));
+            let dma = &mut self.dmas[i];
+            dma.adapter.on_inject(now);
+            dma.injected += 1;
+            dma.inflight += 1;
+            injected_any = true;
+        }
+        if injected_any {
+            self.schedule_pump(now);
+        }
+        let dma = &self.dmas[i];
+        if !dma.blocked_on_noc && dma.inflight < dma.window {
+            if let Some(at) = dma.stimulus.next_release(now) {
+                self.schedule_inject(i, at);
+            }
+        }
+    }
+
+    fn pump(&mut self) {
+        let now = self.now;
+        let mut accepted = [false; 8];
+        let (noc, mc, dram) = (&mut self.noc, &mut self.mc, &mut self.dram);
+        let outcome = noc.pump(now, &mut |txn| {
+            let ch = dram.decode(txn.addr).channel;
+            match mc.try_accept(txn, now, dram) {
+                Ok(()) => {
+                    accepted[ch] = true;
+                    Ok(())
+                }
+                Err(t) => Err(t),
+            }
+        });
+        for ch in 0..self.channels {
+            if accepted[ch] {
+                self.schedule_mc(ch, now);
+            }
+        }
+        if let Some(at) = outcome.next_action {
+            self.schedule_pump(at);
+        }
+        // Any leaf that forwarded freed an ingress slot: retry the blocked
+        // DMAs of that class.
+        for class in CoreClass::ALL {
+            let qi = class.queue_index();
+            let forwarded = self.noc.leaf_stats(class).forwarded;
+            if forwarded != self.leaf_forwarded[qi] {
+                self.leaf_forwarded[qi] = forwarded;
+                for i in 0..self.dmas.len() {
+                    if self.dmas[i].blocked_on_noc && self.dmas[i].class == class {
+                        self.schedule_inject(i, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, ch: usize) {
+        let now = self.now;
+        match self.mc.tick(ch, now, &mut self.dram) {
+            TickResult::Issued { completed } => {
+                self.schedule_mc(ch, now + 1);
+                if let Some(c) = completed {
+                    if self.cfg.trace_capacity > 0 {
+                        self.trace.push(TraceRecord {
+                            id: c.txn.id,
+                            dma: c.txn.dma,
+                            core: c.txn.core,
+                            op: c.txn.op,
+                            priority: c.txn.priority,
+                            injected_at: c.txn.injected_at,
+                            done_at: c.done_at,
+                            queued_for: c.queued_for,
+                            row_hit: c.row_hit,
+                            was_aged: c.was_aged,
+                        });
+                    }
+                    let is_read = c.txn.op.is_read();
+                    let deliver_at = if is_read {
+                        c.done_at + self.cfg.read_response_latency
+                    } else {
+                        c.done_at
+                    };
+                    self.push(
+                        deliver_at,
+                        EventKind::Deliver {
+                            dma: c.txn.dma.index() as u16,
+                            bytes: c.txn.bytes,
+                            injected_at: c.txn.injected_at,
+                            is_read,
+                        },
+                    );
+                    // A controller entry was freed: the NoC root may now
+                    // make progress.
+                    self.schedule_pump(now);
+                }
+            }
+            TickResult::Idle { retry_at } => {
+                if let Some(at) = retry_at {
+                    self.schedule_mc(ch, at);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, i: usize, bytes: u32, injected_at: Cycle, is_read: bool) {
+        let now = self.now;
+        let latency = now.saturating_sub(injected_at);
+        let dma = &mut self.dmas[i];
+        let op = if is_read { MemOp::Read } else { MemOp::Write };
+        dma.adapter.on_complete(now, bytes, latency, op);
+        debug_assert!(dma.inflight > 0, "completion without in-flight txn");
+        dma.inflight -= 1;
+        dma.completed += 1;
+        dma.bytes_completed += bytes as u64;
+        dma.total_latency += latency;
+        self.try_inject(i);
+    }
+
+    fn sample(&mut self) {
+        let now = self.now;
+        for (i, dma) in self.dmas.iter_mut().enumerate() {
+            dma.adapter.refresh(now);
+            self.samplers
+                .record(i, dma.adapter.npi(), dma.adapter.priority());
+        }
+        self.samplers
+            .record_bandwidth(self.dram.stats().total.total_bytes());
+        self.next_sample = now + self.cfg.sample_period;
+        self.push(self.next_sample, EventKind::Sample);
+    }
+
+    /// The per-transaction trace (empty unless `trace_capacity` was set).
+    pub fn trace(&self) -> &TransactionTrace {
+        &self.trace
+    }
+
+    /// Builds a report for the elapsed window.
+    pub fn report(&self) -> SimReport {
+        ReportBuilder {
+            cfg: &self.cfg,
+            clock: self.clock,
+            now: self.now,
+            dmas: &self.dmas,
+            dram: &self.dram,
+            mc: &self.mc,
+            noc: &self.noc,
+            samplers: &self.samplers,
+        }
+        .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_memctrl::PolicyKind;
+    use sara_workloads::TestCase;
+
+    #[test]
+    fn run_until_is_resumable() {
+        // One run to 0.4 ms must equal two stacked runs 0.2 + 0.2 ms.
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut one = Simulation::new(cfg.clone()).unwrap();
+        let full = one.run_for_ms(0.4);
+
+        let mut two = Simulation::new(cfg).unwrap();
+        let _mid = two.run_for_ms(0.2);
+        let resumed = two.run_for_ms(0.4);
+
+        assert_eq!(full.dram.total, resumed.dram.total);
+        assert_eq!(full.mc.total_completed(), resumed.mc.total_completed());
+        for (a, b) in full.cores.iter().zip(&resumed.cores) {
+            assert_eq!(a.completed, b.completed);
+        }
+    }
+
+    #[test]
+    fn clock_mismatch_rejected() {
+        use sara_dram::DramConfig;
+        use sara_types::MegaHertz;
+        let mut cfg = SystemConfig::camcorder(TestCase::A, PolicyKind::Fcfs).unwrap();
+        cfg.dram = DramConfig::table1(MegaHertz::new(1300)); // != cfg.freq
+        assert!(Simulation::new(cfg).is_err());
+    }
+
+    #[test]
+    fn now_advances_to_run_end() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Fcfs).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        let _ = sim.run_for_ms(0.1);
+        let expected = sim.config().clock().cycles_from_ms(0.1);
+        assert_eq!(sim.now().as_u64(), expected);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use sara_memctrl::PolicyKind;
+    use sara_workloads::TestCase;
+
+    #[test]
+    fn trace_records_completions_when_enabled() {
+        let mut cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        cfg.trace_capacity = 256;
+        let mut sim = Simulation::new(cfg).unwrap();
+        let report = sim.run_for_ms(0.05);
+        let trace = sim.trace();
+        assert!(!trace.is_empty());
+        assert_eq!(
+            trace.len() as u64 + trace.dropped(),
+            report.mc.total_completed()
+        );
+        for r in trace.iter() {
+            assert!(r.done_at >= r.injected_at);
+        }
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Fcfs).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        let _ = sim.run_for_ms(0.05);
+        assert!(sim.trace().is_empty());
+        assert_eq!(sim.trace().dropped(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Canned experiment runners behind the paper's figures.
+
+use sara_memctrl::PolicyKind;
+use sara_types::{ConfigError, CoreKind, MegaHertz};
+use sara_workloads::TestCase;
+
+use crate::config::SystemConfig;
+use crate::engine::Simulation;
+use crate::report::SimReport;
+use crate::sampling::MAX_LEVELS;
+
+/// Runs the camcorder workload for one policy (Figs 5/6/9 machinery).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on inconsistent configuration.
+pub fn run_camcorder(
+    case: TestCase,
+    policy: PolicyKind,
+    duration_ms: f64,
+) -> Result<SimReport, ConfigError> {
+    let cfg = SystemConfig::camcorder(case, policy)?;
+    Ok(Simulation::new(cfg)?.run_for_ms(duration_ms))
+}
+
+/// Runs the camcorder workload under several policies (Figs 5, 6, 8).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on inconsistent configuration.
+pub fn policy_comparison(
+    case: TestCase,
+    policies: &[PolicyKind],
+    duration_ms: f64,
+) -> Result<Vec<SimReport>, ConfigError> {
+    policies
+        .iter()
+        .map(|&p| run_camcorder(case, p, duration_ms))
+        .collect()
+}
+
+/// One point of the Fig. 7 frequency sweep.
+#[derive(Debug, Clone)]
+pub struct FreqPoint {
+    /// DRAM frequency of this run.
+    pub freq: MegaHertz,
+    /// Priority-level residency of the observed core (fractions per level).
+    pub residency: [f64; MAX_LEVELS],
+    /// Worst post-warmup NPI of the observed core.
+    pub min_npi: f64,
+    /// Average delivered bandwidth of the observed core in bytes/second.
+    pub core_bytes_per_s: f64,
+    /// System DRAM bandwidth in GB/s.
+    pub system_bandwidth_gbs: f64,
+}
+
+/// Sweeps DRAM frequency with the case-A workload under Policy 1 and
+/// observes one core's priority adaptation (Fig. 7: the image processor).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on inconsistent configuration.
+pub fn frequency_sweep(
+    observed: CoreKind,
+    freqs_mhz: &[u32],
+    duration_ms: f64,
+) -> Result<Vec<FreqPoint>, ConfigError> {
+    let mut out = Vec::with_capacity(freqs_mhz.len());
+    for &mhz in freqs_mhz {
+        let freq = MegaHertz::new(mhz);
+        let cfg = SystemConfig::custom(freq, PolicyKind::Priority, TestCase::A.cores())?;
+        let mut sim = Simulation::new(cfg)?;
+        let report = sim.run_for_ms(duration_ms);
+        let core = report
+            .core(observed)
+            .ok_or_else(|| ConfigError::new(format!("core {observed} not in workload")))?;
+        out.push(FreqPoint {
+            freq,
+            residency: core.priority_residency,
+            min_npi: core.min_npi,
+            core_bytes_per_s: core.bytes as f64 / (report.elapsed_ms / 1e3),
+            system_bandwidth_gbs: report.bandwidth_gbs,
+        });
+    }
+    Ok(out)
+}
+
+/// Outcome of one DVFS candidate frequency.
+#[derive(Debug, Clone)]
+pub struct DvfsPoint {
+    /// Candidate DRAM frequency.
+    pub freq: MegaHertz,
+    /// Whether every core met its target.
+    pub all_met: bool,
+    /// Estimated DRAM energy over the window, millijoules.
+    pub energy_mj: f64,
+    /// Estimated energy per transferred bit, picojoules.
+    pub pj_per_bit: f64,
+    /// Delivered bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// A self-aware DVFS governor built on SARA's own health signals: sweep
+/// candidate DRAM frequencies (descending) under Policy 1 and pick the
+/// lowest one at which *every* core still meets its target — the natural
+/// energy-saving extension of the paper's Fig. 7 observation that the
+/// adaptation absorbs frequency loss until capacity truly runs out.
+///
+/// Returns all evaluated points plus the index of the chosen one (the
+/// lowest passing frequency), or `None` if no candidate passes.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on inconsistent configuration.
+pub fn dvfs_governor(
+    case: TestCase,
+    freqs_mhz: &[u32],
+    duration_ms: f64,
+) -> Result<(Vec<DvfsPoint>, Option<usize>), ConfigError> {
+    let mut points = Vec::with_capacity(freqs_mhz.len());
+    for &mhz in freqs_mhz {
+        let freq = MegaHertz::new(mhz);
+        let cfg = SystemConfig::custom(freq, PolicyKind::Priority, case.cores())?;
+        let mut sim = Simulation::new(cfg)?;
+        let report = sim.run_for_ms(duration_ms);
+        let energy = sara_dram::estimate_energy(
+            &report.dram.total,
+            &sara_dram::EnergyParams::lpddr4(),
+            freq.as_hz(),
+            report.elapsed_cycles,
+        );
+        points.push(DvfsPoint {
+            freq,
+            all_met: report.all_targets_met(),
+            energy_mj: energy.total_mj(),
+            pj_per_bit: energy.pj_per_bit(report.dram.total.total_bytes()),
+            bandwidth_gbs: report.bandwidth_gbs,
+        });
+    }
+    let chosen = points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.all_met)
+        .min_by_key(|(_, p)| p.freq.as_u32())
+        .map(|(i, _)| i);
+    Ok((points, chosen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short smoke run: the full camcorder system simulates end to end
+    /// and produces sane numbers. (Figure-length runs live in the bench
+    /// harness and integration tests.)
+    #[test]
+    fn camcorder_smoke() {
+        let report = run_camcorder(TestCase::A, PolicyKind::Priority, 0.5).unwrap();
+        assert!(report.bandwidth_gbs > 1.0, "bw = {}", report.bandwidth_gbs);
+        assert_eq!(report.cores.len(), 14);
+        assert!(report.noc_forwarded > 1000);
+        assert!(report.mc.total_completed() > 1000);
+        // Series exist for every core.
+        for c in &report.cores {
+            assert!(!report.npi_series[&c.kind].is_empty());
+        }
+    }
+
+    #[test]
+    fn dvfs_governor_picks_lowest_passing_frequency() {
+        // Case B at a short window: 1700 passes, an absurdly low clock fails.
+        let (points, chosen) = dvfs_governor(TestCase::B, &[600, 1700], 1.5).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(!points[0].all_met, "600 MHz cannot carry the camcorder");
+        assert!(points[1].all_met);
+        assert_eq!(chosen, Some(1));
+        assert!(points[1].energy_mj > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_camcorder(TestCase::B, PolicyKind::Fcfs, 0.3).unwrap();
+        let b = run_camcorder(TestCase::B, PolicyKind::Fcfs, 0.3).unwrap();
+        assert_eq!(a.dram.total, b.dram.total);
+        assert_eq!(a.mc.total_completed(), b.mc.total_completed());
+        for (x, y) in a.cores.iter().zip(&b.cores) {
+            assert_eq!(x.min_npi, y.min_npi);
+            assert_eq!(x.completed, y.completed);
+        }
+    }
+}

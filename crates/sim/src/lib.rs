@@ -1,0 +1,48 @@
+//! # sara-sim
+//!
+//! The deterministic co-simulation engine tying the SARA stack together:
+//! self-aware DMAs (`sara-core` + `sara-workloads`) inject prioritised
+//! transactions into the arbitration tree (`sara-noc`), the QoS-aware
+//! memory controller (`sara-memctrl`) schedules them against the
+//! cycle-level LPDDR4 model (`sara-dram`), and completions feed back into
+//! each DMA's performance meter — the full closed loop of Fig. 3.
+//!
+//! Entry points:
+//!
+//! * [`SystemConfig`] — one run's clock/policy/workload/substrates,
+//! * [`Simulation`] — build with [`Simulation::new`], drive with
+//!   [`Simulation::run_for_ms`], inspect the returned [`SimReport`],
+//! * [`experiment`] — canned runners for the paper's figures (policy
+//!   comparisons, frequency sweeps).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use sara_memctrl::PolicyKind;
+//! use sara_sim::experiment::run_camcorder;
+//! use sara_workloads::TestCase;
+//!
+//! // One 33 ms camcorder frame under the SARA policy (Fig. 5d).
+//! let report = run_camcorder(TestCase::A, PolicyKind::Priority, 33.3)?;
+//! println!("{}", report.summary());
+//! assert!(report.all_targets_met());
+//! # Ok::<(), sara_types::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+pub mod experiment;
+mod report;
+mod runtime;
+mod sampling;
+mod trace;
+
+pub use config::{arbiter_for, SystemConfig};
+pub use engine::Simulation;
+pub use report::{CoreReport, SimReport, FAIL_THRESHOLD};
+pub use runtime::{DmaRuntime, BURST_BYTES};
+pub use sampling::{Samplers, MAX_LEVELS};
+pub use trace::{TraceRecord, TransactionTrace};

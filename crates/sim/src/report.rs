@@ -1,0 +1,339 @@
+//! Simulation reports: per-core QoS verdicts, DRAM efficiency, NPI series.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use sara_dram::{Dram, DramStats};
+use sara_memctrl::{McStats, MemoryController, PolicyKind};
+use sara_noc::Noc;
+use sara_types::{Clock, CoreKind, Cycle, MegaHertz};
+
+use crate::config::SystemConfig;
+use crate::runtime::DmaRuntime;
+use crate::sampling::{Samplers, MAX_LEVELS};
+
+/// NPI below this is a failed target. Slightly under 1.0 to absorb the
+/// quantisation ripple of byte-granular meters; real failures in this
+/// regime are drastic (the paper reports cores at 10–13% of target).
+pub const FAIL_THRESHOLD: f64 = 0.97;
+
+/// QoS outcome of one core over the simulated window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreReport {
+    /// The core.
+    pub kind: CoreKind,
+    /// Worst post-warmup NPI sample across the core's DMAs.
+    pub min_npi: f64,
+    /// Mean post-warmup NPI (worst DMA per sample).
+    pub mean_npi: f64,
+    /// NPI at the end of the window.
+    pub final_npi: f64,
+    /// Whether the target was missed at any post-warmup sample.
+    pub failed: bool,
+    /// Transactions completed.
+    pub completed: u64,
+    /// Bytes completed.
+    pub bytes: u64,
+    /// Mean end-to-end latency in cycles.
+    pub mean_latency: f64,
+    /// Fraction of time each DMA spent per priority level (Fig. 7),
+    /// averaged across the core's DMAs.
+    pub priority_residency: [f64; MAX_LEVELS],
+}
+
+/// Full outcome of a simulation window.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// DRAM frequency.
+    pub freq: MegaHertz,
+    /// Simulated cycles.
+    pub elapsed_cycles: u64,
+    /// Simulated wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Per-core outcomes, in workload order.
+    pub cores: Vec<CoreReport>,
+    /// Average delivered DRAM bandwidth in GB/s (the Fig. 8 metric).
+    pub bandwidth_gbs: f64,
+    /// Row-buffer hit rate across channels.
+    pub row_hit_rate: f64,
+    /// Raw DRAM counters.
+    pub dram: DramStats,
+    /// Controller counters.
+    pub mc: McStats,
+    /// Root-arbiter forwarded count (NoC sanity).
+    pub noc_forwarded: u64,
+    /// Sampling period in cycles.
+    pub sample_period: u64,
+    /// Per-core NPI series (worst DMA per sample), keyed by core.
+    pub npi_series: BTreeMap<CoreKind, Vec<f64>>,
+    /// Delivered DRAM bandwidth per sampling interval, bytes/cycle.
+    pub bandwidth_series: Vec<f64>,
+}
+
+impl SimReport {
+    /// Whether every core met its target after warm-up.
+    pub fn all_targets_met(&self) -> bool {
+        self.cores.iter().all(|c| !c.failed)
+    }
+
+    /// The cores that missed their targets.
+    pub fn failed_cores(&self) -> Vec<CoreKind> {
+        self.cores
+            .iter()
+            .filter(|c| c.failed)
+            .map(|c| c.kind)
+            .collect()
+    }
+
+    /// Report for one core.
+    pub fn core(&self, kind: CoreKind) -> Option<&CoreReport> {
+        self.cores.iter().find(|c| c.kind == kind)
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "policy={} freq={} elapsed={:.2}ms bandwidth={:.2}GB/s row-hit={:.1}%\n",
+            self.policy.name(),
+            self.freq,
+            self.elapsed_ms,
+            self.bandwidth_gbs,
+            self.row_hit_rate * 100.0
+        ));
+        s.push_str(&format!(
+            "{:<14} {:>8} {:>8} {:>8} {:>10} {:>12} {:>8}\n",
+            "core", "minNPI", "meanNPI", "endNPI", "txns", "latency(cyc)", "status"
+        ));
+        for c in &self.cores {
+            s.push_str(&format!(
+                "{:<14} {:>8.3} {:>8.3} {:>8.3} {:>10} {:>12.1} {:>8}\n",
+                c.kind.name(),
+                c.min_npi,
+                c.mean_npi,
+                c.final_npi,
+                c.completed,
+                c.mean_latency,
+                if c.failed { "FAIL" } else { "ok" }
+            ));
+        }
+        s
+    }
+
+    /// Writes per-core priority residency (Fig. 7-style rows) as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_residency_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        write!(f, "core")?;
+        for level in 0..MAX_LEVELS {
+            write!(f, ",p{level}")?;
+        }
+        writeln!(f)?;
+        for core in &self.cores {
+            write!(f, "{}", core.kind.name().replace(' ', "_"))?;
+            for v in core.priority_residency {
+                write!(f, ",{v:.5}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the delivered-bandwidth timeline (GB/s per sample) as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_bandwidth_csv(&self, path: &Path, clock: Clock) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "time_ms,bandwidth_gbs")?;
+        for (k, bpc) in self.bandwidth_series.iter().enumerate() {
+            let t_ms = clock.ns_from_cycles((k as u64 + 1) * self.sample_period) / 1e6;
+            let gbs = bpc * self.freq.as_hz() as f64 / 1e9;
+            writeln!(f, "{t_ms:.4},{gbs:.4}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the per-core NPI series as CSV (`time_ms` column + one column
+    /// per core), clamped into the paper's log-scale plot range.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn write_npi_csv(&self, path: &Path, clock: Clock) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        write!(f, "time_ms")?;
+        for kind in self.npi_series.keys() {
+            write!(f, ",{}", kind.name().replace(' ', "_"))?;
+        }
+        writeln!(f)?;
+        let samples = self.npi_series.values().map(Vec::len).max().unwrap_or(0);
+        for k in 0..samples {
+            let t_ms = clock.ns_from_cycles((k as u64 + 1) * self.sample_period) / 1e6;
+            write!(f, "{t_ms:.4}")?;
+            for series in self.npi_series.values() {
+                let v = series.get(k).copied().unwrap_or(f64::NAN);
+                write!(f, ",{:.4}", v.clamp(0.1, 10.0))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Internal builder collecting borrowed state from the engine.
+#[derive(Debug)]
+pub(crate) struct ReportBuilder<'a> {
+    pub cfg: &'a SystemConfig,
+    pub clock: Clock,
+    pub now: Cycle,
+    pub dmas: &'a [DmaRuntime],
+    pub dram: &'a Dram,
+    pub mc: &'a MemoryController,
+    pub noc: &'a Noc,
+    pub samplers: &'a Samplers,
+}
+
+impl ReportBuilder<'_> {
+    pub(crate) fn build(self) -> SimReport {
+        let elapsed = self.now.as_u64().max(1);
+        let warmup_samples = (self.cfg.warmup_cycles / self.cfg.sample_period) as usize;
+
+        // Group DMAs by core kind, preserving workload order.
+        let mut order: Vec<CoreKind> = Vec::new();
+        let mut groups: BTreeMap<CoreKind, Vec<usize>> = BTreeMap::new();
+        for (i, dma) in self.dmas.iter().enumerate() {
+            if !groups.contains_key(&dma.core) {
+                order.push(dma.core);
+            }
+            groups.entry(dma.core).or_default().push(i);
+        }
+
+        let mut npi_series = BTreeMap::new();
+        let mut cores = Vec::with_capacity(order.len());
+        for kind in order {
+            let idxs = &groups[&kind];
+            let samples = self.samplers.npi_series(idxs[0]).len();
+            // Worst DMA per sample = the core's NPI (a core is only as
+            // healthy as its sickest DMA).
+            let series: Vec<f64> = (0..samples)
+                .map(|k| {
+                    idxs.iter()
+                        .map(|&i| self.samplers.npi_series(i)[k])
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let post: &[f64] = if series.len() > warmup_samples {
+                &series[warmup_samples..]
+            } else {
+                &series[..]
+            };
+            let min_npi = post.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean_npi = if post.is_empty() {
+                f64::NAN
+            } else {
+                post.iter().map(|v| v.min(10.0)).sum::<f64>() / post.len() as f64
+            };
+            let final_npi = series.last().copied().unwrap_or(f64::NAN);
+            let completed: u64 = idxs.iter().map(|&i| self.dmas[i].completed).sum();
+            let bytes: u64 = idxs.iter().map(|&i| self.dmas[i].bytes_completed).sum();
+            let total_latency: u64 = idxs.iter().map(|&i| self.dmas[i].total_latency).sum();
+            let mut residency = [0.0; MAX_LEVELS];
+            for &i in idxs {
+                let r = self.samplers.residency(i);
+                for (acc, v) in residency.iter_mut().zip(r) {
+                    *acc += v / idxs.len() as f64;
+                }
+            }
+            cores.push(CoreReport {
+                kind,
+                min_npi,
+                mean_npi,
+                final_npi,
+                failed: min_npi < FAIL_THRESHOLD,
+                completed,
+                bytes,
+                mean_latency: if completed == 0 {
+                    0.0
+                } else {
+                    total_latency as f64 / completed as f64
+                },
+                priority_residency: residency,
+            });
+            npi_series.insert(kind, series);
+        }
+
+        let dram_stats = self.dram.stats();
+        let bandwidth_gbs = dram_stats.bandwidth_bytes_per_s(self.cfg.freq.as_hz(), elapsed) / 1e9;
+        SimReport {
+            policy: self.cfg.policy,
+            freq: self.cfg.freq,
+            elapsed_cycles: elapsed,
+            elapsed_ms: self.clock.ns_from_cycles(elapsed) / 1e6,
+            row_hit_rate: dram_stats.total.row_hit_rate(),
+            dram: dram_stats,
+            mc: self.mc.stats().clone(),
+            noc_forwarded: self.noc.root_stats().forwarded,
+            sample_period: self.cfg.sample_period,
+            npi_series,
+            bandwidth_series: self.samplers.bandwidth_series(),
+            cores,
+            bandwidth_gbs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_threshold_close_to_one() {
+        assert!(FAIL_THRESHOLD > 0.9 && FAIL_THRESHOLD < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use crate::experiment::run_camcorder;
+    use sara_memctrl::PolicyKind;
+    use sara_types::Clock;
+    use sara_workloads::TestCase;
+
+    #[test]
+    fn csv_writers_produce_well_formed_files() {
+        let report = run_camcorder(TestCase::B, PolicyKind::Priority, 0.3).unwrap();
+        let dir = std::env::temp_dir().join("sara_report_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clock = Clock::new(report.freq);
+
+        let npi = dir.join("npi.csv");
+        report.write_npi_csv(&npi, clock).unwrap();
+        let text = std::fs::read_to_string(&npi).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("time_ms,"));
+        let cols = header.split(',').count();
+        for line in lines {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+
+        let res = dir.join("residency.csv");
+        report.write_residency_csv(&res).unwrap();
+        let text = std::fs::read_to_string(&res).unwrap();
+        assert_eq!(text.lines().count(), report.cores.len() + 1);
+
+        let bw = dir.join("bw.csv");
+        report.write_bandwidth_csv(&bw, clock).unwrap();
+        let text = std::fs::read_to_string(&bw).unwrap();
+        assert!(text.lines().count() > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types shared across the workspace.
+
+use core::fmt;
+use std::error::Error;
+
+/// An invalid configuration was supplied to a constructor or builder.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::ConfigError;
+///
+/// let err = ConfigError::new("queue capacity must be non-zero");
+/// assert!(err.to_string().contains("capacity"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid configuration: boom");
+        assert_eq!(e.message(), "boom");
+    }
+}

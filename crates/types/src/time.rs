@@ -1,0 +1,306 @@
+//! Simulation time: cycles, frequencies, and wall-clock conversion.
+//!
+//! The whole stack is clocked in *beats* of the DRAM I/O bus (one beat = one
+//! data transfer on a DDR interface). Table 1 of the paper expresses every
+//! timing parameter in these cycles, so [`Cycle`] is the only time unit the
+//! hardware models ever see. Wall-clock quantities (a 33 ms frame period, a
+//! bandwidth target in MB/s) are converted at the edges through [`Clock`].
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in DRAM I/O cycles since reset.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64` cycle counts.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::Cycle;
+///
+/// let t = Cycle::ZERO + 100;
+/// assert_eq!(t.as_u64(), 100);
+/// assert_eq!(t.saturating_sub(Cycle::new(40)), 60);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The largest representable instant (used as "never" sentinel).
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a timestamp at `cycles` cycles after reset.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycle(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Cycles elapsed since `earlier`, or zero if `earlier` is in the future.
+    #[inline]
+    pub fn saturating_sub(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Cycles elapsed between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle difference");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+/// A clock frequency in megahertz.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::MegaHertz;
+///
+/// let f = MegaHertz::new(1866);
+/// assert_eq!(f.as_u32(), 1866);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MegaHertz(u32);
+
+impl MegaHertz {
+    /// Creates a frequency of `mhz` MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn new(mhz: u32) -> Self {
+        assert!(mhz > 0, "frequency must be non-zero");
+        MegaHertz(mhz)
+    }
+
+    /// Returns the frequency in MHz.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the frequency in Hz.
+    #[inline]
+    pub const fn as_hz(self) -> u64 {
+        self.0 as u64 * 1_000_000
+    }
+}
+
+impl fmt::Display for MegaHertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.0)
+    }
+}
+
+/// Converts between wall-clock quantities and [`Cycle`] counts at a given
+/// I/O frequency.
+///
+/// The paper's evaluation sweeps the DRAM frequency (Fig. 7, Table 1) while
+/// cores keep wall-clock targets (frames per second, MB/s); `Clock` is the
+/// single place where that conversion happens so that a frequency change
+/// consistently rescales every generator and meter.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::{Clock, MegaHertz};
+///
+/// let clk = Clock::new(MegaHertz::new(1866));
+/// // One 30 fps frame period (33.3 ms) in cycles:
+/// let frame = clk.cycles_from_ns(33_333_333.0);
+/// assert!((61_000_000..63_000_000).contains(&frame));
+/// // A 1 GB/s target expressed per cycle:
+/// let bpc = clk.bytes_per_cycle(1_000_000_000.0);
+/// assert!((bpc - 0.536).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    freq: MegaHertz,
+}
+
+impl Clock {
+    /// Creates a clock running at `freq`.
+    pub fn new(freq: MegaHertz) -> Self {
+        Clock { freq }
+    }
+
+    /// The clock's frequency.
+    #[inline]
+    pub fn freq(&self) -> MegaHertz {
+        self.freq
+    }
+
+    /// Duration of one cycle in nanoseconds.
+    #[inline]
+    pub fn ns_per_cycle(&self) -> f64 {
+        1_000.0 / self.freq.0 as f64
+    }
+
+    /// Converts a duration in nanoseconds to whole cycles (rounded up).
+    #[inline]
+    pub fn cycles_from_ns(&self, ns: f64) -> u64 {
+        (ns / self.ns_per_cycle()).ceil() as u64
+    }
+
+    /// Converts a duration in milliseconds to whole cycles (rounded up).
+    #[inline]
+    pub fn cycles_from_ms(&self, ms: f64) -> u64 {
+        self.cycles_from_ns(ms * 1e6)
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    #[inline]
+    pub fn ns_from_cycles(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.ns_per_cycle()
+    }
+
+    /// Converts a bytes-per-second rate into bytes per cycle.
+    #[inline]
+    pub fn bytes_per_cycle(&self, bytes_per_sec: f64) -> f64 {
+        bytes_per_sec / self.freq.as_hz() as f64
+    }
+
+    /// Converts a bytes-per-cycle rate into bytes per second.
+    #[inline]
+    pub fn bytes_per_sec(&self, bytes_per_cycle: f64) -> f64 {
+        bytes_per_cycle * self.freq.as_hz() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle::new(10);
+        assert_eq!((a + 5).as_u64(), 15);
+        assert_eq!((a + 5) - a, 5);
+        assert_eq!(a.saturating_sub(Cycle::new(20)), 0);
+        assert_eq!(a.max(Cycle::new(3)), a);
+        assert_eq!(a.min(Cycle::new(3)), Cycle::new(3));
+    }
+
+    #[test]
+    fn cycle_display() {
+        assert_eq!(Cycle::new(42).to_string(), "42cyc");
+        assert_eq!(format!("{:?}", Cycle::ZERO), "Cycle(0)");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = MegaHertz::new(0);
+    }
+
+    #[test]
+    fn clock_conversions_roundtrip() {
+        let clk = Clock::new(MegaHertz::new(1866));
+        let cyc = clk.cycles_from_ns(1000.0);
+        assert_eq!(cyc, 1866);
+        let ns = clk.ns_from_cycles(1866);
+        assert!((ns - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn clock_bandwidth_conversion() {
+        let clk = Clock::new(MegaHertz::new(1000));
+        // 8 bytes per cycle at 1 GHz = 8 GB/s.
+        assert!((clk.bytes_per_sec(8.0) - 8e9).abs() < 1.0);
+        assert!((clk.bytes_per_cycle(8e9) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_scaling_changes_cycle_budget() {
+        let fast = Clock::new(MegaHertz::new(1866));
+        let slow = Clock::new(MegaHertz::new(1300));
+        let frame_ms = 33.0;
+        assert!(fast.cycles_from_ms(frame_ms) > slow.cycles_from_ms(frame_ms));
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// ns → cycles → ns round-trips within one cycle of slack.
+        #[test]
+        fn ns_cycle_roundtrip(mhz in 100u32..4000, ns in 1.0f64..1e9) {
+            let clk = Clock::new(MegaHertz::new(mhz));
+            let cycles = clk.cycles_from_ns(ns);
+            let back = clk.ns_from_cycles(cycles);
+            prop_assert!(back + 1e-9 >= ns, "{back} < {ns}");
+            prop_assert!(back - ns <= clk.ns_per_cycle() + 1e-9);
+        }
+
+        /// Bandwidth conversions are exact inverses.
+        #[test]
+        fn bandwidth_roundtrip(mhz in 100u32..4000, rate in 1.0f64..1e11) {
+            let clk = Clock::new(MegaHertz::new(mhz));
+            let bpc = clk.bytes_per_cycle(rate);
+            let back = clk.bytes_per_sec(bpc);
+            prop_assert!((back - rate).abs() < rate * 1e-12 + 1e-9);
+        }
+
+        /// Cycle ordering and arithmetic stay consistent.
+        #[test]
+        fn cycle_arithmetic_consistent(a in 0u64..u64::MAX / 4, d in 0u64..1_000_000) {
+            let t = Cycle::new(a);
+            let later = t + d;
+            prop_assert!(later >= t);
+            prop_assert_eq!(later - t, d);
+            prop_assert_eq!(later.saturating_sub(t), d);
+            prop_assert_eq!(t.saturating_sub(later), 0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Byte-quantity and rate helpers used throughout workload and report code.
+
+/// One kibibyte (1024 bytes).
+pub const KIB: u64 = 1024;
+/// One mebibyte (1024² bytes).
+pub const MIB: u64 = 1024 * 1024;
+/// One gibibyte (1024³ bytes).
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Converts a rate in megabytes per second (decimal, 10⁶) to bytes/second.
+///
+/// The paper quotes targets like "89MB/s for each DMA" using decimal
+/// megabytes; workload specs follow the same convention.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::units::mb_per_s;
+///
+/// assert_eq!(mb_per_s(89.0), 89_000_000.0);
+/// ```
+#[inline]
+pub fn mb_per_s(mb: f64) -> f64 {
+    mb * 1e6
+}
+
+/// Converts a rate in gigabytes per second (decimal, 10⁹) to bytes/second.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::units::gb_per_s;
+///
+/// assert_eq!(gb_per_s(1.5), 1_500_000_000.0);
+/// ```
+#[inline]
+pub fn gb_per_s(gb: f64) -> f64 {
+    gb * 1e9
+}
+
+/// Formats a bytes/second rate as a human-readable GB/s string.
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::units::format_gb_per_s;
+///
+/// assert_eq!(format_gb_per_s(14_930_000_000.0), "14.93 GB/s");
+/// ```
+pub fn format_gb_per_s(bytes_per_s: f64) -> String {
+    format!("{:.2} GB/s", bytes_per_s / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(KIB, 1 << 10);
+        assert_eq!(MIB, 1 << 20);
+        assert_eq!(GIB, 1 << 30);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(mb_per_s(1.0), 1e6);
+        assert_eq!(gb_per_s(2.0), 2e9);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_gb_per_s(1e9), "1.00 GB/s");
+    }
+}

@@ -1,0 +1,279 @@
+//! Workload specifications: declarative descriptions of cores, their DMAs,
+//! traffic shapes, address locality and QoS targets.
+//!
+//! Specs are wall-clock denominated (bytes/second, nanoseconds); the
+//! simulation builder converts them to cycles for a given DRAM frequency,
+//! which is how the paper's frequency sweeps (Fig. 7) change pressure
+//! without touching the workload definition.
+
+use sara_core::{BufferDirection, Npi, PerformanceMeter};
+use sara_types::{CoreKind, Cycle, MemOp};
+
+/// Traffic shape of one DMA (wall-clock denominated).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficSpec {
+    /// All frame data releases at each frame boundary (bursty media).
+    Burst {
+        /// Average demand in bytes/second; one frame's worth releases per
+        /// frame period.
+        bytes_per_s: f64,
+    },
+    /// Smooth constant-rate stream.
+    Constant {
+        /// Rate in bytes/second.
+        bytes_per_s: f64,
+    },
+    /// Poisson arrivals with the given mean rate.
+    Poisson {
+        /// Mean rate in bytes/second.
+        bytes_per_s: f64,
+    },
+    /// Periodic work units with a processing deadline.
+    Batch {
+        /// Bytes per work unit.
+        unit_bytes: u64,
+        /// Unit period in nanoseconds.
+        period_ns: f64,
+        /// Deadline after unit arrival, in nanoseconds.
+        deadline_ns: f64,
+    },
+    /// Closed-loop best-effort traffic (always has work).
+    Elastic,
+}
+
+impl TrafficSpec {
+    /// Average demanded bandwidth in bytes/second (None for elastic).
+    pub fn mean_bytes_per_s(&self) -> Option<f64> {
+        match self {
+            TrafficSpec::Burst { bytes_per_s }
+            | TrafficSpec::Constant { bytes_per_s }
+            | TrafficSpec::Poisson { bytes_per_s } => Some(*bytes_per_s),
+            TrafficSpec::Batch {
+                unit_bytes,
+                period_ns,
+                ..
+            } => Some(*unit_bytes as f64 / (period_ns * 1e-9)),
+            TrafficSpec::Elastic => None,
+        }
+    }
+}
+
+/// Address locality of one DMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternSpec {
+    /// Dense sequential walk (frame buffers): row-buffer friendly.
+    Sequential {
+        /// Private region size in bytes.
+        region_bytes: u64,
+    },
+    /// Constant-stride walk (rotator column writes): row-buffer adversarial.
+    Strided {
+        /// Private region size in bytes.
+        region_bytes: u64,
+        /// Stride in bytes.
+        stride_bytes: u64,
+    },
+    /// Uniform random bursts (CPU/DSP): locality-free.
+    Random {
+        /// Private region size in bytes.
+        region_bytes: u64,
+    },
+}
+
+impl PatternSpec {
+    /// The region size this pattern needs.
+    pub fn region_bytes(&self) -> u64 {
+        match self {
+            PatternSpec::Sequential { region_bytes }
+            | PatternSpec::Strided { region_bytes, .. }
+            | PatternSpec::Random { region_bytes } => *region_bytes,
+        }
+    }
+}
+
+/// QoS target / meter selection for one DMA (Table 2's "type of target
+/// performance").
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeterSpec {
+    /// Average-latency limit (Eqn 1) — DSP, audio.
+    Latency {
+        /// Maximum average latency in nanoseconds.
+        limit_ns: f64,
+        /// EWMA weight in (0, 1].
+        alpha: f64,
+    },
+    /// Frame progress vs. reference (Eqn 2) — derived from `Burst` traffic.
+    FrameRate,
+    /// Buffer occupancy (Eqn 3) — display/camera; rate derived from
+    /// `Constant` traffic.
+    Occupancy {
+        /// Buffer direction (drain = display, fill = camera).
+        direction: BufferDirection,
+        /// Buffer capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// Average bandwidth ratio — WiFi, USB.
+    Bandwidth {
+        /// Target as a fraction of the injected rate (< 1 leaves headroom).
+        target_fraction: f64,
+        /// Averaging window in nanoseconds.
+        window_ns: f64,
+    },
+    /// Work-unit processing time — derived from `Batch` traffic.
+    WorkUnit,
+    /// No QoS target: always healthy, lowest priority (CPU).
+    BestEffort,
+}
+
+/// A meter that always reports the same healthy NPI — best-effort traffic
+/// has no QoS target and stays at the lowest priority.
+#[derive(Debug, Clone)]
+pub struct BestEffortMeter {
+    npi: f64,
+}
+
+impl BestEffortMeter {
+    /// Creates a meter pinned at NPI 2.0 (comfortably healthy).
+    pub fn new() -> Self {
+        BestEffortMeter { npi: 2.0 }
+    }
+}
+
+impl Default for BestEffortMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PerformanceMeter for BestEffortMeter {
+    fn on_complete(&mut self, _now: Cycle, _bytes: u32, _latency: u64, _op: MemOp) {}
+
+    fn npi(&self, _now: Cycle) -> Npi {
+        Npi::new(self.npi)
+    }
+
+    fn describe_target(&self) -> String {
+        "best effort (no QoS target)".to_string()
+    }
+}
+
+/// One DMA engine of a core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmaSpec {
+    /// Human-readable name, e.g. `"rotator-wr"`.
+    pub name: String,
+    /// Transfer direction.
+    pub op: MemOp,
+    /// Traffic shape.
+    pub traffic: TrafficSpec,
+    /// Address locality.
+    pub pattern: PatternSpec,
+    /// QoS target type.
+    pub meter: MeterSpec,
+    /// Maximum outstanding transactions.
+    pub window: usize,
+}
+
+impl DmaSpec {
+    /// Creates a DMA spec with the given fields.
+    pub fn new(
+        name: impl Into<String>,
+        op: MemOp,
+        traffic: TrafficSpec,
+        pattern: PatternSpec,
+        meter: MeterSpec,
+        window: usize,
+    ) -> Self {
+        DmaSpec {
+            name: name.into(),
+            op,
+            traffic,
+            pattern,
+            meter,
+            window,
+        }
+    }
+}
+
+/// One heterogeneous core with its DMAs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreSpec {
+    /// The kind of core (fixes the traffic class and Table 2 target type).
+    pub kind: CoreKind,
+    /// The core's DMA engines.
+    pub dmas: Vec<DmaSpec>,
+}
+
+impl CoreSpec {
+    /// Creates a core spec.
+    pub fn new(kind: CoreKind, dmas: Vec<DmaSpec>) -> Self {
+        CoreSpec { kind, dmas }
+    }
+
+    /// Total average demand of this core in bytes/second (elastic DMAs
+    /// contribute nothing).
+    pub fn mean_demand_bytes_per_s(&self) -> f64 {
+        self.dmas
+            .iter()
+            .filter_map(|d| d.traffic.mean_bytes_per_s())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_mean_rates() {
+        assert_eq!(
+            TrafficSpec::Constant { bytes_per_s: 5e8 }.mean_bytes_per_s(),
+            Some(5e8)
+        );
+        assert_eq!(TrafficSpec::Elastic.mean_bytes_per_s(), None);
+        let batch = TrafficSpec::Batch {
+            unit_bytes: 1_000_000,
+            period_ns: 1e6, // 1 ms
+            deadline_ns: 5e5,
+        };
+        assert!((batch.mean_bytes_per_s().unwrap() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn core_demand_sums_dmas() {
+        let core = CoreSpec::new(
+            CoreKind::Rotator,
+            vec![
+                DmaSpec::new(
+                    "rd",
+                    MemOp::Read,
+                    TrafficSpec::Burst { bytes_per_s: 1e9 },
+                    PatternSpec::Sequential {
+                        region_bytes: 1 << 20,
+                    },
+                    MeterSpec::FrameRate,
+                    8,
+                ),
+                DmaSpec::new(
+                    "wr",
+                    MemOp::Write,
+                    TrafficSpec::Burst { bytes_per_s: 1e9 },
+                    PatternSpec::Strided {
+                        region_bytes: 1 << 20,
+                        stride_bytes: 4096,
+                    },
+                    MeterSpec::FrameRate,
+                    8,
+                ),
+            ],
+        );
+        assert!((core.mean_demand_bytes_per_s() - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn best_effort_meter_constant() {
+        let m = BestEffortMeter::new();
+        assert!(m.npi(Cycle::new(1_000_000)).is_met());
+        assert!(m.describe_target().contains("best effort"));
+    }
+}

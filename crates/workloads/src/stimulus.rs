@@ -1,0 +1,274 @@
+//! Traffic stimuli: when a DMA's transactions become available to inject.
+//!
+//! A stimulus is a monotonic *release process* `R(t)` — the number of
+//! transactions made available by time `t`. The simulation injects released
+//! transactions as fast as the DMA's outstanding-request window and the NoC
+//! ingress allow, which is exactly how the paper's traffic behaves: bursty
+//! frame sources release a whole frame at the frame boundary and then race
+//! the memory system; constant-rate sources trickle; elastic sources always
+//! have work.
+
+use core::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sara_types::Cycle;
+
+/// A release process for one DMA.
+pub trait Stimulus: Debug + Send {
+    /// Total transactions released up to and including `now`. Monotonic.
+    fn released(&mut self, now: Cycle) -> u64;
+
+    /// The next cycle strictly after `now` at which [`Stimulus::released`]
+    /// grows, or `None` if no timed release is pending (idle or elastic).
+    fn next_release(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Whether the source always has work (window-limited closed loop).
+    fn is_elastic(&self) -> bool {
+        false
+    }
+}
+
+/// Frame-bursty source: `per_frame` transactions release at every frame
+/// boundary (video codec, rotator, image processor, JPEG, GPU — §4.1 "have
+/// all the frame data available at the beginning of a frame period").
+#[derive(Debug, Clone)]
+pub struct BurstStimulus {
+    per_frame: u64,
+    period: u64,
+}
+
+impl BurstStimulus {
+    /// Creates a source releasing `per_frame` transactions every `period`
+    /// cycles (first release at cycle 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_frame` or `period` is zero.
+    pub fn new(per_frame: u64, period: u64) -> Self {
+        assert!(per_frame > 0 && period > 0, "burst parameters must be positive");
+        BurstStimulus { per_frame, period }
+    }
+}
+
+impl Stimulus for BurstStimulus {
+    fn released(&mut self, now: Cycle) -> u64 {
+        (now.as_u64() / self.period + 1) * self.per_frame
+    }
+
+    fn next_release(&self, now: Cycle) -> Option<Cycle> {
+        Some(Cycle::new((now.as_u64() / self.period + 1) * self.period))
+    }
+}
+
+/// Constant-rate source: one transaction per `interval` cycles (camera
+/// sensor, display refresh, WiFi/USB streams).
+#[derive(Debug, Clone)]
+pub struct ConstantRateStimulus {
+    interval: f64,
+}
+
+impl ConstantRateStimulus {
+    /// Creates a source releasing one transaction every `interval` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn new(interval: f64) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        ConstantRateStimulus { interval }
+    }
+}
+
+impl Stimulus for ConstantRateStimulus {
+    fn released(&mut self, now: Cycle) -> u64 {
+        (now.as_u64() as f64 / self.interval) as u64 + 1
+    }
+
+    fn next_release(&self, now: Cycle) -> Option<Cycle> {
+        let n = (now.as_u64() as f64 / self.interval) as u64 + 1;
+        let t = (n as f64 * self.interval).ceil() as u64;
+        Some(Cycle::new(t.max(now.as_u64() + 1)))
+    }
+}
+
+/// Poisson source: exponential inter-arrival times (DSP, audio, CPU-style
+/// irregular traffic).
+#[derive(Debug, Clone)]
+pub struct PoissonStimulus {
+    mean_interval: f64,
+    rng: StdRng,
+    next_arrival: f64,
+    count: u64,
+}
+
+impl PoissonStimulus {
+    /// Creates a source with the given mean inter-arrival time in cycles,
+    /// seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interval` is not positive.
+    pub fn new(mean_interval: f64, seed: u64) -> Self {
+        assert!(mean_interval > 0.0, "mean interval must be positive");
+        let mut s = PoissonStimulus {
+            mean_interval,
+            rng: StdRng::seed_from_u64(seed),
+            next_arrival: 0.0,
+            count: 0,
+        };
+        s.next_arrival = s.sample();
+        s
+    }
+
+    fn sample(&mut self) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() * self.mean_interval
+    }
+}
+
+impl Stimulus for PoissonStimulus {
+    fn released(&mut self, now: Cycle) -> u64 {
+        while self.next_arrival <= now.as_u64() as f64 {
+            self.count += 1;
+            let step = self.sample();
+            self.next_arrival += step;
+        }
+        self.count
+    }
+
+    fn next_release(&self, now: Cycle) -> Option<Cycle> {
+        Some(Cycle::new((self.next_arrival.ceil() as u64).max(now.as_u64() + 1)))
+    }
+}
+
+/// Periodic work-unit source: `unit_txns` transactions release every
+/// `period` cycles (GPS and modem processing batches).
+#[derive(Debug, Clone)]
+pub struct BatchStimulus {
+    unit_txns: u64,
+    period: u64,
+}
+
+impl BatchStimulus {
+    /// Creates a source releasing `unit_txns` transactions at every
+    /// multiple of `period` (first at cycle 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_txns` or `period` is zero.
+    pub fn new(unit_txns: u64, period: u64) -> Self {
+        assert!(unit_txns > 0 && period > 0, "batch parameters must be positive");
+        BatchStimulus { unit_txns, period }
+    }
+}
+
+impl Stimulus for BatchStimulus {
+    fn released(&mut self, now: Cycle) -> u64 {
+        (now.as_u64() / self.period + 1) * self.unit_txns
+    }
+
+    fn next_release(&self, now: Cycle) -> Option<Cycle> {
+        Some(Cycle::new((now.as_u64() / self.period + 1) * self.period))
+    }
+}
+
+/// Elastic closed-loop source: always has work; throughput is limited only
+/// by the DMA's outstanding-request window (CPU best-effort traffic).
+#[derive(Debug, Clone, Default)]
+pub struct ElasticStimulus;
+
+impl ElasticStimulus {
+    /// Creates an always-ready source.
+    pub fn new() -> Self {
+        ElasticStimulus
+    }
+}
+
+impl Stimulus for ElasticStimulus {
+    fn released(&mut self, _now: Cycle) -> u64 {
+        u64::MAX
+    }
+
+    fn next_release(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    fn is_elastic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_releases_whole_frames() {
+        let mut s = BurstStimulus::new(100, 1000);
+        assert_eq!(s.released(Cycle::ZERO), 100);
+        assert_eq!(s.released(Cycle::new(999)), 100);
+        assert_eq!(s.released(Cycle::new(1000)), 200);
+        assert_eq!(s.next_release(Cycle::new(5)), Some(Cycle::new(1000)));
+    }
+
+    #[test]
+    fn constant_rate_is_linear() {
+        let mut s = ConstantRateStimulus::new(10.0);
+        assert_eq!(s.released(Cycle::ZERO), 1);
+        assert_eq!(s.released(Cycle::new(100)), 11);
+        let next = s.next_release(Cycle::new(100)).unwrap();
+        assert_eq!(next, Cycle::new(110));
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let mut s = PoissonStimulus::new(100.0, 42);
+        let n = s.released(Cycle::new(1_000_000));
+        // Expect ~10_000 arrivals; allow generous tolerance.
+        assert!((8_000..12_000).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn poisson_deterministic_per_seed() {
+        let mut a = PoissonStimulus::new(100.0, 7);
+        let mut b = PoissonStimulus::new(100.0, 7);
+        assert_eq!(a.released(Cycle::new(50_000)), b.released(Cycle::new(50_000)));
+    }
+
+    #[test]
+    fn poisson_monotone() {
+        let mut s = PoissonStimulus::new(50.0, 3);
+        let mut last = 0;
+        for t in (0..10_000).step_by(997) {
+            let r = s.released(Cycle::new(t));
+            assert!(r >= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn batch_releases_units() {
+        let mut s = BatchStimulus::new(8, 500);
+        assert_eq!(s.released(Cycle::new(499)), 8);
+        assert_eq!(s.released(Cycle::new(500)), 16);
+    }
+
+    #[test]
+    fn elastic_always_ready() {
+        let mut s = ElasticStimulus::new();
+        assert_eq!(s.released(Cycle::ZERO), u64::MAX);
+        assert_eq!(s.next_release(Cycle::ZERO), None);
+        assert!(s.is_elastic());
+    }
+
+    #[test]
+    fn next_release_always_in_future() {
+        let mut c = ConstantRateStimulus::new(3.7);
+        for t in 0..200u64 {
+            let now = Cycle::new(t);
+            let _ = c.released(now);
+            assert!(c.next_release(now).unwrap() > now);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A self-aware DVFS governor on top of SARA: pick the lowest DRAM
+//! frequency at which every heterogeneous core still meets its target,
+//! trading the paper's Fig. 7 headroom for energy.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_governor
+//! ```
+
+use sara::sim::experiment::dvfs_governor;
+use sara::workloads::TestCase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let freqs = [1300, 1400, 1500, 1600, 1700, 1866];
+    let (points, chosen) = dvfs_governor(TestCase::A, &freqs, 6.0)?;
+
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>10}",
+        "freq", "targets", "energy(mJ)", "pJ/bit", "GB/s"
+    );
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "{:<10} {:>8} {:>12.2} {:>10.1} {:>10.2}{}",
+            p.freq.to_string(),
+            if p.all_met { "met" } else { "MISSED" },
+            p.energy_mj,
+            p.pj_per_bit,
+            p.bandwidth_gbs,
+            if Some(i) == chosen { "   <- chosen" } else { "" },
+        );
+    }
+    match chosen {
+        Some(i) => println!(
+            "\nGovernor verdict: run DRAM at {} — the self-aware adaptation\n\
+             absorbs the lost headroom (Fig. 7) and no core misses its target.",
+            points[i].freq
+        ),
+        None => println!("\nNo candidate frequency can carry this workload."),
+    }
+    Ok(())
+}

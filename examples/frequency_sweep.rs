@@ -1,0 +1,30 @@
+//! DVFS-style sweep: drop the DRAM frequency and watch the image
+//! processor's self-adaptation climb the priority ladder to defend its
+//! frame rate (the paper's Fig. 7 mechanism).
+//!
+//! ```sh
+//! cargo run --release --example frequency_sweep
+//! ```
+
+use sara::sim::experiment::frequency_sweep;
+use sara::types::CoreKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let points = frequency_sweep(CoreKind::ImageProcessor, &[1300, 1500, 1700], 6.0)?;
+    println!("image processor priority residency vs DRAM frequency");
+    print!("{:<10}", "freq");
+    for level in 0..8 {
+        print!(" {:>6}", format!("P{level}"));
+    }
+    println!("  {:>7}", "minNPI");
+    for p in &points {
+        print!("{:<10}", p.freq.to_string());
+        for level in 0..8 {
+            print!(" {:>5.1}%", p.residency[level] * 100.0);
+        }
+        println!("  {:>7.3}", p.min_npi);
+    }
+    println!("\nLower frequency -> less deliverable bandwidth -> the core spends");
+    println!("more time at urgent levels to keep its frame progress on target.");
+    Ok(())
+}

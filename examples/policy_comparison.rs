@@ -1,0 +1,37 @@
+//! Compare all six memory-scheduling policies on the same camcorder frame:
+//! who meets targets, who starves, and what the DRAM delivers (a compact
+//! text rendition of the paper's Figs 5 and 8).
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use sara::memctrl::PolicyKind;
+use sara::sim::experiment::run_camcorder;
+use sara::workloads::TestCase;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<10} {:>10} {:>10} {:>9}  {}",
+        "policy", "GB/s", "row-hit%", "failures", "failed cores"
+    );
+    for policy in PolicyKind::ALL {
+        let report = run_camcorder(TestCase::A, policy, 6.0)?;
+        let failed: Vec<&str> = report.failed_cores().iter().map(|k| k.name()).collect();
+        println!(
+            "{:<10} {:>10.2} {:>10.1} {:>9}  {}",
+            policy.name(),
+            report.bandwidth_gbs,
+            report.row_hit_rate * 100.0,
+            failed.len(),
+            if failed.is_empty() {
+                "-".to_string()
+            } else {
+                failed.join(", ")
+            }
+        );
+    }
+    println!("\nThe SARA policies (QoS, QoS-RB) are the ones with zero failures;");
+    println!("FR-FCFS buys bandwidth at the cost of starving QoS cores (Fig. 9).");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # SARA — Self-Aware Resource Allocation for heterogeneous MPSoCs
+//!
+//! A from-scratch Rust reproduction of *SARA: Self-Aware Resource Allocation
+//! for Heterogeneous MPSoCs* (Song, Alavoine, Lin — DAC 2018), including
+//! every substrate its evaluation needs:
+//!
+//! * [`core`] — the SARA framework: distributed performance meters, NPI
+//!   (Eqns 1–3), LUT-based priority adaptation (§3.1–§3.4);
+//! * [`dram`] — a cycle-level multi-channel LPDDR4 model with the full
+//!   Table 1 timing set and an independent timing checker;
+//! * [`noc`] — the on-chip arbitration tree with per-class virtual-channel
+//!   flow control and the four arbitration disciplines;
+//! * [`memctrl`] — the 42-entry five-queue memory controller with the six
+//!   scheduling policies of §4 (FCFS, RR, frame-rate QoS, Policy 1,
+//!   Policy 2/QoS-RB, FR-FCFS);
+//! * [`workloads`] — the camcorder use case (Fig. 2 / Table 2) as
+//!   deterministic synthetic traffic;
+//! * [`sim`] — the event-driven co-simulation engine and the experiment
+//!   runners behind every figure.
+//!
+//! # Quickstart
+//!
+//! Run one camcorder frame under the SARA policy and check that every
+//! heterogeneous core meets its target:
+//!
+//! ```no_run
+//! use sara::memctrl::PolicyKind;
+//! use sara::sim::experiment::run_camcorder;
+//! use sara::workloads::TestCase;
+//!
+//! let report = run_camcorder(TestCase::A, PolicyKind::Priority, 33.3)?;
+//! println!("{}", report.summary());
+//! assert!(report.all_targets_met());
+//! # Ok::<(), sara::types::ConfigError>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries regenerating each table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use sara_core as core;
+pub use sara_dram as dram;
+pub use sara_memctrl as memctrl;
+pub use sara_noc as noc;
+pub use sara_sim as sim;
+pub use sara_types as types;
+pub use sara_workloads as workloads;

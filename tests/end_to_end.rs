@@ -1,0 +1,147 @@
+//! End-to-end integration tests: the full DMA → NoC → controller → DRAM
+//! closed loop, asserting the paper's headline claims at a reduced (but
+//! still multi-millisecond) duration so the suite stays fast.
+//!
+//! The full-length (33 ms) versions of these checks live in
+//! `cargo run --release -p sara-bench --bin calibrate`.
+
+use sara::memctrl::PolicyKind;
+use sara::sim::experiment::run_camcorder;
+use sara::sim::{Simulation, SystemConfig};
+use sara::types::CoreKind;
+use sara::workloads::TestCase;
+
+const TEST_MS: f64 = 3.0;
+
+#[test]
+fn sara_policy_meets_all_targets_case_a() {
+    let report = run_camcorder(TestCase::A, PolicyKind::Priority, TEST_MS).unwrap();
+    assert!(
+        report.all_targets_met(),
+        "failed cores: {:?}\n{}",
+        report.failed_cores(),
+        report.summary()
+    );
+}
+
+#[test]
+fn sara_policy_meets_all_targets_case_b() {
+    let report = run_camcorder(TestCase::B, PolicyKind::Priority, TEST_MS).unwrap();
+    assert!(
+        report.all_targets_met(),
+        "failed cores: {:?}\n{}",
+        report.failed_cores(),
+        report.summary()
+    );
+}
+
+#[test]
+fn fcfs_starves_display() {
+    let report = run_camcorder(TestCase::A, PolicyKind::Fcfs, TEST_MS).unwrap();
+    let display = report.core(CoreKind::Display).unwrap();
+    assert!(
+        display.failed && display.min_npi < 0.8,
+        "display should starve under FCFS, min NPI = {:.3}",
+        display.min_npi
+    );
+    // Bursty media grab bandwidth first and ride high (Fig. 5a).
+    assert!(!report.core(CoreKind::ImageProcessor).unwrap().failed);
+    assert!(!report.core(CoreKind::VideoCodec).unwrap().failed);
+}
+
+#[test]
+fn round_robin_fails_display_and_camera_but_not_system() {
+    let report = run_camcorder(TestCase::A, PolicyKind::RoundRobin, TEST_MS).unwrap();
+    assert!(report.core(CoreKind::Display).unwrap().failed);
+    assert!(report.core(CoreKind::Camera).unwrap().failed);
+    assert!(!report.core(CoreKind::Usb).unwrap().failed);
+    assert!(!report.core(CoreKind::WiFi).unwrap().failed);
+    assert!(!report.core(CoreKind::Gps).unwrap().failed);
+}
+
+#[test]
+fn frame_qos_rescues_media_but_fails_gps() {
+    let report = run_camcorder(TestCase::A, PolicyKind::FrameQos, TEST_MS).unwrap();
+    assert!(!report.core(CoreKind::Display).unwrap().failed);
+    assert!(!report.core(CoreKind::ImageProcessor).unwrap().failed);
+    assert!(
+        report.core(CoreKind::Gps).unwrap().failed,
+        "GPS has no frame-rate notion and must starve under the frame-rate baseline"
+    );
+}
+
+#[test]
+fn fr_fcfs_maximises_hits_but_degrades_qos() {
+    let fr = run_camcorder(TestCase::A, PolicyKind::FrFcfs, TEST_MS).unwrap();
+    let qos_rb = run_camcorder(TestCase::A, PolicyKind::QosRowBuffer, TEST_MS).unwrap();
+    assert!(fr.core(CoreKind::Display).unwrap().failed);
+    assert!(
+        qos_rb.all_targets_met(),
+        "QoS-RB must not degrade targets: {:?}",
+        qos_rb.failed_cores()
+    );
+    assert!(fr.row_hit_rate > qos_rb.row_hit_rate * 0.99);
+}
+
+#[test]
+fn qos_rb_delivers_more_bandwidth_than_policy1() {
+    let qos = run_camcorder(TestCase::A, PolicyKind::Priority, TEST_MS).unwrap();
+    let qos_rb = run_camcorder(TestCase::A, PolicyKind::QosRowBuffer, TEST_MS).unwrap();
+    assert!(
+        qos_rb.bandwidth_gbs > qos.bandwidth_gbs,
+        "QoS-RB ({:.2}) must out-deliver plain QoS ({:.2})",
+        qos_rb.bandwidth_gbs,
+        qos.bandwidth_gbs
+    );
+}
+
+#[test]
+fn dsp_latency_recovers_under_priority_policy_case_b() {
+    let fcfs = run_camcorder(TestCase::B, PolicyKind::Fcfs, TEST_MS).unwrap();
+    let qos = run_camcorder(TestCase::B, PolicyKind::Priority, TEST_MS).unwrap();
+    let dsp_fcfs = fcfs.core(CoreKind::Dsp).unwrap();
+    let dsp_qos = qos.core(CoreKind::Dsp).unwrap();
+    assert!(dsp_fcfs.failed, "DSP suffers under FCFS (Fig. 6a)");
+    assert!(!dsp_qos.failed, "DSP recovers under Policy 1 (Fig. 6d)");
+    assert!(dsp_qos.mean_latency < dsp_fcfs.mean_latency);
+}
+
+#[test]
+fn conservation_no_transactions_lost() {
+    let cfg = SystemConfig::camcorder(TestCase::A, PolicyKind::Priority).unwrap();
+    let mut sim = Simulation::new(cfg).unwrap();
+    let report = sim.run_for_ms(1.0);
+    // Every class: accepted == completed + still-queued; nothing vanishes.
+    let mc = &report.mc;
+    for class in sara::types::CoreClass::ALL {
+        let s = mc.class(class);
+        assert!(
+            s.accepted >= s.completed,
+            "{class}: completed {} exceeds accepted {}",
+            s.completed,
+            s.accepted
+        );
+        assert!(
+            s.accepted - s.completed <= 42,
+            "{class}: more residual entries than the controller can hold"
+        );
+    }
+    // DRAM column accesses match controller completions.
+    let dram_columns = report.dram.total.reads + report.dram.total.writes;
+    assert_eq!(dram_columns, mc.total_completed());
+}
+
+#[test]
+fn report_summary_is_complete() {
+    let report = run_camcorder(TestCase::A, PolicyKind::Priority, 0.5).unwrap();
+    let summary = report.summary();
+    for core in TestCase::A.cores() {
+        assert!(
+            summary.contains(core.kind.name()),
+            "summary must list {}",
+            core.kind.name()
+        );
+    }
+    assert_eq!(report.cores.len(), 14);
+    assert!(report.elapsed_ms > 0.49 && report.elapsed_ms < 0.51);
+}

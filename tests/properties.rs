@@ -1,0 +1,181 @@
+//! Workspace-level property tests: whatever the (small, random) workload
+//! and policy, the co-simulated system must preserve its invariants —
+//! nothing is lost or double-counted, bandwidth never exceeds the physical
+//! peak, and health readings stay well-formed.
+
+use proptest::prelude::*;
+
+use sara::core::BufferDirection;
+use sara::memctrl::PolicyKind;
+use sara::sim::{Simulation, SystemConfig};
+use sara::types::{CoreKind, MegaHertz, MemOp};
+use sara::workloads::{CoreSpec, DmaSpec, MeterSpec, PatternSpec, TrafficSpec};
+
+#[derive(Debug, Clone)]
+struct RandomDma {
+    kind_sel: u8,
+    rate_mb_s: f64,
+    window: usize,
+    is_read: bool,
+    pattern_sel: u8,
+}
+
+fn dma_strategy() -> impl Strategy<Value = RandomDma> {
+    (0u8..4, 50.0f64..1500.0, 2usize..24, any::<bool>(), 0u8..3).prop_map(
+        |(kind_sel, rate_mb_s, window, is_read, pattern_sel)| RandomDma {
+            kind_sel,
+            rate_mb_s,
+            window,
+            is_read,
+            pattern_sel,
+        },
+    )
+}
+
+fn build_core(idx: usize, spec: &RandomDma) -> CoreSpec {
+    let kinds = [
+        CoreKind::Cpu,
+        CoreKind::Gpu,
+        CoreKind::Display,
+        CoreKind::Usb,
+    ];
+    let kind = kinds[spec.kind_sel as usize % kinds.len()];
+    let rate = spec.rate_mb_s * 1e6;
+    let pattern = match spec.pattern_sel {
+        0 => PatternSpec::Sequential {
+            region_bytes: 8 << 20,
+        },
+        1 => PatternSpec::Random {
+            region_bytes: 8 << 20,
+        },
+        _ => PatternSpec::Strided {
+            region_bytes: 8 << 20,
+            stride_bytes: 16 << 10,
+        },
+    };
+    // Traffic/meter combinations that are valid for any core kind.
+    let (traffic, meter) = match spec.kind_sel % 3 {
+        0 => (
+            TrafficSpec::Constant { bytes_per_s: rate },
+            MeterSpec::Bandwidth {
+                target_fraction: 0.9,
+                window_ns: 1e5,
+            },
+        ),
+        1 => (
+            TrafficSpec::Constant { bytes_per_s: rate },
+            MeterSpec::Occupancy {
+                direction: if spec.is_read {
+                    BufferDirection::ConstantDrain
+                } else {
+                    BufferDirection::ConstantFill
+                },
+                capacity_bytes: 128 << 10,
+            },
+        ),
+        _ => (
+            TrafficSpec::Poisson { bytes_per_s: rate },
+            MeterSpec::Latency {
+                limit_ns: 600.0,
+                alpha: 0.1,
+            },
+        ),
+    };
+    CoreSpec::new(
+        kind,
+        vec![DmaSpec::new(
+            format!("rand-{idx}"),
+            if spec.is_read { MemOp::Read } else { MemOp::Write },
+            traffic,
+            pattern,
+            meter,
+            spec.window,
+        )],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_workloads_preserve_invariants(
+        dmas in prop::collection::vec(dma_strategy(), 1..5),
+        policy_sel in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let cores: Vec<CoreSpec> = dmas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| build_core(i, d))
+            .collect();
+        let policy = PolicyKind::ALL[policy_sel];
+        let mut cfg = SystemConfig::custom(MegaHertz::new(1866), policy, cores).unwrap();
+        cfg.seed = seed;
+        let mut sim = Simulation::new(cfg).unwrap();
+        let report = sim.run_for_ms(0.25);
+
+        // Conservation: completions never exceed admissions; residuals fit
+        // in the controller.
+        for class in sara::types::CoreClass::ALL {
+            let s = report.mc.class(class);
+            prop_assert!(s.completed <= s.accepted);
+            prop_assert!(s.accepted - s.completed <= 42);
+        }
+        // DRAM column accesses == controller completions.
+        let columns = report.dram.total.reads + report.dram.total.writes;
+        prop_assert_eq!(columns, report.mc.total_completed());
+        // Row outcomes partition the column accesses.
+        prop_assert_eq!(
+            report.dram.total.row_hits
+                + report.dram.total.row_misses
+                + report.dram.total.row_conflicts,
+            columns
+        );
+        // Bandwidth bounded by the physical peak.
+        prop_assert!(report.bandwidth_gbs <= 29.9 + 1e-6);
+        // Health readings well-formed.
+        for (kind, series) in &report.npi_series {
+            for v in series {
+                prop_assert!(*v >= 0.0, "{kind}: negative NPI");
+                prop_assert!(!v.is_nan(), "{kind}: NaN NPI");
+            }
+        }
+        // Residency normalised (or all-zero before the first sample).
+        for core in &report.cores {
+            let total: f64 = core.priority_residency.iter().sum();
+            prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_dma_accounting_is_consistent(
+        window in 1usize..32,
+        rate in 100.0f64..2000.0,
+        seed in any::<u64>(),
+    ) {
+        let cores = vec![CoreSpec::new(
+            CoreKind::Usb,
+            vec![DmaSpec::new(
+                "stream",
+                MemOp::Read,
+                TrafficSpec::Constant { bytes_per_s: rate * 1e6 },
+                PatternSpec::Sequential { region_bytes: 4 << 20 },
+                MeterSpec::Bandwidth { target_fraction: 0.9, window_ns: 1e5 },
+                window,
+            )],
+        )];
+        let mut cfg =
+            SystemConfig::custom(MegaHertz::new(1866), PolicyKind::Priority, cores).unwrap();
+        cfg.seed = seed;
+        let mut sim = Simulation::new(cfg).unwrap();
+        let report = sim.run_for_ms(0.25);
+        let usb = report.core(CoreKind::Usb).unwrap();
+        // A lone stream on an idle memory system always meets its target.
+        prop_assert!(!usb.failed, "min NPI = {}", usb.min_npi);
+        prop_assert_eq!(usb.bytes, usb.completed * 128);
+        prop_assert!(usb.mean_latency > 0.0);
+    }
+}
