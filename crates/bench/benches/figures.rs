@@ -42,9 +42,7 @@ fn fig7_sweep_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_sweep_1ms");
     group.sample_size(10);
     group.bench_function("1300MHz", |b| {
-        b.iter(|| {
-            black_box(frequency_sweep(CoreKind::ImageProcessor, &[1300], BENCH_MS).unwrap())
-        })
+        b.iter(|| black_box(frequency_sweep(CoreKind::ImageProcessor, &[1300], BENCH_MS).unwrap()))
     });
     group.finish();
 }
@@ -60,5 +58,11 @@ fn fig8_row_buffer_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(figures, fig5_policies, fig6_case_b, fig7_sweep_point, fig8_row_buffer_policies);
+criterion_group!(
+    figures,
+    fig5_policies,
+    fig6_case_b,
+    fig7_sweep_point,
+    fig8_row_buffer_policies
+);
 criterion_main!(figures);

@@ -18,7 +18,13 @@ fn main() {
         "{:<10} {:>10} {:>9} {:>12} {:>12} {:>10}",
         "T(cycles)", "GB/s", "failures", "maxWait CPU", "maxWait med", "aged"
     );
-    for t in [Some(2_000u64), Some(10_000), Some(50_000), Some(200_000), None] {
+    for t in [
+        Some(2_000u64),
+        Some(10_000),
+        Some(50_000),
+        Some(200_000),
+        None,
+    ] {
         let mut cfg =
             SystemConfig::camcorder(TestCase::A, PolicyKind::Priority).expect("case A builds");
         cfg.mc = McConfig::builder(PolicyKind::Priority)

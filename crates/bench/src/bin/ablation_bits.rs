@@ -37,7 +37,11 @@ fn main() {
             bits.levels(),
             report.bandwidth_gbs,
             failed.len(),
-            if failed.is_empty() { "-".into() } else { failed.join(", ") }
+            if failed.is_empty() {
+                "-".into()
+            } else {
+                failed.join(", ")
+            }
         );
     }
     println!("\nToo few levels cannot separate \"slightly behind\" from \"critical\",");

@@ -19,8 +19,8 @@ fn main() {
         "delta", "GB/s", "row-hit%", "failures", "failed cores"
     );
     for delta in [0u8, 2, 4, 6, 7, 8] {
-        let mut cfg = SystemConfig::camcorder(TestCase::A, PolicyKind::QosRowBuffer)
-            .expect("case A builds");
+        let mut cfg =
+            SystemConfig::camcorder(TestCase::A, PolicyKind::QosRowBuffer).expect("case A builds");
         cfg.mc = McConfig::builder(PolicyKind::QosRowBuffer)
             .delta(Priority::new(delta))
             .build()
@@ -33,7 +33,11 @@ fn main() {
             report.bandwidth_gbs,
             report.row_hit_rate * 100.0,
             failed.len(),
-            if failed.is_empty() { "-".into() } else { failed.join(", ") }
+            if failed.is_empty() {
+                "-".into()
+            } else {
+                failed.join(", ")
+            }
         );
     }
     println!("\nδ=0 effectively disables row-buffer protection;");

@@ -15,10 +15,10 @@ fn main() {
         "split", "GB/s", "failures", "failed cores"
     );
     let splits: [[usize; NUM_QUEUES]; 4] = [
-        [6, 6, 4, 20, 6],  // default: media-weighted
-        [8, 8, 6, 12, 8],  // balanced
-        [9, 9, 8, 8, 8],   // uniform-ish
-        [4, 4, 2, 28, 4],  // extreme media
+        [6, 6, 4, 20, 6], // default: media-weighted
+        [8, 8, 6, 12, 8], // balanced
+        [9, 9, 8, 8, 8],  // uniform-ish
+        [4, 4, 2, 28, 4], // extreme media
     ];
     for split in splits {
         let mut cfg =
@@ -34,7 +34,11 @@ fn main() {
             format!("{split:?}"),
             report.bandwidth_gbs,
             failed.len(),
-            if failed.is_empty() { "-".into() } else { failed.join(", ") }
+            if failed.is_empty() {
+                "-".into()
+            } else {
+                failed.join(", ")
+            }
         );
     }
 }

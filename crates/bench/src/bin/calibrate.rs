@@ -31,7 +31,11 @@ impl Checker {
             "{}: {} {} (min NPI {:.3})",
             r.policy.name(),
             kind.name(),
-            if expect_fail { "misses target" } else { "meets target" },
+            if expect_fail {
+                "misses target"
+            } else {
+                "meets target"
+            },
             core.min_npi
         );
         self.check(&claim, core.failed == expect_fail);
@@ -104,7 +108,10 @@ fn main() {
     c.core_fails(&rr_b, CoreKind::Display, true);
     c.core_fails(&frame_b, CoreKind::Dsp, true);
     c.check(
-        &format!("case B QoS: all targets met (failed: {:?})", qos_b.failed_cores()),
+        &format!(
+            "case B QoS: all targets met (failed: {:?})",
+            qos_b.failed_cores()
+        ),
         qos_b.all_targets_met(),
     );
     let dsp_fcfs = fcfs_b.core(CoreKind::Dsp).unwrap().min_npi;
@@ -118,7 +125,10 @@ fn main() {
     let qos_rb = run_camcorder(TestCase::A, PolicyKind::QosRowBuffer, ms).expect("QoS-RB runs");
     let fr = run_camcorder(TestCase::A, PolicyKind::FrFcfs, ms).expect("FR-FCFS runs");
     c.check(
-        &format!("Fig 9: QoS-RB no degradation (failed: {:?})", qos_rb.failed_cores()),
+        &format!(
+            "Fig 9: QoS-RB no degradation (failed: {:?})",
+            qos_rb.failed_cores()
+        ),
         qos_rb.all_targets_met(),
     );
     c.core_fails(&fr, CoreKind::Display, true);
@@ -146,8 +156,7 @@ fn main() {
         // QoS-traffic share the recovery is partial (see EXPERIMENTS.md) —
         // require at least a third of the QoS→FR-FCFS gap to be recovered
         // and no regression.
-        qos_rb.bandwidth_gbs - qos.bandwidth_gbs
-            > (fr.bandwidth_gbs - qos.bandwidth_gbs) * 0.33,
+        qos_rb.bandwidth_gbs - qos.bandwidth_gbs > (fr.bandwidth_gbs - qos.bandwidth_gbs) * 0.33,
     );
     c.check(
         &format!(
@@ -159,8 +168,7 @@ fn main() {
     );
 
     // --- Fig. 7 ------------------------------------------------------------
-    let sweep =
-        frequency_sweep(CoreKind::ImageProcessor, &[1300, 1700], ms).expect("sweep runs");
+    let sweep = frequency_sweep(CoreKind::ImageProcessor, &[1300, 1700], ms).expect("sweep runs");
     let low = &sweep[0];
     let high = &sweep[1];
     let urgent_low: f64 = low.residency[4..].iter().sum();

@@ -25,7 +25,8 @@ fn main() {
     let dir = results_dir();
     for r in &reports {
         let path = dir.join(format!("fig6_{}.csv", r.policy.name().to_lowercase()));
-        r.write_npi_csv(&path, Clock::new(r.freq)).expect("write CSV");
+        r.write_npi_csv(&path, Clock::new(r.freq))
+            .expect("write CSV");
         println!("wrote {}", path.display());
     }
 }

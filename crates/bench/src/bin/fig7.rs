@@ -17,8 +17,8 @@ use sara_types::CoreKind;
 fn main() {
     let duration = figure_duration_ms();
     let freqs = [1300, 1400, 1500, 1600, 1700];
-    let points = frequency_sweep(CoreKind::ImageProcessor, &freqs, duration)
-        .expect("case-A sweep builds");
+    let points =
+        frequency_sweep(CoreKind::ImageProcessor, &freqs, duration).expect("case-A sweep builds");
 
     println!("== Fig. 7: image processor priority residency over {duration:.1} ms ==");
     print!("{:<10}", "freq");
@@ -34,11 +34,7 @@ fn main() {
         for level in 0..8 {
             print!(" {:>5.1}%", p.residency[level] * 100.0);
         }
-        println!(
-            "  {:>8.3} {:>10.2}",
-            p.min_npi,
-            p.core_bytes_per_s / 1e9
-        );
+        println!("  {:>8.3} {:>10.2}", p.min_npi, p.core_bytes_per_s / 1e9);
         write!(csv, "{}", p.freq.as_u32()).unwrap();
         for level in 0..8 {
             write!(csv, ",{:.4}", p.residency[level]).unwrap();

@@ -14,8 +14,8 @@ use sara_workloads::TestCase;
 
 fn main() {
     let duration = figure_duration_ms();
-    let reports = policy_comparison(TestCase::A, &FIG8_POLICIES, duration)
-        .expect("camcorder case A builds");
+    let reports =
+        policy_comparison(TestCase::A, &FIG8_POLICIES, duration).expect("camcorder case A builds");
 
     println!("== Fig. 8: average DRAM bandwidth over {duration:.1} ms (case A) ==");
     println!(

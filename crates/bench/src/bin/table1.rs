@@ -23,7 +23,9 @@ fn main() {
         );
     }
 
-    let mc = McConfig::builder(PolicyKind::Priority).build().expect("default MC config");
+    let mc = McConfig::builder(PolicyKind::Priority)
+        .build()
+        .expect("default MC config");
     println!("Memory controller");
     println!("  Total entries        {}", mc.total_entries());
     println!("  Transaction queues   {}", sara_memctrl::NUM_QUEUES);
@@ -37,7 +39,12 @@ fn main() {
     println!("  Volume               {} GB", d.capacity_bytes() >> 30);
     println!("  Max I/O bus freq.    {}", d.io_freq());
     println!("  CL-tRCD-tRP          {}-{}-{}", t.cl(), t.trcd(), t.trp());
-    println!("  tWTR-tRTP-tWR        {}-{}-{}", t.twtr(), t.trtp(), t.twr());
+    println!(
+        "  tWTR-tRTP-tWR        {}-{}-{}",
+        t.twtr(),
+        t.trtp(),
+        t.twr()
+    );
     println!("  tRRD-tFAW            {}-{}", t.trrd(), t.tfaw());
     println!(
         "  Channels-Ranks-Banks {}-{}-{}",

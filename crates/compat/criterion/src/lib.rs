@@ -1,0 +1,154 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so the benchmark harness
+//! API used by `crates/bench/benches/*` is provided in-tree: [`Criterion`],
+//! [`Bencher::iter`], benchmark groups with `sample_size`, [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — each benchmark runs for a fixed
+//! small number of samples and reports the mean wall-clock time per
+//! iteration. Good enough to compare hot-path changes locally; not a
+//! replacement for real criterion's outlier analysis.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Samples taken per benchmark (each sample is one `Bencher::iter` run).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Times one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` for one sample, recording its mean wall-clock time
+    /// per call.
+    ///
+    /// Like real criterion, the routine is looped inside a single timer
+    /// window so nanosecond-scale routines are not swamped by
+    /// `Instant::now()` overhead: a quick calibration pass picks an
+    /// iteration count that keeps each sample around a millisecond.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: time one call to choose the batch size.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().as_nanos().max(1) as f64;
+        const TARGET_SAMPLE_NANOS: f64 = 1e6;
+        if once >= TARGET_SAMPLE_NANOS {
+            // Long routine (e.g. a whole simulated frame): the calibration
+            // call *is* the sample; don't double the runtime.
+            self.nanos.push(once);
+            return;
+        }
+        let n = ((TARGET_SAMPLE_NANOS / once) as usize).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.nanos
+            .push(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+}
+
+fn report(name: &str, nanos: &[f64]) {
+    if nanos.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mean = nanos.iter().sum::<f64>() / nanos.len() as f64;
+    let (unit, scale) = if mean >= 1e9 {
+        ("s", 1e9)
+    } else if mean >= 1e6 {
+        ("ms", 1e6)
+    } else if mean >= 1e3 {
+        ("µs", 1e3)
+    } else {
+        ("ns", 1.0)
+    };
+    println!(
+        "{name:<40} mean {:>9.3} {unit}  ({} samples)",
+        mean / scale,
+        nanos.len()
+    );
+}
+
+/// A named family of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        report(&format!("{}/{}", self.name, id), &b.nanos);
+        self
+    }
+
+    /// Ends the group (printing is immediate; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        for _ in 0..DEFAULT_SAMPLES {
+            f(&mut b);
+        }
+        report(id, &b.nanos);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, as real criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

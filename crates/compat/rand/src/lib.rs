@@ -1,0 +1,170 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace must build with no network access and no registry cache,
+//! so the small slice of the `rand` 0.8 API the simulator uses is provided
+//! in-tree: [`rngs::StdRng`], [`Rng`] (`gen_range` over integer and float
+//! ranges, `gen_bool`) and [`SeedableRng::seed_from_u64`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic per
+//! seed, statistically solid for synthetic-traffic purposes, and `Clone`
+//! like the original. The byte streams do **not** match crates-io `rand`;
+//! nothing in this repo depends on the exact stream, only on per-seed
+//! determinism.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable random generators (the one constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `gen_range` can sample uniformly from a half-open range.
+pub trait UniformSample: Copy {
+    /// Draws a value in `[start, end)` from the generator's raw stream.
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift keeps the draw unbiased to ~2^-64 without
+                // a rejection loop.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+impl UniformSample for f64 {
+    fn sample(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        // Guard the pathological rounding case v == end.
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+/// The generator methods this workspace uses.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T;
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng, UniformSample};
+    use std::ops::Range;
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+            T::sample(self, range)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+            ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn uniform_enough() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+        let heads = (0..n).filter(|_| r.gen_bool(0.3)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+}

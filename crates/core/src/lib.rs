@@ -47,8 +47,8 @@ mod priority_map;
 
 pub use adaptation::SelfAwareDma;
 pub use meter::{
-    BandwidthMeter, BoxedMeter, BufferDirection, FrameProgressMeter, LatencyMeter,
-    OccupancyMeter, PerformanceMeter, WorkUnitMeter,
+    BandwidthMeter, BoxedMeter, BufferDirection, FrameProgressMeter, LatencyMeter, OccupancyMeter,
+    PerformanceMeter, WorkUnitMeter,
 };
 pub use npi::Npi;
 pub use priority_map::PriorityMap;

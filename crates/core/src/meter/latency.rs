@@ -182,7 +182,7 @@ mod tests {
         m.on_complete(Cycle::new(100), 128, 250, MemOp::Read);
         m.on_inject(Cycle::new(200));
         assert!(m.npi(Cycle::new(2_200)).is_met()); // pending age 2000
-        // Sustained starvation still escalates.
+                                                    // Sustained starvation still escalates.
         assert!(!m.npi(Cycle::new(60_000)).is_met());
     }
 

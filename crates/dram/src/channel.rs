@@ -137,7 +137,7 @@ impl Channel {
                 bank.apply_refresh(end);
             }
             self.refresh_busy_until = end;
-            self.refresh_due = self.refresh_due + self.timing.trefi();
+            self.refresh_due += self.timing.trefi();
             self.stats.refreshes += 1;
         }
     }
@@ -216,8 +216,7 @@ impl Channel {
                         self.bus_free_at = data_end;
                         // Read→write: write data must wait for the bus plus
                         // a turnaround gap.
-                        let wr_gate = (data_end + t.rtw_gap())
-                            .saturating_sub(Cycle::new(t.wl()));
+                        let wr_gate = (data_end + t.rtw_gap()).saturating_sub(Cycle::new(t.wl()));
                         self.wr_ready = self.wr_ready.max(Cycle::new(wr_gate));
                         let outcome = self.banks[bank_idx].apply_read(now, t.trtp());
                         self.stats.record_outcome(outcome);
@@ -294,7 +293,7 @@ mod tests {
         let l = loc(0, 0, 10, 0);
         let (done, cmds) = complete(&mut ch, &l, MemOp::Read, Cycle::ZERO);
         assert_eq!(cmds, 2); // ACT + RD
-        // ACT@0, RD@tRCD=34, data ends at 34+CL+BL = 34+36+16
+                             // ACT@0, RD@tRCD=34, data ends at 34+CL+BL = 34+36+16
         assert_eq!(done, Cycle::new(86));
         assert_eq!(ch.stats().row_misses, 1);
     }
@@ -426,13 +425,16 @@ mod tests {
     fn premature_issue_panics() {
         let mut ch = test_channel();
         ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::ZERO); // ACT
-        // RD before tRCD elapses must panic.
+                                                              // RD before tRCD elapses must panic.
         ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::new(10));
     }
 
     #[test]
     fn refresh_disabled_never_refreshes() {
-        let timing = TimingParams::builder().refresh_enabled(false).build().unwrap();
+        let timing = TimingParams::builder()
+            .refresh_enabled(false)
+            .build()
+            .unwrap();
         let mut ch = Channel::new(timing, 2, 8, 128);
         ch.advance(Cycle::new(100_000_000));
         assert_eq!(ch.stats().refreshes, 0);

@@ -132,7 +132,10 @@ impl DramConfig {
     /// Total device capacity in bytes.
     #[inline]
     pub fn capacity_bytes(&self) -> u64 {
-        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows as u64
+        self.channels as u64
+            * self.ranks as u64
+            * self.banks as u64
+            * self.rows as u64
             * self.row_bytes
     }
 
@@ -248,13 +251,13 @@ impl DramConfigBuilder {
                 "row and burst sizes must be powers of two",
             ));
         }
-        if c.row_bytes % c.burst_bytes as u64 != 0 {
+        if !c.row_bytes.is_multiple_of(c.burst_bytes as u64) {
             return Err(ConfigError::new(format!(
                 "row size {} must be a multiple of burst size {}",
                 c.row_bytes, c.burst_bytes
             )));
         }
-        if c.burst_bytes % c.bytes_per_beat != 0 {
+        if !c.burst_bytes.is_multiple_of(c.bytes_per_beat) {
             return Err(ConfigError::new(format!(
                 "burst size {} must be a multiple of channel width {}",
                 c.burst_bytes, c.bytes_per_beat
@@ -293,7 +296,11 @@ mod tests {
         // 64-byte burst = 8 beats, but timing BL stays 16.
         assert!(DramConfig::builder().burst_bytes(64).build().is_err());
         // Fixing the timing makes it valid.
-        let t = TimingParams::builder().burst_beats(8).tccd(8).build().unwrap();
+        let t = TimingParams::builder()
+            .burst_beats(8)
+            .tccd(8)
+            .build()
+            .unwrap();
         assert!(DramConfig::builder()
             .burst_bytes(64)
             .timing(t)

@@ -128,7 +128,9 @@ impl McConfigBuilder {
         }
         for (i, cap) in c.queue_capacities.iter().enumerate() {
             if *cap == 0 {
-                return Err(ConfigError::new(format!("queue {i} capacity must be positive")));
+                return Err(ConfigError::new(format!(
+                    "queue {i} capacity must be positive"
+                )));
             }
             if *cap > c.total_entries {
                 return Err(ConfigError::new(format!(

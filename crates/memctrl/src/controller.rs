@@ -187,9 +187,7 @@ impl MemoryController {
         if row_guard {
             for queue in &self.queues {
                 for entry in queue {
-                    if entry.loc.channel == channel
-                        && dram.next_command(&entry.loc).is_row_hit()
-                    {
+                    if entry.loc.channel == channel && dram.next_command(&entry.loc).is_row_hit() {
                         banks_with_hits |= 1 << (entry.loc.rank * 32 + entry.loc.bank).min(63);
                     }
                 }
@@ -370,7 +368,8 @@ mod tests {
     fn accept_and_complete_single_read() {
         let mut d = dram();
         let mut m = mc(PolicyKind::Fcfs);
-        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d).unwrap();
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d)
+            .unwrap();
         assert_eq!(m.occupancy(), 1);
         let done = drain(&mut m, &mut d, 1);
         assert_eq!(done.len(), 1);
@@ -389,13 +388,19 @@ mod tests {
             .build()
             .unwrap();
         let mut m = MemoryController::new(cfg);
-        assert!(m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d).is_ok());
-        assert!(m.try_accept(txn(1, CoreKind::Cpu, 128, 0), Cycle::ZERO, &d).is_ok());
+        assert!(m
+            .try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d)
+            .is_ok());
+        assert!(m
+            .try_accept(txn(1, CoreKind::Cpu, 128, 0), Cycle::ZERO, &d)
+            .is_ok());
         let back = m.try_accept(txn(2, CoreKind::Cpu, 256, 0), Cycle::ZERO, &d);
         assert!(back.is_err());
         assert_eq!(m.stats().total_rejected(), 1);
         // Other classes still admitted.
-        assert!(m.try_accept(txn(3, CoreKind::Usb, 512, 0), Cycle::ZERO, &d).is_ok());
+        assert!(m
+            .try_accept(txn(3, CoreKind::Usb, 512, 0), Cycle::ZERO, &d)
+            .is_ok());
     }
 
     #[test]
@@ -409,7 +414,9 @@ mod tests {
         let mut m = MemoryController::new(cfg);
         for i in 0..4 {
             let core = [CoreKind::Cpu, CoreKind::Gpu, CoreKind::Dsp, CoreKind::Usb][i as usize];
-            assert!(m.try_accept(txn(i, core, i * 128, 0), Cycle::ZERO, &d).is_ok());
+            assert!(m
+                .try_accept(txn(i, core, i * 128, 0), Cycle::ZERO, &d)
+                .is_ok());
         }
         assert!(m
             .try_accept(txn(9, CoreKind::Display, 4096, 0), Cycle::ZERO, &d)
@@ -421,8 +428,10 @@ mod tests {
         let mut d = dram();
         let mut m = mc(PolicyKind::Priority);
         // Same bank, same row: low-priority old vs high-priority young.
-        m.try_accept(txn(0, CoreKind::Cpu, 0, 1), Cycle::ZERO, &d).unwrap();
-        m.try_accept(txn(1, CoreKind::Dsp, 512, 7), Cycle::ZERO, &d).unwrap();
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 1), Cycle::ZERO, &d)
+            .unwrap();
+        m.try_accept(txn(1, CoreKind::Dsp, 512, 7), Cycle::ZERO, &d)
+            .unwrap();
         let done = drain(&mut m, &mut d, 2);
         assert_eq!(done[0].txn.core, CoreKind::Dsp);
         assert_eq!(done[1].txn.core, CoreKind::Cpu);
@@ -432,8 +441,10 @@ mod tests {
     fn fcfs_serves_in_arrival_order_despite_priority() {
         let mut d = dram();
         let mut m = mc(PolicyKind::Fcfs);
-        m.try_accept(txn(0, CoreKind::Cpu, 0, 1), Cycle::ZERO, &d).unwrap();
-        m.try_accept(txn(1, CoreKind::Dsp, 512, 7), Cycle::ZERO, &d).unwrap();
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 1), Cycle::ZERO, &d)
+            .unwrap();
+        m.try_accept(txn(1, CoreKind::Dsp, 512, 7), Cycle::ZERO, &d)
+            .unwrap();
         let done = drain(&mut m, &mut d, 2);
         assert_eq!(done[0].txn.core, CoreKind::Cpu);
     }
@@ -448,9 +459,14 @@ mod tests {
         let base = d.decode(Addr::new(0));
         let same_row = map.encode(sara_dram::Location { col: 1, ..base });
         let other_row = map.encode(sara_dram::Location { row: 9, ..base });
-        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d).unwrap();
-        m.try_accept(txn(1, CoreKind::Usb, other_row.as_u64(), 0), Cycle::ZERO, &d)
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d)
             .unwrap();
+        m.try_accept(
+            txn(1, CoreKind::Usb, other_row.as_u64(), 0),
+            Cycle::ZERO,
+            &d,
+        )
+        .unwrap();
         m.try_accept(txn(2, CoreKind::Gpu, same_row.as_u64(), 0), Cycle::ZERO, &d)
             .unwrap();
         let done = drain(&mut m, &mut d, 3);
@@ -506,7 +522,10 @@ mod tests {
         }
         let victim = victim_completion.expect("aging must rescue the victim from starvation");
         assert!(victim.was_aged);
-        assert!(victim.queued_for >= 500, "victim completed only after aging");
+        assert!(
+            victim.queued_for >= 500,
+            "victim completed only after aging"
+        );
         assert_eq!(m.stats().class(sara_types::CoreClass::Cpu).aged, 1);
     }
 
@@ -514,7 +533,8 @@ mod tests {
     fn idle_reports_retry_time() {
         let mut d = dram();
         let mut m = mc(PolicyKind::Fcfs);
-        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d).unwrap();
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d)
+            .unwrap();
         // Issue ACT at 0; RD not legal until 34.
         assert!(matches!(
             m.tick(0, Cycle::ZERO, &mut d),
@@ -540,8 +560,10 @@ mod tests {
     fn channels_tracked_independently() {
         let d = dram();
         let mut m = mc(PolicyKind::Fcfs);
-        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d).unwrap(); // ch 0
-        m.try_accept(txn(1, CoreKind::Cpu, 128, 0), Cycle::ZERO, &d).unwrap(); // ch 1
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 0), Cycle::ZERO, &d)
+            .unwrap(); // ch 0
+        m.try_accept(txn(1, CoreKind::Cpu, 128, 0), Cycle::ZERO, &d)
+            .unwrap(); // ch 1
         assert_eq!(m.queued_for_channel(0), 1);
         assert_eq!(m.queued_for_channel(1), 1);
     }
@@ -604,8 +626,12 @@ mod policy_integration {
     fn frame_qos_serves_urgent_media_before_older_traffic() {
         let mut d = dram();
         let mut m = MemoryController::new(McConfig::builder(PolicyKind::FrameQos).build().unwrap());
-        m.try_accept(txn_with(0, CoreKind::Cpu, 0, 0, false, MemOp::Read), Cycle::ZERO, &d)
-            .unwrap();
+        m.try_accept(
+            txn_with(0, CoreKind::Cpu, 0, 0, false, MemOp::Read),
+            Cycle::ZERO,
+            &d,
+        )
+        .unwrap();
         m.try_accept(
             txn_with(1, CoreKind::Display, 512, 0, true, MemOp::Read),
             Cycle::ZERO,
@@ -625,7 +651,10 @@ mod policy_integration {
         let base = d.decode(Addr::new(0));
         // Open the row with the first transaction...
         for i in 0..3u64 {
-            let addr = map.encode(sara_dram::Location { col: i as u32, ..base });
+            let addr = map.encode(sara_dram::Location {
+                col: i as u32,
+                ..base
+            });
             m.try_accept(
                 txn_with(i, CoreKind::Cpu, addr.as_u64(), 0, false, MemOp::Read),
                 Cycle::ZERO,
@@ -666,7 +695,10 @@ mod policy_integration {
         // A long run of same-row hits (row stays legal-to-close only after
         // tRAS, so the first few hits always slip in regardless).
         for i in 0..8u64 {
-            let addr = map.encode(sara_dram::Location { col: i as u32, ..base });
+            let addr = map.encode(sara_dram::Location {
+                col: i as u32,
+                ..base
+            });
             m.try_accept(
                 txn_with(i, CoreKind::Cpu, addr.as_u64(), 0, false, MemOp::Read),
                 Cycle::ZERO,
@@ -702,8 +734,12 @@ mod policy_integration {
             .build()
             .unwrap();
         let mut m = MemoryController::new(cfg);
-        m.try_accept(txn_with(0, CoreKind::Cpu, 0, 0, false, MemOp::Read), Cycle::ZERO, &d)
-            .unwrap();
+        m.try_accept(
+            txn_with(0, CoreKind::Cpu, 0, 0, false, MemOp::Read),
+            Cycle::ZERO,
+            &d,
+        )
+        .unwrap();
         // Tick far past the threshold; the lone candidate completes, but
         // must not be counted as aged.
         let done = drain_n(&mut m, &mut d, 1);
@@ -723,15 +759,22 @@ mod policy_integration {
                 TickResult::Idle { retry_at } => now = retry_at.unwrap(),
             }
         };
-        assert!(!c.was_aged, "priority-0 traffic is exempt from backlog clearing");
+        assert!(
+            !c.was_aged,
+            "priority-0 traffic is exempt from backlog clearing"
+        );
     }
 
     #[test]
     fn write_transactions_complete_with_write_timing() {
         let mut d = dram();
         let mut m = MemoryController::new(McConfig::builder(PolicyKind::Fcfs).build().unwrap());
-        m.try_accept(txn_with(0, CoreKind::Camera, 0, 0, false, MemOp::Write), Cycle::ZERO, &d)
-            .unwrap();
+        m.try_accept(
+            txn_with(0, CoreKind::Camera, 0, 0, false, MemOp::Write),
+            Cycle::ZERO,
+            &d,
+        )
+        .unwrap();
         let done = drain_n(&mut m, &mut d, 1);
         // ACT@0, WR@34, data done at 34 + WL(18) + BL(16) = 68.
         assert_eq!(done[0].done_at, Cycle::new(68));

@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn round_robin_respects_cursor() {
-        let c = [cand(0, 1, 0, 0, false, false), cand(3, 9, 1, 0, false, false)];
+        let c = [
+            cand(0, 1, 0, 0, false, false),
+            cand(3, 9, 1, 0, false, false),
+        ];
         let mut st = PolicyState::default();
         st.queue_cursor = 2; // next favoured queue ≥ 2 → queue 3 wins
         assert_eq!(
@@ -259,16 +262,25 @@ mod tests {
         let c = [cand(4, 1, 0, 0, false, true), cand(3, 9, 1, 0, true, false)];
         assert_eq!(pick(PolicyKind::FrameQos, &c), Some(1));
         // No urgent → FCFS.
-        let calm = [cand(4, 1, 0, 0, false, true), cand(3, 9, 1, 0, false, false)];
+        let calm = [
+            cand(4, 1, 0, 0, false, true),
+            cand(3, 9, 1, 0, false, false),
+        ];
         assert_eq!(pick(PolicyKind::FrameQos, &calm), Some(0));
     }
 
     #[test]
     fn policy1_priority_then_rr() {
-        let c = [cand(0, 1, 0, 3, false, false), cand(1, 9, 1, 6, false, false)];
+        let c = [
+            cand(0, 1, 0, 3, false, false),
+            cand(1, 9, 1, 6, false, false),
+        ];
         assert_eq!(pick(PolicyKind::Priority, &c), Some(1));
         // Tie: dma cursor decides.
-        let tie = [cand(0, 1, 0, 4, false, false), cand(1, 9, 1, 4, false, false)];
+        let tie = [
+            cand(0, 1, 0, 4, false, false),
+            cand(1, 9, 1, 4, false, false),
+        ];
         let mut st = PolicyState::default();
         st.dma_cursor = 1;
         assert_eq!(
@@ -295,29 +307,44 @@ mod tests {
     #[test]
     fn policy2_prefers_hits_below_delta() {
         // Hit with priority 1 vs non-hit with priority 5 (< δ=6): hit wins.
-        let c = [cand(0, 9, 0, 1, false, true), cand(1, 1, 1, 5, false, false)];
+        let c = [
+            cand(0, 9, 0, 1, false, true),
+            cand(1, 1, 1, 5, false, false),
+        ];
         assert_eq!(pick(PolicyKind::QosRowBuffer, &c), Some(0));
     }
 
     #[test]
     fn policy2_defers_to_urgent_traffic_at_delta() {
         // Non-hit at priority 6 (= δ) and above the hit → Policy 1 decides.
-        let c = [cand(0, 9, 0, 1, false, true), cand(1, 1, 1, 6, false, false)];
+        let c = [
+            cand(0, 9, 0, 1, false, true),
+            cand(1, 1, 1, 6, false, false),
+        ];
         assert_eq!(pick(PolicyKind::QosRowBuffer, &c), Some(1));
     }
 
     #[test]
     fn policy2_equal_priorities_keep_hit_first() {
         // PA = PB → choose the hit, even at/above δ (Policy 2's "PA = PB").
-        let c = [cand(0, 9, 0, 7, false, true), cand(1, 1, 1, 7, false, false)];
+        let c = [
+            cand(0, 9, 0, 7, false, true),
+            cand(1, 1, 1, 7, false, false),
+        ];
         assert_eq!(pick(PolicyKind::QosRowBuffer, &c), Some(0));
     }
 
     #[test]
     fn fr_fcfs_hits_then_age() {
-        let c = [cand(0, 9, 0, 0, false, true), cand(1, 1, 1, 7, false, false)];
+        let c = [
+            cand(0, 9, 0, 0, false, true),
+            cand(1, 1, 1, 7, false, false),
+        ];
         assert_eq!(pick(PolicyKind::FrFcfs, &c), Some(0));
-        let no_hits = [cand(0, 9, 0, 0, false, false), cand(1, 1, 1, 7, false, false)];
+        let no_hits = [
+            cand(0, 9, 0, 0, false, false),
+            cand(1, 1, 1, 7, false, false),
+        ];
         assert_eq!(pick(PolicyKind::FrFcfs, &no_hits), Some(1));
     }
 

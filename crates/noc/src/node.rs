@@ -233,11 +233,7 @@ impl ArbiterNode {
     /// Earliest cycle at which this node could possibly forward something,
     /// or `None` if all inputs are empty.
     pub fn earliest_action(&self) -> Option<Cycle> {
-        let head = self
-            .inputs
-            .iter()
-            .filter_map(|p| p.head_ready_at())
-            .min()?;
+        let head = self.inputs.iter().filter_map(|p| p.head_ready_at()).min()?;
         Some(head.max(self.next_free))
     }
 }

@@ -1,0 +1,338 @@
+//! Seeded random scenario generation for fuzz-style sweeps.
+//!
+//! The generator composes [`CoreSpec`]s from the same
+//! `TrafficSpec` × `PatternSpec` × `MeterSpec` vocabulary the catalog
+//! uses, always respecting the sim layer's lowering rules (frame-rate
+//! meters need `Burst` traffic, occupancy needs `Constant`, work units
+//! need `Batch`), so every generated scenario builds and runs. Output is a
+//! pure function of the seed and the [`GeneratorConfig`], which is what
+//! makes regression sweeps reproducible: quote the seed, get the workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sara_types::{CoreKind, MegaHertz, MemOp};
+use sara_workloads::builders::{
+    bandwidth, batch_kib, best_effort, burst_mb, constant_mb, elastic, frame_rate, latency_ns,
+    occupancy_drain_kib, occupancy_fill_kib, poisson_mb, random_mib, seq_mib, strided_mib,
+    work_unit,
+};
+use sara_workloads::{CoreSpec, DmaSpec, TrafficSpec};
+
+use crate::scenario::Scenario;
+
+/// Bounds for random scenario generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Minimum number of distinct cores (≥ 1).
+    pub min_cores: usize,
+    /// Maximum number of distinct cores (≤ 14, the `CoreKind` universe).
+    pub max_cores: usize,
+    /// Cap on total rated demand in GB/s; scenarios that come out hotter
+    /// are scaled down to this. Keeps fuzz sweeps in the regime where
+    /// policy choice (not raw capacity) decides the outcome.
+    pub max_offered_gbs: f64,
+    /// Candidate DRAM frequencies to draw from.
+    pub freqs_mhz: Vec<u32>,
+    /// Candidate frame rates (fps) to draw from.
+    pub frame_rates: Vec<f64>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_cores: 4,
+            max_cores: 9,
+            max_offered_gbs: 20.0,
+            freqs_mhz: vec![1333, 1600, 1700, 1866],
+            frame_rates: vec![30.0, 60.0, 90.0],
+        }
+    }
+}
+
+/// Generates a random scenario from a seed with the default bounds.
+///
+/// Same seed → identical scenario, including the embedded simulation seed.
+pub fn random_scenario(seed: u64) -> Scenario {
+    random_scenario_with(&GeneratorConfig::default(), seed)
+}
+
+/// Generates a random scenario from a seed under explicit bounds.
+///
+/// # Panics
+///
+/// Panics if the config is degenerate (`min_cores` is zero or exceeds
+/// `max_cores`, or an empty frequency/frame-rate list).
+pub fn random_scenario_with(cfg: &GeneratorConfig, seed: u64) -> Scenario {
+    assert!(
+        cfg.min_cores >= 1
+            && cfg.min_cores <= cfg.max_cores
+            && cfg.max_cores <= CoreKind::ALL.len(),
+        "degenerate core-count bounds"
+    );
+    assert!(
+        !cfg.freqs_mhz.is_empty() && !cfg.frame_rates.is_empty(),
+        "empty candidate lists"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0fe_5ce0_5ce0_c0fe);
+
+    let freq = cfg.freqs_mhz[rng.gen_range(0..cfg.freqs_mhz.len())];
+    let fps = cfg.frame_rates[rng.gen_range(0..cfg.frame_rates.len())];
+    let n_cores = rng.gen_range(cfg.min_cores..cfg.max_cores + 1);
+
+    // Draw distinct kinds via a seeded Fisher-Yates over the full universe.
+    let mut kinds = CoreKind::ALL.to_vec();
+    for i in (1..kinds.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        kinds.swap(i, j);
+    }
+    kinds.truncate(n_cores);
+    // Deterministic ordering independent of the shuffle path taken.
+    kinds.sort();
+
+    let mut cores: Vec<CoreSpec> = kinds
+        .iter()
+        .map(|&kind| CoreSpec::new(kind, random_dmas(kind, &mut rng)))
+        .collect();
+
+    // Scale rated demand down to the configured envelope so fuzz scenarios
+    // stay in the interesting (feasible-but-contended) regime.
+    let offered: f64 = cores.iter().map(CoreSpec::mean_demand_bytes_per_s).sum();
+    let cap = cfg.max_offered_gbs * 1e9;
+    if offered > cap {
+        let scale = cap / offered;
+        for core in &mut cores {
+            for dma in &mut core.dmas {
+                scale_traffic(&mut dma.traffic, scale);
+            }
+        }
+    }
+
+    Scenario::new(
+        format!("gen-{seed:016x}"),
+        format!(
+            "generated: {} cores at {freq} MHz, {fps:.0} fps, seed {seed:#x}",
+            cores.len()
+        ),
+        MegaHertz::new(freq),
+        cores,
+    )
+    .with_frame_period_ns(1e9 / fps)
+    .with_seed(seed)
+}
+
+fn scale_traffic(traffic: &mut TrafficSpec, scale: f64) {
+    match traffic {
+        TrafficSpec::Burst { bytes_per_s }
+        | TrafficSpec::Constant { bytes_per_s }
+        | TrafficSpec::Poisson { bytes_per_s } => *bytes_per_s *= scale,
+        TrafficSpec::Batch { period_ns, .. } => *period_ns /= scale,
+        TrafficSpec::Elastic => {}
+    }
+}
+
+/// A plausible outstanding-transaction window for a given rate.
+fn window_for(mb_s: f64) -> usize {
+    ((mb_s / 50.0) as usize).clamp(2, 48)
+}
+
+/// Draws the DMA set for one core kind, honouring the meter/traffic
+/// pairing rules the sim layer enforces at lowering time.
+fn random_dmas(kind: CoreKind, rng: &mut StdRng) -> Vec<DmaSpec> {
+    let nm = |suffix: &str| format!("{}-{suffix}", kind.name().to_lowercase().replace(' ', "-"));
+    match kind {
+        // Bursty frame-oriented media engines: read + optional write-back.
+        CoreKind::Gpu
+        | CoreKind::ImageProcessor
+        | CoreKind::VideoCodec
+        | CoreKind::Rotator
+        | CoreKind::Jpeg => {
+            let rd = rng.gen_range(200.0..1600.0);
+            let mut dmas = vec![DmaSpec::new(
+                nm("rd"),
+                MemOp::Read,
+                burst_mb(rd),
+                seq_mib(rng.gen_range(8u64..65)),
+                frame_rate(),
+                window_for(rd),
+            )];
+            if rng.gen_bool(0.7) {
+                let wr = rng.gen_range(150.0..900.0);
+                let pattern = if rng.gen_bool(0.25) {
+                    // Row-buffer-adversarial writes à la the rotator.
+                    strided_mib(rng.gen_range(8u64..33), 64)
+                } else {
+                    seq_mib(rng.gen_range(8u64..33))
+                };
+                dmas.push(DmaSpec::new(
+                    nm("wr"),
+                    MemOp::Write,
+                    burst_mb(wr),
+                    pattern,
+                    frame_rate(),
+                    window_for(wr),
+                ));
+            }
+            dmas
+        }
+        // Staging-buffer sources/sinks: constant rate + occupancy meter.
+        CoreKind::Camera => {
+            let rate = rng.gen_range(300.0..1000.0);
+            vec![DmaSpec::new(
+                nm("wr"),
+                MemOp::Write,
+                constant_mb(rate),
+                seq_mib(rng.gen_range(16u64..65)),
+                occupancy_fill_kib(1 << rng.gen_range(8u64..11)), // 256 KiB..1 MiB
+                window_for(rate),
+            )]
+        }
+        CoreKind::Display => {
+            let rate = rng.gen_range(800.0..1700.0);
+            vec![DmaSpec::new(
+                nm("rd"),
+                MemOp::Read,
+                constant_mb(rate),
+                seq_mib(rng.gen_range(16u64..65)),
+                occupancy_drain_kib(1 << rng.gen_range(9u64..12)), // 512 KiB..2 MiB
+                window_for(rate),
+            )]
+        }
+        // Latency-bounded random-access engines.
+        CoreKind::Dsp | CoreKind::Audio => {
+            let rate = if kind == CoreKind::Dsp {
+                rng.gen_range(100.0..500.0)
+            } else {
+                rng.gen_range(4.0..24.0)
+            };
+            vec![DmaSpec::new(
+                nm("rd"),
+                MemOp::Read,
+                poisson_mb(rate),
+                random_mib(rng.gen_range(4u64..129)),
+                latency_ns(rng.gen_range(250.0..900.0), 0.05),
+                window_for(rate).min(8),
+            )]
+        }
+        // Periodic work units with deadlines.
+        CoreKind::Gps | CoreKind::Modem => {
+            let unit_kib = 1 << rng.gen_range(7u64..11); // 128 KiB..1 MiB
+            let period_ms = rng.gen_range(2.0f64..8.0);
+            let deadline_frac = rng.gen_range(0.3f64..0.7);
+            let op = if kind == CoreKind::Gps {
+                MemOp::Read
+            } else {
+                MemOp::Write
+            };
+            vec![DmaSpec::new(
+                nm("batch"),
+                op,
+                batch_kib(unit_kib, period_ms * 1e6, period_ms * deadline_frac * 1e6),
+                seq_mib(8),
+                work_unit(),
+                4,
+            )]
+        }
+        // Throughput-metered streams.
+        CoreKind::WiFi | CoreKind::Usb => {
+            let rate = rng.gen_range(100.0..450.0);
+            let op = if kind == CoreKind::WiFi {
+                MemOp::Write
+            } else {
+                MemOp::Read
+            };
+            vec![DmaSpec::new(
+                nm("stream"),
+                op,
+                constant_mb(rate),
+                seq_mib(rng.gen_range(8u64..17)),
+                bandwidth(0.9, 2.0e5),
+                window_for(rate),
+            )]
+        }
+        // Best-effort CPU: rated Poisson mix, sometimes fully elastic.
+        CoreKind::Cpu => {
+            if rng.gen_bool(0.3) {
+                vec![DmaSpec::new(
+                    nm("elastic"),
+                    MemOp::Read,
+                    elastic(),
+                    seq_mib(128),
+                    best_effort(),
+                    48,
+                )]
+            } else {
+                let rd = rng.gen_range(1500.0..5000.0);
+                let wr = rng.gen_range(800.0..2600.0);
+                vec![
+                    DmaSpec::new(
+                        nm("rd"),
+                        MemOp::Read,
+                        poisson_mb(rd),
+                        seq_mib(128),
+                        best_effort(),
+                        window_for(rd),
+                    ),
+                    DmaSpec::new(
+                        nm("wr"),
+                        MemOp::Write,
+                        poisson_mb(wr),
+                        random_mib(rng.gen_range(32u64..129)),
+                        best_effort(),
+                        window_for(wr),
+                    ),
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let a = random_scenario(seed);
+            let b = random_scenario(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // Not a hard guarantee, but over four seeds at least one pair must
+        // differ unless the generator is broken.
+        let scenarios: Vec<_> = (0u64..4).map(random_scenario).collect();
+        assert!(
+            scenarios.windows(2).any(|w| w[0].cores != w[1].cores),
+            "four consecutive seeds produced identical workloads"
+        );
+    }
+
+    #[test]
+    fn generated_scenarios_respect_bounds_and_build() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0u64..24 {
+            let s = random_scenario(seed);
+            assert!(s.cores.len() >= cfg.min_cores && s.cores.len() <= cfg.max_cores);
+            assert!(
+                s.offered_gbs() <= cfg.max_offered_gbs * 1.001,
+                "seed {seed}: {} GB/s over cap",
+                s.offered_gbs()
+            );
+            // Distinct kinds only.
+            let mut kinds: Vec<_> = s.cores.iter().map(|c| c.kind).collect();
+            kinds.dedup();
+            assert_eq!(kinds.len(), s.cores.len(), "seed {seed}: duplicate kind");
+            // The decisive check: the sim layer accepts the lowering.
+            s.config().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_scenario_runs() {
+        let report = random_scenario(7).run_for_ms(0.1).unwrap();
+        assert!(report.mc.total_completed() > 0);
+    }
+}

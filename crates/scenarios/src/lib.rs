@@ -1,0 +1,57 @@
+//! # sara-scenarios
+//!
+//! A workload layer above the SARA simulation stack: declarative
+//! [`Scenario`]s, a catalog of built-in allocation problems beyond the
+//! paper's camcorder, a seeded random scenario generator, and a
+//! multi-threaded batch harness that crosses scenarios with policies and
+//! frequencies.
+//!
+//! The paper evaluates self-aware allocation on exactly one workload
+//! (Fig. 2's camcorder). This crate decouples *what runs* from *what it
+//! runs on* — SCALL-style declarative specs over the layered platform
+//! model — so policy questions can be asked across a whole catalog at
+//! once:
+//!
+//! * [`Scenario`] — name + cores + platform knobs, lowered onto
+//!   `SystemConfig` via the sim layer's `ScenarioParams`;
+//! * [`catalog`] — built-ins: the two camcorder cases, an AR headset, an
+//!   automotive ADAS stack (plus a mixed-criticality overload variant),
+//!   smartphone burst multitasking, ML-inference offload, and a
+//!   deliberate DRAM saturation stress;
+//! * [`random_scenario`] — seeded fuzz-style generation from the same
+//!   traffic/pattern/meter vocabulary (same seed → same scenario);
+//! * [`run_matrix`] — scenario × policy × frequency sharded across scoped
+//!   worker threads, aggregated into a ranked [`MatrixSummary`] whose JSON
+//!   is identical no matter the thread count.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use sara_memctrl::PolicyKind;
+//! use sara_scenarios::{catalog, run_matrix, MatrixSpec};
+//!
+//! let scenarios = vec![
+//!     catalog::by_name("ar-headset").unwrap(),
+//!     catalog::by_name("adas").unwrap(),
+//! ];
+//! let spec = MatrixSpec {
+//!     policies: PolicyKind::ALL.to_vec(),
+//!     duration_ms: Some(2.0),
+//!     ..MatrixSpec::default()
+//! };
+//! let summary = run_matrix(&scenarios, &spec)?;
+//! println!("{}", summary.summary_table());
+//! # Ok::<(), sara_types::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+mod generator;
+mod matrix;
+mod scenario;
+
+pub use generator::{random_scenario, random_scenario_with, GeneratorConfig};
+pub use matrix::{run_matrix, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking};
+pub use scenario::Scenario;

@@ -1,0 +1,374 @@
+//! The multi-threaded batch harness: scenario × policy × frequency runs
+//! sharded across scoped worker threads, aggregated into a ranked
+//! comparison summary.
+//!
+//! Each cell of the matrix is one fully deterministic single-threaded
+//! simulation; workers pull cells off a shared atomic counter and write
+//! results into per-cell slots, so the aggregate is byte-identical no
+//! matter how many workers run it (the property
+//! `matrix_deterministic_across_thread_counts` pins down).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sara_memctrl::PolicyKind;
+use sara_sim::{json, SimReport};
+use sara_types::{ConfigError, MegaHertz};
+
+use crate::scenario::Scenario;
+
+/// What to cross with the scenario list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Policies to run every scenario under (must be non-empty).
+    pub policies: Vec<PolicyKind>,
+    /// DRAM frequencies to sweep; empty means "each scenario's own".
+    pub freqs_mhz: Vec<u32>,
+    /// Run length override in ms; `None` uses each scenario's nominal
+    /// duration.
+    pub duration_ms: Option<f64>,
+    /// Worker threads (0 and 1 both mean serial; capped at the job count).
+    pub threads: usize,
+}
+
+impl Default for MatrixSpec {
+    fn default() -> Self {
+        MatrixSpec {
+            policies: PolicyKind::ALL.to_vec(),
+            freqs_mhz: Vec::new(),
+            duration_ms: None,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// One completed cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Policy this cell ran under.
+    pub policy: PolicyKind,
+    /// DRAM frequency this cell ran at.
+    pub freq: MegaHertz,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+impl MatrixCell {
+    /// Number of cores that missed their targets.
+    pub fn failures(&self) -> usize {
+        self.report.failed_cores().len()
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\":\"{}\",\"policy\":\"{}\",\"freq_mhz\":{},\"report\":{}}}",
+            json::escape(&self.scenario),
+            json::escape(self.policy.name()),
+            self.freq.as_u32(),
+            self.report.to_json()
+        )
+    }
+}
+
+/// Aggregated outcome of a matrix run: all cells in deterministic
+/// (scenario-major) order plus per-scenario policy rankings.
+#[derive(Debug, Clone)]
+pub struct MatrixSummary {
+    /// All cells, ordered scenario × policy × frequency as submitted.
+    pub cells: Vec<MatrixCell>,
+    /// Per-scenario ranking of cell indices, best first.
+    pub rankings: Vec<ScenarioRanking>,
+}
+
+/// Ranked cells of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioRanking {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Indices into [`MatrixSummary::cells`], best candidate first.
+    ///
+    /// Ordering: all targets met beats not; fewer failed cores beats more;
+    /// then higher delivered bandwidth; submission order breaks exact ties.
+    pub ranked: Vec<usize>,
+}
+
+impl MatrixSummary {
+    /// The winning cell for a scenario, if it ran.
+    pub fn best(&self, scenario: &str) -> Option<&MatrixCell> {
+        self.rankings
+            .iter()
+            .find(|r| r.scenario == scenario)
+            .and_then(|r| r.ranked.first())
+            .map(|&i| &self.cells[i])
+    }
+
+    /// A human-readable ranked comparison table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        for ranking in &self.rankings {
+            out.push_str(&format!("=== {} ===\n", ranking.scenario));
+            out.push_str(&format!(
+                "{:<6} {:<10} {:>6} {:>8} {:>9} {:>10}\n",
+                "rank", "policy", "MHz", "GB/s", "row-hit%", "failures"
+            ));
+            for (rank, &i) in ranking.ranked.iter().enumerate() {
+                let c = &self.cells[i];
+                out.push_str(&format!(
+                    "{:<6} {:<10} {:>6} {:>8.2} {:>9.1} {:>10}\n",
+                    rank + 1,
+                    c.policy.name(),
+                    c.freq.as_u32(),
+                    c.report.bandwidth_gbs,
+                    c.report.row_hit_rate * 100.0,
+                    c.failures()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the whole summary (cells + rankings) as one JSON object.
+    ///
+    /// Deterministic for a given matrix regardless of worker-thread count.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(MatrixCell::to_json).collect();
+        let rankings: Vec<String> = self
+            .rankings
+            .iter()
+            .map(|r| {
+                let idxs: Vec<String> = r.ranked.iter().map(|i| i.to_string()).collect();
+                format!(
+                    "{{\"scenario\":\"{}\",\"ranked\":[{}]}}",
+                    json::escape(&r.scenario),
+                    idxs.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"cells\":[{}],\"rankings\":[{}]}}",
+            cells.join(","),
+            rankings.join(",")
+        )
+    }
+
+    /// Writes [`MatrixSummary::to_json`] (plus a trailing newline) to a
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn to_json_writer<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "{}", self.to_json())
+    }
+}
+
+/// One unit of work: indices into the submitted matrix.
+#[derive(Debug, Clone)]
+struct Job {
+    scenario: usize,
+    policy: PolicyKind,
+    freq: MegaHertz,
+    duration_ms: f64,
+}
+
+/// Runs every scenario under every policy (× every frequency override),
+/// sharding cells across `spec.threads` scoped worker threads.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of the earliest failing cell (in submission
+/// order), or an error for an empty matrix.
+pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSummary, ConfigError> {
+    if scenarios.is_empty() || spec.policies.is_empty() {
+        return Err(ConfigError::new("empty scenario matrix"));
+    }
+    let mut jobs = Vec::new();
+    for (si, s) in scenarios.iter().enumerate() {
+        for &policy in &spec.policies {
+            let freqs: Vec<MegaHertz> = if spec.freqs_mhz.is_empty() {
+                vec![s.freq]
+            } else {
+                spec.freqs_mhz.iter().map(|&m| MegaHertz::new(m)).collect()
+            };
+            for freq in freqs {
+                jobs.push(Job {
+                    scenario: si,
+                    policy,
+                    freq,
+                    duration_ms: spec.duration_ms.unwrap_or(s.duration_ms),
+                });
+            }
+        }
+    }
+
+    let workers = spec.threads.max(1).min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimReport, ConfigError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    let run_one = |job: &Job| -> Result<SimReport, ConfigError> {
+        let s = &scenarios[job.scenario];
+        s.clone()
+            .with_policy(job.policy)
+            .with_freq(job.freq)
+            .run_for_ms(job.duration_ms)
+    };
+
+    if workers <= 1 {
+        for (job, slot) in jobs.iter().zip(&slots) {
+            *slot.lock().expect("slot poisoned") = Some(run_one(job));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let result = run_one(&jobs[i]);
+                    *slots[i].lock().expect("slot poisoned") = Some(result);
+                });
+            }
+        });
+    }
+
+    // Collect in submission order; surface the earliest error.
+    let mut cells = Vec::with_capacity(jobs.len());
+    for (job, slot) in jobs.iter().zip(slots) {
+        let report = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("worker left a cell unfilled")?;
+        cells.push(MatrixCell {
+            scenario: scenarios[job.scenario].name.clone(),
+            policy: job.policy,
+            freq: job.freq,
+            report,
+        });
+    }
+
+    // Rank each scenario's cells, matching by submitted scenario index
+    // (not name) so two entries that happen to share a name — e.g. the
+    // same catalog scenario at two frequencies — keep separate rankings.
+    let mut rankings = Vec::with_capacity(scenarios.len());
+    for (si, s) in scenarios.iter().enumerate() {
+        let mut idxs: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.scenario == si)
+            .map(|(i, _)| i)
+            .collect();
+        idxs.sort_by(|&a, &b| {
+            let (ca, cb) = (&cells[a], &cells[b]);
+            cb.report
+                .all_targets_met()
+                .cmp(&ca.report.all_targets_met())
+                .then(ca.failures().cmp(&cb.failures()))
+                .then(cb.report.bandwidth_gbs.total_cmp(&ca.report.bandwidth_gbs))
+                .then(a.cmp(&b))
+        });
+        rankings.push(ScenarioRanking {
+            scenario: s.name.clone(),
+            ranked: idxs,
+        });
+    }
+
+    Ok(MatrixSummary { cells, rankings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn small_matrix(threads: usize) -> MatrixSummary {
+        let scenarios = vec![
+            catalog::by_name("camcorder-b").unwrap(),
+            catalog::by_name("ar-headset").unwrap(),
+        ];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Priority, PolicyKind::FrFcfs],
+            freqs_mhz: Vec::new(),
+            duration_ms: Some(0.2),
+            threads,
+        };
+        run_matrix(&scenarios, &spec).unwrap()
+    }
+
+    #[test]
+    fn matrix_covers_the_cross_product() {
+        let summary = small_matrix(2);
+        assert_eq!(summary.cells.len(), 6); // 2 scenarios × 3 policies
+        assert_eq!(summary.rankings.len(), 2);
+        for r in &summary.rankings {
+            assert_eq!(r.ranked.len(), 3);
+        }
+        assert!(summary.best("camcorder-b").is_some());
+        assert!(summary.best("nonexistent").is_none());
+        let table = summary.summary_table();
+        assert!(table.contains("=== ar-headset ==="));
+    }
+
+    #[test]
+    fn matrix_deterministic_across_thread_counts() {
+        let one = small_matrix(1).to_json();
+        let two = small_matrix(2).to_json();
+        let eight = small_matrix(8).to_json();
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(run_matrix(&[], &MatrixSpec::default()).is_err());
+        let s = vec![catalog::by_name("camcorder-b").unwrap()];
+        let spec = MatrixSpec {
+            policies: Vec::new(),
+            ..MatrixSpec::default()
+        };
+        assert!(run_matrix(&s, &spec).is_err());
+    }
+
+    #[test]
+    fn duplicate_scenario_names_keep_separate_rankings() {
+        use sara_types::MegaHertz;
+        // Same catalog scenario submitted twice at different frequencies:
+        // the shared name must not merge their rankings.
+        let base = catalog::by_name("camcorder-b").unwrap();
+        let scenarios = vec![base.clone().with_freq(MegaHertz::new(1333)), base];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+            freqs_mhz: Vec::new(),
+            duration_ms: Some(0.1),
+            threads: 2,
+        };
+        let summary = run_matrix(&scenarios, &spec).unwrap();
+        assert_eq!(summary.cells.len(), 4);
+        assert_eq!(summary.rankings.len(), 2);
+        for (ri, r) in summary.rankings.iter().enumerate() {
+            assert_eq!(r.ranked.len(), 2, "ranking {ri} merged cells");
+            let expected_freq = scenarios[ri].freq;
+            for &i in &r.ranked {
+                assert_eq!(summary.cells[i].freq, expected_freq);
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_override_expands_cells() {
+        let s = vec![catalog::by_name("camcorder-b").unwrap()];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Priority],
+            freqs_mhz: vec![1333, 1700],
+            duration_ms: Some(0.1),
+            threads: 2,
+        };
+        let summary = run_matrix(&s, &spec).unwrap();
+        assert_eq!(summary.cells.len(), 2);
+        assert_eq!(summary.cells[0].freq.as_u32(), 1333);
+        assert_eq!(summary.cells[1].freq.as_u32(), 1700);
+    }
+}

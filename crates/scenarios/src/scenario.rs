@@ -1,0 +1,208 @@
+//! The declarative [`Scenario`] type: one named workload × platform
+//! parameterisation, ready to lower onto a [`SystemConfig`].
+
+use sara_memctrl::PolicyKind;
+use sara_sim::{ScenarioParams, SimReport, Simulation, SystemConfig};
+use sara_types::{ConfigError, MegaHertz};
+use sara_workloads::{CoreSpec, FRAMES_PER_SECOND};
+
+/// One self-contained allocation problem: a named set of core specs plus
+/// the platform knobs a run varies (DRAM frequency, scheduling policy,
+/// frame period, duration, seed).
+///
+/// Scenarios are plain data — SCALL-style declarative specs that the sim
+/// layer lowers via [`ScenarioParams`] / [`SystemConfig::from_scenario`].
+/// The batch harness ([`crate::run_matrix`]) crosses them with policy and
+/// frequency overrides without touching the workload definition.
+///
+/// # Examples
+///
+/// ```
+/// use sara_scenarios::catalog;
+///
+/// let s = catalog::by_name("ar-headset").unwrap();
+/// let report = s.run_for_ms(0.2)?;
+/// assert_eq!(report.policy, s.policy);
+/// # Ok::<(), sara_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Registry key, kebab-case (e.g. `"ar-headset"`).
+    pub name: String,
+    /// One-line description of what the scenario stresses.
+    pub description: String,
+    /// DRAM I/O frequency (also the simulation beat clock).
+    pub freq: MegaHertz,
+    /// Default memory scheduling policy (matrix runs override it).
+    pub policy: PolicyKind,
+    /// The workload.
+    pub cores: Vec<CoreSpec>,
+    /// Frame period in nanoseconds (drives `Burst` traffic and frame-rate
+    /// meters).
+    pub frame_period_ns: f64,
+    /// Nominal run length in simulated milliseconds.
+    pub duration_ms: f64,
+    /// Master seed for all stochastic generators.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the catalog defaults: SARA's Policy 1, the
+    /// camcorder's 30 fps frame period, a 5 ms nominal window and the
+    /// paper seed.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        freq: MegaHertz,
+        cores: Vec<CoreSpec>,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            description: description.into(),
+            freq,
+            policy: PolicyKind::Priority,
+            cores,
+            frame_period_ns: 1e9 / FRAMES_PER_SECOND,
+            duration_ms: 5.0,
+            seed: 0x5a5a_0001,
+        }
+    }
+
+    /// Replaces the default policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the DRAM frequency.
+    #[must_use]
+    pub fn with_freq(mut self, freq: MegaHertz) -> Self {
+        self.freq = freq;
+        self
+    }
+
+    /// Replaces the frame period (e.g. `1e9 / 90.0` for a 90 fps headset).
+    #[must_use]
+    pub fn with_frame_period_ns(mut self, ns: f64) -> Self {
+        self.frame_period_ns = ns;
+        self
+    }
+
+    /// Replaces the nominal run length.
+    #[must_use]
+    pub fn with_duration_ms(mut self, ms: f64) -> Self {
+        self.duration_ms = ms;
+        self
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Lowers the scenario onto the sim layer's parameter type.
+    pub fn params(&self) -> ScenarioParams {
+        ScenarioParams::new(self.freq, self.policy, self.cores.clone())
+            .frame_period_ns(self.frame_period_ns)
+            .seed(self.seed)
+    }
+
+    /// Builds a full system configuration with default substrates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent spec (e.g. a meter/traffic
+    /// mismatch or address regions exceeding DRAM capacity).
+    pub fn config(&self) -> Result<SystemConfig, ConfigError> {
+        SystemConfig::from_scenario(self.params())
+    }
+
+    /// Runs the scenario for its nominal duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent spec.
+    pub fn run(&self) -> Result<SimReport, ConfigError> {
+        self.run_for_ms(self.duration_ms)
+    }
+
+    /// Runs the scenario for an explicit duration in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent spec.
+    pub fn run_for_ms(&self, ms: f64) -> Result<SimReport, ConfigError> {
+        Ok(Simulation::new(self.config()?)?.run_for_ms(ms))
+    }
+
+    /// Total offered load of all rated (non-elastic) traffic, GB/s.
+    pub fn offered_gbs(&self) -> f64 {
+        self.cores
+            .iter()
+            .map(CoreSpec::mean_demand_bytes_per_s)
+            .sum::<f64>()
+            / 1e9
+    }
+
+    /// Number of DMA engines across all cores.
+    pub fn dma_count(&self) -> usize {
+        self.cores.iter().map(|c| c.dmas.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_types::{CoreKind, MemOp};
+    use sara_workloads::builders::{best_effort, elastic, seq_mib};
+    use sara_workloads::DmaSpec;
+
+    fn tiny() -> Scenario {
+        Scenario::new(
+            "tiny",
+            "one elastic CPU",
+            MegaHertz::new(1600),
+            vec![CoreSpec::new(
+                CoreKind::Cpu,
+                vec![DmaSpec::new(
+                    "cpu",
+                    MemOp::Read,
+                    elastic(),
+                    seq_mib(8),
+                    best_effort(),
+                    8,
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let s = tiny()
+            .with_policy(PolicyKind::Fcfs)
+            .with_freq(MegaHertz::new(1333))
+            .with_frame_period_ns(1e9 / 60.0)
+            .with_duration_ms(2.0)
+            .with_seed(9);
+        assert_eq!(s.policy, PolicyKind::Fcfs);
+        assert_eq!(s.freq.as_u32(), 1333);
+        assert_eq!(s.seed, 9);
+        let cfg = s.config().unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.policy, PolicyKind::Fcfs);
+        let expected = 1333.0e6 / 60.0;
+        assert!((cfg.frame_period_cycles as f64 - expected).abs() < 2.0);
+    }
+
+    #[test]
+    fn elastic_only_scenario_offers_nothing_but_runs() {
+        let s = tiny();
+        assert_eq!(s.offered_gbs(), 0.0);
+        assert_eq!(s.dma_count(), 1);
+        let report = s.run_for_ms(0.05).unwrap();
+        assert!(report.mc.total_completed() > 0);
+    }
+}

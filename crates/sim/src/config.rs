@@ -21,6 +21,56 @@ pub fn arbiter_for(policy: PolicyKind) -> ArbiterKind {
     }
 }
 
+/// The workload-facing slice of a [`SystemConfig`]: everything a scenario
+/// catalog needs to vary per run, with the substrate details (NoC, MC,
+/// DRAM geometry) derived from policy and frequency.
+///
+/// This is the generic entry point the `sara-scenarios` crate lowers its
+/// declarative `Scenario` type onto; the camcorder constructor is one
+/// instantiation of it.
+#[derive(Debug, Clone)]
+pub struct ScenarioParams {
+    /// DRAM I/O frequency (also the simulation beat clock).
+    pub freq: MegaHertz,
+    /// Memory scheduling policy.
+    pub policy: PolicyKind,
+    /// The workload.
+    pub cores: Vec<CoreSpec>,
+    /// Frame period in nanoseconds (drives `Burst` traffic and frame-rate
+    /// meters).
+    pub frame_period_ns: f64,
+    /// Master seed for all stochastic generators.
+    pub seed: u64,
+}
+
+impl ScenarioParams {
+    /// Parameters with the camcorder defaults: 30 fps frame period and the
+    /// seed the paper runs use.
+    pub fn new(freq: MegaHertz, policy: PolicyKind, cores: Vec<CoreSpec>) -> Self {
+        ScenarioParams {
+            freq,
+            policy,
+            cores,
+            frame_period_ns: 1e9 / FRAMES_PER_SECOND,
+            seed: 0x5a5a_0001,
+        }
+    }
+
+    /// Replaces the frame period.
+    #[must_use]
+    pub fn frame_period_ns(mut self, ns: f64) -> Self {
+        self.frame_period_ns = ns;
+        self
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Complete configuration of one simulation run.
 ///
 /// # Examples
@@ -82,7 +132,8 @@ impl SystemConfig {
         Self::custom(case.dram_freq(), policy, case.cores())
     }
 
-    /// A configuration with default substrates for an arbitrary workload.
+    /// A configuration with default substrates for an arbitrary workload at
+    /// the camcorder defaults (30 fps frame period, paper seed).
     ///
     /// # Errors
     ///
@@ -92,21 +143,40 @@ impl SystemConfig {
         policy: PolicyKind,
         cores: Vec<CoreSpec>,
     ) -> Result<Self, ConfigError> {
-        let clock = Clock::new(freq);
-        let frame_period_cycles = clock.cycles_from_ns(1e9 / FRAMES_PER_SECOND);
+        Self::from_scenario(ScenarioParams::new(freq, policy, cores))
+    }
+
+    /// The generic scenario entry point: a configuration with default
+    /// substrates (Table 1 DRAM at the requested frequency, 42-entry
+    /// controller, matching NoC discipline) for an arbitrary workload,
+    /// frame period and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the substrate configuration is invalid or
+    /// the frame period is not positive.
+    pub fn from_scenario(params: ScenarioParams) -> Result<Self, ConfigError> {
+        if !params.frame_period_ns.is_finite() || params.frame_period_ns <= 0.0 {
+            return Err(ConfigError::new(format!(
+                "frame period must be positive, got {} ns",
+                params.frame_period_ns
+            )));
+        }
+        let clock = Clock::new(params.freq);
+        let frame_period_cycles = clock.cycles_from_ns(params.frame_period_ns).max(1);
         Ok(SystemConfig {
-            freq,
-            policy,
-            cores,
+            freq: params.freq,
+            policy: params.policy,
+            cores: params.cores,
             frame_period_cycles,
-            noc: NocConfig::new(arbiter_for(policy)),
-            mc: McConfig::builder(policy).build()?,
-            dram: DramConfig::table1(freq),
+            noc: NocConfig::new(arbiter_for(params.policy)),
+            mc: McConfig::builder(params.policy).build()?,
+            dram: DramConfig::table1(params.freq),
             interleave: Interleave::default(),
             sample_period: clock.cycles_from_ns(10_000.0), // 10 µs
             warmup_cycles: clock.cycles_from_ns(1_000_000.0), // 1 ms
             read_response_latency: 10,
-            seed: 0x5a5a_0001,
+            seed: params.seed,
             priority_bits: PriorityBits::PAPER,
             trace_capacity: 0,
         })
@@ -142,6 +212,29 @@ mod tests {
         assert_eq!(b.freq.as_u32(), 1700);
         assert_eq!(b.cores.len(), 10);
         assert!(b.frame_period_cycles < a.frame_period_cycles);
+    }
+
+    #[test]
+    fn from_scenario_honours_period_and_seed() {
+        let params = ScenarioParams::new(
+            MegaHertz::new(1600),
+            PolicyKind::Priority,
+            TestCase::B.cores(),
+        )
+        .frame_period_ns(1e9 / 90.0) // 90 fps
+        .seed(42);
+        let cfg = SystemConfig::from_scenario(params).unwrap();
+        assert_eq!(cfg.seed, 42);
+        let expected = 1600.0e6 / 90.0;
+        assert!((cfg.frame_period_cycles as f64 - expected).abs() < 2.0);
+
+        let bad = ScenarioParams::new(
+            MegaHertz::new(1600),
+            PolicyKind::Priority,
+            TestCase::B.cores(),
+        )
+        .frame_period_ns(0.0);
+        assert!(SystemConfig::from_scenario(bad).is_err());
     }
 
     #[test]

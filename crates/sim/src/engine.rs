@@ -21,9 +21,7 @@ use std::collections::BinaryHeap;
 use sara_dram::Dram;
 use sara_memctrl::{MemoryController, TickResult};
 use sara_noc::Noc;
-use sara_types::{
-    Clock, ConfigError, CoreClass, Cycle, DmaId, MemOp, Transaction, TransactionId,
-};
+use sara_types::{Clock, ConfigError, CoreClass, Cycle, DmaId, MemOp, Transaction, TransactionId};
 
 use crate::config::SystemConfig;
 use crate::report::{ReportBuilder, SimReport};
@@ -303,8 +301,8 @@ impl Simulation {
                 Err(t) => Err(t),
             }
         });
-        for ch in 0..self.channels {
-            if accepted[ch] {
+        for (ch, &hit) in accepted.iter().enumerate().take(self.channels) {
+            if hit {
                 self.schedule_mc(ch, now);
             }
         }

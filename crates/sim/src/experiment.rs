@@ -4,10 +4,22 @@ use sara_memctrl::PolicyKind;
 use sara_types::{ConfigError, CoreKind, MegaHertz};
 use sara_workloads::TestCase;
 
-use crate::config::SystemConfig;
+use crate::config::{ScenarioParams, SystemConfig};
 use crate::engine::Simulation;
 use crate::report::SimReport;
 use crate::sampling::MAX_LEVELS;
+
+/// Runs an arbitrary scenario parameterisation to completion — the generic
+/// runner every canned experiment (and the `sara-scenarios` batch harness)
+/// funnels through.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on inconsistent configuration.
+pub fn run_params(params: ScenarioParams, duration_ms: f64) -> Result<SimReport, ConfigError> {
+    let cfg = SystemConfig::from_scenario(params)?;
+    Ok(Simulation::new(cfg)?.run_for_ms(duration_ms))
+}
 
 /// Runs the camcorder workload for one policy (Figs 5/6/9 machinery).
 ///
@@ -19,8 +31,10 @@ pub fn run_camcorder(
     policy: PolicyKind,
     duration_ms: f64,
 ) -> Result<SimReport, ConfigError> {
-    let cfg = SystemConfig::camcorder(case, policy)?;
-    Ok(Simulation::new(cfg)?.run_for_ms(duration_ms))
+    run_params(
+        ScenarioParams::new(case.dram_freq(), policy, case.cores()),
+        duration_ms,
+    )
 }
 
 /// Runs the camcorder workload under several policies (Figs 5, 6, 8).
@@ -68,9 +82,8 @@ pub fn frequency_sweep(
     let mut out = Vec::with_capacity(freqs_mhz.len());
     for &mhz in freqs_mhz {
         let freq = MegaHertz::new(mhz);
-        let cfg = SystemConfig::custom(freq, PolicyKind::Priority, TestCase::A.cores())?;
-        let mut sim = Simulation::new(cfg)?;
-        let report = sim.run_for_ms(duration_ms);
+        let params = ScenarioParams::new(freq, PolicyKind::Priority, TestCase::A.cores());
+        let report = run_params(params, duration_ms)?;
         let core = report
             .core(observed)
             .ok_or_else(|| ConfigError::new(format!("core {observed} not in workload")))?;
@@ -120,9 +133,8 @@ pub fn dvfs_governor(
     let mut points = Vec::with_capacity(freqs_mhz.len());
     for &mhz in freqs_mhz {
         let freq = MegaHertz::new(mhz);
-        let cfg = SystemConfig::custom(freq, PolicyKind::Priority, case.cores())?;
-        let mut sim = Simulation::new(cfg)?;
-        let report = sim.run_for_ms(duration_ms);
+        let params = ScenarioParams::new(freq, PolicyKind::Priority, case.cores());
+        let report = run_params(params, duration_ms)?;
         let energy = sara_dram::estimate_energy(
             &report.dram.total,
             &sara_dram::EnergyParams::lpddr4(),

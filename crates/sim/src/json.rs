@@ -1,0 +1,143 @@
+//! Machine-comparable JSON output for simulation reports.
+//!
+//! The workspace builds with no network and no registry cache, so `serde`
+//! is not available; like the in-tree `rand`/`criterion` stand-ins
+//! (`crates/compat/*`), serialization is hand-rolled here. The emitted
+//! format is deliberately boring: stable key order, `null` for non-finite
+//! floats, no whitespace dependence on input — byte-identical output for
+//! identical reports, which is what batch harnesses diff across PRs.
+
+use std::fmt::Write as _;
+use std::io::Write;
+
+use crate::report::{CoreReport, SimReport};
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value: shortest round-trip representation,
+/// `null` for NaN/±infinity (which raw JSON cannot carry).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn core_json(c: &CoreReport) -> String {
+    let residency: Vec<String> = c.priority_residency.iter().map(|&v| num(v)).collect();
+    format!(
+        concat!(
+            "{{\"core\":\"{}\",\"min_npi\":{},\"mean_npi\":{},\"final_npi\":{},",
+            "\"failed\":{},\"completed\":{},\"bytes\":{},\"mean_latency_cycles\":{},",
+            "\"priority_residency\":[{}]}}"
+        ),
+        escape(c.kind.name()),
+        num(c.min_npi),
+        num(c.mean_npi),
+        num(c.final_npi),
+        c.failed,
+        c.completed,
+        c.bytes,
+        num(c.mean_latency),
+        residency.join(",")
+    )
+}
+
+impl SimReport {
+    /// Serializes the report as a single JSON object.
+    ///
+    /// Covers everything batch comparisons need — policy, frequency,
+    /// elapsed window, system bandwidth and row-hit rate, DRAM/controller
+    /// totals, and per-core QoS verdicts. The per-sample NPI/bandwidth
+    /// series are omitted (they are plot inputs, exported via the CSV
+    /// writers).
+    pub fn to_json(&self) -> String {
+        let cores: Vec<String> = self.cores.iter().map(core_json).collect();
+        format!(
+            concat!(
+                "{{\"policy\":\"{}\",\"freq_mhz\":{},\"elapsed_ms\":{},",
+                "\"elapsed_cycles\":{},\"bandwidth_gbs\":{},\"row_hit_rate\":{},",
+                "\"all_targets_met\":{},\"dram_bytes\":{},\"mc_completed\":{},",
+                "\"noc_forwarded\":{},\"cores\":[{}]}}"
+            ),
+            escape(self.policy.name()),
+            self.freq.as_u32(),
+            num(self.elapsed_ms),
+            self.elapsed_cycles,
+            num(self.bandwidth_gbs),
+            num(self.row_hit_rate),
+            self.all_targets_met(),
+            self.dram.total.total_bytes(),
+            self.mc.total_completed(),
+            self.noc_forwarded,
+            cores.join(",")
+        )
+    }
+
+    /// Writes [`SimReport::to_json`] (plus a trailing newline) to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn to_json_writer<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "{}", self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::run_camcorder;
+    use sara_memctrl::PolicyKind;
+    use sara_workloads::TestCase;
+
+    #[test]
+    fn escapes_and_null_floats() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_balanced() {
+        let a = run_camcorder(TestCase::B, PolicyKind::Fcfs, 0.3).unwrap();
+        let b = run_camcorder(TestCase::B, PolicyKind::Fcfs, 0.3).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+
+        let json = a.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Balanced braces/brackets outside of strings (names contain no
+        // quotes in this workload, so a raw count is a fair check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"policy\":\"FCFS\""));
+        assert!(json.contains("\"cores\":["));
+
+        let mut buf = Vec::new();
+        a.to_json_writer(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), format!("{json}\n"));
+    }
+}

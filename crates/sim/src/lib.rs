@@ -9,11 +9,15 @@
 //!
 //! Entry points:
 //!
-//! * [`SystemConfig`] — one run's clock/policy/workload/substrates,
+//! * [`SystemConfig`] — one run's clock/policy/workload/substrates; build
+//!   arbitrary workloads via [`ScenarioParams`] +
+//!   [`SystemConfig::from_scenario`],
 //! * [`Simulation`] — build with [`Simulation::new`], drive with
 //!   [`Simulation::run_for_ms`], inspect the returned [`SimReport`],
 //! * [`experiment`] — canned runners for the paper's figures (policy
-//!   comparisons, frequency sweeps).
+//!   comparisons, frequency sweeps),
+//! * [`json`] — machine-comparable report serialization
+//!   ([`SimReport::to_json`]).
 //!
 //! # Examples
 //!
@@ -35,12 +39,13 @@
 mod config;
 mod engine;
 pub mod experiment;
+pub mod json;
 mod report;
 mod runtime;
 mod sampling;
 mod trace;
 
-pub use config::{arbiter_for, SystemConfig};
+pub use config::{arbiter_for, ScenarioParams, SystemConfig};
 pub use engine::Simulation;
 pub use report::{CoreReport, SimReport, FAIL_THRESHOLD};
 pub use runtime::{DmaRuntime, BURST_BYTES};

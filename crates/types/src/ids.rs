@@ -74,11 +74,9 @@ impl CoreKind {
             | CoreKind::Jpeg
             | CoreKind::Camera
             | CoreKind::Display => CoreClass::Media,
-            CoreKind::Gps
-            | CoreKind::WiFi
-            | CoreKind::Usb
-            | CoreKind::Modem
-            | CoreKind::Audio => CoreClass::System,
+            CoreKind::Gps | CoreKind::WiFi | CoreKind::Usb | CoreKind::Modem | CoreKind::Audio => {
+                CoreClass::System
+            }
         }
     }
 

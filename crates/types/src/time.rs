@@ -270,37 +270,52 @@ mod tests {
 #[cfg(test)]
 mod properties {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        /// ns → cycles → ns round-trips within one cycle of slack.
-        #[test]
-        fn ns_cycle_roundtrip(mhz in 100u32..4000, ns in 1.0f64..1e9) {
+    /// ns → cycles → ns round-trips within one cycle of slack, for seeded
+    /// random frequencies and durations.
+    #[test]
+    fn ns_cycle_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x71e0_0001);
+        for _ in 0..256 {
+            let mhz = rng.gen_range(100u32..4000);
+            let ns = rng.gen_range(1.0f64..1e9);
             let clk = Clock::new(MegaHertz::new(mhz));
             let cycles = clk.cycles_from_ns(ns);
             let back = clk.ns_from_cycles(cycles);
-            prop_assert!(back + 1e-9 >= ns, "{back} < {ns}");
-            prop_assert!(back - ns <= clk.ns_per_cycle() + 1e-9);
+            assert!(back + 1e-9 >= ns, "{back} < {ns}");
+            assert!(back - ns <= clk.ns_per_cycle() + 1e-9);
         }
+    }
 
-        /// Bandwidth conversions are exact inverses.
-        #[test]
-        fn bandwidth_roundtrip(mhz in 100u32..4000, rate in 1.0f64..1e11) {
+    /// Bandwidth conversions are exact inverses.
+    #[test]
+    fn bandwidth_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x71e0_0002);
+        for _ in 0..256 {
+            let mhz = rng.gen_range(100u32..4000);
+            let rate = rng.gen_range(1.0f64..1e11);
             let clk = Clock::new(MegaHertz::new(mhz));
             let bpc = clk.bytes_per_cycle(rate);
             let back = clk.bytes_per_sec(bpc);
-            prop_assert!((back - rate).abs() < rate * 1e-12 + 1e-9);
+            assert!((back - rate).abs() < rate * 1e-12 + 1e-9);
         }
+    }
 
-        /// Cycle ordering and arithmetic stay consistent.
-        #[test]
-        fn cycle_arithmetic_consistent(a in 0u64..u64::MAX / 4, d in 0u64..1_000_000) {
+    /// Cycle ordering and arithmetic stay consistent.
+    #[test]
+    fn cycle_arithmetic_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x71e0_0003);
+        for _ in 0..256 {
+            let a = rng.gen_range(0u64..u64::MAX / 4);
+            let d = rng.gen_range(0u64..1_000_000);
             let t = Cycle::new(a);
             let later = t + d;
-            prop_assert!(later >= t);
-            prop_assert_eq!(later - t, d);
-            prop_assert_eq!(later.saturating_sub(t), d);
-            prop_assert_eq!(t.saturating_sub(later), 0);
+            assert!(later >= t);
+            assert_eq!(later - t, d);
+            assert_eq!(later.saturating_sub(t), d);
+            assert_eq!(t.saturating_sub(later), 0);
         }
     }
 }

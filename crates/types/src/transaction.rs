@@ -145,7 +145,14 @@ impl fmt::Display for Transaction {
         write!(
             f,
             "{} {} {} {}B @{} {} from {}({})",
-            self.id, self.op, self.addr, self.bytes, self.injected_at, self.priority, self.core, self.dma
+            self.id,
+            self.op,
+            self.addr,
+            self.bytes,
+            self.injected_at,
+            self.priority,
+            self.core,
+            self.dma
         )
     }
 }

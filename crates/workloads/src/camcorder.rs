@@ -16,10 +16,14 @@
 //! probe: whether each core meets its target depends on the policy, and the
 //! delivered total measures how much of the offered load the policy serves.
 
-use sara_core::BufferDirection;
-use sara_types::{units::mb_per_s, CoreKind, MegaHertz, MemOp};
+use sara_types::{CoreKind, MegaHertz, MemOp};
 
-use crate::spec::{CoreSpec, DmaSpec, MeterSpec, PatternSpec, TrafficSpec};
+use crate::builders::{
+    bandwidth, batch_kib, best_effort, burst_mb as burst, constant_mb as constant, frame_rate,
+    latency_ns, occupancy_drain_kib, occupancy_fill_kib, poisson_mb, random_mib, seq_mib as seq,
+    strided_mib, work_unit,
+};
+use crate::spec::{CoreSpec, DmaSpec};
 
 /// The camcorder frame rate (30 fps → 33.3 ms frame period).
 pub const FRAMES_PER_SECOND: f64 = 30.0;
@@ -89,27 +93,6 @@ impl TestCase {
     }
 }
 
-const KIB: u64 = 1024;
-const MIB: u64 = 1024 * 1024;
-
-fn seq(region_mib: u64) -> PatternSpec {
-    PatternSpec::Sequential {
-        region_bytes: region_mib * MIB,
-    }
-}
-
-fn burst(mb_s: f64) -> TrafficSpec {
-    TrafficSpec::Burst {
-        bytes_per_s: mb_per_s(mb_s),
-    }
-}
-
-fn constant(mb_s: f64) -> TrafficSpec {
-    TrafficSpec::Constant {
-        bytes_per_s: mb_per_s(mb_s),
-    }
-}
-
 /// All camcorder cores (case A superset).
 ///
 /// # Examples
@@ -128,38 +111,84 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
         CoreSpec::new(
             CoreKind::Gpu,
             vec![
-                DmaSpec::new("gpu-rd", MemOp::Read, burst(1100.0), seq(64), MeterSpec::FrameRate, 28),
-                DmaSpec::new("gpu-wr", MemOp::Write, burst(550.0), seq(32), MeterSpec::FrameRate, 14),
+                DmaSpec::new(
+                    "gpu-rd",
+                    MemOp::Read,
+                    burst(1100.0),
+                    seq(64),
+                    frame_rate(),
+                    28,
+                ),
+                DmaSpec::new(
+                    "gpu-wr",
+                    MemOp::Write,
+                    burst(550.0),
+                    seq(32),
+                    frame_rate(),
+                    14,
+                ),
             ],
         ),
         CoreSpec::new(
             CoreKind::ImageProcessor,
             vec![
-                DmaSpec::new("imgproc-rd", MemOp::Read, burst(1000.0), seq(64), MeterSpec::FrameRate, 28),
-                DmaSpec::new("imgproc-wr", MemOp::Write, burst(1300.0), seq(64), MeterSpec::FrameRate, 40),
+                DmaSpec::new(
+                    "imgproc-rd",
+                    MemOp::Read,
+                    burst(1000.0),
+                    seq(64),
+                    frame_rate(),
+                    28,
+                ),
+                DmaSpec::new(
+                    "imgproc-wr",
+                    MemOp::Write,
+                    burst(1300.0),
+                    seq(64),
+                    frame_rate(),
+                    40,
+                ),
             ],
         ),
         CoreSpec::new(
             CoreKind::VideoCodec,
             vec![
-                DmaSpec::new("codec-rd", MemOp::Read, burst(1150.0), seq(64), MeterSpec::FrameRate, 28),
-                DmaSpec::new("codec-wr", MemOp::Write, burst(900.0), seq(64), MeterSpec::FrameRate, 22),
+                DmaSpec::new(
+                    "codec-rd",
+                    MemOp::Read,
+                    burst(1150.0),
+                    seq(64),
+                    frame_rate(),
+                    28,
+                ),
+                DmaSpec::new(
+                    "codec-wr",
+                    MemOp::Write,
+                    burst(900.0),
+                    seq(64),
+                    frame_rate(),
+                    22,
+                ),
             ],
         ),
         CoreSpec::new(
             CoreKind::Rotator,
             vec![
-                DmaSpec::new("rotator-rd", MemOp::Read, burst(550.0), seq(32), MeterSpec::FrameRate, 14),
+                DmaSpec::new(
+                    "rotator-rd",
+                    MemOp::Read,
+                    burst(550.0),
+                    seq(32),
+                    frame_rate(),
+                    14,
+                ),
                 // Column-order writes: row-buffer adversarial.
                 DmaSpec::new(
                     "rotator-wr",
                     MemOp::Write,
                     burst(550.0),
-                    PatternSpec::Strided {
-                        region_bytes: 32 * MIB,
-                        stride_bytes: 64 * KIB,
-                    },
-                    MeterSpec::FrameRate,
+                    strided_mib(32, 64),
+                    frame_rate(),
                     14,
                 ),
             ],
@@ -167,8 +196,22 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
         CoreSpec::new(
             CoreKind::Jpeg,
             vec![
-                DmaSpec::new("jpeg-rd", MemOp::Read, burst(300.0), seq(16), MeterSpec::FrameRate, 8),
-                DmaSpec::new("jpeg-wr", MemOp::Write, burst(150.0), seq(8), MeterSpec::FrameRate, 4),
+                DmaSpec::new(
+                    "jpeg-rd",
+                    MemOp::Read,
+                    burst(300.0),
+                    seq(16),
+                    frame_rate(),
+                    8,
+                ),
+                DmaSpec::new(
+                    "jpeg-wr",
+                    MemOp::Write,
+                    burst(150.0),
+                    seq(8),
+                    frame_rate(),
+                    4,
+                ),
             ],
         ),
         // --- constant-rate buffered media cores ----------------------------
@@ -179,10 +222,7 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
                 MemOp::Write,
                 constant(900.0),
                 seq(64),
-                MeterSpec::Occupancy {
-                    direction: BufferDirection::ConstantFill,
-                    capacity_bytes: 256 * KIB,
-                },
+                occupancy_fill_kib(256),
                 8,
             )],
         ),
@@ -193,10 +233,7 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
                 MemOp::Read,
                 constant(1500.0),
                 seq(64),
-                MeterSpec::Occupancy {
-                    direction: BufferDirection::ConstantDrain,
-                    capacity_bytes: 512 * KIB,
-                },
+                occupancy_drain_kib(512),
                 8,
             )],
         ),
@@ -206,16 +243,9 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
             vec![DmaSpec::new(
                 "dsp-rd",
                 MemOp::Read,
-                TrafficSpec::Poisson {
-                    bytes_per_s: mb_per_s(300.0),
-                },
-                PatternSpec::Random {
-                    region_bytes: 64 * MIB,
-                },
-                MeterSpec::Latency {
-                    limit_ns: 350.0,
-                    alpha: 0.05,
-                },
+                poisson_mb(300.0),
+                random_mib(64),
+                latency_ns(350.0, 0.05),
                 4,
             )],
         ),
@@ -224,16 +254,9 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
             vec![DmaSpec::new(
                 "audio-rd",
                 MemOp::Read,
-                TrafficSpec::Poisson {
-                    bytes_per_s: mb_per_s(8.0),
-                },
-                PatternSpec::Random {
-                    region_bytes: 4 * MIB,
-                },
-                MeterSpec::Latency {
-                    limit_ns: 800.0,
-                    alpha: 0.2,
-                },
+                poisson_mb(8.0),
+                random_mib(4),
+                latency_ns(800.0, 0.2),
                 2,
             )],
         ),
@@ -243,13 +266,9 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
             vec![DmaSpec::new(
                 "gps-rd",
                 MemOp::Read,
-                TrafficSpec::Batch {
-                    unit_bytes: 1024 * KIB,
-                    period_ns: 5.0e6,   // 5 ms
-                    deadline_ns: 1.5e6, // 1.5 ms
-                },
+                batch_kib(1024, 5.0e6, 1.5e6), // 1 MiB every 5 ms, due in 1.5 ms
                 seq(8),
-                MeterSpec::WorkUnit,
+                work_unit(),
                 2,
             )],
         ),
@@ -258,13 +277,9 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
             vec![DmaSpec::new(
                 "modem-wr",
                 MemOp::Write,
-                TrafficSpec::Batch {
-                    unit_bytes: 256 * KIB,
-                    period_ns: 4.0e6,   // 4 ms
-                    deadline_ns: 2.5e6, // 2.5 ms
-                },
+                batch_kib(256, 4.0e6, 2.5e6), // 256 KiB every 4 ms, due in 2.5 ms
                 seq(8),
-                MeterSpec::WorkUnit,
+                work_unit(),
                 4,
             )],
         ),
@@ -276,10 +291,7 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
                 MemOp::Write,
                 constant(160.0),
                 seq(8),
-                MeterSpec::Bandwidth {
-                    target_fraction: 0.9,
-                    window_ns: 2.0e5, // 200 µs
-                },
+                bandwidth(0.9, 2.0e5), // 90% of rate over a 200 µs window
                 4,
             )],
         ),
@@ -290,10 +302,7 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
                 MemOp::Read,
                 constant(350.0),
                 seq(16),
-                MeterSpec::Bandwidth {
-                    target_fraction: 0.9,
-                    window_ns: 2.0e5,
-                },
+                bandwidth(0.9, 2.0e5),
                 8,
             )],
         ),
@@ -308,33 +317,25 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
                 DmaSpec::new(
                     "cpu-rd-seq",
                     MemOp::Read,
-                    TrafficSpec::Poisson {
-                        bytes_per_s: mb_per_s(4500.0),
-                    },
+                    poisson_mb(4500.0),
                     seq(128),
-                    MeterSpec::BestEffort,
+                    best_effort(),
                     48,
                 ),
                 DmaSpec::new(
                     "cpu-rd-rand",
                     MemOp::Read,
-                    TrafficSpec::Poisson {
-                        bytes_per_s: mb_per_s(2000.0),
-                    },
-                    PatternSpec::Random {
-                        region_bytes: 256 * MIB,
-                    },
-                    MeterSpec::BestEffort,
+                    poisson_mb(2000.0),
+                    random_mib(256),
+                    best_effort(),
                     24,
                 ),
                 DmaSpec::new(
                     "cpu-wr",
                     MemOp::Write,
-                    TrafficSpec::Poisson {
-                        bytes_per_s: mb_per_s(2500.0),
-                    },
+                    poisson_mb(2500.0),
                     seq(64),
-                    MeterSpec::BestEffort,
+                    best_effort(),
                     32,
                 ),
             ],
@@ -345,6 +346,7 @@ pub fn camcorder_cores() -> Vec<CoreSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::MeterSpec;
     use sara_types::CoreClass;
 
     #[test]
@@ -395,13 +397,28 @@ mod tests {
         };
         assert!(matches!(meter_of(CoreKind::Gpu), MeterSpec::FrameRate));
         assert!(matches!(meter_of(CoreKind::Dsp), MeterSpec::Latency { .. }));
-        assert!(matches!(meter_of(CoreKind::Display), MeterSpec::Occupancy { .. }));
-        assert!(matches!(meter_of(CoreKind::Camera), MeterSpec::Occupancy { .. }));
-        assert!(matches!(meter_of(CoreKind::WiFi), MeterSpec::Bandwidth { .. }));
-        assert!(matches!(meter_of(CoreKind::Usb), MeterSpec::Bandwidth { .. }));
+        assert!(matches!(
+            meter_of(CoreKind::Display),
+            MeterSpec::Occupancy { .. }
+        ));
+        assert!(matches!(
+            meter_of(CoreKind::Camera),
+            MeterSpec::Occupancy { .. }
+        ));
+        assert!(matches!(
+            meter_of(CoreKind::WiFi),
+            MeterSpec::Bandwidth { .. }
+        ));
+        assert!(matches!(
+            meter_of(CoreKind::Usb),
+            MeterSpec::Bandwidth { .. }
+        ));
         assert!(matches!(meter_of(CoreKind::Gps), MeterSpec::WorkUnit));
         assert!(matches!(meter_of(CoreKind::Modem), MeterSpec::WorkUnit));
-        assert!(matches!(meter_of(CoreKind::Audio), MeterSpec::Latency { .. }));
+        assert!(matches!(
+            meter_of(CoreKind::Audio),
+            MeterSpec::Latency { .. }
+        ));
         assert!(matches!(meter_of(CoreKind::Cpu), MeterSpec::BestEffort));
     }
 

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod builders;
 mod camcorder;
 mod pattern;
 mod spec;
@@ -36,6 +37,5 @@ pub use camcorder::{camcorder_cores, TestCase, FRAMES_PER_SECOND};
 pub use pattern::AddressPattern;
 pub use spec::{BestEffortMeter, CoreSpec, DmaSpec, MeterSpec, PatternSpec, TrafficSpec};
 pub use stimulus::{
-    BatchStimulus, BurstStimulus, ConstantRateStimulus, ElasticStimulus, PoissonStimulus,
-    Stimulus,
+    BatchStimulus, BurstStimulus, ConstantRateStimulus, ElasticStimulus, PoissonStimulus, Stimulus,
 };

@@ -183,7 +183,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = AddressPattern::random(0, 1 << 20, 1);
         let mut b = AddressPattern::random(0, 1 << 20, 2);
-        let same = (0..32).filter(|_| a.next_addr(128) == b.next_addr(128)).count();
+        let same = (0..32)
+            .filter(|_| a.next_addr(128) == b.next_addr(128))
+            .count();
         assert!(same < 32);
     }
 

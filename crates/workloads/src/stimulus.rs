@@ -46,7 +46,10 @@ impl BurstStimulus {
     ///
     /// Panics if `per_frame` or `period` is zero.
     pub fn new(per_frame: u64, period: u64) -> Self {
-        assert!(per_frame > 0 && period > 0, "burst parameters must be positive");
+        assert!(
+            per_frame > 0 && period > 0,
+            "burst parameters must be positive"
+        );
         BurstStimulus { per_frame, period }
     }
 }
@@ -138,7 +141,9 @@ impl Stimulus for PoissonStimulus {
     }
 
     fn next_release(&self, now: Cycle) -> Option<Cycle> {
-        Some(Cycle::new((self.next_arrival.ceil() as u64).max(now.as_u64() + 1)))
+        Some(Cycle::new(
+            (self.next_arrival.ceil() as u64).max(now.as_u64() + 1),
+        ))
     }
 }
 
@@ -158,7 +163,10 @@ impl BatchStimulus {
     ///
     /// Panics if `unit_txns` or `period` is zero.
     pub fn new(unit_txns: u64, period: u64) -> Self {
-        assert!(unit_txns > 0 && period > 0, "batch parameters must be positive");
+        assert!(
+            unit_txns > 0 && period > 0,
+            "batch parameters must be positive"
+        );
         BatchStimulus { unit_txns, period }
     }
 }
@@ -233,7 +241,10 @@ mod tests {
     fn poisson_deterministic_per_seed() {
         let mut a = PoissonStimulus::new(100.0, 7);
         let mut b = PoissonStimulus::new(100.0, 7);
-        assert_eq!(a.released(Cycle::new(50_000)), b.released(Cycle::new(50_000)));
+        assert_eq!(
+            a.released(Cycle::new(50_000)),
+            b.released(Cycle::new(50_000))
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use sara::core::BufferDirection;
 use sara::memctrl::PolicyKind;
 use sara::sim::{Simulation, SystemConfig};
 use sara::types::{CoreKind, MemOp};
-use sara::workloads::{CoreSpec, DmaSpec, MeterSpec, PatternSpec, TestCase, TrafficSpec};
+use sara::workloads::{DmaSpec, MeterSpec, PatternSpec, TestCase, TrafficSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Start from the stock case-A camcorder...
@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "thermal-cam-wr",
         MemOp::Write,
         TrafficSpec::Constant { bytes_per_s: 0.4e9 },
-        PatternSpec::Sequential { region_bytes: 16 << 20 },
+        PatternSpec::Sequential {
+            region_bytes: 16 << 20,
+        },
         MeterSpec::Occupancy {
             direction: BufferDirection::ConstantFill,
             capacity_bytes: 64 << 10,
@@ -50,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "camera cluster (incl. thermal DMA): min NPI {:.3} -> {}",
         camera.min_npi,
-        if camera.failed { "needs retuning" } else { "both sensors healthy" }
+        if camera.failed {
+            "needs retuning"
+        } else {
+            "both sensors healthy"
+        }
     );
     Ok(())
 }

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.energy_mj,
             p.pj_per_bit,
             p.bandwidth_gbs,
-            if Some(i) == chosen { "   <- chosen" } else { "" },
+            if Some(i) == chosen {
+                "   <- chosen"
+            } else {
+                ""
+            },
         );
     }
     match chosen {

@@ -1,28 +1,40 @@
 //! Compare all six memory-scheduling policies on the same camcorder frame:
 //! who meets targets, who starves, and what the DRAM delivers (a compact
-//! text rendition of the paper's Figs 5 and 8).
+//! text rendition of the paper's Figs 5 and 8) — now driven through the
+//! scenario batch harness, so all six runs shard across worker threads.
 //!
 //! ```sh
 //! cargo run --release --example policy_comparison
 //! ```
 
 use sara::memctrl::PolicyKind;
-use sara::sim::experiment::run_camcorder;
-use sara::workloads::TestCase;
+use sara::scenarios::{catalog, run_matrix, MatrixSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenarios = vec![catalog::by_name("camcorder-a").expect("registered")];
+    let spec = MatrixSpec {
+        policies: PolicyKind::ALL.to_vec(),
+        duration_ms: Some(6.0),
+        ..MatrixSpec::default()
+    };
+    let summary = run_matrix(&scenarios, &spec)?;
+
     println!(
-        "{:<10} {:>10} {:>10} {:>9}  {}",
-        "policy", "GB/s", "row-hit%", "failures", "failed cores"
+        "{:<10} {:>10} {:>10} {:>9}  failed cores",
+        "policy", "GB/s", "row-hit%", "failures"
     );
-    for policy in PolicyKind::ALL {
-        let report = run_camcorder(TestCase::A, policy, 6.0)?;
-        let failed: Vec<&str> = report.failed_cores().iter().map(|k| k.name()).collect();
+    for cell in &summary.cells {
+        let failed: Vec<&str> = cell
+            .report
+            .failed_cores()
+            .iter()
+            .map(|k| k.name())
+            .collect();
         println!(
             "{:<10} {:>10.2} {:>10.1} {:>9}  {}",
-            policy.name(),
-            report.bandwidth_gbs,
-            report.row_hit_rate * 100.0,
+            cell.policy.name(),
+            cell.report.bandwidth_gbs,
+            cell.report.row_hit_rate * 100.0,
             failed.len(),
             if failed.is_empty() {
                 "-".to_string()
@@ -31,7 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         );
     }
-    println!("\nThe SARA policies (QoS, QoS-RB) are the ones with zero failures;");
-    println!("FR-FCFS buys bandwidth at the cost of starving QoS cores (Fig. 9).");
+    let best = summary.best("camcorder-a").expect("ran");
+    println!(
+        "\nRanked winner: {} — the SARA policies (QoS, QoS-RB) are the",
+        best.policy.name()
+    );
+    println!("ones with zero failures; FR-FCFS buys bandwidth at the cost of");
+    println!("starving QoS cores (Fig. 9).");
     Ok(())
 }

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "display-rd",
                 MemOp::Read,
                 TrafficSpec::Constant { bytes_per_s: 1.2e9 },
-                PatternSpec::Sequential { region_bytes: 32 << 20 },
+                PatternSpec::Sequential {
+                    region_bytes: 32 << 20,
+                },
                 MeterSpec::Occupancy {
                     direction: BufferDirection::ConstantDrain,
                     capacity_bytes: 256 << 10,
@@ -37,8 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "dsp-rd",
                 MemOp::Read,
                 TrafficSpec::Poisson { bytes_per_s: 0.3e9 },
-                PatternSpec::Random { region_bytes: 64 << 20 },
-                MeterSpec::Latency { limit_ns: 400.0, alpha: 0.05 },
+                PatternSpec::Random {
+                    region_bytes: 64 << 20,
+                },
+                MeterSpec::Latency {
+                    limit_ns: 400.0,
+                    alpha: 0.05,
+                },
                 4,
             )],
         ),
@@ -48,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "cpu-rd",
                 MemOp::Read,
                 TrafficSpec::Elastic,
-                PatternSpec::Sequential { region_bytes: 128 << 20 },
+                PatternSpec::Sequential {
+                    region_bytes: 128 << 20,
+                },
                 MeterSpec::BestEffort,
                 16,
             )],
@@ -67,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<10} -> NPI {:.2} ({})",
             core.kind.name(),
             core.final_npi,
-            if core.failed { "below target at some point" } else { "target met" },
+            if core.failed {
+                "below target at some point"
+            } else {
+                "target met"
+            },
         );
     }
     println!(

@@ -1,0 +1,58 @@
+//! Drive the full scenario catalog through the batch harness: every
+//! built-in scenario × every policy, sharded across worker threads,
+//! aggregated into per-scenario policy rankings and a machine-comparable
+//! JSON summary.
+//!
+//! ```sh
+//! cargo run --release --example scenario_matrix
+//! # longer windows, a frequency sweep and a JSON dump:
+//! cargo run --release --example scenario_matrix -- 5.0 scenario_matrix.json
+//! ```
+
+use sara::memctrl::PolicyKind;
+use sara::scenarios::{catalog, random_scenario, run_matrix, MatrixSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let duration_ms: f64 = args.next().map_or(Ok(2.0), |s| s.parse())?;
+    let json_path = args.next();
+
+    // The catalog plus one fuzz scenario, so generated workloads get the
+    // same treatment as curated ones.
+    let mut scenarios = catalog::builtin();
+    scenarios.push(random_scenario(2026));
+
+    for s in &scenarios {
+        println!(
+            "{:<18} {:>5} MHz {:>6.1} GB/s offered  {:>2} DMAs  {}",
+            s.name,
+            s.freq.as_u32(),
+            s.offered_gbs(),
+            s.dma_count(),
+            s.description
+        );
+    }
+    println!();
+
+    let spec = MatrixSpec {
+        policies: PolicyKind::ALL.to_vec(),
+        duration_ms: Some(duration_ms),
+        ..MatrixSpec::default()
+    };
+    let n_jobs = scenarios.len() * spec.policies.len();
+    println!(
+        "running {n_jobs} cells ({} scenarios x {} policies, {duration_ms} ms each) on {} threads...\n",
+        scenarios.len(),
+        spec.policies.len(),
+        spec.threads
+    );
+    let summary = run_matrix(&scenarios, &spec)?;
+    println!("{}", summary.summary_table());
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path)?;
+        summary.to_json_writer(&mut f)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -14,7 +14,12 @@
 //!   scheduling policies of §4 (FCFS, RR, frame-rate QoS, Policy 1,
 //!   Policy 2/QoS-RB, FR-FCFS);
 //! * [`workloads`] — the camcorder use case (Fig. 2 / Table 2) as
-//!   deterministic synthetic traffic;
+//!   deterministic synthetic traffic, built from a composable
+//!   traffic/pattern/meter vocabulary ([`workloads::builders`]);
+//! * [`scenarios`] — the scenario catalog beyond the camcorder (AR
+//!   headset, automotive ADAS, smartphone multitasking, ML offload,
+//!   saturation stress), a seeded random scenario generator, and the
+//!   multi-threaded scenario × policy × frequency batch harness;
 //! * [`sim`] — the event-driven co-simulation engine and the experiment
 //!   runners behind every figure.
 //!
@@ -43,6 +48,7 @@ pub use sara_core as core;
 pub use sara_dram as dram;
 pub use sara_memctrl as memctrl;
 pub use sara_noc as noc;
+pub use sara_scenarios as scenarios;
 pub use sara_sim as sim;
 pub use sara_types as types;
 pub use sara_workloads as workloads;

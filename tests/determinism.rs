@@ -2,7 +2,9 @@
 //! produce bit-identical results, and the DRAM command stream produced by
 //! the controller must satisfy the independent timing checker.
 
-use sara::dram::{CommandRecord, Dram, DramCommand, DramConfig, Interleave, Issued, TimingChecker, TimingParams};
+use sara::dram::{
+    CommandRecord, Dram, DramCommand, DramConfig, Interleave, Issued, TimingChecker, TimingParams,
+};
 use sara::memctrl::{McConfig, MemoryController, PolicyKind, TickResult};
 use sara::sim::experiment::run_camcorder;
 use sara::types::{Addr, CoreKind, Cycle, DmaId, MemOp, Priority, Transaction, TransactionId};
@@ -53,19 +55,27 @@ fn different_seeds_change_stochastic_cores_only_slightly() {
 fn controller_command_stream_passes_timing_checker() {
     // Refresh is internal to the model (the checker cannot observe it), so
     // cross-validate with refresh disabled.
-    let timing = TimingParams::builder().refresh_enabled(false).build().unwrap();
+    let timing = TimingParams::builder()
+        .refresh_enabled(false)
+        .build()
+        .unwrap();
     let cfg = DramConfig::builder().timing(timing).build().unwrap();
     let mut dram = Dram::new(cfg.clone(), Interleave::default()).unwrap();
     let mut checker = TimingChecker::new(cfg);
-    let mut mc = MemoryController::new(
-        McConfig::builder(PolicyKind::QosRowBuffer).build().unwrap(),
-    );
+    let mut mc =
+        MemoryController::new(McConfig::builder(PolicyKind::QosRowBuffer).build().unwrap());
 
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let mut now = Cycle::ZERO;
     let mut id = 0u64;
     let mut issued = 0u64;
-    let kinds = [CoreKind::Cpu, CoreKind::Gpu, CoreKind::Dsp, CoreKind::Display, CoreKind::Usb];
+    let kinds = [
+        CoreKind::Cpu,
+        CoreKind::Gpu,
+        CoreKind::Dsp,
+        CoreKind::Display,
+        CoreKind::Usb,
+    ];
 
     while issued < 20_000 {
         // Keep the queues pressurised with random traffic.
@@ -76,7 +86,11 @@ fn controller_command_stream_passes_timing_checker() {
                 dma: DmaId::new((id % 7) as u16),
                 core,
                 class: core.class(),
-                op: if rng.gen_bool(0.6) { MemOp::Read } else { MemOp::Write },
+                op: if rng.gen_bool(0.6) {
+                    MemOp::Read
+                } else {
+                    MemOp::Write
+                },
                 addr: Addr::new(rng.gen_range(0..(1u64 << 28)) & !127),
                 bytes: 128,
                 injected_at: now,
@@ -102,20 +116,27 @@ fn controller_command_stream_passes_timing_checker() {
                 TickResult::Idle { .. } => {}
             }
         }
-        now = now + 1;
+        now += 1;
         if now.as_u64() > 10_000_000 {
             panic!("controller failed to issue 20k commands in 10M cycles");
         }
     }
     // Sanity: the run really exercised both channels and all queues.
-    assert!(dram.stats().per_channel.iter().all(|c| c.column_accesses() > 100));
+    assert!(dram
+        .stats()
+        .per_channel
+        .iter()
+        .all(|c| c.column_accesses() > 100));
     let _ = &mut checker; // used by dram_timing fuzz; kept for API parity
 }
 
 /// Random command streams at the device level must agree with the checker.
 #[test]
 fn device_vs_checker_random_streams() {
-    let timing = TimingParams::builder().refresh_enabled(false).build().unwrap();
+    let timing = TimingParams::builder()
+        .refresh_enabled(false)
+        .build()
+        .unwrap();
     let cfg = DramConfig::builder().timing(timing).build().unwrap();
     let mut dram = Dram::new(cfg.clone(), Interleave::default()).unwrap();
     let mut checker = TimingChecker::new(cfg);
@@ -124,7 +145,11 @@ fn device_vs_checker_random_streams() {
     let mut now = Cycle::ZERO;
     for _ in 0..5_000 {
         let addr = Addr::new(rng.gen_range(0..(1u64 << 26)) & !127);
-        let op = if rng.gen_bool(0.5) { MemOp::Read } else { MemOp::Write };
+        let op = if rng.gen_bool(0.5) {
+            MemOp::Read
+        } else {
+            MemOp::Write
+        };
         let loc = dram.decode(addr);
         // Issue every command of this transaction at its earliest legal
         // time, mirroring into the checker.
