@@ -1,0 +1,455 @@
+//! The strict recursive-descent parser.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::Value;
+
+/// Nesting deeper than this is rejected (guards the recursive descent
+/// against stack exhaustion on adversarial input).
+const MAX_DEPTH: usize = 128;
+
+/// A parse failure, with the 1-based line/column where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    col: usize,
+    message: String,
+}
+
+impl ParseError {
+    /// 1-based line of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the failure.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// What went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} column {}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a complete JSON document.
+///
+/// Strict on purpose (scenario files are hand-written): duplicate object
+/// keys, trailing input after the document, bare control characters in
+/// strings, unpaired `\u` surrogates and numbers that overflow `f64` are
+/// all errors carrying the offending line and column.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first violation encountered.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (mut line, mut col) = (1, 1);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else if b & 0xc0 != 0x80 {
+                // Count characters, not bytes: UTF-8 continuation bytes
+                // must not inflate the column on non-ASCII lines.
+                col += 1;
+            }
+        }
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{}'{}",
+                b as char,
+                match self.peek() {
+                    Some(got) => format!(", found '{}'", got as char),
+                    None => ", found end of input".to_string(),
+                }
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input, expected a JSON value")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!(
+                "unexpected character '{}' at the start of a value",
+                other as char
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal, expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a double-quoted object key"));
+            }
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' after an object member")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' after an array element")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the longest run without escapes or controls.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The input is a &str, so slicing on these boundaries is valid
+            // UTF-8 (escape/quote/control bytes never split a code point).
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid UTF-8"));
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => {
+                    return Err(self.err("bare control character in string (use \\u escapes)"));
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let Some(b) = self.peek() else {
+            return Err(self.err("unterminated escape sequence"));
+        };
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xd800..0xdc00).contains(&hi) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xdc00..0xe000).contains(&lo) {
+                            return Err(self.err("invalid low surrogate in \\u escape pair"));
+                        }
+                        let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                        char::from_u32(cp)
+                    } else {
+                        return Err(self.err("unpaired high surrogate in \\u escape"));
+                    }
+                } else if (0xdc00..0xe000).contains(&hi) {
+                    return Err(self.err("unpaired low surrogate in \\u escape"));
+                } else {
+                    char::from_u32(hi)
+                };
+                match c {
+                    Some(c) => out.push(c),
+                    None => return Err(self.err("\\u escape is not a valid scalar value")),
+                }
+            }
+            other => {
+                return Err(self.err(format!("unknown escape '\\{}'", other as char)));
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape, expected four hex digits"));
+        }
+        let slice = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .filter(|s| s.bytes().all(|b| b.is_ascii_hexdigit()));
+        match slice {
+            Some(s) => {
+                self.pos = end;
+                Ok(u32::from_str_radix(s, 16).expect("four hex digits"))
+            }
+            None => Err(self.err("\\u escape requires four hex digits")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number: expected a digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number: expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("invalid number: expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        if integral {
+            // Keep integer kinds exact; fall back to f64 only on overflow.
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        let f: f64 = text.parse().expect("lexed token parses as f64");
+        if !f.is_finite() {
+            return Err(self.err(format!("number {text} overflows the f64 range")));
+        }
+        Ok(Value::Float(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_scalar_zoo() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("0").unwrap(), Value::UInt(0));
+        assert_eq!(parse("-0").unwrap(), Value::Int(0));
+        assert_eq!(parse("3.25").unwrap(), Value::Float(3.25));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn exponent_literals_parse_exactly() {
+        // Rust's shortest-float Display emits these forms for extreme
+        // magnitudes; the reader must take them back (ISSUE 2 satellite).
+        assert_eq!(parse("1e21").unwrap(), Value::Float(1e21));
+        assert_eq!(parse("2.5e-7").unwrap(), Value::Float(2.5e-7));
+        assert_eq!(parse("-3E+4").unwrap(), Value::Float(-3e4));
+        assert_eq!(parse("5e-324").unwrap(), Value::Float(5e-324));
+        // Integer overflow of u64 degrades to float, not to an error.
+        assert_eq!(
+            parse("18446744073709551616").unwrap(),
+            Value::Float(1.8446744073709552e19)
+        );
+        // f64 overflow is an error, not infinity.
+        assert!(parse("1e999").unwrap_err().message().contains("overflow"));
+    }
+
+    #[test]
+    fn string_escapes_round() {
+        assert_eq!(
+            parse(r#""a\"b\\c\ndAé""#).unwrap(),
+            Value::Str("a\"b\\c\ndAé".into())
+        );
+        // Surrogate pair → one astral code point.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\udc00""#).is_err());
+        assert!(parse("\"raw\ttab\"").is_err());
+        assert!(parse(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn structures_nest_and_preserve_order() {
+        let doc = parse(r#"{"b": [1, {"c": null}], "a": 2}"#).unwrap();
+        let members = doc.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn strictness_rejections_carry_positions() {
+        let e = parse("{\"a\": 1,\n \"a\": 2}").unwrap_err();
+        assert!(e.message().contains("duplicate"), "{e}");
+        assert_eq!(e.line(), 2);
+
+        let e = parse("{\"a\": 1} trailing").unwrap_err();
+        assert!(e.message().contains("trailing"), "{e}");
+
+        // Columns count characters, not bytes: "é" is two bytes but one
+        // column.
+        let e = parse("{\"é\": x}").unwrap_err();
+        assert_eq!((e.line(), e.col()), (1, 7), "{e}");
+
+        for bad in [
+            "", "{", "[1, ", "{\"a\"", "{\"a\":}", "[1 2]", "01", "1.", "1e", "+1", "nul", "\"open",
+        ] {
+            assert!(parse(bad).is_err(), "accepted invalid input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let e = parse(&deep).unwrap_err();
+        assert!(e.message().contains("nesting"), "{e}");
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+}

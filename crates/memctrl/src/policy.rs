@@ -61,6 +61,12 @@ impl PolicyKind {
         }
     }
 
+    /// Parses the [`PolicyKind::name`] spelling back into a policy — the
+    /// inverse used by scenario file I/O.
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// Whether this policy consumes SARA priority levels.
     pub fn uses_priorities(self) -> bool {
         matches!(self, PolicyKind::Priority | PolicyKind::QosRowBuffer)
@@ -223,6 +229,14 @@ mod tests {
     fn pick(policy: PolicyKind, cands: &[Candidate]) -> Option<usize> {
         let mut st = PolicyState::default();
         select(policy, cands, &mut st, Priority::new(6))
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(PolicyKind::from_name("qos"), None);
     }
 
     #[test]

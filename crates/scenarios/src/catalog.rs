@@ -753,6 +753,29 @@ pub fn names() -> Vec<String> {
     builtin().into_iter().map(|s| s.name).collect()
 }
 
+/// Exports every built-in scenario as a `<name>.scenario.json` file under
+/// `dir` (created if needed), returning the written paths in catalog
+/// order.
+///
+/// The written files are the same bytes the golden-file conformance tests
+/// pin under `tests/data/`, and the directory is directly runnable with
+/// `examples/scenario_matrix -- --dir <dir>`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing a file.
+pub fn export_all(dir: impl AsRef<std::path::Path>) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for s in builtin() {
+        let path = dir.join(format!("{}{}", s.name, crate::SCENARIO_FILE_SUFFIX));
+        std::fs::write(&path, s.to_json())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,6 +800,22 @@ mod tests {
             assert_eq!(cfg.freq, s.freq, "{}", s.name);
             assert!(s.dma_count() >= 5, "{} too trivial", s.name);
         }
+    }
+
+    #[test]
+    fn export_all_round_trips_through_load_dir() {
+        let dir = std::env::temp_dir().join(format!("sara-catalog-{}", std::process::id()));
+        let paths = export_all(&dir).unwrap();
+        assert_eq!(paths.len(), builtin().len());
+        assert!(paths.iter().all(|p| p.exists()));
+        // load_dir orders by file name (not catalog order); compare keyed
+        // by scenario name.
+        let mut loaded = crate::load_dir(&dir).unwrap();
+        loaded.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut want = builtin();
+        want.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(loaded, want);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,846 @@
+//! Scenario file I/O: the `.scenario.json` text format.
+//!
+//! A [`Scenario`] is plain data, and this module makes it a *file*: users
+//! add catalog entries by dropping a JSON document into a directory instead
+//! of editing `catalog.rs` and recompiling. Serialization rides on the
+//! in-tree `json` document model (`crates/compat/json`) — no `serde` in
+//! this workspace — and reading is strict: unknown keys, missing fields,
+//! wrong types, `null`ed numbers and out-of-range values are all
+//! [`ConfigError`]s naming the offending path within the document.
+//!
+//! # Format, version `sara-scenario/v1`
+//!
+//! | key | type | meaning |
+//! |---|---|---|
+//! | `format` | string | version tag, must be `"sara-scenario/v1"` |
+//! | `name` | string | registry key, non-empty |
+//! | `description` | string | one-line description |
+//! | `freq_mhz` | integer | DRAM I/O frequency in MHz (≥ 1) |
+//! | `policy` | string | scheduling policy: `FCFS`, `RR`, `FrameQoS`, `QoS`, `QoS-RB`, `FR-FCFS` |
+//! | `frame_period_ns` | number | frame period in nanoseconds (> 0) |
+//! | `duration_ms` | number | nominal run length in milliseconds (> 0) |
+//! | `seed` | integer | master seed (full `u64` range round-trips) |
+//! | `cores` | array | one object per core: `kind` (Table 2 name, e.g. `"GPU"`, `"Image Proc."`) + `dmas` |
+//!
+//! Each DMA carries `name`, `op` (`"RD"`/`"WR"`), `window` (max outstanding
+//! transactions, ≥ 1) and three tagged unions mirroring
+//! `sara_workloads::builders`:
+//!
+//! | union | `kind` | payload |
+//! |---|---|---|
+//! | `traffic` | `burst` / `constant` / `poisson` | `bytes_per_s` |
+//! | | `batch` | `unit_bytes`, `period_ns`, `deadline_ns` |
+//! | | `elastic` | — |
+//! | `pattern` | `sequential` / `random` | `region_bytes` |
+//! | | `strided` | `region_bytes`, `stride_bytes` |
+//! | `meter` | `latency` | `limit_ns`, `alpha` |
+//! | | `frame-rate` / `work-unit` / `best-effort` | — |
+//! | | `occupancy` | `direction` (`"fill"`/`"drain"`), `capacity_bytes` |
+//! | | `bandwidth` | `target_fraction`, `window_ns` |
+//!
+//! Versioning: the `format` tag is checked exactly. A future `v2` will get
+//! its own reader; `v1` documents stay readable (golden files under
+//! `tests/data/` pin the emitted bytes per catalog entry).
+//!
+//! # Examples
+//!
+//! ```
+//! use sara_scenarios::Scenario;
+//!
+//! let text = r#"{
+//!   "format": "sara-scenario/v1",
+//!   "name": "doc-example",
+//!   "description": "one latency-bounded DSP stream",
+//!   "freq_mhz": 1600,
+//!   "policy": "QoS",
+//!   "frame_period_ns": 33333333.333333336,
+//!   "duration_ms": 5,
+//!   "seed": 1515913217,
+//!   "cores": [
+//!     {
+//!       "kind": "DSP",
+//!       "dmas": [
+//!         {
+//!           "name": "dsp-rd",
+//!           "op": "RD",
+//!           "window": 6,
+//!           "traffic": {"kind": "poisson", "bytes_per_s": 250000000},
+//!           "pattern": {"kind": "random", "region_bytes": 67108864},
+//!           "meter": {"kind": "latency", "limit_ns": 400, "alpha": 0.05}
+//!         }
+//!       ]
+//!     }
+//!   ]
+//! }"#;
+//! let s = Scenario::from_json_str(text)?;
+//! assert_eq!(s.name, "doc-example");
+//! assert_eq!(s.freq.as_u32(), 1600);
+//! assert_eq!(s.dma_count(), 1);
+//! // Emission is the exact inverse.
+//! assert_eq!(Scenario::from_json_str(&s.to_json())?, s);
+//! # Ok::<(), sara_types::ConfigError>(())
+//! ```
+
+use std::path::Path;
+
+use json::Value;
+use sara_core::BufferDirection;
+use sara_memctrl::PolicyKind;
+use sara_types::{ConfigError, CoreKind, MegaHertz, MemOp};
+use sara_workloads::{CoreSpec, DmaSpec, MeterSpec, PatternSpec, TrafficSpec};
+
+use crate::scenario::Scenario;
+
+/// The version tag every `v1` document carries in its `format` field.
+pub const FORMAT_TAG: &str = "sara-scenario/v1";
+
+/// The file-name suffix scenario files use (and [`load_dir`] selects by).
+pub const SCENARIO_FILE_SUFFIX: &str = ".scenario.json";
+
+// --- emission -------------------------------------------------------------
+
+fn kv(key: &str, value: impl Into<Value>) -> (String, Value) {
+    (key.to_string(), value.into())
+}
+
+fn traffic_value(t: &TrafficSpec) -> Value {
+    Value::Object(match t {
+        TrafficSpec::Burst { bytes_per_s } => {
+            vec![kv("kind", "burst"), kv("bytes_per_s", *bytes_per_s)]
+        }
+        TrafficSpec::Constant { bytes_per_s } => {
+            vec![kv("kind", "constant"), kv("bytes_per_s", *bytes_per_s)]
+        }
+        TrafficSpec::Poisson { bytes_per_s } => {
+            vec![kv("kind", "poisson"), kv("bytes_per_s", *bytes_per_s)]
+        }
+        TrafficSpec::Batch {
+            unit_bytes,
+            period_ns,
+            deadline_ns,
+        } => vec![
+            kv("kind", "batch"),
+            kv("unit_bytes", *unit_bytes),
+            kv("period_ns", *period_ns),
+            kv("deadline_ns", *deadline_ns),
+        ],
+        TrafficSpec::Elastic => vec![kv("kind", "elastic")],
+    })
+}
+
+fn pattern_value(p: &PatternSpec) -> Value {
+    Value::Object(match p {
+        PatternSpec::Sequential { region_bytes } => {
+            vec![kv("kind", "sequential"), kv("region_bytes", *region_bytes)]
+        }
+        PatternSpec::Strided {
+            region_bytes,
+            stride_bytes,
+        } => vec![
+            kv("kind", "strided"),
+            kv("region_bytes", *region_bytes),
+            kv("stride_bytes", *stride_bytes),
+        ],
+        PatternSpec::Random { region_bytes } => {
+            vec![kv("kind", "random"), kv("region_bytes", *region_bytes)]
+        }
+    })
+}
+
+fn meter_value(m: &MeterSpec) -> Value {
+    Value::Object(match m {
+        MeterSpec::Latency { limit_ns, alpha } => vec![
+            kv("kind", "latency"),
+            kv("limit_ns", *limit_ns),
+            kv("alpha", *alpha),
+        ],
+        MeterSpec::FrameRate => vec![kv("kind", "frame-rate")],
+        MeterSpec::Occupancy {
+            direction,
+            capacity_bytes,
+        } => vec![
+            kv("kind", "occupancy"),
+            kv(
+                "direction",
+                match direction {
+                    BufferDirection::ConstantFill => "fill",
+                    BufferDirection::ConstantDrain => "drain",
+                },
+            ),
+            kv("capacity_bytes", *capacity_bytes),
+        ],
+        MeterSpec::Bandwidth {
+            target_fraction,
+            window_ns,
+        } => vec![
+            kv("kind", "bandwidth"),
+            kv("target_fraction", *target_fraction),
+            kv("window_ns", *window_ns),
+        ],
+        MeterSpec::WorkUnit => vec![kv("kind", "work-unit")],
+        MeterSpec::BestEffort => vec![kv("kind", "best-effort")],
+    })
+}
+
+fn dma_value(d: &DmaSpec) -> Value {
+    Value::Object(vec![
+        kv("name", d.name.as_str()),
+        kv("op", d.op.name()),
+        kv("window", d.window),
+        ("traffic".to_string(), traffic_value(&d.traffic)),
+        ("pattern".to_string(), pattern_value(&d.pattern)),
+        ("meter".to_string(), meter_value(&d.meter)),
+    ])
+}
+
+fn core_value(c: &CoreSpec) -> Value {
+    Value::Object(vec![
+        kv("kind", c.kind.name()),
+        (
+            "dmas".to_string(),
+            Value::Array(c.dmas.iter().map(dma_value).collect()),
+        ),
+    ])
+}
+
+// --- strict reading helpers -----------------------------------------------
+
+fn err(ctx: &str, message: impl AsRef<str>) -> ConfigError {
+    ConfigError::new(format!("{ctx}: {}", message.as_ref()))
+}
+
+fn as_obj<'a>(v: &'a Value, ctx: &str) -> Result<&'a [(String, Value)], ConfigError> {
+    v.as_object()
+        .ok_or_else(|| err(ctx, format!("expected an object, got {}", v.type_name())))
+}
+
+/// Rejects members outside `allowed` — the guard that makes typos loud.
+fn no_unknown_keys(
+    members: &[(String, Value)],
+    allowed: &[&str],
+    ctx: &str,
+) -> Result<(), ConfigError> {
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(err(
+                ctx,
+                format!(
+                    "unknown key \"{key}\" (expected one of: {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(
+    members: &'a [(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<&'a Value, ConfigError> {
+    members
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| err(ctx, format!("missing required key \"{key}\"")))
+}
+
+fn str_field<'a>(
+    members: &'a [(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<&'a str, ConfigError> {
+    let v = field(members, key, ctx)?;
+    v.as_str().ok_or_else(|| {
+        err(
+            ctx,
+            format!("\"{key}\" must be a string, got {}", v.type_name()),
+        )
+    })
+}
+
+fn finite_field(members: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, ConfigError> {
+    let v = field(members, key, ctx)?;
+    if v.is_null() {
+        return Err(err(
+            ctx,
+            format!(
+                "\"{key}\" is null — non-finite numbers (NaN/infinity) cannot \
+                 round-trip through JSON and are not valid here"
+            ),
+        ));
+    }
+    match v.as_f64() {
+        Some(f) if f.is_finite() => Ok(f),
+        _ => Err(err(
+            ctx,
+            format!("\"{key}\" must be a finite number, got {}", v.type_name()),
+        )),
+    }
+}
+
+fn positive_field(members: &[(String, Value)], key: &str, ctx: &str) -> Result<f64, ConfigError> {
+    let f = finite_field(members, key, ctx)?;
+    if f > 0.0 {
+        Ok(f)
+    } else {
+        Err(err(ctx, format!("\"{key}\" must be > 0, got {f}")))
+    }
+}
+
+fn u64_field(members: &[(String, Value)], key: &str, ctx: &str) -> Result<u64, ConfigError> {
+    let v = field(members, key, ctx)?;
+    v.as_u64().ok_or_else(|| {
+        err(
+            ctx,
+            format!(
+                "\"{key}\" must be a non-negative integer, got {}",
+                v.type_name()
+            ),
+        )
+    })
+}
+
+fn nonzero_u64_field(
+    members: &[(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<u64, ConfigError> {
+    match u64_field(members, key, ctx)? {
+        0 => Err(err(ctx, format!("\"{key}\" must be ≥ 1"))),
+        n => Ok(n),
+    }
+}
+
+// --- reading the vocabulary -----------------------------------------------
+
+fn traffic_from(v: &Value, ctx: &str) -> Result<TrafficSpec, ConfigError> {
+    let members = as_obj(v, ctx)?;
+    let kind = str_field(members, "kind", ctx)?;
+    match kind {
+        "burst" | "constant" | "poisson" => {
+            no_unknown_keys(members, &["kind", "bytes_per_s"], ctx)?;
+            let bytes_per_s = positive_field(members, "bytes_per_s", ctx)?;
+            Ok(match kind {
+                "burst" => TrafficSpec::Burst { bytes_per_s },
+                "constant" => TrafficSpec::Constant { bytes_per_s },
+                _ => TrafficSpec::Poisson { bytes_per_s },
+            })
+        }
+        "batch" => {
+            no_unknown_keys(
+                members,
+                &["kind", "unit_bytes", "period_ns", "deadline_ns"],
+                ctx,
+            )?;
+            Ok(TrafficSpec::Batch {
+                unit_bytes: nonzero_u64_field(members, "unit_bytes", ctx)?,
+                period_ns: positive_field(members, "period_ns", ctx)?,
+                deadline_ns: positive_field(members, "deadline_ns", ctx)?,
+            })
+        }
+        "elastic" => {
+            no_unknown_keys(members, &["kind"], ctx)?;
+            Ok(TrafficSpec::Elastic)
+        }
+        other => Err(err(
+            ctx,
+            format!(
+                "unknown traffic kind \"{other}\" (expected burst, constant, \
+                 poisson, batch or elastic)"
+            ),
+        )),
+    }
+}
+
+fn pattern_from(v: &Value, ctx: &str) -> Result<PatternSpec, ConfigError> {
+    let members = as_obj(v, ctx)?;
+    let kind = str_field(members, "kind", ctx)?;
+    match kind {
+        "sequential" | "random" => {
+            no_unknown_keys(members, &["kind", "region_bytes"], ctx)?;
+            let region_bytes = nonzero_u64_field(members, "region_bytes", ctx)?;
+            Ok(if kind == "sequential" {
+                PatternSpec::Sequential { region_bytes }
+            } else {
+                PatternSpec::Random { region_bytes }
+            })
+        }
+        "strided" => {
+            no_unknown_keys(members, &["kind", "region_bytes", "stride_bytes"], ctx)?;
+            Ok(PatternSpec::Strided {
+                region_bytes: nonzero_u64_field(members, "region_bytes", ctx)?,
+                stride_bytes: nonzero_u64_field(members, "stride_bytes", ctx)?,
+            })
+        }
+        other => Err(err(
+            ctx,
+            format!("unknown pattern kind \"{other}\" (expected sequential, strided or random)"),
+        )),
+    }
+}
+
+fn meter_from(v: &Value, ctx: &str) -> Result<MeterSpec, ConfigError> {
+    let members = as_obj(v, ctx)?;
+    let kind = str_field(members, "kind", ctx)?;
+    match kind {
+        "latency" => {
+            no_unknown_keys(members, &["kind", "limit_ns", "alpha"], ctx)?;
+            let limit_ns = positive_field(members, "limit_ns", ctx)?;
+            let alpha = positive_field(members, "alpha", ctx)?;
+            if alpha > 1.0 {
+                return Err(err(
+                    ctx,
+                    format!("\"alpha\" must be in (0, 1], got {alpha}"),
+                ));
+            }
+            Ok(MeterSpec::Latency { limit_ns, alpha })
+        }
+        "frame-rate" => {
+            no_unknown_keys(members, &["kind"], ctx)?;
+            Ok(MeterSpec::FrameRate)
+        }
+        "occupancy" => {
+            no_unknown_keys(members, &["kind", "direction", "capacity_bytes"], ctx)?;
+            let direction = match str_field(members, "direction", ctx)? {
+                "fill" => BufferDirection::ConstantFill,
+                "drain" => BufferDirection::ConstantDrain,
+                other => {
+                    return Err(err(
+                        ctx,
+                        format!("unknown direction \"{other}\" (expected \"fill\" or \"drain\")"),
+                    ));
+                }
+            };
+            Ok(MeterSpec::Occupancy {
+                direction,
+                capacity_bytes: nonzero_u64_field(members, "capacity_bytes", ctx)?,
+            })
+        }
+        "bandwidth" => {
+            no_unknown_keys(members, &["kind", "target_fraction", "window_ns"], ctx)?;
+            Ok(MeterSpec::Bandwidth {
+                target_fraction: positive_field(members, "target_fraction", ctx)?,
+                window_ns: positive_field(members, "window_ns", ctx)?,
+            })
+        }
+        "work-unit" => {
+            no_unknown_keys(members, &["kind"], ctx)?;
+            Ok(MeterSpec::WorkUnit)
+        }
+        "best-effort" => {
+            no_unknown_keys(members, &["kind"], ctx)?;
+            Ok(MeterSpec::BestEffort)
+        }
+        other => Err(err(
+            ctx,
+            format!(
+                "unknown meter kind \"{other}\" (expected latency, frame-rate, \
+                 occupancy, bandwidth, work-unit or best-effort)"
+            ),
+        )),
+    }
+}
+
+fn dma_from(v: &Value, ctx: &str) -> Result<DmaSpec, ConfigError> {
+    let members = as_obj(v, ctx)?;
+    no_unknown_keys(
+        members,
+        &["name", "op", "window", "traffic", "pattern", "meter"],
+        ctx,
+    )?;
+    let name = str_field(members, "name", ctx)?;
+    if name.is_empty() {
+        return Err(err(ctx, "\"name\" must be non-empty"));
+    }
+    let op_name = str_field(members, "op", ctx)?;
+    let op = MemOp::from_name(op_name).ok_or_else(|| {
+        err(
+            ctx,
+            format!("unknown op \"{op_name}\" (expected \"RD\" or \"WR\")"),
+        )
+    })?;
+    let window = nonzero_u64_field(members, "window", ctx)?;
+    let window = usize::try_from(window).map_err(|_| {
+        err(
+            ctx,
+            format!("\"window\" {window} does not fit this platform"),
+        )
+    })?;
+    Ok(DmaSpec::new(
+        name,
+        op,
+        traffic_from(field(members, "traffic", ctx)?, &format!("{ctx}.traffic"))?,
+        pattern_from(field(members, "pattern", ctx)?, &format!("{ctx}.pattern"))?,
+        meter_from(field(members, "meter", ctx)?, &format!("{ctx}.meter"))?,
+        window,
+    ))
+}
+
+fn core_from(v: &Value, ctx: &str) -> Result<CoreSpec, ConfigError> {
+    let members = as_obj(v, ctx)?;
+    no_unknown_keys(members, &["kind", "dmas"], ctx)?;
+    let kind_name = str_field(members, "kind", ctx)?;
+    let kind = CoreKind::from_name(kind_name).ok_or_else(|| {
+        let known: Vec<&str> = CoreKind::ALL.iter().map(|k| k.name()).collect();
+        err(
+            ctx,
+            format!(
+                "unknown core kind \"{kind_name}\" (expected one of: {})",
+                known.join(", ")
+            ),
+        )
+    })?;
+    let dmas_value = field(members, "dmas", ctx)?;
+    let dmas = dmas_value.as_array().ok_or_else(|| {
+        err(
+            ctx,
+            format!("\"dmas\" must be an array, got {}", dmas_value.type_name()),
+        )
+    })?;
+    if dmas.is_empty() {
+        return Err(err(ctx, "\"dmas\" must contain at least one DMA"));
+    }
+    let dmas = dmas
+        .iter()
+        .enumerate()
+        .map(|(i, d)| dma_from(d, &format!("{ctx}.dmas[{i}]")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CoreSpec::new(kind, dmas))
+}
+
+impl Scenario {
+    /// The scenario as a JSON document node (version `v1` layout).
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            kv("format", FORMAT_TAG),
+            kv("name", self.name.as_str()),
+            kv("description", self.description.as_str()),
+            kv("freq_mhz", self.freq.as_u32()),
+            kv("policy", self.policy.name()),
+            kv("frame_period_ns", self.frame_period_ns),
+            kv("duration_ms", self.duration_ms),
+            kv("seed", self.seed),
+            (
+                "cores".to_string(),
+                Value::Array(self.cores.iter().map(core_value).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes the scenario as a complete `.scenario.json` text file:
+    /// pretty-printed, trailing newline, byte-identical for equal
+    /// scenarios. [`Scenario::from_json_str`] is the exact inverse.
+    pub fn to_json(&self) -> String {
+        let mut text = self.to_json_value().to_string_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Reads a scenario from an already-parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the offending path for any schema
+    /// violation: wrong version tag, missing or unknown keys, wrong types,
+    /// `null`ed (non-finite) numbers, or out-of-range values.
+    pub fn from_json_value(doc: &Value) -> Result<Scenario, ConfigError> {
+        let ctx = "scenario";
+        let members = as_obj(doc, ctx)?;
+        // Check the version tag before strictness: a v2 document should
+        // say "unsupported version", not "unknown key".
+        let tag = str_field(members, "format", ctx)?;
+        if tag != FORMAT_TAG {
+            return Err(err(
+                ctx,
+                format!(
+                    "unsupported format tag \"{tag}\" (this reader understands \"{FORMAT_TAG}\")"
+                ),
+            ));
+        }
+        no_unknown_keys(
+            members,
+            &[
+                "format",
+                "name",
+                "description",
+                "freq_mhz",
+                "policy",
+                "frame_period_ns",
+                "duration_ms",
+                "seed",
+                "cores",
+            ],
+            ctx,
+        )?;
+        let name = str_field(members, "name", ctx)?;
+        if name.is_empty() {
+            return Err(err(ctx, "\"name\" must be non-empty"));
+        }
+        let freq_mhz = nonzero_u64_field(members, "freq_mhz", ctx)?;
+        let freq_mhz = u32::try_from(freq_mhz)
+            .map_err(|_| err(ctx, format!("\"freq_mhz\" {freq_mhz} exceeds {}", u32::MAX)))?;
+        let policy_name = str_field(members, "policy", ctx)?;
+        let policy = PolicyKind::from_name(policy_name).ok_or_else(|| {
+            let known: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+            err(
+                ctx,
+                format!(
+                    "unknown policy \"{policy_name}\" (expected one of: {})",
+                    known.join(", ")
+                ),
+            )
+        })?;
+        let cores_value = field(members, "cores", ctx)?;
+        let cores = cores_value.as_array().ok_or_else(|| {
+            err(
+                ctx,
+                format!(
+                    "\"cores\" must be an array, got {}",
+                    cores_value.type_name()
+                ),
+            )
+        })?;
+        if cores.is_empty() {
+            return Err(err(ctx, "\"cores\" must contain at least one core"));
+        }
+        let cores = cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| core_from(c, &format!("{ctx}.cores[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Scenario {
+            name: name.to_string(),
+            description: str_field(members, "description", ctx)?.to_string(),
+            freq: MegaHertz::new(freq_mhz),
+            policy,
+            cores,
+            frame_period_ns: positive_field(members, "frame_period_ns", ctx)?,
+            duration_ms: positive_field(members, "duration_ms", ctx)?,
+            seed: u64_field(members, "seed", ctx)?,
+        })
+    }
+
+    /// Parses a scenario from `.scenario.json` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] carrying the line/column for malformed JSON,
+    /// or the offending document path for schema violations (see
+    /// [`Scenario::from_json_value`]).
+    pub fn from_json_str(text: &str) -> Result<Scenario, ConfigError> {
+        let doc = json::parse(text).map_err(|e| ConfigError::new(format!("scenario JSON: {e}")))?;
+        Scenario::from_json_value(&doc)
+    }
+
+    /// Reads a scenario from a `.scenario.json` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] (prefixed with the file path) for I/O
+    /// failures, malformed JSON, or schema violations.
+    pub fn from_json_file(path: impl AsRef<Path>) -> Result<Scenario, ConfigError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::new(format!("{}: {e}", path.display())))?;
+        Scenario::from_json_str(&text)
+            .map_err(|e| ConfigError::new(format!("{}: {}", path.display(), e.message())))
+    }
+}
+
+/// Loads every `*.scenario.json` file in a directory, sorted by file name
+/// (so run order is stable no matter what the filesystem returns).
+///
+/// This is how `examples/scenario_matrix --dir` runs user-supplied
+/// catalogs without recompiling.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the directory cannot be read, contains no
+/// scenario files, or any file fails to parse (the error names the file).
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<Vec<Scenario>, ConfigError> {
+    let dir = dir.as_ref();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| ConfigError::new(format!("{}: {e}", dir.display())))?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        // Propagate iteration errors: silently skipping an unreadable
+        // entry would run an incomplete matrix and report success.
+        let path = entry
+            .map_err(|e| ConfigError::new(format!("{}: {e}", dir.display())))?
+            .path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(SCENARIO_FILE_SUFFIX))
+        {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    if paths.is_empty() {
+        return Err(ConfigError::new(format!(
+            "{}: no *{SCENARIO_FILE_SUFFIX} files found",
+            dir.display()
+        )));
+    }
+    paths.iter().map(Scenario::from_json_file).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::generator::random_scenario;
+
+    #[test]
+    fn catalog_and_generated_scenarios_round_trip() {
+        for s in catalog::builtin()
+            .into_iter()
+            .chain((0..4).map(random_scenario))
+        {
+            let text = s.to_json();
+            let back = Scenario::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", s.name));
+            assert_eq!(back, s, "{} not value-exact", s.name);
+            assert_eq!(back.to_json(), text, "{} not byte-exact", s.name);
+        }
+    }
+
+    #[test]
+    fn files_and_directories_load() {
+        let dir = std::env::temp_dir().join(format!("sara-fmt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = catalog::by_name("adas").unwrap();
+        let b = catalog::by_name("ar-headset").unwrap();
+        std::fs::write(dir.join("b-second.scenario.json"), b.to_json()).unwrap();
+        std::fs::write(dir.join("a-first.scenario.json"), a.to_json()).unwrap();
+        std::fs::write(dir.join("ignored.json"), "not a scenario").unwrap();
+
+        let one = Scenario::from_json_file(dir.join("a-first.scenario.json")).unwrap();
+        assert_eq!(one, a);
+        // Sorted by file name, non-matching files ignored.
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded, vec![a, b]);
+
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let e = load_dir(&empty).unwrap_err();
+        assert!(e.message().contains("no *.scenario.json"), "{e}");
+        let e = Scenario::from_json_file(dir.join("missing.scenario.json")).unwrap_err();
+        assert!(e.message().contains("missing.scenario.json"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_tag_is_checked_first() {
+        let mut s = catalog::by_name("adas").unwrap().to_json();
+        s = s.replace("sara-scenario/v1", "sara-scenario/v2");
+        let e = Scenario::from_json_str(&s).unwrap_err();
+        assert!(e.message().contains("unsupported format tag"), "{e}");
+        assert!(e.message().contains("sara-scenario/v1"), "{e}");
+    }
+
+    #[test]
+    fn truncated_input_names_the_position() {
+        let text = catalog::by_name("adas").unwrap().to_json();
+        let cut = &text[..text.len() / 2];
+        let e = Scenario::from_json_str(cut).unwrap_err();
+        assert!(e.message().contains("line"), "no position in: {e}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_context() {
+        let text = catalog::by_name("adas")
+            .unwrap()
+            .to_json()
+            .replace("\"seed\":", "\"sede\":");
+        let e = Scenario::from_json_str(&text).unwrap_err();
+        assert!(e.message().contains("unknown key \"sede\""), "{e}");
+
+        let text = catalog::by_name("adas")
+            .unwrap()
+            .to_json()
+            .replace("\"op\": \"RD\"", "\"op\": \"RD\", \"burst\": 7");
+        let e = Scenario::from_json_str(&text).unwrap_err();
+        assert!(e.message().contains("unknown key \"burst\""), "{e}");
+        assert!(e.message().contains("dmas[0]"), "no path in: {e}");
+    }
+
+    #[test]
+    fn nulled_numbers_are_rejected_with_guidance() {
+        // A NaN frame period emits as null; the reader must say why that
+        // is invalid rather than "expected number".
+        let mut s = catalog::by_name("adas").unwrap();
+        s.frame_period_ns = f64::NAN;
+        let e = Scenario::from_json_str(&s.to_json()).unwrap_err();
+        assert!(e.message().contains("frame_period_ns"), "{e}");
+        assert!(e.message().contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn wrong_enum_spellings_list_the_vocabulary() {
+        let base = catalog::by_name("adas").unwrap().to_json();
+        let cases = [
+            (
+                "\"policy\": \"QoS\"",
+                "\"policy\": \"qos\"",
+                "unknown policy",
+            ),
+            (
+                "\"kind\": \"Camera\"",
+                "\"kind\": \"camera\"",
+                "unknown core kind",
+            ),
+            (
+                "\"kind\": \"burst\"",
+                "\"kind\": \"bursty\"",
+                "unknown traffic kind",
+            ),
+            (
+                "\"kind\": \"work-unit\"",
+                "\"kind\": \"workunit\"",
+                "unknown meter kind",
+            ),
+            (
+                "\"direction\": \"fill\"",
+                "\"direction\": \"full\"",
+                "unknown direction",
+            ),
+            ("\"op\": \"RD\"", "\"op\": \"READ\"", "unknown op"),
+        ];
+        for (from, to, expect) in cases {
+            assert!(base.contains(from), "test fixture drifted: {from}");
+            let e = Scenario::from_json_str(&base.replacen(from, to, 1)).unwrap_err();
+            assert!(e.message().contains(expect), "{from} -> {to}: {e}");
+        }
+    }
+
+    #[test]
+    fn range_violations_are_rejected() {
+        let base = catalog::by_name("adas").unwrap().to_json();
+        let cases = [
+            ("\"freq_mhz\": 1600", "\"freq_mhz\": 0", "freq_mhz"),
+            ("\"freq_mhz\": 1600", "\"freq_mhz\": 5000000000", "exceeds"),
+            ("\"duration_ms\": 5", "\"duration_ms\": -1", "duration_ms"),
+            ("\"window\": 8", "\"window\": 0", "window"),
+            ("\"alpha\": 0.05", "\"alpha\": 1.5", "alpha"),
+            ("\"seed\": 1515847681", "\"seed\": -3", "seed"),
+        ];
+        for (from, to, expect) in cases {
+            assert!(base.contains(from), "test fixture drifted: {from}");
+            let e = Scenario::from_json_str(&base.replacen(from, to, 1)).unwrap_err();
+            assert!(e.message().contains(expect), "{from} -> {to}: {e}");
+        }
+    }
+
+    #[test]
+    fn loaded_scenarios_lower_onto_configs() {
+        // The decisive end check: a file round-trip later still builds.
+        for s in catalog::builtin() {
+            let back = Scenario::from_json_str(&s.to_json()).unwrap();
+            back.config().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+}

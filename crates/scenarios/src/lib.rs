@@ -20,6 +20,10 @@
 //!   deliberate DRAM saturation stress;
 //! * [`random_scenario`] — seeded fuzz-style generation from the same
 //!   traffic/pattern/meter vocabulary (same seed → same scenario);
+//! * [`format`] — `.scenario.json` file I/O: [`Scenario::to_json`] /
+//!   [`Scenario::from_json_str`] plus [`load_dir`] for running
+//!   user-supplied catalogs without recompiling (and
+//!   [`catalog::export_all`] for seeding such a directory);
 //! * [`run_matrix`] — scenario × policy × frequency sharded across scoped
 //!   worker threads, aggregated into a ranked [`MatrixSummary`] whose JSON
 //!   is identical no matter the thread count.
@@ -48,10 +52,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod catalog;
+pub mod format;
 mod generator;
 mod matrix;
 mod scenario;
 
+pub use format::{load_dir, FORMAT_TAG, SCENARIO_FILE_SUFFIX};
 pub use generator::{random_scenario, random_scenario_with, GeneratorConfig};
 pub use matrix::{run_matrix, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking};
 pub use scenario::Scenario;

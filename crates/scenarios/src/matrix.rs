@@ -11,8 +11,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use json::Value;
 use sara_memctrl::PolicyKind;
-use sara_sim::{json, SimReport};
+use sara_sim::SimReport;
 use sara_types::{ConfigError, MegaHertz};
 
 use crate::scenario::Scenario;
@@ -61,14 +62,13 @@ impl MatrixCell {
         self.report.failed_cores().len()
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            "{{\"scenario\":\"{}\",\"policy\":\"{}\",\"freq_mhz\":{},\"report\":{}}}",
-            json::escape(&self.scenario),
-            json::escape(self.policy.name()),
-            self.freq.as_u32(),
-            self.report.to_json()
-        )
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("scenario".to_string(), self.scenario.as_str().into()),
+            ("policy".to_string(), self.policy.name().into()),
+            ("freq_mhz".to_string(), self.freq.as_u32().into()),
+            ("report".to_string(), self.report.to_json_value()),
+        ])
     }
 }
 
@@ -133,24 +133,23 @@ impl MatrixSummary {
     ///
     /// Deterministic for a given matrix regardless of worker-thread count.
     pub fn to_json(&self) -> String {
-        let cells: Vec<String> = self.cells.iter().map(MatrixCell::to_json).collect();
-        let rankings: Vec<String> = self
-            .rankings
-            .iter()
-            .map(|r| {
-                let idxs: Vec<String> = r.ranked.iter().map(|i| i.to_string()).collect();
-                format!(
-                    "{{\"scenario\":\"{}\",\"ranked\":[{}]}}",
-                    json::escape(&r.scenario),
-                    idxs.join(",")
-                )
-            })
-            .collect();
-        format!(
-            "{{\"cells\":[{}],\"rankings\":[{}]}}",
-            cells.join(","),
-            rankings.join(",")
-        )
+        let cells = Value::Array(self.cells.iter().map(MatrixCell::to_json_value).collect());
+        let rankings = Value::Array(
+            self.rankings
+                .iter()
+                .map(|r| {
+                    Value::Object(vec![
+                        ("scenario".to_string(), r.scenario.as_str().into()),
+                        ("ranked".to_string(), r.ranked.clone().into()),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("cells".to_string(), cells),
+            ("rankings".to_string(), rankings),
+        ])
+        .to_string_compact()
     }
 
     /// Writes [`MatrixSummary::to_json`] (plus a trailing newline) to a

@@ -17,7 +17,9 @@
 //! * [`experiment`] — canned runners for the paper's figures (policy
 //!   comparisons, frequency sweeps),
 //! * [`json`] — machine-comparable report serialization
-//!   ([`SimReport::to_json`]).
+//!   ([`SimReport::to_json`]),
+//! * [`sweeps`] — CSV/JSON serialization for frequency and DVFS sweep
+//!   results ([`experiment::FreqPoint`] / [`experiment::DvfsPoint`]).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod json;
 mod report;
 mod runtime;
 mod sampling;
+pub mod sweeps;
 mod trace;
 
 pub use config::{arbiter_for, ScenarioParams, SystemConfig};

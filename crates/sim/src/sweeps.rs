@@ -1,0 +1,199 @@
+//! CSV/JSON serialization for frequency and DVFS sweep results, matching
+//! [`SimReport::to_json`](crate::report::SimReport)'s conventions: stable
+//! column/key order, shortest-round-trip floats, `null` (JSON) for
+//! non-finite values. CSV is the plot input, JSON the machine-comparable
+//! form batch tooling diffs.
+
+use ::json::Value;
+
+use crate::experiment::{DvfsPoint, FreqPoint};
+use crate::sampling::MAX_LEVELS;
+
+/// CSV float cell: shortest round-trip form (CSV has no `null`, and
+/// non-finite values never leave the experiment runners, so `NaN`/`inf`
+/// spell themselves).
+fn cell(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Serializes a frequency sweep as CSV: one row per point, a
+/// `residency_p<level>` column per priority level.
+pub fn freq_points_csv(points: &[FreqPoint]) -> String {
+    let mut out = String::from("freq_mhz,min_npi,core_bytes_per_s,system_bandwidth_gbs");
+    for level in 0..MAX_LEVELS {
+        out.push_str(&format!(",residency_p{level}"));
+    }
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{}",
+            p.freq.as_u32(),
+            cell(p.min_npi),
+            cell(p.core_bytes_per_s),
+            cell(p.system_bandwidth_gbs)
+        ));
+        for r in p.residency {
+            out.push(',');
+            out.push_str(&cell(r));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a frequency sweep as a JSON array of per-point objects.
+pub fn freq_points_json(points: &[FreqPoint]) -> String {
+    Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("freq_mhz".to_string(), p.freq.as_u32().into()),
+                    ("min_npi".to_string(), p.min_npi.into()),
+                    ("core_bytes_per_s".to_string(), p.core_bytes_per_s.into()),
+                    (
+                        "system_bandwidth_gbs".to_string(),
+                        p.system_bandwidth_gbs.into(),
+                    ),
+                    ("residency".to_string(), p.residency.to_vec().into()),
+                ])
+            })
+            .collect(),
+    )
+    .to_string_compact()
+}
+
+/// Serializes a DVFS governor sweep as CSV, one row per candidate
+/// frequency.
+pub fn dvfs_points_csv(points: &[DvfsPoint]) -> String {
+    let mut out = String::from("freq_mhz,all_met,energy_mj,pj_per_bit,bandwidth_gbs\n");
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            p.freq.as_u32(),
+            p.all_met,
+            cell(p.energy_mj),
+            cell(p.pj_per_bit),
+            cell(p.bandwidth_gbs)
+        ));
+    }
+    out
+}
+
+/// Serializes a DVFS governor sweep as a JSON array of per-point objects.
+pub fn dvfs_points_json(points: &[DvfsPoint]) -> String {
+    Value::Array(
+        points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("freq_mhz".to_string(), p.freq.as_u32().into()),
+                    ("all_met".to_string(), p.all_met.into()),
+                    ("energy_mj".to_string(), p.energy_mj.into()),
+                    ("pj_per_bit".to_string(), p.pj_per_bit.into()),
+                    ("bandwidth_gbs".to_string(), p.bandwidth_gbs.into()),
+                ])
+            })
+            .collect(),
+    )
+    .to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_types::MegaHertz;
+
+    fn freq_fixture() -> Vec<FreqPoint> {
+        let mut residency = [0.0; MAX_LEVELS];
+        residency[0] = 0.75;
+        residency[7] = 0.25;
+        vec![
+            FreqPoint {
+                freq: MegaHertz::new(1333),
+                residency,
+                min_npi: 0.875,
+                core_bytes_per_s: 1.5e9,
+                system_bandwidth_gbs: 19.25,
+            },
+            FreqPoint {
+                freq: MegaHertz::new(1866),
+                residency: [0.0; MAX_LEVELS],
+                min_npi: 1.25,
+                core_bytes_per_s: 2e9,
+                system_bandwidth_gbs: 27.5,
+            },
+        ]
+    }
+
+    fn dvfs_fixture() -> Vec<DvfsPoint> {
+        vec![DvfsPoint {
+            freq: MegaHertz::new(1600),
+            all_met: true,
+            energy_mj: 12.5,
+            pj_per_bit: 3.75,
+            bandwidth_gbs: 21.5,
+        }]
+    }
+
+    #[test]
+    fn freq_csv_has_header_and_one_row_per_point() {
+        let csv = freq_points_csv(&freq_fixture());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("freq_mhz,min_npi,"));
+        assert!(lines[0].ends_with(&format!("residency_p{}", MAX_LEVELS - 1)));
+        assert!(lines[1].starts_with("1333,0.875,1500000000,19.25,0.75,"));
+        assert!(lines[2].starts_with("1866,1.25,"));
+        // Every row has the same column count as the header.
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn freq_json_parses_back_with_the_same_fields() {
+        let json = freq_points_json(&freq_fixture());
+        let doc = ::json::parse(&json).expect("sweep JSON parses");
+        let points = doc.as_array().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].get("freq_mhz").and_then(Value::as_u64),
+            Some(1333)
+        );
+        assert_eq!(
+            points[0].get("min_npi").and_then(Value::as_f64),
+            Some(0.875)
+        );
+        let residency = points[0]
+            .get("residency")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(residency.len(), MAX_LEVELS);
+        assert_eq!(residency[7].as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn dvfs_csv_has_header_and_one_row_per_point() {
+        let csv = dvfs_points_csv(&dvfs_fixture());
+        assert_eq!(
+            csv,
+            "freq_mhz,all_met,energy_mj,pj_per_bit,bandwidth_gbs\n1600,true,12.5,3.75,21.5\n"
+        );
+    }
+
+    #[test]
+    fn dvfs_json_parses_back_with_the_same_fields() {
+        let json = dvfs_points_json(&dvfs_fixture());
+        let doc = ::json::parse(&json).expect("sweep JSON parses");
+        let points = doc.as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(
+            points[0].get("all_met").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            points[0].get("energy_mj").and_then(Value::as_f64),
+            Some(12.5)
+        );
+    }
+}

@@ -99,6 +99,12 @@ impl CoreKind {
             CoreKind::Audio => "Audio",
         }
     }
+
+    /// Parses the [`CoreKind::name`] spelling back into a kind — the
+    /// inverse used by scenario file I/O.
+    pub fn from_name(name: &str) -> Option<CoreKind> {
+        CoreKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl fmt::Display for CoreKind {
@@ -241,5 +247,14 @@ mod tests {
             assert!(!kind.name().is_empty());
             assert_eq!(kind.to_string(), kind.name());
         }
+    }
+
+    #[test]
+    fn core_kind_names_round_trip() {
+        for kind in CoreKind::ALL {
+            assert_eq!(CoreKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(CoreKind::from_name("gpu"), None);
+        assert_eq!(CoreKind::from_name(""), None);
     }
 }

@@ -20,14 +20,29 @@ impl MemOp {
     pub fn is_read(self) -> bool {
         matches!(self, MemOp::Read)
     }
+
+    /// Short name as printed by [`fmt::Display`] (`"RD"` / `"WR"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOp::Read => "RD",
+            MemOp::Write => "WR",
+        }
+    }
+
+    /// Parses the [`MemOp::name`] spelling back into an op — the inverse
+    /// used by scenario file I/O.
+    pub fn from_name(name: &str) -> Option<MemOp> {
+        match name {
+            "RD" => Some(MemOp::Read),
+            "WR" => Some(MemOp::Write),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for MemOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            MemOp::Read => "RD",
-            MemOp::Write => "WR",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -196,5 +211,13 @@ mod tests {
     #[test]
     fn addr_offset() {
         assert_eq!(Addr::new(0).offset(128), Addr::new(128));
+    }
+
+    #[test]
+    fn mem_op_names_round_trip() {
+        for op in [MemOp::Read, MemOp::Write] {
+            assert_eq!(MemOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(MemOp::from_name("read"), None);
     }
 }

@@ -1,0 +1,22 @@
+//! Export the built-in scenario catalog as `*.scenario.json` files — the
+//! starting point for a user-supplied catalog: export, edit or add files,
+//! then run them with `scenario_matrix --dir` without recompiling.
+//!
+//! ```sh
+//! cargo run --release --example export_catalog -- my-scenarios
+//! cargo run --release --example scenario_matrix -- --dir my-scenarios
+//! ```
+
+use sara::scenarios::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "catalog".to_string());
+    let paths = catalog::export_all(&dir)?;
+    for path in &paths {
+        println!("wrote {}", path.display());
+    }
+    println!("{} scenario files in {dir}", paths.len());
+    Ok(())
+}

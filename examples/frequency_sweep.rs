@@ -4,12 +4,19 @@
 //!
 //! ```sh
 //! cargo run --release --example frequency_sweep
+//! # dump the sweep for plotting / diffing:
+//! cargo run --release --example frequency_sweep -- sweep.csv sweep.json
 //! ```
 
 use sara::sim::experiment::frequency_sweep;
+use sara::sim::sweeps::{freq_points_csv, freq_points_json};
 use sara::types::CoreKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let csv_path = args.next();
+    let json_path = args.next();
+
     let points = frequency_sweep(CoreKind::ImageProcessor, &[1300, 1500, 1700], 6.0)?;
     println!("image processor priority residency vs DRAM frequency");
     print!("{:<10}", "freq");
@@ -26,5 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nLower frequency -> less deliverable bandwidth -> the core spends");
     println!("more time at urgent levels to keep its frame progress on target.");
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, freq_points_csv(&points))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = json_path {
+        std::fs::write(&path, format!("{}\n", freq_points_json(&points)))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }

@@ -1,26 +1,59 @@
-//! Drive the full scenario catalog through the batch harness: every
-//! built-in scenario × every policy, sharded across worker threads,
-//! aggregated into per-scenario policy rankings and a machine-comparable
-//! JSON summary.
+//! Drive a scenario set through the batch harness: every scenario × every
+//! policy, sharded across worker threads, aggregated into per-scenario
+//! policy rankings and a machine-comparable JSON summary.
+//!
+//! By default the built-in catalog (plus one fuzz scenario) runs; with
+//! `--dir` any directory of `*.scenario.json` files runs instead — no
+//! recompilation to evaluate a user-supplied catalog (export the built-ins
+//! as a starting point with `examples/export_catalog`).
 //!
 //! ```sh
 //! cargo run --release --example scenario_matrix
 //! # longer windows, a frequency sweep and a JSON dump:
 //! cargo run --release --example scenario_matrix -- 5.0 scenario_matrix.json
+//! # run scenario files instead of the compiled-in catalog:
+//! cargo run --release --example scenario_matrix -- --dir my-scenarios 2.0
 //! ```
 
 use sara::memctrl::PolicyKind;
-use sara::scenarios::{catalog, random_scenario, run_matrix, MatrixSpec};
+use sara::scenarios::{catalog, load_dir, random_scenario, run_matrix, MatrixSpec, Scenario};
+
+fn usage() -> ! {
+    eprintln!("usage: scenario_matrix [--dir SCENARIO_DIR] [duration_ms] [json_out]");
+    std::process::exit(2);
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut scenario_dir = None;
+    let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
-    let duration_ms: f64 = args.next().map_or(Ok(2.0), |s| s.parse())?;
-    let json_path = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => match args.next() {
+                Some(dir) => scenario_dir = Some(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() > 2 {
+        usage();
+    }
+    let duration_ms: f64 = positional.first().map_or(Ok(2.0), |s| s.parse())?;
+    let json_path = positional.get(1).cloned();
 
-    // The catalog plus one fuzz scenario, so generated workloads get the
-    // same treatment as curated ones.
-    let mut scenarios = catalog::builtin();
-    scenarios.push(random_scenario(2026));
+    let scenarios: Vec<Scenario> = match &scenario_dir {
+        // A user-supplied catalog: every *.scenario.json in the directory.
+        Some(dir) => load_dir(dir)?,
+        // The compiled-in catalog plus one fuzz scenario, so generated
+        // workloads get the same treatment as curated ones.
+        None => {
+            let mut scenarios = catalog::builtin();
+            scenarios.push(random_scenario(2026));
+            scenarios
+        }
+    };
 
     for s in &scenarios {
         println!(
