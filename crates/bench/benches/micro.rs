@@ -74,7 +74,7 @@ fn bench_meters(c: &mut Criterion) {
         let mut meter = LatencyMeter::new(653.0, 0.05);
         let mut now = Cycle::ZERO;
         b.iter(|| {
-            now = now + 100;
+            now += 100;
             meter.on_inject(now);
             meter.on_complete(now + 1, 128, 400, MemOp::Read);
             black_box(meter.npi(now + 1))
@@ -85,7 +85,7 @@ fn bench_meters(c: &mut Criterion) {
         let mut meter = FrameProgressMeter::new(40_000_000, 62_000_000);
         let mut now = Cycle::ZERO;
         b.iter(|| {
-            now = now + 64;
+            now += 64;
             meter.on_complete(now, 128, 500, MemOp::Read);
             black_box(meter.npi(now))
         });

@@ -15,8 +15,8 @@ fn main() {
     let ms = figure_duration_ms();
     println!("== ablation: priority bits k ({ms:.1} ms per point) ==");
     println!(
-        "{:<6} {:>7} {:>10} {:>9}  {}",
-        "k", "levels", "GB/s", "failures", "failed cores"
+        "{:<6} {:>7} {:>10} {:>9}  failed cores",
+        "k", "levels", "GB/s", "failures"
     );
     for bits in 1..=4u8 {
         let bits = PriorityBits::new(bits).expect("1..=4");

@@ -15,8 +15,8 @@ fn main() {
     let ms = figure_duration_ms();
     println!("== ablation: Policy 2 row-buffer threshold δ ({ms:.1} ms per point) ==");
     println!(
-        "{:<8} {:>10} {:>10} {:>9}  {}",
-        "delta", "GB/s", "row-hit%", "failures", "failed cores"
+        "{:<8} {:>10} {:>10} {:>9}  failed cores",
+        "delta", "GB/s", "row-hit%", "failures"
     );
     for delta in [0u8, 2, 4, 6, 7, 8] {
         let mut cfg =

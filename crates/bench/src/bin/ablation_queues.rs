@@ -11,8 +11,8 @@ fn main() {
     let ms = figure_duration_ms();
     println!("== ablation: 42-entry queue split [CPU,GPU,DSP,media,system] ({ms:.1} ms) ==");
     println!(
-        "{:<22} {:>10} {:>9}  {}",
-        "split", "GB/s", "failures", "failed cores"
+        "{:<22} {:>10} {:>9}  failed cores",
+        "split", "GB/s", "failures"
     );
     let splits: [[usize; NUM_QUEUES]; 4] = [
         [6, 6, 4, 20, 6], // default: media-weighted

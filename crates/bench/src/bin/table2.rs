@@ -39,8 +39,8 @@ fn traffic_label(traffic: &TrafficSpec) -> String {
 fn main() {
     println!("== Table 2: heterogeneous cores and target performance types ==");
     println!(
-        "{:<16} {:<18} {:<12} {:<10} {}",
-        "core", "performance type", "class", "DMAs", "per-DMA traffic"
+        "{:<16} {:<18} {:<12} {:<10} per-DMA traffic",
+        "core", "performance type", "class", "DMAs"
     );
     let mut total_fixed = 0.0;
     for core in camcorder_cores() {

@@ -1,0 +1,390 @@
+//! `sara bench` — scenario-matrix throughput with a CI-gateable baseline.
+//!
+//! Each catalog scenario runs its full policy matrix serially (one worker
+//! thread, so the number is single-core simulation throughput and stays
+//! comparable across machines with different core counts), best-of
+//! `--repeat` wall-clock timings, reported as matrix cells per second.
+//!
+//! The JSON document is deterministic in *shape* — same keys, same
+//! scenario order, same cell counts on every run and machine — with only
+//! the measured `cells_per_sec` values varying, which is what makes a
+//! checked-in baseline diffable and a tolerance-gated CI comparison
+//! meaningful.
+
+use std::time::Instant;
+
+use json::Value;
+use sara_memctrl::PolicyKind;
+use sara_scenarios::{catalog, run_matrix, MatrixSpec};
+
+use crate::args::{Args, CliError};
+use crate::output::{emit_value, Progress, Sink};
+
+const USAGE: &str = "usage: sara bench [--duration-ms MS] [--repeat N] [--json PATH|-] \
+                     [--pretty] [--baseline PATH] [--tolerance F]";
+
+const HELP: &str = "\
+sara bench — measure matrix throughput; emit or check a baseline
+
+usage: sara bench [options]
+
+  --duration-ms MS   simulated length per cell (default 0.2)
+  --repeat N         timing repeats per scenario, best-of (default 3)
+  --json PATH|-      write the measurement document as JSON
+  --pretty           pretty-print the JSON output
+  --baseline PATH    compare against a checked-in baseline document and
+                     fail on regression; with SARA_UPDATE_BASELINE=1 in
+                     the environment, (re)write PATH instead
+  --tolerance F      allowed slowdown factor vs the baseline (default 2.5,
+                     machine-noise-aware)
+
+Every catalog scenario runs all six policies serially; throughput is
+matrix cells per second. The output shape (keys, scenario order, cell
+counts) is byte-deterministic across runs — only the timings move.
+
+Regenerate the committed baseline after an intentional change:
+  SARA_UPDATE_BASELINE=1 sara bench --baseline tests/data/bench-baseline.json";
+
+/// The `format` tag carried by measurement and baseline documents.
+pub const FORMAT_TAG: &str = "sara-bench/v1";
+
+/// One scenario's measured throughput.
+#[derive(Debug, Clone, PartialEq)]
+struct Measurement {
+    name: String,
+    cells: usize,
+    cells_per_sec: f64,
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for bad flags; runtime failure for simulation errors,
+/// output I/O, an unreadable baseline, or a throughput regression.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let mut args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let duration_ms = args.take_parsed::<f64>("--duration-ms")?.unwrap_or(0.2);
+    if !duration_ms.is_finite() || duration_ms <= 0.0 {
+        return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
+    }
+    let repeat = args.take_parsed::<usize>("--repeat")?.unwrap_or(3).max(1);
+    let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
+    let pretty = args.take_flag("--pretty");
+    let baseline_path = args.take_opt("--baseline")?;
+    let tolerance = args.take_parsed::<f64>("--tolerance")?.unwrap_or(2.5);
+    if !tolerance.is_finite() || tolerance < 1.0 {
+        return Err(CliError::usage(USAGE, "--tolerance must be ≥ 1"));
+    }
+    args.finish()?;
+
+    let progress = Progress::new(&[json_sink.as_ref()]);
+    let measurements = measure(duration_ms, repeat, &progress)?;
+    let doc = to_value(duration_ms, &measurements);
+
+    if let Some(sink) = &json_sink {
+        sink.write(&emit_value(&doc, pretty))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+
+    if let Some(path) = &baseline_path {
+        if std::env::var_os("SARA_UPDATE_BASELINE").is_some() {
+            Sink::File(path.into()).write(&emit_value(&doc, true))?;
+            progress.line(format!("wrote baseline {path}"));
+        } else {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            let baseline =
+                json::parse(&text).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+            for line in compare_baseline(&doc, &baseline, tolerance)? {
+                progress.line(line);
+            }
+            progress.line(format!(
+                "baseline check passed ({} scenarios within {tolerance}x of {path})",
+                measurements.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Times every catalog scenario's policy matrix, serially, best-of
+/// `repeat`.
+fn measure(
+    duration_ms: f64,
+    repeat: usize,
+    progress: &Progress,
+) -> Result<Vec<Measurement>, CliError> {
+    let spec = MatrixSpec {
+        policies: PolicyKind::ALL.to_vec(),
+        freqs_mhz: Vec::new(),
+        duration_ms: Some(duration_ms),
+        threads: 1,
+    };
+    progress.line(format!(
+        "{} scenarios x {} policies, {duration_ms} ms per cell, best of {repeat}, serial",
+        catalog::builtin().len(),
+        spec.policies.len()
+    ));
+    let mut out = Vec::new();
+    for scenario in catalog::builtin() {
+        let cells = spec.policies.len();
+        let scenarios = [scenario];
+        let mut best = f64::INFINITY;
+        for _ in 0..repeat {
+            let start = Instant::now();
+            run_matrix(&scenarios, &spec)
+                .map_err(|e| CliError::Failure(e.message().to_string()))?;
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let cells_per_sec = cells as f64 / best;
+        progress.line(format!(
+            "{:<18} {:>8.2} cells/sec  ({cells} cells in {:.3}s)",
+            scenarios[0].name, cells_per_sec, best
+        ));
+        out.push(Measurement {
+            name: scenarios[0].name.clone(),
+            cells,
+            cells_per_sec,
+        });
+    }
+    Ok(out)
+}
+
+/// Builds the measurement document (the same shape baselines are stored
+/// in).
+fn to_value(duration_ms: f64, measurements: &[Measurement]) -> Value {
+    Value::Object(vec![
+        ("format".to_string(), FORMAT_TAG.into()),
+        ("duration_ms".to_string(), duration_ms.into()),
+        (
+            "policies".to_string(),
+            Value::Array(PolicyKind::ALL.iter().map(|p| p.name().into()).collect()),
+        ),
+        (
+            "scenarios".to_string(),
+            Value::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        Value::Object(vec![
+                            ("name".to_string(), m.name.as_str().into()),
+                            ("cells".to_string(), m.cells.into()),
+                            ("cells_per_sec".to_string(), m.cells_per_sec.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Reads the scenario list out of a measurement/baseline document.
+fn scenarios_of(doc: &Value, what: &str) -> Result<Vec<Measurement>, CliError> {
+    let bad = |msg: String| CliError::Failure(format!("{what}: {msg}"));
+    match doc.get("format").and_then(Value::as_str) {
+        Some(FORMAT_TAG) => {}
+        other => {
+            return Err(bad(format!(
+                "format tag {other:?} (expected \"{FORMAT_TAG}\")"
+            )))
+        }
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("missing \"scenarios\" array".to_string()))?;
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let field = |key: &str| {
+                s.get(key)
+                    .ok_or_else(|| bad(format!("scenarios[{i}] missing \"{key}\"")))
+            };
+            Ok(Measurement {
+                name: field("name")?
+                    .as_str()
+                    .ok_or_else(|| bad(format!("scenarios[{i}].name not a string")))?
+                    .to_string(),
+                cells: field("cells")?
+                    .as_u64()
+                    .ok_or_else(|| bad(format!("scenarios[{i}].cells not an integer")))?
+                    as usize,
+                cells_per_sec: field("cells_per_sec")?
+                    .as_f64()
+                    .filter(|v| v.is_finite() && *v > 0.0)
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "scenarios[{i}].cells_per_sec not a positive number"
+                        ))
+                    })?,
+            })
+        })
+        .collect()
+}
+
+/// Compares a fresh measurement against a stored baseline: every baseline
+/// scenario must still exist with the same cell count, and its measured
+/// throughput must stay within `tolerance ×` of the recorded value.
+/// Returns the per-scenario report lines.
+fn compare_baseline(
+    measured: &Value,
+    baseline: &Value,
+    tolerance: f64,
+) -> Result<Vec<String>, CliError> {
+    const REGEN: &str =
+        "regenerate with SARA_UPDATE_BASELINE=1 sara bench --baseline <path> after an \
+         intentional catalog or harness change";
+    let (m_ms, b_ms) = (
+        measured.get("duration_ms").and_then(Value::as_f64),
+        baseline.get("duration_ms").and_then(Value::as_f64),
+    );
+    if m_ms != b_ms {
+        return Err(CliError::Failure(format!(
+            "baseline was recorded at duration_ms {b_ms:?} but this run used {m_ms:?} — \
+             cells/sec are not comparable; match --duration-ms or {REGEN}"
+        )));
+    }
+    let measured = scenarios_of(measured, "measurement")?;
+    let baseline = scenarios_of(baseline, "baseline")?;
+    let names = |list: &[Measurement]| {
+        list.iter()
+            .map(|m| m.name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if measured.len() != baseline.len()
+        || measured
+            .iter()
+            .zip(&baseline)
+            .any(|(m, b)| m.name != b.name || m.cells != b.cells)
+    {
+        return Err(CliError::Failure(format!(
+            "baseline shape does not match this catalog (baseline: {}; measured: {}) — {REGEN}",
+            names(&baseline),
+            names(&measured)
+        )));
+    }
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for (m, b) in measured.iter().zip(&baseline) {
+        let floor = b.cells_per_sec / tolerance;
+        if m.cells_per_sec < floor {
+            regressions.push(format!(
+                "{}: {:.2} cells/sec, below the {tolerance}x floor of {:.2} (baseline {:.2})",
+                m.name, m.cells_per_sec, floor, b.cells_per_sec
+            ));
+        } else {
+            lines.push(format!(
+                "ok {:<18} {:>8.2} cells/sec (baseline {:.2}, floor {:.2})",
+                m.name, m.cells_per_sec, b.cells_per_sec, floor
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        Err(CliError::Failure(format!(
+            "throughput regression in {} scenario{}:\n  {}\n{REGEN}",
+            regressions.len(),
+            if regressions.len() == 1 { "" } else { "s" },
+            regressions.join("\n  ")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, usize, f64)]) -> Value {
+        to_value(
+            0.2,
+            &entries
+                .iter()
+                .map(|&(name, cells, cps)| Measurement {
+                    name: name.to_string(),
+                    cells,
+                    cells_per_sec: cps,
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn document_round_trips_through_the_parser() {
+        let d = doc(&[("adas", 6, 120.0), ("saturation", 6, 80.5)]);
+        let text = emit_value(&d, true);
+        let back = scenarios_of(&json::parse(text.trim()).unwrap(), "t").unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "adas");
+        assert_eq!(back[1].cells_per_sec, 80.5);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_reports_every_scenario() {
+        let base = doc(&[("a", 6, 100.0)]);
+        let measured = doc(&[("a", 6, 41.0)]); // above 100/2.5 = 40
+        let lines = compare_baseline(&measured, &base, 2.5).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("ok a"));
+    }
+
+    #[test]
+    fn regression_fails_with_the_offender_named() {
+        let base = doc(&[("a", 6, 100.0), ("b", 6, 100.0)]);
+        let measured = doc(&[("a", 6, 39.0), ("b", 6, 100.0)]);
+        let err = compare_baseline(&measured, &base, 2.5).unwrap_err();
+        let CliError::Failure(msg) = err else {
+            panic!("expected failure")
+        };
+        assert!(msg.contains("a: 39.00"), "{msg}");
+        assert!(msg.contains("SARA_UPDATE_BASELINE"), "{msg}");
+        assert!(!msg.contains("b:"), "{msg}");
+    }
+
+    #[test]
+    fn faster_than_baseline_is_fine() {
+        let base = doc(&[("a", 6, 100.0)]);
+        let measured = doc(&[("a", 6, 1000.0)]);
+        assert!(compare_baseline(&measured, &base, 2.5).is_ok());
+    }
+
+    #[test]
+    fn catalog_shape_mismatch_demands_a_regen() {
+        let base = doc(&[("a", 6, 100.0)]);
+        let renamed = doc(&[("z", 6, 100.0)]);
+        let err = compare_baseline(&renamed, &base, 2.5).unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("shape")));
+        let fewer_cells = doc(&[("a", 5, 100.0)]);
+        assert!(compare_baseline(&fewer_cells, &base, 2.5).is_err());
+    }
+
+    #[test]
+    fn duration_mismatch_is_not_comparable() {
+        let base = doc(&[("a", 6, 100.0)]);
+        let mut other = doc(&[("a", 6, 100.0)]);
+        if let Value::Object(members) = &mut other {
+            members[1].1 = 0.5f64.into();
+        }
+        let err = compare_baseline(&other, &base, 2.5).unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("duration_ms")));
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let mut d = doc(&[("a", 6, 100.0)]);
+        if let Value::Object(members) = &mut d {
+            members[0].1 = "sara-bench/v0".into();
+        }
+        let err = scenarios_of(&d, "baseline").unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("format tag")));
+    }
+}

@@ -1,0 +1,41 @@
+//! `sara export` — write the built-in catalog as `.scenario.json` files.
+
+use sara_scenarios::catalog;
+
+use crate::args::{Args, CliError};
+
+const USAGE: &str = "usage: sara export [DIR]";
+
+const HELP: &str = "\
+sara export — write the built-in catalog as .scenario.json files
+
+usage: sara export [DIR]
+
+Writes every built-in scenario as DIR/<name>.scenario.json (DIR defaults
+to `catalog`, created if needed). The written files are byte-identical to
+the goldens under tests/data/ and are directly runnable with
+`sara matrix --dir DIR` after any edits — the zero-recompilation path.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for bad flags; runtime failure on I/O errors.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let positional = args.finish_positional(1)?;
+    let dir = positional
+        .first()
+        .map_or("catalog", String::as_str)
+        .to_string();
+    let paths = catalog::export_all(&dir).map_err(|e| CliError::Failure(format!("{dir}: {e}")))?;
+    for path in &paths {
+        println!("wrote {}", path.display());
+    }
+    println!("{} scenario files in {dir}", paths.len());
+    Ok(())
+}

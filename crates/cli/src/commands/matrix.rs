@@ -1,0 +1,125 @@
+//! `sara matrix` — the scenario × policy × frequency batch harness.
+
+use sara_scenarios::{run_matrix, MatrixSpec};
+
+use crate::args::{parse_freqs, parse_names, parse_policies, Args, CliError};
+use crate::commands::{load_scenarios, scenario_row};
+use crate::output::{emit_value, reject_double_stdout, Progress, Sink};
+
+const USAGE: &str = "usage: sara matrix [--dir DIR | --scenarios NAMES] [--policies NAMES] \
+                     [--freqs MHZ] [--duration-ms MS] [--jobs N] [--json PATH|-] [--csv PATH|-] \
+                     [--pretty]";
+
+const HELP: &str = "\
+sara matrix — run scenarios x policies x frequencies, ranked
+
+usage: sara matrix [options]
+
+scenario selection (default: the whole built-in catalog):
+  --dir DIR          run every *.scenario.json in DIR instead
+  --scenarios NAMES  comma-separated catalog names (e.g. adas,ar-headset)
+
+matrix shape:
+  --policies NAMES   comma-separated policies (FCFS, RR, FrameQoS, QoS,
+                     QoS-RB, FR-FCFS) or `all`; default all six
+  --freqs MHZ        comma-separated DRAM frequency overrides; default:
+                     each scenario's own frequency
+  --duration-ms MS   run length per cell; default: each scenario's
+                     nominal duration
+  --jobs N           worker threads (default: all hardware threads; the
+                     aggregate is byte-identical for any value)
+
+output:
+  --json PATH|-      write the full summary (cells + rankings) as JSON
+  --csv PATH|-       write one CSV row per cell with its scenario-local rank
+  --pretty           pretty-print the JSON output
+
+`-` sends machine output to stdout and demotes progress text to stderr.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for bad flags or selections; runtime failure for load,
+/// simulation, or output I/O errors.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let mut args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let dir = args.take_opt("--dir")?;
+    let names = match args.take_opt("--scenarios")? {
+        None => Vec::new(),
+        Some(raw) => {
+            let names = parse_names(&raw);
+            // An empty selection (e.g. an unset shell variable) must not
+            // silently widen into the whole catalog.
+            if names.is_empty() {
+                return Err(CliError::usage(
+                    USAGE,
+                    "--scenarios selected nothing (empty list)",
+                ));
+            }
+            names
+        }
+    };
+    let policies = match args.take_opt("--policies")? {
+        Some(raw) => parse_policies(&raw, USAGE)?,
+        None => sara_memctrl::PolicyKind::ALL.to_vec(),
+    };
+    let freqs_mhz = match args.take_opt("--freqs")? {
+        Some(raw) => parse_freqs(&raw, USAGE)?,
+        None => Vec::new(),
+    };
+    let duration_ms = args.take_parsed::<f64>("--duration-ms")?;
+    if duration_ms.is_some_and(|ms| !ms.is_finite() || ms <= 0.0) {
+        return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
+    }
+    let jobs = args.take_parsed::<usize>("--jobs")?;
+    let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
+    let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
+    reject_double_stdout(json_sink.as_ref(), csv_sink.as_ref(), USAGE)?;
+    let pretty = args.take_flag("--pretty");
+    args.finish()?;
+
+    let scenarios = load_scenarios(dir.as_deref(), &names, USAGE)?;
+    let spec = MatrixSpec {
+        policies,
+        freqs_mhz,
+        duration_ms,
+        threads: jobs.unwrap_or_else(|| MatrixSpec::default().threads),
+    };
+
+    let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref()]);
+    for s in &scenarios {
+        progress.line(scenario_row(s));
+    }
+    let freqs_per_scenario = spec.freqs_mhz.len().max(1);
+    progress.line(format!(
+        "\nrunning {} cells ({} scenarios x {} policies x {} frequencies) on {} threads...\n",
+        scenarios.len() * spec.policies.len() * freqs_per_scenario,
+        scenarios.len(),
+        spec.policies.len(),
+        freqs_per_scenario,
+        spec.threads.max(1)
+    ));
+
+    let summary =
+        run_matrix(&scenarios, &spec).map_err(|e| CliError::Failure(e.message().to_string()))?;
+    progress.line(summary.summary_table());
+
+    if let Some(sink) = &json_sink {
+        sink.write(&emit_value(&summary.to_json_value(), pretty))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    if let Some(sink) = &csv_sink {
+        sink.write(&summary.to_csv())?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    Ok(())
+}

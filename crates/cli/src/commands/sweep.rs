@@ -1,0 +1,168 @@
+//! `sara sweep` — DRAM frequency and DVFS-governor sweeps.
+
+use sara_sim::experiment::{dvfs_governor, frequency_sweep};
+use sara_sim::sweeps::{dvfs_points_csv, dvfs_points_json, freq_points_csv, freq_points_json};
+use sara_sim::MAX_LEVELS;
+use sara_types::CoreKind;
+use sara_workloads::TestCase;
+
+use crate::args::{parse_freqs, Args, CliError};
+use crate::output::{reject_double_stdout, Progress, Sink};
+
+const USAGE: &str = "usage: sara sweep [--dvfs] [--core NAME] [--case A|B] [--freqs MHZ] \
+                     [--duration-ms MS] [--csv PATH|-] [--json PATH|-]";
+
+const HELP: &str = "\
+sara sweep — DRAM frequency / DVFS sweeps over the camcorder workload
+
+usage: sara sweep [options]
+
+default mode (priority-adaptation sweep, the paper's Fig. 7):
+  --core NAME        observed core, Table 2 spelling (default: Image Proc.)
+  --freqs MHZ        frequencies to sweep (default: 1300,1500,1700)
+
+--dvfs mode (self-aware governor: lowest frequency meeting all targets):
+  --case A|B         camcorder test case (default: B)
+  --freqs MHZ        candidate frequencies (default: 1333,1600,1700,1866)
+
+common:
+  --duration-ms MS   run length per point (default: 6)
+  --csv PATH|-       write the sweep as CSV (plot input)
+  --json PATH|-      write the sweep as JSON (machine-comparable)
+
+`-` sends machine output to stdout and demotes progress text to stderr.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for bad flags; runtime failure for simulation or output
+/// I/O errors.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let mut args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let dvfs = args.take_flag("--dvfs");
+    let core = args.take_opt("--core")?;
+    let case = args.take_opt("--case")?;
+    let freqs = args.take_opt("--freqs")?;
+    let duration_ms = args.take_parsed::<f64>("--duration-ms")?.unwrap_or(6.0);
+    if !duration_ms.is_finite() || duration_ms <= 0.0 {
+        return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
+    }
+    let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
+    let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
+    reject_double_stdout(csv_sink.as_ref(), json_sink.as_ref(), USAGE)?;
+    args.finish()?;
+
+    let progress = Progress::new(&[csv_sink.as_ref(), json_sink.as_ref()]);
+    let (csv, json) = if dvfs {
+        if core.is_some() {
+            return Err(CliError::usage(USAGE, "--core only applies without --dvfs"));
+        }
+        let case = parse_case(case.as_deref().unwrap_or("B"))?;
+        let freqs = match freqs {
+            Some(raw) => parse_freqs(&raw, USAGE)?,
+            None => vec![1333, 1600, 1700, 1866],
+        };
+        let (points, chosen) = dvfs_governor(case, &freqs, duration_ms)
+            .map_err(|e| CliError::Failure(e.message().to_string()))?;
+        progress.line(format!(
+            "{:<10} {:>8} {:>11} {:>10} {:>9}",
+            "freq", "all_met", "energy_mJ", "pJ/bit", "GB/s"
+        ));
+        for p in &points {
+            progress.line(format!(
+                "{:<10} {:>8} {:>11.3} {:>10.3} {:>9.2}",
+                p.freq.to_string(),
+                p.all_met,
+                p.energy_mj,
+                p.pj_per_bit,
+                p.bandwidth_gbs
+            ));
+        }
+        match chosen {
+            Some(i) => progress.line(format!(
+                "\ngovernor picks {} — the lowest candidate meeting every target",
+                points[i].freq
+            )),
+            None => progress.line("\nno candidate frequency meets every target"),
+        }
+        (
+            dvfs_points_csv(&points),
+            format!("{}\n", dvfs_points_json(&points)),
+        )
+    } else {
+        if case.is_some() {
+            return Err(CliError::usage(USAGE, "--case only applies with --dvfs"));
+        }
+        let observed = match core.as_deref() {
+            None => CoreKind::ImageProcessor,
+            Some(name) => CoreKind::from_name(name).ok_or_else(|| {
+                let known: Vec<&str> = CoreKind::ALL.iter().map(|k| k.name()).collect();
+                CliError::usage(
+                    USAGE,
+                    format!(
+                        "unknown core \"{name}\" (expected one of: {})",
+                        known.join(", ")
+                    ),
+                )
+            })?,
+        };
+        let freqs = match freqs {
+            Some(raw) => parse_freqs(&raw, USAGE)?,
+            None => vec![1300, 1500, 1700],
+        };
+        let points = frequency_sweep(observed, &freqs, duration_ms)
+            .map_err(|e| CliError::Failure(e.message().to_string()))?;
+        progress.line(format!(
+            "{} priority residency vs DRAM frequency",
+            observed.name()
+        ));
+        let mut header = format!("{:<10}", "freq");
+        for level in 0..MAX_LEVELS {
+            header.push_str(&format!(" {:>6}", format!("P{level}")));
+        }
+        header.push_str(&format!("  {:>7}", "minNPI"));
+        progress.line(header);
+        for p in &points {
+            let mut row = format!("{:<10}", p.freq.to_string());
+            for level in 0..MAX_LEVELS {
+                row.push_str(&format!(" {:>5.1}%", p.residency[level] * 100.0));
+            }
+            row.push_str(&format!("  {:>7.3}", p.min_npi));
+            progress.line(row);
+        }
+        (
+            freq_points_csv(&points),
+            format!("{}\n", freq_points_json(&points)),
+        )
+    };
+
+    if let Some(sink) = &csv_sink {
+        sink.write(&csv)?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    if let Some(sink) = &json_sink {
+        sink.write(&json)?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    Ok(())
+}
+
+fn parse_case(raw: &str) -> Result<TestCase, CliError> {
+    match raw {
+        "A" | "a" => Ok(TestCase::A),
+        "B" | "b" => Ok(TestCase::B),
+        other => Err(CliError::usage(
+            USAGE,
+            format!("unknown test case \"{other}\" (expected A or B)"),
+        )),
+    }
+}

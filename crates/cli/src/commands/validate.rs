@@ -1,0 +1,106 @@
+//! `sara validate` — strictly parse and check scenario files.
+
+use std::path::{Path, PathBuf};
+
+use sara_scenarios::{Scenario, SCENARIO_FILE_SUFFIX};
+
+use crate::args::{Args, CliError};
+
+const USAGE: &str = "usage: sara validate PATH [PATH ...]";
+
+const HELP: &str = "\
+sara validate — strictly parse and check scenario files
+
+usage: sara validate PATH [PATH ...]
+
+Each PATH is a .scenario.json file or a directory (every *.scenario.json
+inside, sorted by file name). Validation is the full production path: the
+strict sara-scenario/v1 reader (unknown keys, missing fields, nulled
+numbers and out-of-range values are errors naming the offending path)
+plus a lowering check that the scenario builds a simulator configuration.
+Exits non-zero on the first error.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error when no path is given; runtime failure naming the first
+/// file that fails to parse, check, or lower.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let paths = args.finish_positional(usize::MAX)?;
+    if paths.is_empty() {
+        return Err(CliError::usage(
+            USAGE,
+            "expected at least one file or directory",
+        ));
+    }
+    let mut checked = 0usize;
+    for path in &paths {
+        let path = Path::new(path);
+        let files = if path.is_dir() {
+            scenario_files(path)?
+        } else {
+            vec![path.to_path_buf()]
+        };
+        for file in files {
+            let scenario = validate_file(&file)?;
+            println!(
+                "ok {} ({}: {} cores, {} DMAs)",
+                file.display(),
+                scenario.name,
+                scenario.cores.len(),
+                scenario.dma_count()
+            );
+            checked += 1;
+        }
+    }
+    println!(
+        "{checked} scenario file{} valid",
+        if checked == 1 { "" } else { "s" }
+    );
+    Ok(())
+}
+
+/// Parses one file and checks that it lowers onto a simulator config.
+fn validate_file(path: &Path) -> Result<Scenario, CliError> {
+    let scenario =
+        Scenario::from_json_file(path).map_err(|e| CliError::Failure(e.message().to_string()))?;
+    scenario
+        .config()
+        .map_err(|e| CliError::Failure(format!("{}: {}", path.display(), e.message())))?;
+    Ok(scenario)
+}
+
+/// All `*.scenario.json` files in a directory, sorted by file name (the
+/// same selection and order as `load_dir`, kept per-file so each validated
+/// path is reported individually).
+fn scenario_files(dir: &Path) -> Result<Vec<PathBuf>, CliError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| CliError::Failure(format!("{}: {e}", dir.display())))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| CliError::Failure(format!("{}: {e}", dir.display())))?
+            .path();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(SCENARIO_FILE_SUFFIX))
+        {
+            files.push(path);
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::Failure(format!(
+            "{}: no *{SCENARIO_FILE_SUFFIX} files found",
+            dir.display()
+        )));
+    }
+    Ok(files)
+}

@@ -1,0 +1,7 @@
+//! The `sara` binary: a thin shell over [`sara_cli::run`], which owns all
+//! argument parsing, output-sink selection and driver logic (the examples
+//! under `examples/` are shims over the same entry point).
+
+fn main() {
+    std::process::exit(sara_cli::run(std::env::args().skip(1)));
+}

@@ -1,0 +1,170 @@
+//! Output-sink selection shared by every subcommand: `--json`/`--csv`
+//! values name a file, or `-` for stdout. When a sink claims stdout, the
+//! human-readable progress text moves to stderr so machine output stays
+//! parseable in a pipe.
+
+use std::path::PathBuf;
+
+use json::Value;
+
+use crate::args::CliError;
+
+/// Where serialized output goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sink {
+    /// `-`: write to stdout.
+    Stdout,
+    /// Anything else: write (create/truncate) the named file.
+    File(PathBuf),
+}
+
+impl Sink {
+    /// Parses a `--json`/`--csv` flag value.
+    pub fn parse(raw: &str) -> Sink {
+        if raw == "-" {
+            Sink::Stdout
+        } else {
+            Sink::File(PathBuf::from(raw))
+        }
+    }
+
+    /// Whether this sink writes to stdout.
+    pub fn is_stdout(&self) -> bool {
+        matches!(self, Sink::Stdout)
+    }
+
+    /// Writes `text` to the sink.
+    ///
+    /// A closed stdout pipe (the reader took what it wanted — `sara
+    /// matrix --json - | head`) is success, not a panic or an error.
+    ///
+    /// # Errors
+    ///
+    /// Runtime failure naming the file on any I/O error.
+    pub fn write(&self, text: &str) -> Result<(), CliError> {
+        match self {
+            Sink::Stdout => {
+                use std::io::Write;
+                let mut out = std::io::stdout();
+                match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+                    Ok(()) => Ok(()),
+                    Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+                    Err(e) => Err(CliError::Failure(format!("stdout: {e}"))),
+                }
+            }
+            Sink::File(path) => std::fs::write(path, text)
+                .map_err(|e| CliError::Failure(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// A human description for "wrote …" progress lines.
+    pub fn describe(&self) -> String {
+        match self {
+            Sink::Stdout => "stdout".to_string(),
+            Sink::File(path) => path.display().to_string(),
+        }
+    }
+}
+
+/// Serializes a JSON document for a sink: compact by default, pretty on
+/// request (both via the shared `sara_compat_json` emitters), always with
+/// a trailing newline.
+pub fn emit_value(value: &Value, pretty: bool) -> String {
+    let mut text = if pretty {
+        value.to_string_pretty()
+    } else {
+        value.to_string_compact()
+    };
+    text.push('\n');
+    text
+}
+
+/// Rejects two sinks both claiming stdout: the interleaved stream would be
+/// neither valid JSON nor valid CSV.
+///
+/// # Errors
+///
+/// Usage error when both sinks are `-`.
+pub fn reject_double_stdout(
+    a: Option<&Sink>,
+    b: Option<&Sink>,
+    usage: &str,
+) -> Result<(), CliError> {
+    if a.is_some_and(Sink::is_stdout) && b.is_some_and(Sink::is_stdout) {
+        return Err(CliError::usage(
+            usage,
+            "at most one of --json/--csv can write to stdout (`-`); send the other to a file",
+        ));
+    }
+    Ok(())
+}
+
+/// A progress printer that yields stdout to machine output when any sink
+/// claims it.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    to_stderr: bool,
+}
+
+impl Progress {
+    /// Chooses the progress stream given the sinks in play.
+    pub fn new(sinks: &[Option<&Sink>]) -> Progress {
+        Progress {
+            to_stderr: sinks.iter().any(|s| s.is_some_and(Sink::is_stdout)),
+        }
+    }
+
+    /// Prints one progress line on the chosen stream. A closed pipe drops
+    /// the line instead of panicking mid-run.
+    pub fn line(&self, text: impl AsRef<str>) {
+        use std::io::Write;
+        let _ = if self.to_stderr {
+            writeln!(std::io::stderr(), "{}", text.as_ref())
+        } else {
+            writeln!(std::io::stdout(), "{}", text.as_ref())
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_parse_distinguishes_stdout() {
+        assert_eq!(Sink::parse("-"), Sink::Stdout);
+        assert!(Sink::parse("-").is_stdout());
+        let file = Sink::parse("out/matrix.json");
+        assert_eq!(file, Sink::File(PathBuf::from("out/matrix.json")));
+        assert!(!file.is_stdout());
+        assert_eq!(file.describe(), "out/matrix.json");
+    }
+
+    #[test]
+    fn emit_value_is_newline_terminated_both_ways() {
+        let v = Value::Object(vec![("a".to_string(), Value::UInt(1))]);
+        let compact = emit_value(&v, false);
+        let pretty = emit_value(&v, true);
+        assert!(compact.ends_with('\n') && pretty.ends_with('\n'));
+        assert!(compact.len() < pretty.len());
+        assert_eq!(json::parse(compact.trim()).unwrap(), v);
+        assert_eq!(json::parse(pretty.trim()).unwrap(), v);
+    }
+
+    #[test]
+    fn double_stdout_sinks_are_rejected() {
+        let stdout = Sink::Stdout;
+        let file = Sink::File(PathBuf::from("x.json"));
+        assert!(reject_double_stdout(Some(&stdout), Some(&stdout), "u").is_err());
+        assert!(reject_double_stdout(Some(&stdout), Some(&file), "u").is_ok());
+        assert!(reject_double_stdout(Some(&stdout), None, "u").is_ok());
+        assert!(reject_double_stdout(None, None, "u").is_ok());
+    }
+
+    #[test]
+    fn file_sink_write_failure_names_the_path() {
+        let sink = Sink::File(PathBuf::from("/nonexistent-dir/x.json"));
+        let err = sink.write("x").unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("/nonexistent-dir/x.json")));
+    }
+}

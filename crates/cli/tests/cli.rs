@@ -1,0 +1,390 @@
+//! Integration tests driving the built `sara` binary: exit codes and
+//! stderr on bad invocations, golden `--help` output, the
+//! export → validate → matrix end-to-end path, and the deterministic
+//! shape of `sara bench` output.
+//!
+//! Golden regeneration (after an intentional help-text change):
+//!
+//! ```sh
+//! SARA_UPDATE_GOLDENS=1 cargo test -p sara-cli --test cli
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use json::Value;
+
+fn sara(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sara"))
+        .args(args)
+        .env_remove("SARA_UPDATE_BASELINE")
+        .output()
+        .expect("spawn sara")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout utf-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr utf-8")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+/// A per-test scratch directory (process id + test name keeps parallel
+/// test threads and parallel suites apart).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sara-cli-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+// --- golden --help output ---------------------------------------------------
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+fn check_golden(args: &[&str], name: &str) {
+    let out = sara(args);
+    assert_eq!(code(&out), 0, "{args:?} failed: {}", stderr(&out));
+    let text = stdout(&out);
+    let path = golden_path(name);
+    if std::env::var_os("SARA_UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &text).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(regenerate goldens with SARA_UPDATE_GOLDENS=1 \
+             cargo test -p sara-cli --test cli)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text,
+        want,
+        "`sara {}` drifted from {}; regenerate with SARA_UPDATE_GOLDENS=1 \
+         cargo test -p sara-cli --test cli",
+        args.join(" "),
+        path.display()
+    );
+}
+
+#[test]
+fn help_output_matches_goldens() {
+    check_golden(&["--help"], "help.txt");
+    check_golden(&["matrix", "--help"], "help-matrix.txt");
+    check_golden(&["bench", "--help"], "help-bench.txt");
+}
+
+#[test]
+fn every_subcommand_answers_help() {
+    for cmd in [
+        "export", "validate", "list", "matrix", "sweep", "gen", "bench",
+    ] {
+        let out = sara(&[cmd, "--help"]);
+        assert_eq!(code(&out), 0, "{cmd} --help failed");
+        let text = stdout(&out);
+        assert!(
+            text.contains(&format!("usage: sara {cmd}")),
+            "{cmd} --help missing its usage line:\n{text}"
+        );
+    }
+}
+
+// --- exit codes and stderr on bad invocations -------------------------------
+
+#[test]
+fn bad_flags_exit_2_with_usage_on_stderr() {
+    let out = sara(&["matrix", "--bogus"]);
+    assert_eq!(code(&out), 2);
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag \"--bogus\""), "{err}");
+    assert!(err.contains("usage: sara matrix"), "{err}");
+    assert!(
+        stdout(&out).is_empty(),
+        "usage errors must not touch stdout"
+    );
+
+    let out = sara(&["matrix", "--duration-ms", "fast"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("--duration-ms"), "{}", stderr(&out));
+
+    let out = sara(&["matrix", "--policies", "qos"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown policy"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_and_missing_commands_exit_2() {
+    let out = sara(&["conquer"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown command \"conquer\""));
+
+    let out = sara(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("usage: sara"));
+}
+
+#[test]
+fn missing_directory_exits_1_naming_it() {
+    let dir = scratch("missing-dir");
+    let nope = dir.join("nope");
+    let out = sara(&["matrix", "--dir", nope.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("nope"), "{}", stderr(&out));
+
+    let out = sara(&["list", "--dir", nope.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+}
+
+#[test]
+fn malformed_scenario_files_exit_1_with_the_offender_named() {
+    let dir = scratch("malformed");
+    // Not JSON at all: the parser's line/column error must surface.
+    let truncated = dir.join("truncated.scenario.json");
+    std::fs::write(&truncated, "{\"format\": \"sara-scenario/v1\",").unwrap();
+    let out = sara(&["validate", truncated.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("truncated.scenario.json"), "{err}");
+    assert!(err.contains("line"), "no position info: {err}");
+
+    // Valid JSON, invalid schema: the strict reader names the bad key.
+    let misspelled = dir.join("misspelled.scenario.json");
+    let export_dir = dir.join("exported");
+    let out = sara(&["export", export_dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let good = std::fs::read_to_string(export_dir.join("adas.scenario.json")).unwrap();
+    std::fs::write(&misspelled, good.replace("\"seed\":", "\"sede\":")).unwrap();
+    let out = sara(&["validate", misspelled.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("unknown key \"sede\""), "{err}");
+
+    // A directory is checked file-by-file: the bad one fails the run.
+    std::fs::write(dir.join("ok.scenario.json"), good).unwrap();
+    let out = sara(&["validate", dir.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("misspelled.scenario.json") || stderr(&out).contains("truncated")
+    );
+}
+
+// --- the end-to-end production path -----------------------------------------
+
+#[test]
+fn export_validate_matrix_end_to_end() {
+    let dir = scratch("end-to-end");
+    let catalog = dir.join("catalog");
+    let catalog = catalog.to_str().unwrap();
+
+    let out = sara(&["export", catalog]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("8 scenario files"));
+
+    let out = sara(&["validate", catalog]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("8 scenario files valid"));
+
+    let out = sara(&["list", "--dir", catalog]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("built-in catalog:"));
+    assert!(stdout(&out).contains("saturation"));
+
+    // `--json -` claims stdout: the document must parse clean, with the
+    // human progress demoted to stderr.
+    let out = sara(&[
+        "matrix",
+        "--dir",
+        catalog,
+        "--duration-ms",
+        "0.05",
+        "--policies",
+        "FCFS,QoS",
+        "--json",
+        "-",
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let doc = json::parse(stdout(&out).trim()).expect("matrix JSON parses");
+    let cells = doc.get("cells").and_then(Value::as_array).unwrap();
+    assert_eq!(cells.len(), 8 * 2, "8 scenarios x 2 policies");
+    assert!(stderr(&out).contains("running"), "progress went to stderr");
+
+    // CSV sink to a file: header plus one row per cell.
+    let csv_path = dir.join("matrix.csv");
+    let out = sara(&[
+        "matrix",
+        "--dir",
+        catalog,
+        "--duration-ms",
+        "0.05",
+        "--policies",
+        "FCFS",
+        "--csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert_eq!(csv.lines().count(), 1 + 8);
+    assert!(csv.starts_with("scenario,policy,freq_mhz,"));
+}
+
+#[test]
+fn gen_writes_deterministic_loadable_scenarios() {
+    let dir = scratch("gen");
+    let a = dir.join("a");
+    let b = dir.join("b");
+    for out_dir in [&a, &b] {
+        let out = sara(&[
+            "gen",
+            "--count",
+            "2",
+            "--seed",
+            "40",
+            "--overload",
+            "1.5",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ]);
+        assert_eq!(code(&out), 0, "{}", stderr(&out));
+    }
+    for name in ["gen-0000000000000028", "gen-0000000000000029"] {
+        let file = format!("{name}.scenario.json");
+        let first = std::fs::read_to_string(a.join(&file)).unwrap();
+        let second = std::fs::read_to_string(b.join(&file)).unwrap();
+        assert_eq!(first, second, "{file} not byte-deterministic");
+    }
+    let out = sara(&["validate", a.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+}
+
+// --- bench: deterministic shape and the baseline gate -----------------------
+
+/// Replaces every measured timing with zero so two runs can be compared
+/// structurally.
+fn zero_timings(doc: &Value) -> Value {
+    match doc {
+        Value::Object(members) => Value::Object(
+            members
+                .iter()
+                .map(|(k, v)| {
+                    if k == "cells_per_sec" {
+                        (k.clone(), Value::UInt(0))
+                    } else {
+                        (k.clone(), zero_timings(v))
+                    }
+                })
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(zero_timings).collect()),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn bench_output_shape_is_deterministic() {
+    let run = || {
+        let out = sara(&[
+            "bench",
+            "--duration-ms",
+            "0.02",
+            "--repeat",
+            "1",
+            "--json",
+            "-",
+        ]);
+        assert_eq!(code(&out), 0, "{}", stderr(&out));
+        json::parse(stdout(&out).trim()).expect("bench JSON parses")
+    };
+    let (first, second) = (run(), run());
+    // Identical shape — only the timings may differ.
+    assert_eq!(zero_timings(&first), zero_timings(&second));
+    let scenarios = first.get("scenarios").and_then(Value::as_array).unwrap();
+    assert_eq!(scenarios.len(), 8);
+    for s in scenarios {
+        assert_eq!(s.get("cells").and_then(Value::as_u64), Some(6));
+        let cps = s.get("cells_per_sec").and_then(Value::as_f64).unwrap();
+        assert!(cps > 0.0, "throughput must be positive");
+    }
+}
+
+#[test]
+fn bench_baseline_update_check_and_regression() {
+    let dir = scratch("baseline");
+    let baseline = dir.join("baseline.json");
+    let baseline = baseline.to_str().unwrap();
+
+    // SARA_UPDATE_BASELINE=1 writes the file.
+    let out = Command::new(env!("CARGO_BIN_EXE_sara"))
+        .args([
+            "bench",
+            "--duration-ms",
+            "0.02",
+            "--repeat",
+            "1",
+            "--baseline",
+            baseline,
+        ])
+        .env("SARA_UPDATE_BASELINE", "1")
+        .output()
+        .expect("spawn sara");
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote baseline"));
+
+    // A fresh run against its own baseline passes the 2.5x gate.
+    let out = sara(&[
+        "bench",
+        "--duration-ms",
+        "0.02",
+        "--repeat",
+        "1",
+        "--baseline",
+        baseline,
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("baseline check passed"));
+
+    // An impossible baseline trips the gate with exit 1 and a regen hint.
+    fn inflate(doc: &Value) -> Value {
+        match doc {
+            Value::Object(members) => Value::Object(
+                members
+                    .iter()
+                    .map(|(k, v)| {
+                        if k == "cells_per_sec" {
+                            (k.clone(), Value::Float(9e9))
+                        } else {
+                            (k.clone(), inflate(v))
+                        }
+                    })
+                    .collect(),
+            ),
+            Value::Array(items) => Value::Array(items.iter().map(inflate).collect()),
+            other => other.clone(),
+        }
+    }
+    let text = std::fs::read_to_string(baseline).unwrap();
+    let inflated = inflate(&json::parse(&text).unwrap());
+    std::fs::write(baseline, inflated.to_string_pretty()).unwrap();
+    let out = sara(&[
+        "bench",
+        "--duration-ms",
+        "0.02",
+        "--repeat",
+        "1",
+        "--baseline",
+        baseline,
+    ]);
+    assert_eq!(code(&out), 1);
+    let err = stderr(&out);
+    assert!(err.contains("throughput regression"), "{err}");
+    assert!(err.contains("SARA_UPDATE_BASELINE"), "{err}");
+}

@@ -130,6 +130,9 @@ pub fn estimate_energy(
 }
 
 #[cfg(test)]
+// Tests build stats field-by-field on a Default base on purpose: the
+// struct is all counters and a literal would bury the one that matters.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::bank::AccessOutcome;

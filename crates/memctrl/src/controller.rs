@@ -353,7 +353,7 @@ mod tests {
                     if let Some(c) = completed {
                         out.push(c);
                     }
-                    now = now + 1;
+                    now += 1;
                 }
                 TickResult::Idle { retry_at } => match retry_at {
                     Some(at) => now = at,
@@ -515,7 +515,7 @@ mod tests {
                             stream_completions += 1;
                         }
                     }
-                    now = now + 1;
+                    now += 1;
                 }
                 TickResult::Idle { retry_at } => now = retry_at.expect("work queued"),
             }
@@ -614,7 +614,7 @@ mod policy_integration {
                     if let Some(c) = completed {
                         out.push(c);
                     }
-                    now = now + 1;
+                    now += 1;
                 }
                 TickResult::Idle { retry_at } => now = retry_at.expect("queued work"),
             }
@@ -755,7 +755,7 @@ mod policy_integration {
         let c = loop {
             match m.tick(0, now, &mut d) {
                 TickResult::Issued { completed: Some(c) } => break c,
-                TickResult::Issued { completed: None } => now = now + 1,
+                TickResult::Issued { completed: None } => now += 1,
                 TickResult::Idle { retry_at } => now = retry_at.unwrap(),
             }
         };

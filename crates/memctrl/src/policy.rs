@@ -211,6 +211,8 @@ fn priority_rr(
 }
 
 #[cfg(test)]
+// Tests poke one cursor at a time into a Default PolicyState on purpose.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 

@@ -525,7 +525,7 @@ mod conservation {
                 // Pump with a sink that refuses periodically.
                 let mut sink = |t: Transaction| {
                     attempt += 1;
-                    if attempt % refusal_period == 0 {
+                    if attempt.is_multiple_of(refusal_period) {
                         Err(t)
                     } else {
                         delivered.push(t.id.as_u64());

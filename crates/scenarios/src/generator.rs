@@ -35,6 +35,18 @@ pub struct GeneratorConfig {
     pub freqs_mhz: Vec<u32>,
     /// Candidate frame rates (fps) to draw from.
     pub frame_rates: Vec<f64>,
+    /// Overload factor: when set, rated demand is rescaled so the
+    /// *QoS-metered* portion alone reaches `overload × platform peak`
+    /// (16 B/cycle × I/O frequency) instead of being capped at
+    /// [`GeneratorConfig::max_offered_gbs`] — deliberately past the
+    /// feasibility envelope, so sweeps can probe the saturation regime on
+    /// purpose. Best-effort traffic is excluded from the quote because it
+    /// cannot fail, so values > 1 guarantee targets will be missed
+    /// *provided the draw contains QoS-metered traffic* — true whenever
+    /// `min_cores ≥ 2` (only the CPU is pure best-effort). A draw with no
+    /// QoS-rated demand (e.g. a `min_cores = max_cores = 1` CPU-only
+    /// scenario) is left unscaled.
+    pub overload: Option<f64>,
 }
 
 impl Default for GeneratorConfig {
@@ -45,6 +57,7 @@ impl Default for GeneratorConfig {
             max_offered_gbs: 20.0,
             freqs_mhz: vec![1333, 1600, 1700, 1866],
             frame_rates: vec![30.0, 60.0, 90.0],
+            overload: None,
         }
     }
 }
@@ -73,6 +86,9 @@ pub fn random_scenario_with(cfg: &GeneratorConfig, seed: u64) -> Scenario {
         !cfg.freqs_mhz.is_empty() && !cfg.frame_rates.is_empty(),
         "empty candidate lists"
     );
+    if let Some(f) = cfg.overload {
+        assert!(f.is_finite() && f > 0.0, "overload factor must be > 0");
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xc0fe_5ce0_5ce0_c0fe);
 
     let freq = cfg.freqs_mhz[rng.gen_range(0..cfg.freqs_mhz.len())];
@@ -94,12 +110,32 @@ pub fn random_scenario_with(cfg: &GeneratorConfig, seed: u64) -> Scenario {
         .map(|&kind| CoreSpec::new(kind, random_dmas(kind, &mut rng)))
         .collect();
 
-    // Scale rated demand down to the configured envelope so fuzz scenarios
-    // stay in the interesting (feasible-but-contended) regime.
+    // Scale rated demand to the configured regime. Default: down to the
+    // envelope, so fuzz scenarios stay feasible-but-contended. Overload:
+    // up (or down) so the *QoS-metered* demand alone reaches
+    // `overload × platform peak` — quoting the factor against traffic that
+    // can actually miss a target, since best-effort load passes by
+    // definition no matter how oversubscribed the platform is.
     let offered: f64 = cores.iter().map(CoreSpec::mean_demand_bytes_per_s).sum();
-    let cap = cfg.max_offered_gbs * 1e9;
-    if offered > cap {
-        let scale = cap / offered;
+    let scale = match cfg.overload {
+        Some(f) => {
+            let qos_offered: f64 = cores
+                .iter()
+                .flat_map(|c| &c.dmas)
+                .filter(|d| d.is_qos_rated())
+                .filter_map(|d| d.traffic.mean_bytes_per_s())
+                .sum();
+            // LPDDR4 moves 16 B per I/O clock (Table 1): the theoretical
+            // peak the feasibility envelope is quoted against.
+            let peak = 16.0 * f64::from(freq) * 1e6;
+            (qos_offered > 0.0).then(|| f * peak / qos_offered)
+        }
+        None => {
+            let cap = cfg.max_offered_gbs * 1e9;
+            (offered > cap).then(|| cap / offered)
+        }
+    };
+    if let Some(scale) = scale {
         for core in &mut cores {
             for dma in &mut core.dmas {
                 scale_traffic(&mut dma.traffic, scale);
@@ -125,7 +161,17 @@ fn scale_traffic(traffic: &mut TrafficSpec, scale: f64) {
         TrafficSpec::Burst { bytes_per_s }
         | TrafficSpec::Constant { bytes_per_s }
         | TrafficSpec::Poisson { bytes_per_s } => *bytes_per_s *= scale,
-        TrafficSpec::Batch { period_ns, .. } => *period_ns /= scale,
+        // Rate-scale a batch stream by shrinking its period; the deadline
+        // scales with it so the deadline ≤ period invariant survives
+        // upward (overload) scaling too.
+        TrafficSpec::Batch {
+            period_ns,
+            deadline_ns,
+            ..
+        } => {
+            *period_ns /= scale;
+            *deadline_ns /= scale;
+        }
         TrafficSpec::Elastic => {}
     }
 }
@@ -334,5 +380,45 @@ mod tests {
     fn generated_scenario_runs() {
         let report = random_scenario(7).run_for_ms(0.1).unwrap();
         assert!(report.mc.total_completed() > 0);
+    }
+
+    #[test]
+    fn overload_scenarios_oversubscribe_and_miss_targets() {
+        let cfg = GeneratorConfig {
+            overload: Some(1.5),
+            ..GeneratorConfig::default()
+        };
+        for seed in 0u64..3 {
+            let s = random_scenario_with(&cfg, seed);
+            let peak = 16.0 * s.freq.as_hz() as f64 / 1e9;
+            assert!(
+                s.offered_gbs() > peak,
+                "seed {seed}: {} GB/s rated vs {peak} GB/s peak — not overloaded",
+                s.offered_gbs()
+            );
+            // The decisive check: 1.5× the theoretical peak cannot be
+            // served, so at least one core must miss its target.
+            let report = s.run_for_ms(0.5).unwrap();
+            assert!(
+                !report.all_targets_met(),
+                "seed {seed}: overloaded scenario met every target"
+            );
+        }
+    }
+
+    #[test]
+    fn overload_is_deterministic_and_distinct_from_default() {
+        let cfg = GeneratorConfig {
+            overload: Some(2.0),
+            ..GeneratorConfig::default()
+        };
+        let a = random_scenario_with(&cfg, 11);
+        let b = random_scenario_with(&cfg, 11);
+        assert_eq!(a, b);
+        // Same seed without the knob draws the same structure at feasible
+        // rates — the knob only rescales.
+        let plain = random_scenario(11);
+        assert_eq!(plain.cores.len(), a.cores.len());
+        assert!(a.offered_gbs() > plain.offered_gbs());
     }
 }

@@ -129,10 +129,10 @@ impl MatrixSummary {
         out
     }
 
-    /// Serializes the whole summary (cells + rankings) as one JSON object.
+    /// The whole summary (cells + rankings) as one JSON document node.
     ///
     /// Deterministic for a given matrix regardless of worker-thread count.
-    pub fn to_json(&self) -> String {
+    pub fn to_json_value(&self) -> Value {
         let cells = Value::Array(self.cells.iter().map(MatrixCell::to_json_value).collect());
         let rankings = Value::Array(
             self.rankings
@@ -149,7 +149,11 @@ impl MatrixSummary {
             ("cells".to_string(), cells),
             ("rankings".to_string(), rankings),
         ])
-        .to_string_compact()
+    }
+
+    /// Serializes [`MatrixSummary::to_json_value`] compactly.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_compact()
     }
 
     /// Writes [`MatrixSummary::to_json`] (plus a trailing newline) to a
@@ -160,6 +164,51 @@ impl MatrixSummary {
     /// Returns any I/O error from the writer.
     pub fn to_json_writer<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         writeln!(w, "{}", self.to_json())
+    }
+
+    /// Serializes the summary as CSV: one row per cell in submission order,
+    /// with each cell's rank within its scenario's policy comparison.
+    ///
+    /// Columns: `scenario,policy,freq_mhz,bandwidth_gbs,row_hit_rate,`
+    /// `failures,all_met,rank`. Floats use the shortest round-trip form
+    /// (the same convention as `sara_sim::sweeps`); scenario names with
+    /// CSV metacharacters are RFC 4180-quoted (the format only requires a
+    /// name to be non-empty, so `"adas,v2"` is a legal registry key).
+    pub fn to_csv(&self) -> String {
+        // rank[i] = 1-based position of cell i within its scenario.
+        let mut rank = vec![0usize; self.cells.len()];
+        for r in &self.rankings {
+            for (pos, &i) in r.ranked.iter().enumerate() {
+                rank[i] = pos + 1;
+            }
+        }
+        let mut out = String::from(
+            "scenario,policy,freq_mhz,bandwidth_gbs,row_hit_rate,failures,all_met,rank\n",
+        );
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                csv_field(&c.scenario),
+                c.policy.name(),
+                c.freq.as_u32(),
+                c.report.bandwidth_gbs,
+                c.report.row_hit_rate,
+                c.failures(),
+                c.report.all_targets_met(),
+                rank[i]
+            ));
+        }
+        out
+    }
+}
+
+/// RFC 4180 quoting for a free-text CSV field: wrapped in double quotes
+/// (with `"` doubled) only when it contains a comma, quote, or newline.
+fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
     }
 }
 
@@ -318,6 +367,46 @@ mod tests {
         let eight = small_matrix(8).to_json();
         assert_eq!(one, two);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_with_scenario_local_ranks() {
+        let summary = small_matrix(2);
+        let csv = summary.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + summary.cells.len());
+        assert!(lines[0].starts_with("scenario,policy,freq_mhz,"));
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+        // Each scenario's rows carry ranks 1..=policies exactly once.
+        for ranking in &summary.rankings {
+            let mut ranks: Vec<usize> = lines[1..]
+                .iter()
+                .filter(|l| l.starts_with(&format!("{},", ranking.scenario)))
+                .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+                .collect();
+            ranks.sort_unstable();
+            assert_eq!(ranks, vec![1, 2, 3], "{}", ranking.scenario);
+        }
+    }
+
+    #[test]
+    fn csv_quotes_hostile_scenario_names() {
+        // The format only requires names to be non-empty, so commas and
+        // quotes are legal registry keys and must not corrupt the columns.
+        let mut s = catalog::by_name("camcorder-b").unwrap();
+        s.name = "adas,v2 \"hot\"".to_string();
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs],
+            freqs_mhz: Vec::new(),
+            duration_ms: Some(0.05),
+            threads: 1,
+        };
+        let summary = run_matrix(&[s], &spec).unwrap();
+        let csv = summary.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.starts_with("\"adas,v2 \"\"hot\"\"\",FCFS,"), "{row}");
+        assert_eq!(csv_field("plain-name"), "plain-name");
     }
 
     #[test]

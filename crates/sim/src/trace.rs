@@ -149,7 +149,7 @@ mod tests {
             injected_at: Cycle::new(id * 10),
             done_at: Cycle::new(id * 10 + 100),
             queued_for: 40,
-            row_hit: id % 2 == 0,
+            row_hit: id.is_multiple_of(2),
             was_aged: false,
         }
     }

@@ -193,6 +193,14 @@ impl DmaSpec {
             window,
         }
     }
+
+    /// Whether this DMA carries rated (non-elastic) traffic under a meter
+    /// that can actually miss a target — the predicate the generator's
+    /// overload knob quotes its factor against (best-effort streams pass
+    /// by definition, however oversubscribed the platform is).
+    pub fn is_qos_rated(&self) -> bool {
+        !matches!(self.meter, MeterSpec::BestEffort) && self.traffic.mean_bytes_per_s().is_some()
+    }
 }
 
 /// One heterogeneous core with its DMAs.

@@ -1,22 +1,13 @@
-//! Export the built-in scenario catalog as `*.scenario.json` files — the
-//! starting point for a user-supplied catalog: export, edit or add files,
-//! then run them with `scenario_matrix --dir` without recompiling.
+//! Thin shim over `sara export` — the CLI is the production entry point
+//! (`cargo run --release -p sara-cli --bin sara -- export --help`); this
+//! example survives for discoverability and forwards its arguments
+//! unchanged.
 //!
 //! ```sh
 //! cargo run --release --example export_catalog -- my-scenarios
-//! cargo run --release --example scenario_matrix -- --dir my-scenarios
 //! ```
 
-use sara::scenarios::catalog;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "catalog".to_string());
-    let paths = catalog::export_all(&dir)?;
-    for path in &paths {
-        println!("wrote {}", path.display());
-    }
-    println!("{} scenario files in {dir}", paths.len());
-    Ok(())
+fn main() {
+    let args = std::iter::once("export".to_string()).chain(std::env::args().skip(1));
+    std::process::exit(sara_cli::run(args));
 }

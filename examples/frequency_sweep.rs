@@ -1,46 +1,15 @@
-//! DVFS-style sweep: drop the DRAM frequency and watch the image
-//! processor's self-adaptation climb the priority ladder to defend its
-//! frame rate (the paper's Fig. 7 mechanism).
+//! Thin shim over `sara sweep` — the CLI is the production entry point
+//! (`cargo run --release -p sara-cli --bin sara -- sweep --help`); this
+//! example survives for discoverability and forwards its arguments
+//! unchanged.
 //!
 //! ```sh
 //! cargo run --release --example frequency_sweep
 //! # dump the sweep for plotting / diffing:
-//! cargo run --release --example frequency_sweep -- sweep.csv sweep.json
+//! cargo run --release --example frequency_sweep -- --csv sweep.csv --json sweep.json
 //! ```
 
-use sara::sim::experiment::frequency_sweep;
-use sara::sim::sweeps::{freq_points_csv, freq_points_json};
-use sara::types::CoreKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let csv_path = args.next();
-    let json_path = args.next();
-
-    let points = frequency_sweep(CoreKind::ImageProcessor, &[1300, 1500, 1700], 6.0)?;
-    println!("image processor priority residency vs DRAM frequency");
-    print!("{:<10}", "freq");
-    for level in 0..8 {
-        print!(" {:>6}", format!("P{level}"));
-    }
-    println!("  {:>7}", "minNPI");
-    for p in &points {
-        print!("{:<10}", p.freq.to_string());
-        for level in 0..8 {
-            print!(" {:>5.1}%", p.residency[level] * 100.0);
-        }
-        println!("  {:>7.3}", p.min_npi);
-    }
-    println!("\nLower frequency -> less deliverable bandwidth -> the core spends");
-    println!("more time at urgent levels to keep its frame progress on target.");
-
-    if let Some(path) = csv_path {
-        std::fs::write(&path, freq_points_csv(&points))?;
-        println!("wrote {path}");
-    }
-    if let Some(path) = json_path {
-        std::fs::write(&path, format!("{}\n", freq_points_json(&points)))?;
-        println!("wrote {path}");
-    }
-    Ok(())
+fn main() {
+    let args = std::iter::once("sweep".to_string()).chain(std::env::args().skip(1));
+    std::process::exit(sara_cli::run(args));
 }

@@ -1,54 +1,22 @@
-//! Compare all six memory-scheduling policies on the same camcorder frame:
-//! who meets targets, who starves, and what the DRAM delivers (a compact
-//! text rendition of the paper's Figs 5 and 8) — now driven through the
-//! scenario batch harness, so all six runs shard across worker threads.
+//! Thin shim over `sara matrix --scenarios camcorder-a` — all six memory
+//! scheduling policies on the paper's camcorder, ranked (a compact text
+//! rendition of Figs 5 and 8). The CLI is the production entry point; this
+//! example pins the scenario and forwards any extra arguments (e.g.
+//! `--duration-ms`) unchanged.
 //!
 //! ```sh
 //! cargo run --release --example policy_comparison
 //! ```
 
-use sara::memctrl::PolicyKind;
-use sara::scenarios::{catalog, run_matrix, MatrixSpec};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenarios = vec![catalog::by_name("camcorder-a").expect("registered")];
-    let spec = MatrixSpec {
-        policies: PolicyKind::ALL.to_vec(),
-        duration_ms: Some(6.0),
-        ..MatrixSpec::default()
-    };
-    let summary = run_matrix(&scenarios, &spec)?;
-
-    println!(
-        "{:<10} {:>10} {:>10} {:>9}  failed cores",
-        "policy", "GB/s", "row-hit%", "failures"
-    );
-    for cell in &summary.cells {
-        let failed: Vec<&str> = cell
-            .report
-            .failed_cores()
-            .iter()
-            .map(|k| k.name())
-            .collect();
-        println!(
-            "{:<10} {:>10.2} {:>10.1} {:>9}  {}",
-            cell.policy.name(),
-            cell.report.bandwidth_gbs,
-            cell.report.row_hit_rate * 100.0,
-            failed.len(),
-            if failed.is_empty() {
-                "-".to_string()
-            } else {
-                failed.join(", ")
-            }
-        );
-    }
-    let best = summary.best("camcorder-a").expect("ran");
-    println!(
-        "\nRanked winner: {} — the SARA policies (QoS, QoS-RB) are the",
-        best.policy.name()
-    );
-    println!("ones with zero failures; FR-FCFS buys bandwidth at the cost of");
-    println!("starving QoS cores (Fig. 9).");
-    Ok(())
+fn main() {
+    let args = [
+        "matrix".to_string(),
+        "--scenarios".to_string(),
+        "camcorder-a".to_string(),
+        "--duration-ms".to_string(),
+        "6".to_string(),
+    ]
+    .into_iter()
+    .chain(std::env::args().skip(1));
+    std::process::exit(sara_cli::run(args));
 }

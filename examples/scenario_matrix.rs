@@ -1,91 +1,17 @@
-//! Drive a scenario set through the batch harness: every scenario × every
-//! policy, sharded across worker threads, aggregated into per-scenario
-//! policy rankings and a machine-comparable JSON summary.
-//!
-//! By default the built-in catalog (plus one fuzz scenario) runs; with
-//! `--dir` any directory of `*.scenario.json` files runs instead — no
-//! recompilation to evaluate a user-supplied catalog (export the built-ins
-//! as a starting point with `examples/export_catalog`).
+//! Thin shim over `sara matrix` — the CLI is the production entry point
+//! (`cargo run --release -p sara-cli --bin sara -- matrix --help`); this
+//! example survives for discoverability and forwards its arguments
+//! unchanged.
 //!
 //! ```sh
 //! cargo run --release --example scenario_matrix
-//! # longer windows, a frequency sweep and a JSON dump:
-//! cargo run --release --example scenario_matrix -- 5.0 scenario_matrix.json
+//! # longer windows and a JSON dump:
+//! cargo run --release --example scenario_matrix -- --duration-ms 5 --json matrix.json
 //! # run scenario files instead of the compiled-in catalog:
-//! cargo run --release --example scenario_matrix -- --dir my-scenarios 2.0
+//! cargo run --release --example scenario_matrix -- --dir my-scenarios
 //! ```
 
-use sara::memctrl::PolicyKind;
-use sara::scenarios::{catalog, load_dir, random_scenario, run_matrix, MatrixSpec, Scenario};
-
-fn usage() -> ! {
-    eprintln!("usage: scenario_matrix [--dir SCENARIO_DIR] [duration_ms] [json_out]");
-    std::process::exit(2);
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut scenario_dir = None;
-    let mut positional = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--dir" => match args.next() {
-                Some(dir) => scenario_dir = Some(dir),
-                None => usage(),
-            },
-            "--help" | "-h" => usage(),
-            _ => positional.push(arg),
-        }
-    }
-    if positional.len() > 2 {
-        usage();
-    }
-    let duration_ms: f64 = positional.first().map_or(Ok(2.0), |s| s.parse())?;
-    let json_path = positional.get(1).cloned();
-
-    let scenarios: Vec<Scenario> = match &scenario_dir {
-        // A user-supplied catalog: every *.scenario.json in the directory.
-        Some(dir) => load_dir(dir)?,
-        // The compiled-in catalog plus one fuzz scenario, so generated
-        // workloads get the same treatment as curated ones.
-        None => {
-            let mut scenarios = catalog::builtin();
-            scenarios.push(random_scenario(2026));
-            scenarios
-        }
-    };
-
-    for s in &scenarios {
-        println!(
-            "{:<18} {:>5} MHz {:>6.1} GB/s offered  {:>2} DMAs  {}",
-            s.name,
-            s.freq.as_u32(),
-            s.offered_gbs(),
-            s.dma_count(),
-            s.description
-        );
-    }
-    println!();
-
-    let spec = MatrixSpec {
-        policies: PolicyKind::ALL.to_vec(),
-        duration_ms: Some(duration_ms),
-        ..MatrixSpec::default()
-    };
-    let n_jobs = scenarios.len() * spec.policies.len();
-    println!(
-        "running {n_jobs} cells ({} scenarios x {} policies, {duration_ms} ms each) on {} threads...\n",
-        scenarios.len(),
-        spec.policies.len(),
-        spec.threads
-    );
-    let summary = run_matrix(&scenarios, &spec)?;
-    println!("{}", summary.summary_table());
-
-    if let Some(path) = json_path {
-        let mut f = std::fs::File::create(&path)?;
-        summary.to_json_writer(&mut f)?;
-        println!("wrote {path}");
-    }
-    Ok(())
+fn main() {
+    let args = std::iter::once("matrix".to_string()).chain(std::env::args().skip(1));
+    std::process::exit(sara_cli::run(args));
 }

@@ -39,8 +39,11 @@
 //! # Ok::<(), sara::types::ConfigError>(())
 //! ```
 //!
-//! See `examples/` for runnable scenarios and `crates/bench` for the
-//! binaries regenerating each table and figure of the paper.
+//! The production entry point is the `sara` binary (`crates/cli`):
+//! `sara export` / `validate` / `list` / `matrix` / `sweep` / `gen` /
+//! `bench` drive everything above from the command line, and the
+//! `examples/` are thin shims over the same library. `crates/bench` holds
+//! the binaries regenerating each table and figure of the paper.
 
 #![warn(missing_docs)]
 
