@@ -184,6 +184,36 @@ pub fn parse_freqs(raw: &str, usage: &str) -> Result<Vec<u32>, CliError> {
         .collect()
 }
 
+/// Like [`parse_freqs`], but additionally rejects duplicate and
+/// non-ascending candidate lists — sweep and ladder semantics depend on
+/// order, and silently sweeping `1700,1333,1700` would burn simulation
+/// time on a malformed experiment.
+///
+/// # Errors
+///
+/// Usage error naming the offending pair.
+pub fn parse_freqs_ascending(raw: &str, usage: &str) -> Result<Vec<u32>, CliError> {
+    let freqs = parse_freqs(raw, usage)?;
+    for pair in freqs.windows(2) {
+        if pair[1] == pair[0] {
+            return Err(CliError::usage(
+                usage,
+                format!("duplicate frequency {} MHz in \"{raw}\"", pair[0]),
+            ));
+        }
+        if pair[1] < pair[0] {
+            return Err(CliError::usage(
+                usage,
+                format!(
+                    "frequencies must be ascending ({} MHz after {} MHz in \"{raw}\")",
+                    pair[1], pair[0]
+                ),
+            ));
+        }
+    }
+    Ok(freqs)
+}
+
 /// Splits a comma-separated name list, dropping empty segments.
 pub fn parse_names(raw: &str) -> Vec<String> {
     raw.split(',')
@@ -268,5 +298,18 @@ mod tests {
         assert_eq!(parse_freqs("1333,1700", "u").unwrap(), vec![1333, 1700]);
         assert!(parse_freqs("0", "u").is_err());
         assert!(parse_freqs("fast", "u").is_err());
+    }
+
+    #[test]
+    fn ascending_freq_lists_reject_duplicates_and_disorder() {
+        assert_eq!(
+            parse_freqs_ascending("1333,1600,1866", "u").unwrap(),
+            vec![1333, 1600, 1866]
+        );
+        let err = parse_freqs_ascending("1333,1333", "u").unwrap_err();
+        assert!(matches!(&err, CliError::Usage(m) if m.contains("duplicate")));
+        let err = parse_freqs_ascending("1700,1333", "u").unwrap_err();
+        assert!(matches!(&err, CliError::Usage(m) if m.contains("ascending")));
+        assert!(parse_freqs_ascending("1333,fast", "u").is_err());
     }
 }

@@ -18,7 +18,7 @@ use sara_memctrl::PolicyKind;
 use sara_scenarios::{catalog, run_matrix, MatrixSpec};
 
 use crate::args::{Args, CliError};
-use crate::output::{emit_value, Progress, Sink};
+use crate::output::{emit_value, page, Progress, Sink};
 
 const USAGE: &str = "usage: sara bench [--duration-ms MS] [--repeat N] [--json PATH|-] \
                      [--pretty] [--baseline PATH] [--tolerance F]";
@@ -65,7 +65,7 @@ struct Measurement {
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let mut args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let duration_ms = args.take_parsed::<f64>("--duration-ms")?.unwrap_or(0.2);

@@ -3,6 +3,7 @@
 use sara_scenarios::catalog;
 
 use crate::args::{Args, CliError};
+use crate::output::page;
 
 const USAGE: &str = "usage: sara export [DIR]";
 
@@ -24,7 +25,7 @@ the goldens under tests/data/ and are directly runnable with
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let positional = args.finish_positional(1)?;
@@ -34,8 +35,8 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         .to_string();
     let paths = catalog::export_all(&dir).map_err(|e| CliError::Failure(format!("{dir}: {e}")))?;
     for path in &paths {
-        println!("wrote {}", path.display());
+        page(format!("wrote {}", path.display()));
     }
-    println!("{} scenario files in {dir}", paths.len());
+    page(format!("{} scenario files in {dir}", paths.len()));
     Ok(())
 }

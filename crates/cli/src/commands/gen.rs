@@ -6,6 +6,7 @@ use sara_scenarios::{random_scenario_with, GeneratorConfig, Scenario, SCENARIO_F
 
 use crate::args::{Args, CliError};
 use crate::commands::scenario_row;
+use crate::output::page;
 
 const USAGE: &str = "usage: sara gen [--count N] [--seed S] [--out DIR] [--overload F] \
                      [--max-gbs G] [--min-cores N] [--max-cores N]";
@@ -42,7 +43,7 @@ Generated files validate and run like any catalog entry:
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let mut args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let count = args.take_parsed::<u64>("--count")?.unwrap_or(1);
@@ -93,7 +94,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     }
     for seed in seed..end {
         let scenario = random_scenario_with(&cfg, seed);
-        println!("{}", scenario_row(&scenario));
+        page(scenario_row(&scenario));
         // The overload guarantee is quoted against QoS-metered demand; a
         // draw without any (possible only at min-cores 1, where the single
         // core may be a pure best-effort CPU) cannot miss a target, so say
@@ -109,7 +110,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
             let path = Path::new(dir).join(format!("{}{SCENARIO_FILE_SUFFIX}", scenario.name));
             std::fs::write(&path, scenario.to_json())
                 .map_err(|e| CliError::Failure(format!("{}: {e}", path.display())))?;
-            println!("  wrote {}", path.display());
+            page(format!("  wrote {}", path.display()));
         }
     }
     Ok(())

@@ -1,0 +1,160 @@
+//! `sara govern` — the online self-aware governor over scenarios.
+
+use sara_governor::{run_governed, run_pinned, trace, GovernedOutcome};
+use sara_memctrl::PolicyKind;
+use sara_types::MegaHertz;
+
+use crate::args::{parse_freqs_ascending, Args, CliError};
+use crate::commands::{load_scenarios, take_scenario_names};
+use crate::output::{reject_double_stdout, Progress, Sink};
+
+const USAGE: &str = "usage: sara govern [--dir DIR | --scenarios NAMES] [--epoch-us US] \
+                     [--ladder MHZ] [--start MHZ] [--escalate-policy NAME] \
+                     [--duration-ms MS] [--no-baseline] [--json PATH|-] [--csv PATH|-]";
+
+const HELP: &str = "\
+sara govern — run scenarios under the online self-aware governor
+
+usage: sara govern [options]
+
+Runs each scenario once, with the closed control loop inside the
+simulation: every epoch the governor reads the platform's own health
+signals (per-DMA meters/NPI, queue depths) and steps the DRAM frequency
+through the ladder — up on QoS error, down on sustained headroom — and
+can escalate the scheduling policy when the top rung is not enough. A
+static baseline pinned at the starting rung runs alongside for
+comparison (disable with --no-baseline).
+
+scenario selection (default: the whole built-in catalog):
+  --dir DIR          run every *.scenario.json in DIR instead
+  --scenarios NAMES  comma-separated catalog names (e.g. adas-overload)
+
+governor configuration (flags override each scenario's own `governor`
+stanza; scenarios without a stanza use the default ladder of ~70%, ~85%
+and 100% of their nominal frequency):
+  --epoch-us US          control-epoch length in microseconds
+  --ladder MHZ           comma-separated ascending frequency ladder
+  --start MHZ            starting rung (must be a ladder member)
+  --escalate-policy P    switch to policy P when the top rung still fails
+                         (FCFS, RR, FrameQoS, QoS, QoS-RB, FR-FCFS)
+
+run shape and output:
+  --duration-ms MS   run length (default: each scenario's nominal duration)
+  --no-baseline      skip the pinned static comparison run
+  --json PATH|-      write trace + outcome (+ baseline) as JSON
+  --csv PATH|-       write the per-epoch trace as CSV
+
+Traces are byte-deterministic: identical inputs give identical files.
+`-` sends machine output to stdout and demotes progress text to stderr.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for bad flags or selections; runtime failure for load,
+/// simulation, or output I/O errors.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let mut args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        crate::output::page(HELP);
+        return Ok(());
+    }
+    let dir = args.take_opt("--dir")?;
+    let names = take_scenario_names(&mut args, USAGE)?;
+    let epoch_us = args.take_parsed::<f64>("--epoch-us")?;
+    if epoch_us.is_some_and(|us| !us.is_finite() || us <= 0.0) {
+        return Err(CliError::usage(USAGE, "--epoch-us must be > 0"));
+    }
+    let ladder = match args.take_opt("--ladder")? {
+        None => None,
+        Some(raw) => Some(parse_freqs_ascending(&raw, USAGE)?),
+    };
+    let start = args.take_parsed::<u32>("--start")?;
+    let escalate = match args.take_opt("--escalate-policy")? {
+        None => None,
+        Some(name) => Some(PolicyKind::from_name(&name).ok_or_else(|| {
+            let known: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+            CliError::usage(
+                USAGE,
+                format!(
+                    "unknown policy \"{name}\" (expected one of: {})",
+                    known.join(", ")
+                ),
+            )
+        })?),
+    };
+    let duration_ms = args.take_parsed::<f64>("--duration-ms")?;
+    if duration_ms.is_some_and(|ms| !ms.is_finite() || ms <= 0.0) {
+        return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
+    }
+    let baseline_wanted = !args.take_flag("--no-baseline");
+    let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
+    let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
+    reject_double_stdout(json_sink.as_ref(), csv_sink.as_ref(), USAGE)?;
+    args.finish()?;
+
+    let scenarios = load_scenarios(dir.as_deref(), &names, USAGE)?;
+    let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref()]);
+
+    let mut runs: Vec<(GovernedOutcome, Option<GovernedOutcome>)> = Vec::new();
+    for s in &scenarios {
+        // Resolution order: CLI flags > scenario stanza > defaults.
+        let mut spec = s.governor_spec();
+        if let Some(ladder) = &ladder {
+            spec.ladder_mhz = ladder.clone();
+            // A stanza start pinned to the old ladder cannot survive a new
+            // one; --start re-pins it explicitly.
+            spec.start_mhz = None;
+        }
+        if let Some(us) = epoch_us {
+            spec.epoch_us = us;
+        }
+        if let Some(mhz) = start {
+            spec.start_mhz = Some(mhz);
+        }
+        if let Some(policy) = escalate {
+            spec.escalate_policy = Some(policy);
+        }
+        let duration = duration_ms.unwrap_or(s.duration_ms);
+        let fail =
+            |e: sara_types::ConfigError| CliError::Failure(format!("{}: {}", s.name, e.message()));
+        let governed = run_governed(s, &spec, duration).map_err(fail)?;
+        let baseline = if baseline_wanted {
+            Some(run_pinned(s, &spec, MegaHertz::new(spec.start_mhz()), duration).map_err(fail)?)
+        } else {
+            None
+        };
+        progress.line(governed.summary_line());
+        if let Some(b) = &baseline {
+            progress.line(format!(
+                "  static @ {} MHz: {} failing epochs, deficit {:.3} -> governed {} \
+                 ({} failing, deficit {:.3})",
+                b.final_freq.as_u32(),
+                b.failing_epochs,
+                b.qos_deficit,
+                if governed.qos_deficit <= b.qos_deficit {
+                    "improves"
+                } else {
+                    "regresses"
+                },
+                governed.failing_epochs,
+                governed.qos_deficit
+            ));
+        }
+        runs.push((governed, baseline));
+    }
+
+    if let Some(sink) = &json_sink {
+        sink.write(&format!("{}\n", trace::trace_json(&runs)))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    if let Some(sink) = &csv_sink {
+        sink.write(&trace::trace_csv(runs.iter().map(|(o, _)| o)))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    Ok(())
+}

@@ -4,6 +4,7 @@ use sara_scenarios::{catalog, load_dir};
 
 use crate::args::{Args, CliError};
 use crate::commands::scenario_row;
+use crate::output::page;
 
 const USAGE: &str = "usage: sara list [--dir DIR]";
 
@@ -28,21 +29,21 @@ elastic) demand, DMA count and description.";
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let mut args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let dir = args.take_opt("--dir")?;
     args.finish()?;
 
-    println!("built-in catalog:");
+    page("built-in catalog:");
     for s in catalog::builtin() {
-        println!("  {}", scenario_row(&s));
+        page(format!("  {}", scenario_row(&s)));
     }
     if let Some(dir) = dir {
         let loaded = load_dir(&dir).map_err(|e| CliError::Failure(e.message().to_string()))?;
-        println!("\n{dir}:");
+        page(format!("\n{dir}:"));
         for s in &loaded {
-            println!("  {}", scenario_row(s));
+            page(format!("  {}", scenario_row(s)));
         }
     }
     Ok(())

@@ -2,9 +2,9 @@
 
 use sara_scenarios::{run_matrix, MatrixSpec};
 
-use crate::args::{parse_freqs, parse_names, parse_policies, Args, CliError};
-use crate::commands::{load_scenarios, scenario_row};
-use crate::output::{emit_value, reject_double_stdout, Progress, Sink};
+use crate::args::{parse_freqs, parse_policies, Args, CliError};
+use crate::commands::{load_scenarios, scenario_row, take_scenario_names};
+use crate::output::{emit_value, page, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara matrix [--dir DIR | --scenarios NAMES] [--policies NAMES] \
                      [--freqs MHZ] [--duration-ms MS] [--jobs N] [--json PATH|-] [--csv PATH|-] \
@@ -45,25 +45,11 @@ output:
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let mut args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let dir = args.take_opt("--dir")?;
-    let names = match args.take_opt("--scenarios")? {
-        None => Vec::new(),
-        Some(raw) => {
-            let names = parse_names(&raw);
-            // An empty selection (e.g. an unset shell variable) must not
-            // silently widen into the whole catalog.
-            if names.is_empty() {
-                return Err(CliError::usage(
-                    USAGE,
-                    "--scenarios selected nothing (empty list)",
-                ));
-            }
-            names
-        }
-    };
+    let names = take_scenario_names(&mut args, USAGE)?;
     let policies = match args.take_opt("--policies")? {
         Some(raw) => parse_policies(&raw, USAGE)?,
         None => sara_memctrl::PolicyKind::ALL.to_vec(),

@@ -4,6 +4,7 @@
 pub mod bench;
 pub mod export;
 pub mod gen;
+pub mod govern;
 pub mod list;
 pub mod matrix;
 pub mod sweep;
@@ -11,7 +12,31 @@ pub mod validate;
 
 use sara_scenarios::{catalog, load_dir, Scenario};
 
-use crate::args::CliError;
+use crate::args::{parse_names, Args, CliError};
+
+/// Consumes a command's `--scenarios` flag: a comma-separated name list,
+/// where an empty selection (e.g. an unset shell variable) is a loud
+/// usage error instead of silently widening into the whole catalog.
+/// Returns the empty list when the flag is absent.
+///
+/// # Errors
+///
+/// Usage error on a present-but-empty selection.
+pub fn take_scenario_names(args: &mut Args, usage: &str) -> Result<Vec<String>, CliError> {
+    match args.take_opt("--scenarios")? {
+        None => Ok(Vec::new()),
+        Some(raw) => {
+            let names = parse_names(&raw);
+            if names.is_empty() {
+                return Err(CliError::usage(
+                    usage,
+                    "--scenarios selected nothing (empty list)",
+                ));
+            }
+            Ok(names)
+        }
+    }
+}
 
 /// Resolves the scenario set a command runs on: a `--dir` of
 /// `*.scenario.json` files, a `--scenarios` name filter over the built-in

@@ -1,19 +1,26 @@
 //! `sara sweep` — DRAM frequency and DVFS-governor sweeps.
 
-use sara_sim::experiment::{dvfs_governor, frequency_sweep};
-use sara_sim::sweeps::{dvfs_points_csv, dvfs_points_json, freq_points_csv, freq_points_json};
+use json::Value;
+use sara_governor::GovernorSearch;
+use sara_sim::experiment::{dvfs_governor, frequency_sweep, DvfsPoint};
+use sara_sim::sweeps::{
+    dvfs_point_fields, dvfs_points_csv, dvfs_points_json, dvfs_points_value, freq_points_csv,
+    freq_points_json, DVFS_CSV_COLUMNS,
+};
 use sara_sim::MAX_LEVELS;
 use sara_types::CoreKind;
 use sara_workloads::TestCase;
 
-use crate::args::{parse_freqs, Args, CliError};
-use crate::output::{reject_double_stdout, Progress, Sink};
+use crate::args::{parse_freqs_ascending, Args, CliError};
+use crate::commands::{load_scenarios, take_scenario_names};
+use crate::output::{page, reject_double_stdout, Progress, Sink};
 
-const USAGE: &str = "usage: sara sweep [--dvfs] [--core NAME] [--case A|B] [--freqs MHZ] \
+const USAGE: &str = "usage: sara sweep [--dvfs] [--core NAME] [--case A|B] \
+                     [--dir DIR | --scenarios NAMES] [--freqs MHZ] \
                      [--duration-ms MS] [--csv PATH|-] [--json PATH|-]";
 
 const HELP: &str = "\
-sara sweep — DRAM frequency / DVFS sweeps over the camcorder workload
+sara sweep — DRAM frequency / DVFS sweeps
 
 usage: sara sweep [options]
 
@@ -21,15 +28,21 @@ default mode (priority-adaptation sweep, the paper's Fig. 7):
   --core NAME        observed core, Table 2 spelling (default: Image Proc.)
   --freqs MHZ        frequencies to sweep (default: 1300,1500,1700)
 
---dvfs mode (self-aware governor: lowest frequency meeting all targets):
-  --case A|B         camcorder test case (default: B)
+--dvfs mode (offline governor search: the lowest candidate frequency at
+which every core meets its target):
+  --case A|B         camcorder test case (default: B when no scenarios
+                     are selected)
+  --scenarios NAMES  comma-separated catalog names to search instead
+  --dir DIR          search every *.scenario.json in DIR instead
   --freqs MHZ        candidate frequencies (default: 1333,1600,1700,1866)
 
 common:
-  --duration-ms MS   run length per point (default: 6)
+  --duration-ms MS   run length per point (default: 6; scenario searches
+                     default to each scenario's nominal duration)
   --csv PATH|-       write the sweep as CSV (plot input)
   --json PATH|-      write the sweep as JSON (machine-comparable)
 
+Frequency lists must be strictly ascending (duplicates rejected).
 `-` sends machine output to stdout and demotes progress text to stderr.";
 
 /// Runs the subcommand.
@@ -41,59 +54,87 @@ common:
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let mut args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let dvfs = args.take_flag("--dvfs");
     let core = args.take_opt("--core")?;
     let case = args.take_opt("--case")?;
+    let dir = args.take_opt("--dir")?;
+    let names = take_scenario_names(&mut args, USAGE)?;
     let freqs = args.take_opt("--freqs")?;
-    let duration_ms = args.take_parsed::<f64>("--duration-ms")?.unwrap_or(6.0);
-    if !duration_ms.is_finite() || duration_ms <= 0.0 {
+    let duration_flag = args.take_parsed::<f64>("--duration-ms")?;
+    if duration_flag.is_some_and(|ms| !ms.is_finite() || ms <= 0.0) {
         return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
     }
+    let duration_ms = duration_flag.unwrap_or(6.0);
     let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
     let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
     reject_double_stdout(csv_sink.as_ref(), json_sink.as_ref(), USAGE)?;
     args.finish()?;
+
+    let scenario_mode = dir.is_some() || !names.is_empty();
+    if scenario_mode && !dvfs {
+        return Err(CliError::usage(
+            USAGE,
+            "--dir/--scenarios only apply with --dvfs (the Fig. 7 sweep is camcorder-only)",
+        ));
+    }
 
     let progress = Progress::new(&[csv_sink.as_ref(), json_sink.as_ref()]);
     let (csv, json) = if dvfs {
         if core.is_some() {
             return Err(CliError::usage(USAGE, "--core only applies without --dvfs"));
         }
-        let case = parse_case(case.as_deref().unwrap_or("B"))?;
         let freqs = match freqs {
-            Some(raw) => parse_freqs(&raw, USAGE)?,
+            Some(raw) => parse_freqs_ascending(&raw, USAGE)?,
             None => vec![1333, 1600, 1700, 1866],
         };
-        let (points, chosen) = dvfs_governor(case, &freqs, duration_ms)
-            .map_err(|e| CliError::Failure(e.message().to_string()))?;
-        progress.line(format!(
-            "{:<10} {:>8} {:>11} {:>10} {:>9}",
-            "freq", "all_met", "energy_mJ", "pJ/bit", "GB/s"
-        ));
-        for p in &points {
-            progress.line(format!(
-                "{:<10} {:>8} {:>11.3} {:>10.3} {:>9.2}",
-                p.freq.to_string(),
-                p.all_met,
-                p.energy_mj,
-                p.pj_per_bit,
-                p.bandwidth_gbs
-            ));
+        if scenario_mode {
+            if case.is_some() {
+                return Err(CliError::usage(
+                    USAGE,
+                    "--case and --dir/--scenarios are mutually exclusive",
+                ));
+            }
+            let scenarios = load_scenarios(dir.as_deref(), &names, USAGE)?;
+            let mut search = GovernorSearch::new(freqs);
+            if let Some(ms) = duration_flag {
+                search = search.with_duration_ms(ms);
+            }
+            let mut outcomes = Vec::with_capacity(scenarios.len());
+            for s in &scenarios {
+                let outcome = search
+                    .run(s)
+                    .map_err(|e| CliError::Failure(format!("{}: {}", s.name, e.message())))?;
+                progress.line(format!("{}:", s.name));
+                print_dvfs_table(&progress, &outcome.points);
+                match outcome.chosen_mhz() {
+                    Some(mhz) => progress.line(format!(
+                        "  -> lowest candidate meeting every target: {mhz} MHz\n"
+                    )),
+                    None => progress.line("  -> no candidate meets every target\n"),
+                }
+                outcomes.push(outcome);
+            }
+            (search_csv(&outcomes), search_json(&outcomes))
+        } else {
+            let case = parse_case(case.as_deref().unwrap_or("B"))?;
+            let (points, chosen) = dvfs_governor(case, &freqs, duration_ms)
+                .map_err(|e| CliError::Failure(e.message().to_string()))?;
+            print_dvfs_table(&progress, &points);
+            match chosen {
+                Some(i) => progress.line(format!(
+                    "\ngovernor picks {} — the lowest candidate meeting every target",
+                    points[i].freq
+                )),
+                None => progress.line("\nno candidate frequency meets every target"),
+            }
+            (
+                dvfs_points_csv(&points),
+                format!("{}\n", dvfs_points_json(&points)),
+            )
         }
-        match chosen {
-            Some(i) => progress.line(format!(
-                "\ngovernor picks {} — the lowest candidate meeting every target",
-                points[i].freq
-            )),
-            None => progress.line("\nno candidate frequency meets every target"),
-        }
-        (
-            dvfs_points_csv(&points),
-            format!("{}\n", dvfs_points_json(&points)),
-        )
     } else {
         if case.is_some() {
             return Err(CliError::usage(USAGE, "--case only applies with --dvfs"));
@@ -112,7 +153,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
             })?,
         };
         let freqs = match freqs {
-            Some(raw) => parse_freqs(&raw, USAGE)?,
+            Some(raw) => parse_freqs_ascending(&raw, USAGE)?,
             None => vec![1300, 1500, 1700],
         };
         let points = frequency_sweep(observed, &freqs, duration_ms)
@@ -154,6 +195,65 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// The shared per-candidate table of `--dvfs` output.
+fn print_dvfs_table(progress: &Progress, points: &[DvfsPoint]) {
+    progress.line(format!(
+        "{:<10} {:>8} {:>11} {:>10} {:>9}",
+        "freq", "all_met", "energy_mJ", "pJ/bit", "GB/s"
+    ));
+    for p in points {
+        progress.line(format!(
+            "{:<10} {:>8} {:>11.3} {:>10.3} {:>9.2}",
+            p.freq.to_string(),
+            p.all_met,
+            p.energy_mj,
+            p.pj_per_bit,
+            p.bandwidth_gbs
+        ));
+    }
+}
+
+/// Scenario searches as CSV: the `dvfs_points_csv` columns prefixed with
+/// the scenario name plus a `chosen` marker per row.
+fn search_csv(outcomes: &[sara_governor::SearchOutcome]) -> String {
+    let mut out = format!("scenario,{DVFS_CSV_COLUMNS},chosen\n");
+    for o in outcomes {
+        for (i, p) in o.points.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                o.scenario,
+                dvfs_point_fields(p),
+                o.chosen == Some(i)
+            ));
+        }
+    }
+    out
+}
+
+/// Scenario searches as a JSON array (one object per scenario), following
+/// the `sara_sim::sweeps` conventions.
+fn search_json(outcomes: &[sara_governor::SearchOutcome]) -> String {
+    let doc = Value::Array(
+        outcomes
+            .iter()
+            .map(|o| {
+                Value::Object(vec![
+                    ("scenario".to_string(), o.scenario.as_str().into()),
+                    (
+                        "chosen_mhz".to_string(),
+                        match o.chosen_mhz() {
+                            Some(mhz) => mhz.into(),
+                            None => Value::Null,
+                        },
+                    ),
+                    ("points".to_string(), dvfs_points_value(&o.points)),
+                ])
+            })
+            .collect(),
+    );
+    format!("{}\n", doc.to_string_compact())
 }
 
 fn parse_case(raw: &str) -> Result<TestCase, CliError> {

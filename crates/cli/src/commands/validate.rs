@@ -5,6 +5,7 @@ use std::path::{Path, PathBuf};
 use sara_scenarios::{Scenario, SCENARIO_FILE_SUFFIX};
 
 use crate::args::{Args, CliError};
+use crate::output::page;
 
 const USAGE: &str = "usage: sara validate PATH [PATH ...]";
 
@@ -29,7 +30,7 @@ Exits non-zero on the first error.";
 pub fn run(raw: &[String]) -> Result<(), CliError> {
     let args = Args::new(raw, USAGE);
     if args.help_requested() {
-        println!("{HELP}");
+        page(HELP);
         return Ok(());
     }
     let paths = args.finish_positional(usize::MAX)?;
@@ -49,20 +50,20 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         };
         for file in files {
             let scenario = validate_file(&file)?;
-            println!(
+            page(format!(
                 "ok {} ({}: {} cores, {} DMAs)",
                 file.display(),
                 scenario.name,
                 scenario.cores.len(),
                 scenario.dma_count()
-            );
+            ));
             checked += 1;
         }
     }
-    println!(
+    page(format!(
         "{checked} scenario file{} valid",
         if checked == 1 { "" } else { "s" }
-    );
+    ));
     Ok(())
 }
 

@@ -45,15 +45,16 @@ commands:
   validate   strictly parse and check scenario files or directories
   list       summarize the catalog (and optionally a scenario directory)
   matrix     run scenarios x policies x frequencies, ranked
-  sweep      DRAM frequency / DVFS sweeps
+  sweep      DRAM frequency / DVFS sweeps (offline search)
+  govern     online self-aware governor: closed-loop DVFS inside one run
   gen        generate seeded random scenarios
   bench      measure matrix throughput; emit or check a baseline
 
 run `sara <command> --help` for per-command options.";
 
 /// One-line usage hint printed with top-level usage errors.
-const USAGE: &str =
-    "usage: sara <export|validate|list|matrix|sweep|gen|bench> [options] (see `sara --help`)";
+const USAGE: &str = "usage: sara <export|validate|list|matrix|sweep|govern|gen|bench> [options] \
+                     (see `sara --help`)";
 
 /// Runs the CLI on the given arguments (without the program name) and
 /// returns the process exit code.
@@ -92,7 +93,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
             dispatch(&forwarded)
         }
         "--help" | "-h" | "help" => {
-            println!("{HELP}");
+            output::page(HELP);
             Ok(())
         }
         "export" => commands::export::run(rest),
@@ -100,6 +101,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "list" => commands::list::run(rest),
         "matrix" => commands::matrix::run(rest),
         "sweep" => commands::sweep::run(rest),
+        "govern" => commands::govern::run(rest),
         "gen" => commands::gen::run(rest),
         "bench" => commands::bench::run(rest),
         other => Err(CliError::Usage(format!(

@@ -99,6 +99,16 @@ pub fn reject_double_stdout(
     Ok(())
 }
 
+/// Prints one human-readable line to stdout, tolerating a closed pipe:
+/// `sara list | head` must exit cleanly once the reader has what it
+/// wants, exactly like the machine sinks already do. All CLI
+/// human-output paths route through this (or [`Progress::line`]) instead
+/// of `println!`, whose default panic hook aborts on EPIPE.
+pub fn page(text: impl AsRef<str>) {
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{}", text.as_ref());
+}
+
 /// A progress printer that yields stdout to machine output when any sink
 /// claims it.
 #[derive(Debug, Clone, Copy)]

@@ -82,12 +82,13 @@ fn help_output_matches_goldens() {
     check_golden(&["--help"], "help.txt");
     check_golden(&["matrix", "--help"], "help-matrix.txt");
     check_golden(&["bench", "--help"], "help-bench.txt");
+    check_golden(&["govern", "--help"], "help-govern.txt");
 }
 
 #[test]
 fn every_subcommand_answers_help() {
     for cmd in [
-        "export", "validate", "list", "matrix", "sweep", "gen", "bench",
+        "export", "validate", "list", "matrix", "sweep", "govern", "gen", "bench",
     ] {
         let out = sara(&[cmd, "--help"]);
         assert_eq!(code(&out), 0, "{cmd} --help failed");
@@ -264,6 +265,159 @@ fn gen_writes_deterministic_loadable_scenarios() {
     }
     let out = sara(&["validate", a.to_str().unwrap()]);
     assert_eq!(code(&out), 0, "{}", stderr(&out));
+}
+
+// --- the online governor -----------------------------------------------------
+
+#[test]
+fn govern_trace_is_byte_deterministic_and_shows_adaptation() {
+    let run = || {
+        let out = sara(&[
+            "govern",
+            "--scenarios",
+            "adas-overload",
+            "--duration-ms",
+            "1.2",
+            "--json",
+            "-",
+        ]);
+        assert_eq!(code(&out), 0, "{}", stderr(&out));
+        stdout(&out)
+    };
+    let (first, second) = (run(), run());
+    assert_eq!(first, second, "governed trace must be byte-deterministic");
+
+    let doc = json::parse(first.trim()).expect("govern JSON parses");
+    let runs = doc.as_array().unwrap();
+    assert_eq!(runs.len(), 1);
+    let run = &runs[0];
+    assert_eq!(
+        run.get("scenario").and_then(Value::as_str),
+        Some("adas-overload")
+    );
+    // The overload forces a mid-run frequency change...
+    let trace = run.get("trace").and_then(Value::as_array).unwrap();
+    let freqs: std::collections::BTreeSet<u64> = trace
+        .iter()
+        .map(|e| e.get("freq_mhz").and_then(Value::as_u64).unwrap())
+        .collect();
+    assert!(freqs.len() >= 2, "expected several rungs, got {freqs:?}");
+    let changes = run
+        .get("outcome")
+        .and_then(|o| o.get("freq_changes"))
+        .and_then(Value::as_u64)
+        .unwrap();
+    assert!(changes >= 1);
+    // ...and beats the static baseline pinned at the starting rung.
+    let deficit = |v: &Value| {
+        v.get("outcome")
+            .and_then(|o| o.get("qos_deficit"))
+            .and_then(Value::as_f64)
+            .unwrap()
+    };
+    let baseline = run.get("baseline").expect("baseline runs by default");
+    assert!(
+        deficit(run) < deficit(baseline),
+        "governed deficit {} must beat static {}",
+        deficit(run),
+        deficit(baseline)
+    );
+}
+
+#[test]
+fn govern_csv_covers_each_epoch_and_flags_are_validated() {
+    let dir = scratch("govern-csv");
+    let csv_path = dir.join("trace.csv");
+    let out = sara(&[
+        "govern",
+        "--scenarios",
+        "camcorder-b",
+        "--duration-ms",
+        "0.6",
+        "--epoch-us",
+        "200",
+        "--no-baseline",
+        "--csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 3, "0.6 ms at 200 µs epochs");
+    assert!(lines[0].starts_with("scenario,epoch,end_ms,freq_mhz,"));
+    assert!(lines[1].starts_with("camcorder-b,0,"));
+
+    // Ladder and flag validation surface as usage errors.
+    let out = sara(&["govern", "--ladder", "1700,1333"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("ascending"), "{}", stderr(&out));
+    let out = sara(&["govern", "--epoch-us", "0"]);
+    assert_eq!(code(&out), 2);
+    let out = sara(&["govern", "--escalate-policy", "bogus"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown policy"), "{}", stderr(&out));
+    // A --start off the ladder is caught by spec validation at run time.
+    let out = sara(&[
+        "govern",
+        "--scenarios",
+        "adas",
+        "--ladder",
+        "1120,1600",
+        "--start",
+        "1500",
+        "--duration-ms",
+        "0.2",
+    ]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("start_mhz"), "{}", stderr(&out));
+}
+
+#[test]
+fn sweep_rejects_unordered_or_duplicate_freqs() {
+    for freqs in ["1700,1333", "1333,1333"] {
+        let out = sara(&["sweep", "--dvfs", "--freqs", freqs]);
+        assert_eq!(code(&out), 2, "freqs {freqs} must be rejected");
+        let err = stderr(&out);
+        assert!(
+            err.contains("ascending") || err.contains("duplicate"),
+            "{err}"
+        );
+    }
+    // The Fig. 7 mode is hardened the same way.
+    let out = sara(&["sweep", "--freqs", "1500,1300"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn sweep_dvfs_runs_over_scenarios() {
+    let out = sara(&[
+        "sweep",
+        "--dvfs",
+        "--scenarios",
+        "adas,smartphone-burst",
+        "--freqs",
+        "1120,1600",
+        "--duration-ms",
+        "1.2",
+        "--json",
+        "-",
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let doc = json::parse(stdout(&out).trim()).expect("sweep JSON parses");
+    let runs = doc.as_array().unwrap();
+    assert_eq!(runs.len(), 2);
+    for run in runs {
+        let points = run.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(points.len(), 2);
+    }
+    // --case conflicts with scenario selection.
+    let out = sara(&["sweep", "--dvfs", "--case", "B", "--scenarios", "adas"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
 }
 
 // --- bench: deterministic shape and the baseline gate -----------------------

@@ -6,6 +6,26 @@ use crate::meter::{BoxedMeter, PerformanceMeter};
 use crate::npi::Npi;
 use crate::priority_map::PriorityMap;
 
+/// One DMA's health as read by an external observer (the governor's
+/// snapshot API): the live meter reading alongside the stamped state.
+///
+/// `npi` is the meter evaluated *at the snapshot instant*, which may be
+/// fresher than the NPI backing `priority`/`urgent` (those change only at
+/// the adaptation points — inject, complete, periodic refresh). Taking a
+/// snapshot never restamps the priority, so observation is side-effect
+/// free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Live NPI at the snapshot instant.
+    pub npi: Npi,
+    /// NPI at the last adaptation refresh (what the priority is based on).
+    pub stamped_npi: Npi,
+    /// Priority level currently stamped on outgoing transactions.
+    pub priority: Priority,
+    /// Frame-urgency flag as of the last refresh.
+    pub urgent: bool,
+}
+
 /// The self-aware adaptation unit of one DMA: couples a performance meter
 /// with an NPI→priority look-up table and stamps the resulting level (and
 /// the frame-urgency flag used by the DAC'12 baseline) onto outgoing
@@ -82,6 +102,18 @@ impl SelfAwareDma {
         self.meter.npi(now)
     }
 
+    /// A side-effect-free health readout at `now`: the live meter value
+    /// plus the stamped adaptation state (see [`HealthSnapshot`]). This is
+    /// the per-DMA signal the online governor aggregates each epoch.
+    pub fn snapshot(&self, now: Cycle) -> HealthSnapshot {
+        HealthSnapshot {
+            npi: self.meter.npi(now),
+            stamped_npi: self.last_npi,
+            priority: self.current,
+            urgent: self.is_urgent(),
+        }
+    }
+
     /// Frame-urgency flag for the frame-rate QoS baseline: the core is
     /// urgent when it runs behind target (NPI < 1).
     #[inline]
@@ -142,6 +174,21 @@ mod tests {
         let stamped = dma.priority();
         let _live = dma.npi_at(Cycle::new(900));
         assert_eq!(dma.priority(), stamped);
+    }
+
+    #[test]
+    fn snapshot_reads_live_without_restamping() {
+        let mut dma = SelfAwareDma::new(
+            Box::new(FrameProgressMeter::new(1000, 1000)),
+            PriorityMap::paper_default(),
+        );
+        dma.refresh(Cycle::ZERO);
+        let stamped = dma.priority();
+        let snap = dma.snapshot(Cycle::new(900));
+        assert!(snap.npi.as_f64() < 1.0, "live meter sees the stall");
+        assert_eq!(snap.stamped_npi, dma.npi());
+        assert_eq!(snap.priority, stamped);
+        assert_eq!(dma.priority(), stamped, "snapshot is side-effect free");
     }
 
     #[test]

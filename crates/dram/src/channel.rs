@@ -73,6 +73,9 @@ pub(crate) struct Channel {
     refresh_due: Cycle,
     /// Channel blocked for refresh until this cycle.
     refresh_busy_until: Cycle,
+    /// Latest `advance` time seen — the channel's notion of "now", used
+    /// to re-arm refresh sanely when a timing swap re-enables it.
+    advanced_to: Cycle,
     stats: ChannelStats,
 }
 
@@ -95,6 +98,7 @@ impl Channel {
             cmd_free_at: Cycle::ZERO,
             refresh_due,
             refresh_busy_until: Cycle::ZERO,
+            advanced_to: Cycle::ZERO,
             stats: ChannelStats::default(),
             timing,
         }
@@ -114,12 +118,35 @@ impl Channel {
         &self.stats
     }
 
+    /// Swaps the timing set mid-run (online DVFS). All absolute state —
+    /// open rows, per-bank next-legal cycles, bus reservations, the
+    /// pending refresh deadline — carries over unchanged: constraints
+    /// already scheduled under the old clock remain as scheduled, and
+    /// every command issued from now on is gated by the new set.
+    pub(crate) fn set_timing(&mut self, timing: TimingParams) {
+        match (self.timing.refresh_enabled(), timing.refresh_enabled()) {
+            // Refresh switched on mid-run: arm the first deadline one
+            // interval past the channel's current time (not past cycle
+            // zero — that would trigger a burst of catch-up refreshes on
+            // the next `advance`).
+            (false, true) => {
+                self.refresh_due = self.advanced_to.max(self.refresh_busy_until) + timing.trefi();
+            }
+            (true, false) => self.refresh_due = Cycle::MAX,
+            // Keep the already-armed deadline; intervals from the next
+            // refresh on use the new tREFI.
+            _ => {}
+        }
+        self.timing = timing;
+    }
+
     /// Lazily performs any refresh that has become due by `now`.
     ///
     /// Refresh is modelled conservatively: once due, the channel stops
     /// accepting new commands, waits until every bank may precharge, then
     /// spends `tRP + tRFC` refreshing. Banks come back closed.
     pub(crate) fn advance(&mut self, now: Cycle) {
+        self.advanced_to = self.advanced_to.max(now);
         if !self.timing.refresh_enabled() {
             return;
         }
@@ -427,6 +454,25 @@ mod tests {
         ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::ZERO); // ACT
                                                               // RD before tRCD elapses must panic.
         ch.issue(&loc(0, 0, 1, 0), MemOp::Read, Cycle::new(10));
+    }
+
+    #[test]
+    fn re_enabling_refresh_mid_run_does_not_burst_catch_up() {
+        let off = TimingParams::builder()
+            .refresh_enabled(false)
+            .build()
+            .unwrap();
+        let mut ch = Channel::new(off, 2, 8, 128);
+        // Run far past many would-be refresh intervals with refresh off.
+        ch.advance(Cycle::new(10_000_000));
+        assert_eq!(ch.stats().refreshes, 0);
+        // Re-enable: the first deadline must be one interval from *now*,
+        // not ~1400 overdue intervals from cycle zero.
+        ch.set_timing(TimingParams::lpddr4_1866());
+        ch.advance(Cycle::new(10_000_001));
+        assert_eq!(ch.stats().refreshes, 0, "no instant catch-up burst");
+        ch.advance(Cycle::new(10_000_000 + 7280));
+        assert_eq!(ch.stats().refreshes, 1);
     }
 
     #[test]

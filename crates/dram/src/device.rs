@@ -7,6 +7,7 @@ use crate::channel::Channel;
 use crate::command::{Issued, NextCommand};
 use crate::config::DramConfig;
 use crate::stats::{ChannelStats, DramStats};
+use crate::timing::TimingParams;
 
 /// A cycle-level multi-channel DRAM device.
 ///
@@ -114,6 +115,18 @@ impl Dram {
         self.channels[loc.channel].issue(loc, op, now)
     }
 
+    /// Swaps the timing set of every channel mid-run (online DVFS; see
+    /// [`crate::TimingParams::rescaled`]). Bank, bus and refresh state
+    /// carry over: constraints scheduled under the old timing stay as
+    /// scheduled, new commands obey the new set. The device configuration
+    /// keeps the *reference* timing, so repeated re-parameterisations do
+    /// not compound.
+    pub fn set_timing(&mut self, timing: TimingParams) {
+        for ch in &mut self.channels {
+            ch.set_timing(timing.clone());
+        }
+    }
+
     /// Statistics of one channel.
     pub fn channel_stats(&self, channel: usize) -> &ChannelStats {
         self.channels[channel].stats()
@@ -208,6 +221,22 @@ mod tests {
         assert_eq!(s.total.write_bytes, 128);
         assert_eq!(s.total.data_beats, 16);
         assert!(s.bandwidth_bytes_per_s(1_866_000_000, end.as_u64()) > 0.0);
+    }
+
+    #[test]
+    fn set_timing_stretches_new_commands_and_keeps_rows_open() {
+        let mut d = dram();
+        let t = d.config().timing().clone();
+        let first = run_to_completion(&mut d, 0, MemOp::Read, Cycle::ZERO);
+        // Halve the memory clock: constraints double in beat cycles.
+        d.set_timing(t.rescaled(2, 1));
+        // The row opened under the old clock is still open (state carried
+        // over): the follow-up burst is a hit, paying only 2·(CL + BL).
+        let loc = d.decode(Addr::new(256));
+        assert_eq!(d.next_command(&loc), NextCommand::Column);
+        let done = run_to_completion(&mut d, 256, MemOp::Read, first);
+        assert_eq!(done, first + 2 * (t.cl() + t.burst_beats()));
+        assert_eq!(d.stats().total.row_hits, 1);
     }
 
     #[test]

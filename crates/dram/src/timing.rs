@@ -184,6 +184,60 @@ impl TimingParams {
         self.tras + self.trp
     }
 
+    /// The same timing set re-denominated for a memory clock running at
+    /// `den/num` of the reference clock these parameters are expressed in:
+    /// every cycle-denominated value is multiplied by `num/den` (rounded
+    /// up, so no constraint ever becomes *less* conservative than the
+    /// datasheet).
+    ///
+    /// This is the DVFS view of the device. The simulation beat clock
+    /// never changes; running the DRAM at, say, 2/3 of the beat frequency
+    /// means each DRAM clock spans 3/2 beat cycles, so tRCD, CL, the burst
+    /// occupancy (BL) and every other clock-domain constraint stretch by
+    /// 3/2 when measured in beat cycles. The one exception is tREFI: cell
+    /// retention is wall-time physics, independent of the interface clock,
+    /// and the beat clock's wall duration is fixed — so the refresh
+    /// *interval* stays put (a down-clocked device must not refresh less
+    /// often), while tRFC (the busy time each refresh costs) stretches
+    /// with the slower device. Because all scaled values share one ratio
+    /// and `ceil` is monotone, the builder's invariants (`tRAS ≥ tRCD`,
+    /// `tFAW ≥ tRRD`, `tCCD ≥ BL`) are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    #[must_use]
+    pub fn rescaled(&self, num: u64, den: u64) -> TimingParams {
+        assert!(num > 0 && den > 0, "rescale ratio must be positive");
+        let s = |v: u64| v.saturating_mul(num).div_ceil(den).max(1);
+        let scaled = TimingParams {
+            cl: s(self.cl),
+            wl: s(self.wl),
+            trcd: s(self.trcd),
+            trp: s(self.trp),
+            tras: s(self.tras),
+            twtr: s(self.twtr),
+            trtp: s(self.trtp),
+            twr: s(self.twr),
+            trrd: s(self.trrd),
+            tfaw: s(self.tfaw),
+            tccd: s(self.tccd),
+            burst_beats: s(self.burst_beats),
+            // The turnaround gap is the one value legitimately allowed to
+            // be zero; scale without the floor.
+            rtw_gap: self.rtw_gap.saturating_mul(num).div_ceil(den),
+            // Retention-driven, wall-time denominated: see above.
+            trefi: self.trefi,
+            trfc: s(self.trfc),
+            refresh_enabled: self.refresh_enabled,
+        };
+        debug_assert!(
+            !scaled.refresh_enabled || scaled.trefi > scaled.trfc,
+            "rescale collapsed the refresh interval"
+        );
+        scaled
+    }
+
     /// Cost in cycles of a row miss on a closed bank (ACT→CAS).
     #[inline]
     pub fn row_miss_penalty(&self) -> u64 {
@@ -370,6 +424,28 @@ mod tests {
     fn builder_rejects_zero() {
         assert!(TimingParams::builder().cl(0).build().is_err());
         assert!(TimingParams::builder().burst_beats(0).build().is_err());
+    }
+
+    #[test]
+    fn rescaled_stretches_and_identity_is_exact() {
+        let t = TimingParams::lpddr4_1866();
+        assert_eq!(t.rescaled(1, 1), t, "1:1 rescale must be the identity");
+        // 1866 → 1333 MHz: every constraint stretches by 1866/1333, ceil.
+        let slow = t.rescaled(1866, 1333);
+        assert_eq!(slow.trcd(), (34u64 * 1866).div_ceil(1333));
+        assert_eq!(slow.burst_beats(), (16u64 * 1866).div_ceil(1333));
+        assert!(slow.cl() > t.cl() && slow.tfaw() > t.tfaw());
+        // The refresh *interval* is retention-driven wall time and the
+        // beat clock's wall duration is fixed: it must not stretch. The
+        // refresh *cost* does.
+        assert_eq!(slow.trefi(), t.trefi());
+        assert!(slow.trfc() > t.trfc());
+        // Invariants survive the stretch.
+        assert!(slow.tras() >= slow.trcd());
+        assert!(slow.tfaw() >= slow.trrd());
+        assert!(slow.tccd() >= slow.burst_beats());
+        assert!(slow.trefi() > slow.trfc());
+        assert!(slow.refresh_enabled());
     }
 
     #[test]

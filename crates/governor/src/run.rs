@@ -1,0 +1,313 @@
+//! The governed epoch loop: build one simulation, then sense → decide →
+//! actuate at every control epoch until the run completes.
+
+use sara_memctrl::PolicyKind;
+use sara_scenarios::{GovernorSpec, Scenario};
+use sara_sim::{ScenarioParams, SimReport, Simulation, SystemConfig};
+use sara_types::{ConfigError, Cycle, MegaHertz};
+
+use crate::controller::{Governor, GovernorAction};
+
+/// One row of the per-epoch trace: the operating point during the epoch,
+/// the health observed over it, and the action taken at its end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Simulated time at the epoch's end, milliseconds.
+    pub end_ms: f64,
+    /// DRAM frequency in force *during* the epoch.
+    pub freq_mhz: u32,
+    /// Scheduling policy in force during the epoch.
+    pub policy: PolicyKind,
+    /// Worst NPI observed over the epoch (sampled floor ∧ live readout),
+    /// clamped into the report layer's `[0, 10]` plot range.
+    pub worst_npi: f64,
+    /// DMAs reading below the governor's up-threshold at the epoch's end.
+    pub failing_dmas: u32,
+    /// Memory-controller occupancy at the epoch's end.
+    pub mc_occupancy: u32,
+    /// DRAM bytes transferred during the epoch.
+    pub bytes: u64,
+    /// The governor's decision at the epoch's end (applies to the next
+    /// epoch).
+    pub action: GovernorAction,
+}
+
+/// Everything a governed run produces: the per-epoch trace, the final
+/// report, and the aggregate QoS accounting used to judge the run against
+/// a static baseline.
+#[derive(Debug, Clone)]
+pub struct GovernedOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// The spec the run was governed by (after resolution).
+    pub spec: GovernorSpec,
+    /// The beat clock the system was built at (ladder top ∨ scenario
+    /// nominal).
+    pub beat_freq: MegaHertz,
+    /// Per-epoch trace, in order.
+    pub trace: Vec<EpochRecord>,
+    /// Final full report over the whole window.
+    pub report: SimReport,
+    /// Frequency in force when the run ended.
+    pub final_freq: MegaHertz,
+    /// Policy in force when the run ended.
+    pub final_policy: PolicyKind,
+    /// Number of frequency steps taken.
+    pub freq_changes: u32,
+    /// Number of policy escalations taken (0 or 1).
+    pub policy_changes: u32,
+    /// Epochs whose worst NPI fell below the up-threshold.
+    pub failing_epochs: u32,
+    /// Sum over epochs of `max(0, up_threshold − worst_npi)` — the
+    /// integrated QoS error, the governed-vs-static comparison metric.
+    pub qos_deficit: f64,
+}
+
+impl GovernedOutcome {
+    /// Whether the frequency was constant over the last `tail` epochs
+    /// (the convergence check; `tail` is clamped to the trace length).
+    pub fn settled(&self, tail: usize) -> bool {
+        let n = self.trace.len();
+        if n == 0 {
+            return false;
+        }
+        let tail = tail.clamp(1, n);
+        let window = &self.trace[n - tail..];
+        window
+            .iter()
+            .all(|e| e.freq_mhz == window[0].freq_mhz && matches!(e.action, GovernorAction::Hold))
+    }
+
+    /// One human-readable summary line for CLI output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {} -> {} MHz in {} step{} ({} epochs, {} failing, deficit {:.3}), policy {}",
+            self.scenario,
+            self.spec.start_mhz(),
+            self.final_freq.as_u32(),
+            self.freq_changes,
+            if self.freq_changes == 1 { "" } else { "s" },
+            self.trace.len(),
+            self.failing_epochs,
+            self.qos_deficit,
+            self.final_policy.name()
+        )
+    }
+}
+
+/// QoS accounting over an epoch trace: `(failing_epochs, qos_deficit)`.
+fn qos_accounting(trace: &[EpochRecord], up_threshold: f64) -> (u32, f64) {
+    let mut failing = 0u32;
+    let mut deficit = 0.0f64;
+    for e in trace {
+        if e.worst_npi < up_threshold {
+            failing += 1;
+            deficit += up_threshold - e.worst_npi;
+        }
+    }
+    (failing, deficit)
+}
+
+/// The beat clock a governed system is built at: the ladder's top rung or
+/// the scenario's nominal frequency, whichever is higher. Workload rates,
+/// frame periods and meter targets are all lowered at this clock once;
+/// DVFS then only ever *stretches* DRAM timings below it.
+fn beat_freq(scenario: &Scenario, spec: &GovernorSpec) -> MegaHertz {
+    let top = spec.ladder_mhz.last().copied().unwrap_or(0);
+    MegaHertz::new(top.max(scenario.freq.as_u32()))
+}
+
+fn build(scenario: &Scenario, beat: MegaHertz) -> Result<Simulation, ConfigError> {
+    let mut params: ScenarioParams = scenario.params();
+    params.freq = beat;
+    Simulation::new(SystemConfig::from_scenario(params)?)
+}
+
+/// Runs `scenario` under the online governor for `duration_ms` simulated
+/// milliseconds.
+///
+/// The system is built once at the beat clock, stepped to the spec's
+/// starting rung, and then re-parameterised *in place* at each epoch
+/// boundary — no per-candidate re-simulation. Identical inputs produce a
+/// byte-identical trace.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an invalid spec or an inconsistent
+/// scenario.
+pub fn run_governed(
+    scenario: &Scenario,
+    spec: &GovernorSpec,
+    duration_ms: f64,
+) -> Result<GovernedOutcome, ConfigError> {
+    let beat = beat_freq(scenario, spec);
+    run_at_beat(scenario, spec, beat, duration_ms)
+}
+
+fn run_at_beat(
+    scenario: &Scenario,
+    spec: &GovernorSpec,
+    beat: MegaHertz,
+    duration_ms: f64,
+) -> Result<GovernedOutcome, ConfigError> {
+    if !duration_ms.is_finite() || duration_ms <= 0.0 {
+        return Err(ConfigError::new(format!(
+            "duration must be > 0 ms, got {duration_ms}"
+        )));
+    }
+    let mut governor = Governor::new(spec)?;
+    let mut sim = build(scenario, beat)?;
+    sim.set_dram_freq(governor.current_freq())?;
+
+    let clock = sim.config().clock();
+    let epoch_cycles = clock.cycles_from_ns(spec.epoch_us * 1e3).max(1);
+    let end = Cycle::new(clock.cycles_from_ms(duration_ms));
+
+    let mut trace = Vec::new();
+    let mut freq_changes = 0u32;
+    let mut policy_changes = 0u32;
+    let mut prev_bytes = 0u64;
+    let mut epoch = 0u32;
+    let mut epoch_end = Cycle::new(epoch_cycles).min(end);
+    loop {
+        let freq_during = sim.effective_dram_freq();
+        let policy_during = sim.config().policy;
+        sim.advance_until(epoch_end);
+        let health = sim.health();
+        let worst = health.worst_npi();
+        // An epoch-end action governs the *next* epoch; at the final
+        // boundary there is none, so don't actuate (or count) a step no
+        // simulated time would ever run under.
+        let action = if epoch_end >= end {
+            GovernorAction::Hold
+        } else {
+            governor.decide(worst)
+        };
+        match action {
+            GovernorAction::Hold => {}
+            GovernorAction::StepUp(f) | GovernorAction::StepDown(f) => {
+                sim.set_dram_freq(f)?;
+                freq_changes += 1;
+            }
+            GovernorAction::SwitchPolicy(p) => {
+                sim.set_policy(p);
+                policy_changes += 1;
+            }
+        }
+        trace.push(EpochRecord {
+            epoch,
+            end_ms: clock.ns_from_cycles(epoch_end.as_u64()) / 1e6,
+            freq_mhz: freq_during.as_u32(),
+            policy: policy_during,
+            worst_npi: worst.clamp(0.0, 10.0),
+            failing_dmas: health.failing(spec.up_threshold) as u32,
+            mc_occupancy: health.mc_occupancy as u32,
+            bytes: health.dram_bytes - prev_bytes,
+            action,
+        });
+        prev_bytes = health.dram_bytes;
+        sim.mark_epoch();
+        if epoch_end >= end {
+            break;
+        }
+        epoch += 1;
+        epoch_end = (epoch_end + epoch_cycles).min(end);
+    }
+
+    let report = sim.report();
+    let (failing_epochs, qos_deficit) = qos_accounting(&trace, spec.up_threshold);
+    Ok(GovernedOutcome {
+        scenario: scenario.name.clone(),
+        spec: spec.clone(),
+        beat_freq: beat,
+        final_freq: sim.effective_dram_freq(),
+        final_policy: report.policy,
+        trace,
+        report,
+        freq_changes,
+        policy_changes,
+        failing_epochs,
+        qos_deficit,
+    })
+}
+
+/// The static control every governed run is judged against: the same
+/// system, built at the *same beat clock* as the governed run of `spec`,
+/// pinned at `freq` for the whole window — implemented as a one-rung
+/// ladder so the trace has the same epoch structure and QoS accounting as
+/// the governed run.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an inconsistent scenario or a pin above
+/// the beat clock.
+pub fn run_pinned(
+    scenario: &Scenario,
+    spec: &GovernorSpec,
+    freq: MegaHertz,
+    duration_ms: f64,
+) -> Result<GovernedOutcome, ConfigError> {
+    let mut pinned = spec.clone();
+    pinned.ladder_mhz = vec![freq.as_u32()];
+    pinned.start_mhz = None;
+    pinned.escalate_policy = None;
+    run_at_beat(scenario, &pinned, beat_freq(scenario, spec), duration_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_scenarios::catalog;
+
+    fn short_spec(ladder: Vec<u32>) -> GovernorSpec {
+        GovernorSpec::new(ladder)
+    }
+
+    #[test]
+    fn governed_runs_are_byte_deterministic() {
+        let s = catalog::by_name("camcorder-b").unwrap();
+        let spec = short_spec(vec![850, 1275, 1700]);
+        let a = run_governed(&s, &spec, 0.8).unwrap();
+        let b = run_governed(&s, &spec, 0.8).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.freq_changes, b.freq_changes);
+        assert_eq!(a.qos_deficit, b.qos_deficit);
+    }
+
+    #[test]
+    fn epoch_structure_covers_the_window_exactly() {
+        let s = catalog::by_name("adas").unwrap();
+        let spec = short_spec(vec![1120, 1600]).with_epoch_us(200.0);
+        let out = run_governed(&s, &spec, 1.0).unwrap();
+        assert_eq!(out.trace.len(), 5, "1 ms at 200 µs epochs");
+        let last = out.trace.last().unwrap();
+        assert!((last.end_ms - 1.0).abs() < 1e-9);
+        for (i, e) in out.trace.iter().enumerate() {
+            assert_eq!(e.epoch as usize, i);
+        }
+        assert_eq!(out.beat_freq.as_u32(), 1600);
+    }
+
+    #[test]
+    fn pinned_run_never_changes_frequency() {
+        let s = catalog::by_name("adas").unwrap();
+        let spec = short_spec(vec![1120, 1360, 1600]);
+        let out = run_pinned(&s, &spec, MegaHertz::new(1120), 0.6).unwrap();
+        assert_eq!(out.freq_changes, 0);
+        assert!(out.trace.iter().all(|e| e.freq_mhz == 1120));
+        // Built at the governed run's beat clock for a fair comparison.
+        assert_eq!(out.beat_freq.as_u32(), 1600);
+    }
+
+    #[test]
+    fn rejects_bad_duration_and_bad_spec() {
+        let s = catalog::by_name("adas").unwrap();
+        let spec = short_spec(vec![1120, 1600]);
+        assert!(run_governed(&s, &spec, 0.0).is_err());
+        let mut bad = spec;
+        bad.ladder_mhz = vec![1600, 1120];
+        assert!(run_governed(&s, &bad, 0.5).is_err());
+    }
+}

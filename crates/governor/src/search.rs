@@ -1,0 +1,123 @@
+//! The offline governor search, generalised from the camcorder test cases
+//! to any declarative [`Scenario`] — the ROADMAP's "scenario-aware DVFS"
+//! item, rebuilt on `sara_sim::experiment::dvfs_search`.
+
+use sara_scenarios::Scenario;
+use sara_sim::experiment::{dvfs_search, DvfsPoint};
+use sara_types::ConfigError;
+
+/// An offline DVFS search: run a scenario statically at each candidate
+/// frequency and pick the lowest one at which every core meets its
+/// target.
+///
+/// This is the *planning* counterpart of [`crate::run_governed`]: one
+/// full simulation per candidate instead of one adaptive run, in exchange
+/// for a complete energy/bandwidth picture per rung
+/// ([`DvfsPoint`]).
+///
+/// # Examples
+///
+/// ```no_run
+/// use sara_governor::GovernorSearch;
+/// use sara_scenarios::catalog;
+///
+/// let search = GovernorSearch::new(vec![1120, 1360, 1600]);
+/// let outcome = search.run(&catalog::by_name("adas").unwrap())?;
+/// if let Some(freq) = outcome.chosen_mhz() {
+///     println!("lowest passing frequency: {freq} MHz");
+/// }
+/// # Ok::<(), sara_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorSearch {
+    /// Candidate DRAM frequencies in MHz.
+    pub freqs_mhz: Vec<u32>,
+    /// Run length per candidate; `None` uses each scenario's nominal
+    /// duration.
+    pub duration_ms: Option<f64>,
+}
+
+/// The outcome of one scenario's search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// One evaluated point per candidate frequency, in input order.
+    pub points: Vec<DvfsPoint>,
+    /// Index of the chosen point (lowest passing frequency), if any
+    /// candidate passed.
+    pub chosen: Option<usize>,
+}
+
+impl SearchOutcome {
+    /// The chosen frequency in MHz, if any candidate passed.
+    pub fn chosen_mhz(&self) -> Option<u32> {
+        self.chosen.map(|i| self.points[i].freq.as_u32())
+    }
+}
+
+impl GovernorSearch {
+    /// A search over the given candidates at each scenario's nominal
+    /// duration.
+    pub fn new(freqs_mhz: Vec<u32>) -> Self {
+        GovernorSearch {
+            freqs_mhz,
+            duration_ms: None,
+        }
+    }
+
+    /// Replaces the per-candidate run length.
+    #[must_use]
+    pub fn with_duration_ms(mut self, ms: f64) -> Self {
+        self.duration_ms = Some(ms);
+        self
+    }
+
+    /// Runs the search for one scenario (its own policy, frame period and
+    /// seed; only the frequency varies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent scenario or an empty
+    /// candidate list.
+    pub fn run(&self, scenario: &Scenario) -> Result<SearchOutcome, ConfigError> {
+        if self.freqs_mhz.is_empty() {
+            return Err(ConfigError::new("DVFS search needs at least one candidate"));
+        }
+        let duration = self.duration_ms.unwrap_or(scenario.duration_ms);
+        let (points, chosen) = dvfs_search(&scenario.params(), &self.freqs_mhz, duration)?;
+        Ok(SearchOutcome {
+            scenario: scenario.name.clone(),
+            points,
+            chosen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sara_scenarios::catalog;
+
+    #[test]
+    fn search_generalises_beyond_the_camcorder() {
+        // The AR headset passes at its nominal 1866 MHz but cannot live at
+        // a crawl: the search must pick the nominal rung.
+        let s = catalog::by_name("ar-headset").unwrap();
+        let outcome = GovernorSearch::new(vec![400, 1866])
+            .with_duration_ms(1.2)
+            .run(&s)
+            .unwrap();
+        assert_eq!(outcome.points.len(), 2);
+        assert!(!outcome.points[0].all_met, "400 MHz cannot carry AR");
+        assert!(outcome.points[1].all_met);
+        assert_eq!(outcome.chosen_mhz(), Some(1866));
+        assert!(outcome.points[1].energy_mj > 0.0);
+    }
+
+    #[test]
+    fn empty_candidate_list_is_rejected() {
+        let s = catalog::by_name("adas").unwrap();
+        assert!(GovernorSearch::new(vec![]).run(&s).is_err());
+    }
+}

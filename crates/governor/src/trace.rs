@@ -1,0 +1,181 @@
+//! CSV/JSON serialization for governed-run epoch traces, following the
+//! `sara_sim::sweeps` conventions: stable column/key order, shortest
+//! round-trip floats, byte-identical output for identical runs.
+
+use ::json::Value;
+
+use crate::run::{EpochRecord, GovernedOutcome};
+
+fn cell(v: f64) -> String {
+    format!("{v}")
+}
+
+/// The CSV header shared by every epoch-trace row.
+pub const TRACE_CSV_HEADER: &str =
+    "scenario,epoch,end_ms,freq_mhz,policy,worst_npi,failing_dmas,mc_occupancy,bytes,action";
+
+fn epoch_row(scenario: &str, e: &EpochRecord) -> String {
+    format!(
+        "{scenario},{},{},{},{},{},{},{},{},{}\n",
+        e.epoch,
+        cell(e.end_ms),
+        e.freq_mhz,
+        e.policy.name(),
+        cell(e.worst_npi),
+        e.failing_dmas,
+        e.mc_occupancy,
+        e.bytes,
+        e.action.label()
+    )
+}
+
+/// Serializes governed runs as CSV: one row per (scenario, epoch).
+/// Borrow-based so callers holding `(outcome, baseline)` pairs can feed
+/// it without cloning traces.
+pub fn trace_csv<'a>(outcomes: impl IntoIterator<Item = &'a GovernedOutcome>) -> String {
+    let mut out = String::from(TRACE_CSV_HEADER);
+    out.push('\n');
+    for o in outcomes {
+        for e in &o.trace {
+            out.push_str(&epoch_row(&o.scenario, e));
+        }
+    }
+    out
+}
+
+fn epoch_value(e: &EpochRecord) -> Value {
+    Value::Object(vec![
+        ("epoch".to_string(), e.epoch.into()),
+        ("end_ms".to_string(), e.end_ms.into()),
+        ("freq_mhz".to_string(), e.freq_mhz.into()),
+        ("policy".to_string(), e.policy.name().into()),
+        ("worst_npi".to_string(), e.worst_npi.into()),
+        ("failing_dmas".to_string(), e.failing_dmas.into()),
+        ("mc_occupancy".to_string(), e.mc_occupancy.into()),
+        ("bytes".to_string(), e.bytes.into()),
+        ("action".to_string(), e.action.label().into()),
+    ])
+}
+
+/// Aggregate QoS accounting of a run as a JSON node (shared between the
+/// governed result and its static baseline).
+fn outcome_value(o: &GovernedOutcome) -> Value {
+    Value::Object(vec![
+        ("final_mhz".to_string(), o.final_freq.as_u32().into()),
+        ("final_policy".to_string(), o.final_policy.name().into()),
+        ("freq_changes".to_string(), o.freq_changes.into()),
+        ("policy_changes".to_string(), o.policy_changes.into()),
+        ("failing_epochs".to_string(), o.failing_epochs.into()),
+        ("qos_deficit".to_string(), o.qos_deficit.into()),
+        (
+            "failed_cores".to_string(),
+            Value::Array(
+                o.report
+                    .failed_cores()
+                    .iter()
+                    .map(|k| Value::from(k.name()))
+                    .collect(),
+            ),
+        ),
+        ("bandwidth_gbs".to_string(), o.report.bandwidth_gbs.into()),
+    ])
+}
+
+/// One governed run (plus its optional static baseline) as a JSON node.
+pub fn governed_value(o: &GovernedOutcome, baseline: Option<&GovernedOutcome>) -> Value {
+    let mut members = vec![
+        ("scenario".to_string(), o.scenario.as_str().into()),
+        ("beat_mhz".to_string(), o.beat_freq.as_u32().into()),
+        ("epoch_us".to_string(), o.spec.epoch_us.into()),
+        (
+            "ladder_mhz".to_string(),
+            Value::Array(o.spec.ladder_mhz.iter().map(|&f| Value::from(f)).collect()),
+        ),
+        ("start_mhz".to_string(), o.spec.start_mhz().into()),
+        ("up_threshold".to_string(), o.spec.up_threshold.into()),
+        ("down_threshold".to_string(), o.spec.down_threshold.into()),
+        ("patience".to_string(), o.spec.patience.into()),
+        (
+            "escalate_policy".to_string(),
+            match o.spec.escalate_policy {
+                Some(p) => p.name().into(),
+                None => Value::Null,
+            },
+        ),
+        (
+            "trace".to_string(),
+            Value::Array(o.trace.iter().map(epoch_value).collect()),
+        ),
+        ("outcome".to_string(), outcome_value(o)),
+    ];
+    if let Some(b) = baseline {
+        members.push((
+            "baseline".to_string(),
+            Value::Object(vec![
+                ("pinned_mhz".to_string(), b.final_freq.as_u32().into()),
+                ("outcome".to_string(), outcome_value(b)),
+            ]),
+        ));
+    }
+    Value::Object(members)
+}
+
+/// Serializes a batch of governed runs (with optional per-run baselines)
+/// as one JSON array document.
+pub fn trace_json(runs: &[(GovernedOutcome, Option<GovernedOutcome>)]) -> String {
+    Value::Array(
+        runs.iter()
+            .map(|(o, b)| governed_value(o, b.as_ref()))
+            .collect(),
+    )
+    .to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run_governed;
+    use sara_scenarios::{catalog, GovernorSpec};
+
+    fn outcome() -> GovernedOutcome {
+        let s = catalog::by_name("adas").unwrap();
+        let spec = GovernorSpec::new(vec![1120, 1600]).with_epoch_us(200.0);
+        run_governed(&s, &spec, 0.6).unwrap()
+    }
+
+    #[test]
+    fn csv_has_one_row_per_epoch_and_constant_width() {
+        let o = outcome();
+        let csv = trace_csv(std::slice::from_ref(&o));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), o.trace.len() + 1);
+        assert_eq!(lines[0], TRACE_CSV_HEADER);
+        let cols = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+        assert!(lines[1].starts_with("adas,0,"));
+    }
+
+    #[test]
+    fn json_parses_back_with_trace_and_baseline() {
+        let o = outcome();
+        let text = trace_json(&[(o.clone(), Some(o.clone()))]);
+        let doc = ::json::parse(&text).expect("trace JSON parses");
+        let runs = doc.as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.get("scenario").and_then(Value::as_str), Some("adas"));
+        let trace = run.get("trace").and_then(Value::as_array).unwrap();
+        assert_eq!(trace.len(), o.trace.len());
+        assert_eq!(
+            trace[0].get("freq_mhz").and_then(Value::as_u64),
+            Some(u64::from(o.trace[0].freq_mhz))
+        );
+        assert!(run.get("baseline").is_some());
+        assert!(run
+            .get("outcome")
+            .and_then(|v| v.get("qos_deficit"))
+            .is_some());
+        // Identical runs serialize to identical bytes.
+        assert_eq!(text, trace_json(&[(o.clone(), Some(o))]));
+    }
+}

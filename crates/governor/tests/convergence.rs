@@ -1,0 +1,112 @@
+//! Catalog-wide governor convergence properties:
+//!
+//! 1. on every built-in (statistically steady) scenario the online
+//!    governor *settles* — the frequency stops moving well before the run
+//!    ends;
+//! 2. on an overload scenario the governed run measurably improves QoS
+//!    over the equivalent static run pinned at the starting rung, with at
+//!    least one mid-run frequency change;
+//! 3. the whole loop is deterministic to the last byte of its trace.
+
+use sara_governor::{run_governed, run_pinned, trace, GovernorAction, GovernorSpec};
+use sara_scenarios::{catalog, random_scenario_with, GeneratorConfig};
+use sara_types::MegaHertz;
+
+#[test]
+fn every_catalog_scenario_settles_at_a_fixed_frequency() {
+    for s in catalog::builtin() {
+        // `Scenario::governor_spec` is the same resolution `sara govern`
+        // uses, so this sweep exercises exactly what the CLI runs.
+        let out = run_governed(&s, &s.governor_spec(), 1.5).unwrap();
+        assert!(
+            out.settled(4),
+            "{} did not settle: tail of trace {:?}",
+            s.name,
+            out.trace
+                .iter()
+                .rev()
+                .take(4)
+                .map(|e| (e.freq_mhz, e.action.label()))
+                .collect::<Vec<_>>()
+        );
+        // Settling is not just inactivity at the end: the run never takes
+        // more steps than the structural bound (each rung left at most
+        // twice).
+        assert!(
+            (out.freq_changes as usize) <= 2 * out.spec.ladder_mhz.len(),
+            "{}: {} changes on a {}-rung ladder",
+            s.name,
+            out.freq_changes,
+            out.spec.ladder_mhz.len()
+        );
+    }
+}
+
+#[test]
+fn overload_scenario_improves_over_the_equivalent_static_run() {
+    // The catalog's mixed-criticality overload, governed from the lowest
+    // rung, versus the same system pinned there.
+    let s = catalog::by_name("adas-overload").unwrap();
+    let spec = s.governor_spec();
+    let start = MegaHertz::new(spec.start_mhz());
+    let governed = run_governed(&s, &spec, 2.0).unwrap();
+    let pinned = run_pinned(&s, &spec, start, 2.0).unwrap();
+
+    // A mid-run frequency change is visible in the trace...
+    assert!(governed.freq_changes >= 1);
+    assert!(governed
+        .trace
+        .iter()
+        .any(|e| matches!(e.action, GovernorAction::StepUp(_))));
+    let freqs: std::collections::BTreeSet<u32> =
+        governed.trace.iter().map(|e| e.freq_mhz).collect();
+    assert!(freqs.len() >= 2, "trace must span several rungs: {freqs:?}");
+    // ...and the closed loop measurably beats the static run.
+    assert!(
+        governed.failing_epochs < pinned.failing_epochs,
+        "governed {} vs pinned {} failing epochs",
+        governed.failing_epochs,
+        pinned.failing_epochs
+    );
+    assert!(
+        governed.qos_deficit < pinned.qos_deficit * 0.5,
+        "governed deficit {} must clearly beat pinned {}",
+        governed.qos_deficit,
+        pinned.qos_deficit
+    );
+}
+
+#[test]
+fn generated_overload_scenarios_also_drive_the_ladder_up() {
+    // `sara gen --overload`-style workloads: rated demand above platform
+    // peak must push the governor off its starting rung.
+    let cfg = GeneratorConfig {
+        overload: Some(1.4),
+        ..GeneratorConfig::default()
+    };
+    let s = random_scenario_with(&cfg, 7);
+    let spec = GovernorSpec::new(GovernorSpec::default_ladder(s.freq.as_u32()));
+    let out = run_governed(&s, &spec, 1.5).unwrap();
+    assert!(
+        out.freq_changes >= 1,
+        "{}: overload must force at least one step",
+        s.name
+    );
+    assert_eq!(
+        out.final_freq.as_u32(),
+        *spec.ladder_mhz.last().unwrap(),
+        "sustained overload ends at the top rung"
+    );
+}
+
+#[test]
+fn governed_traces_are_byte_deterministic() {
+    let s = catalog::by_name("adas-overload").unwrap();
+    let spec = s.governor_spec();
+    let run = || {
+        let out = run_governed(&s, &spec, 1.0).unwrap();
+        let base = run_pinned(&s, &spec, MegaHertz::new(spec.start_mhz()), 1.0).unwrap();
+        trace::trace_json(&[(out.clone(), Some(base))]) + &trace::trace_csv(&[out])
+    };
+    assert_eq!(run(), run());
+}

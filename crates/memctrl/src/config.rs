@@ -55,6 +55,15 @@ impl McConfig {
         self.policy
     }
 
+    /// Replaces the scheduling policy in place. Every other knob (queue
+    /// split, aging threshold, δ) is policy-independent, so this is the
+    /// complete online policy switch — used by the self-aware governor to
+    /// re-parameterise a live controller between control epochs.
+    #[inline]
+    pub fn set_policy(&mut self, policy: PolicyKind) {
+        self.policy = policy;
+    }
+
     /// Per-class queue capacities, indexed by `CoreClass::queue_index`.
     #[inline]
     pub fn queue_capacities(&self) -> [usize; NUM_QUEUES] {

@@ -128,6 +128,14 @@ impl MemoryController {
         self.occupancy
     }
 
+    /// Switches the scheduling policy mid-run without disturbing queued
+    /// transactions, statistics, or the round-robin/aging state. The next
+    /// [`MemoryController::tick`] arbitrates under the new policy; entries
+    /// admitted under the old one simply compete under the new rules.
+    pub fn set_policy(&mut self, policy: crate::policy::PolicyKind) {
+        self.cfg.set_policy(policy);
+    }
+
     /// Whether a transaction of `class_queue` would currently be admitted.
     pub fn has_room(&self, class_queue: usize) -> bool {
         self.occupancy < self.cfg.total_entries()
@@ -435,6 +443,23 @@ mod tests {
         let done = drain(&mut m, &mut d, 2);
         assert_eq!(done[0].txn.core, CoreKind::Dsp);
         assert_eq!(done[1].txn.core, CoreKind::Cpu);
+    }
+
+    #[test]
+    fn policy_switch_mid_run_reorders_queued_work() {
+        let mut d = dram();
+        let mut m = mc(PolicyKind::Fcfs);
+        m.try_accept(txn(0, CoreKind::Cpu, 0, 1), Cycle::ZERO, &d)
+            .unwrap();
+        m.try_accept(txn(1, CoreKind::Dsp, 512, 7), Cycle::ZERO, &d)
+            .unwrap();
+        // Under FCFS the CPU would win; switching before the first tick
+        // must make the already-queued entries compete under Priority.
+        m.set_policy(PolicyKind::Priority);
+        assert_eq!(m.config().policy(), PolicyKind::Priority);
+        let done = drain(&mut m, &mut d, 2);
+        assert_eq!(done[0].txn.core, CoreKind::Dsp);
+        assert_eq!(m.stats().total_completed(), 2, "stats carried over");
     }
 
     #[test]

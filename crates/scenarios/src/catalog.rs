@@ -22,6 +22,7 @@ use sara_workloads::builders::{
 };
 use sara_workloads::{CoreSpec, DmaSpec, TestCase};
 
+use crate::governor_spec::GovernorSpec;
 use crate::scenario::Scenario;
 
 /// The paper's camcorder, test case A (all 14 cores, 1866 MHz).
@@ -239,6 +240,10 @@ pub fn adas_overload() -> Scenario {
         MegaHertz::new(1600),
         cores,
     )
+    // The catalog's showcase for the online self-aware governor: start on
+    // the lowest rung and let the closed loop climb the ladder as the
+    // overload bites (see `sara govern --scenarios adas-overload`).
+    .with_governor(GovernorSpec::new(GovernorSpec::default_ladder(1600)))
 }
 
 /// The safety-critical ADAS sensor set. `camera_mb` scales the four

@@ -20,7 +20,15 @@
 //! | `frame_period_ns` | number | frame period in nanoseconds (> 0) |
 //! | `duration_ms` | number | nominal run length in milliseconds (> 0) |
 //! | `seed` | integer | master seed (full `u64` range round-trips) |
+//! | `governor` | object, *optional* | online self-adaptation stanza (absent = static run) |
 //! | `cores` | array | one object per core: `kind` (Table 2 name, e.g. `"GPU"`, `"Image Proc."`) + `dmas` |
+//!
+//! The optional `governor` stanza configures the `sara-governor` closed
+//! loop: `epoch_us` (> 0), `ladder_mhz` (strictly ascending array),
+//! `up_threshold` < `down_threshold`, `patience` (≥ 1), plus optional
+//! `start_mhz` (a ladder rung) and `escalate_policy` (policy vocabulary
+//! above). Documents without it are byte-for-byte unchanged from
+//! pre-governor `v1`.
 //!
 //! Each DMA carries `name`, `op` (`"RD"`/`"WR"`), `window` (max outstanding
 //! transactions, ≥ 1) and three tagged unions mirroring
@@ -89,6 +97,7 @@ use sara_memctrl::PolicyKind;
 use sara_types::{ConfigError, CoreKind, MegaHertz, MemOp};
 use sara_workloads::{CoreSpec, DmaSpec, MeterSpec, PatternSpec, TrafficSpec};
 
+use crate::governor_spec::GovernorSpec;
 use crate::scenario::Scenario;
 
 /// The version tag every `v1` document carries in its `format` field.
@@ -191,6 +200,26 @@ fn dma_value(d: &DmaSpec) -> Value {
         ("pattern".to_string(), pattern_value(&d.pattern)),
         ("meter".to_string(), meter_value(&d.meter)),
     ])
+}
+
+fn governor_value(g: &GovernorSpec) -> Value {
+    let mut members = vec![
+        kv("epoch_us", g.epoch_us),
+        (
+            "ladder_mhz".to_string(),
+            Value::Array(g.ladder_mhz.iter().map(|&mhz| Value::from(mhz)).collect()),
+        ),
+        kv("up_threshold", g.up_threshold),
+        kv("down_threshold", g.down_threshold),
+        kv("patience", g.patience),
+    ];
+    if let Some(start) = g.start_mhz {
+        members.push(kv("start_mhz", start));
+    }
+    if let Some(policy) = g.escalate_policy {
+        members.push(kv("escalate_policy", policy.name()));
+    }
+    Value::Object(members)
 }
 
 fn core_value(c: &CoreSpec) -> Value {
@@ -443,6 +472,91 @@ fn meter_from(v: &Value, ctx: &str) -> Result<MeterSpec, ConfigError> {
     }
 }
 
+fn governor_from(v: &Value, ctx: &str) -> Result<GovernorSpec, ConfigError> {
+    let members = as_obj(v, ctx)?;
+    no_unknown_keys(
+        members,
+        &[
+            "epoch_us",
+            "ladder_mhz",
+            "up_threshold",
+            "down_threshold",
+            "patience",
+            "start_mhz",
+            "escalate_policy",
+        ],
+        ctx,
+    )?;
+    let ladder_value = field(members, "ladder_mhz", ctx)?;
+    let ladder = ladder_value.as_array().ok_or_else(|| {
+        err(
+            ctx,
+            format!(
+                "\"ladder_mhz\" must be an array, got {}",
+                ladder_value.type_name()
+            ),
+        )
+    })?;
+    let ladder_mhz = ladder
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let mhz = v.as_u64().ok_or_else(|| {
+                err(
+                    ctx,
+                    format!("\"ladder_mhz[{i}]\" must be a positive integer"),
+                )
+            })?;
+            u32::try_from(mhz).map_err(|_| {
+                err(
+                    ctx,
+                    format!("\"ladder_mhz[{i}]\" {mhz} exceeds {}", u32::MAX),
+                )
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let patience = u64_field(members, "patience", ctx)?;
+    let patience = u32::try_from(patience)
+        .map_err(|_| err(ctx, format!("\"patience\" {patience} exceeds {}", u32::MAX)))?;
+    let start_mhz = match members.iter().find(|(k, _)| k == "start_mhz") {
+        None => None,
+        Some(_) => {
+            let mhz = nonzero_u64_field(members, "start_mhz", ctx)?;
+            Some(
+                u32::try_from(mhz)
+                    .map_err(|_| err(ctx, format!("\"start_mhz\" {mhz} exceeds {}", u32::MAX)))?,
+            )
+        }
+    };
+    let escalate_policy = match members.iter().find(|(k, _)| k == "escalate_policy") {
+        None => None,
+        Some(_) => {
+            let name = str_field(members, "escalate_policy", ctx)?;
+            Some(PolicyKind::from_name(name).ok_or_else(|| {
+                let known: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+                err(
+                    ctx,
+                    format!(
+                        "unknown escalate_policy \"{name}\" (expected one of: {})",
+                        known.join(", ")
+                    ),
+                )
+            })?)
+        }
+    };
+    let spec = GovernorSpec {
+        epoch_us: positive_field(members, "epoch_us", ctx)?,
+        ladder_mhz,
+        up_threshold: positive_field(members, "up_threshold", ctx)?,
+        down_threshold: positive_field(members, "down_threshold", ctx)?,
+        patience,
+        start_mhz,
+        escalate_policy,
+    };
+    spec.validate().map_err(|e| err(ctx, e.message()))?;
+    Ok(spec)
+}
+
 fn dma_from(v: &Value, ctx: &str) -> Result<DmaSpec, ConfigError> {
     let members = as_obj(v, ctx)?;
     no_unknown_keys(
@@ -511,9 +625,11 @@ fn core_from(v: &Value, ctx: &str) -> Result<CoreSpec, ConfigError> {
 }
 
 impl Scenario {
-    /// The scenario as a JSON document node (version `v1` layout).
+    /// The scenario as a JSON document node (version `v1` layout). The
+    /// optional `governor` stanza is emitted only when present, so
+    /// pre-governor documents keep their exact bytes.
     pub fn to_json_value(&self) -> Value {
-        Value::Object(vec![
+        let mut members = vec![
             kv("format", FORMAT_TAG),
             kv("name", self.name.as_str()),
             kv("description", self.description.as_str()),
@@ -522,11 +638,15 @@ impl Scenario {
             kv("frame_period_ns", self.frame_period_ns),
             kv("duration_ms", self.duration_ms),
             kv("seed", self.seed),
-            (
-                "cores".to_string(),
-                Value::Array(self.cores.iter().map(core_value).collect()),
-            ),
-        ])
+        ];
+        if let Some(governor) = &self.governor {
+            members.push(("governor".to_string(), governor_value(governor)));
+        }
+        members.push((
+            "cores".to_string(),
+            Value::Array(self.cores.iter().map(core_value).collect()),
+        ));
+        Value::Object(members)
     }
 
     /// Serializes the scenario as a complete `.scenario.json` text file:
@@ -570,6 +690,7 @@ impl Scenario {
                 "frame_period_ns",
                 "duration_ms",
                 "seed",
+                "governor",
                 "cores",
             ],
             ctx,
@@ -610,6 +731,12 @@ impl Scenario {
             .enumerate()
             .map(|(i, c)| core_from(c, &format!("{ctx}.cores[{i}]")))
             .collect::<Result<Vec<_>, _>>()?;
+        // Optional stanza: absent = static run (v1 documents unchanged).
+        let governor = members
+            .iter()
+            .find(|(k, _)| k == "governor")
+            .map(|(_, v)| governor_from(v, &format!("{ctx}.governor")))
+            .transpose()?;
         Ok(Scenario {
             name: name.to_string(),
             description: str_field(members, "description", ctx)?.to_string(),
@@ -619,6 +746,7 @@ impl Scenario {
             frame_period_ns: positive_field(members, "frame_period_ns", ctx)?,
             duration_ms: positive_field(members, "duration_ms", ctx)?,
             seed: u64_field(members, "seed", ctx)?,
+            governor,
         })
     }
 
@@ -832,6 +960,70 @@ mod tests {
             assert!(base.contains(from), "test fixture drifted: {from}");
             let e = Scenario::from_json_str(&base.replacen(from, to, 1)).unwrap_err();
             assert!(e.message().contains(expect), "{from} -> {to}: {e}");
+        }
+    }
+
+    #[test]
+    fn governor_stanza_round_trips_and_is_optional() {
+        use crate::governor_spec::GovernorSpec;
+        use sara_memctrl::PolicyKind;
+
+        // Full stanza (all optional keys) round-trips value- and byte-exact.
+        let spec = GovernorSpec::new(vec![1333, 1600, 1866])
+            .with_epoch_us(50.0)
+            .with_start_mhz(1600)
+            .with_escalate_policy(PolicyKind::QosRowBuffer);
+        let s = catalog::by_name("adas").unwrap().with_governor(spec);
+        let text = s.to_json();
+        assert!(text.contains("\"governor\""), "{text}");
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+
+        // Dropping the stanza yields a governor-less scenario whose bytes
+        // carry no governor key (v1 compatibility).
+        let mut plain = s.clone();
+        plain.governor = None;
+        let text = plain.to_json();
+        assert!(!text.contains("governor"), "{text}");
+        assert_eq!(Scenario::from_json_str(&text).unwrap().governor, None);
+    }
+
+    #[test]
+    fn governor_stanza_violations_are_rejected_with_context() {
+        use crate::governor_spec::GovernorSpec;
+
+        let base = catalog::by_name("adas")
+            .unwrap()
+            .with_governor(GovernorSpec::new(vec![1333, 1600]))
+            .to_json();
+        // The pretty emitter breaks arrays across lines; match the block.
+        let ladder = "\"ladder_mhz\": [\n      1333,\n      1600\n    ]";
+        let cases = [
+            (
+                ladder,
+                "\"ladder_mhz\": [\n      1600,\n      1333\n    ]",
+                "ascending",
+            ),
+            (
+                ladder,
+                "\"ladder_mhz\": [\n      1600,\n      1600\n    ]",
+                "ascending",
+            ),
+            ("\"epoch_us\": 100", "\"epoch_us\": 0", "epoch_us"),
+            ("\"patience\": 3", "\"patience\": 0", "patience"),
+            (
+                "\"up_threshold\": 0.97",
+                "\"up_threshold\": 2.5",
+                "down_threshold",
+            ),
+            ("\"patience\": 3", "\"patince\": 3", "unknown key"),
+        ];
+        for (from, to, expect) in cases {
+            assert!(base.contains(from), "test fixture drifted: {from}");
+            let e = Scenario::from_json_str(&base.replacen(from, to, 1)).unwrap_err();
+            assert!(e.message().contains(expect), "{from} -> {to}: {e}");
+            assert!(e.message().contains("governor"), "no path in: {e}");
         }
     }
 

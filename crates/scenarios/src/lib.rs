@@ -18,6 +18,9 @@
 //!   automotive ADAS stack (plus a mixed-criticality overload variant),
 //!   smartphone burst multitasking, ML-inference offload, and a
 //!   deliberate DRAM saturation stress;
+//! * [`GovernorSpec`] — the optional `governor` stanza: epoch length,
+//!   DVFS ladder, hysteresis thresholds and policy escalation for the
+//!   `sara-governor` online control loop (absent = static run);
 //! * [`random_scenario`] — seeded fuzz-style generation from the same
 //!   traffic/pattern/meter vocabulary (same seed → same scenario);
 //! * [`format`] — `.scenario.json` file I/O: [`Scenario::to_json`] /
@@ -54,10 +57,14 @@
 pub mod catalog;
 pub mod format;
 mod generator;
+mod governor_spec;
 mod matrix;
 mod scenario;
 
 pub use format::{load_dir, FORMAT_TAG, SCENARIO_FILE_SUFFIX};
 pub use generator::{random_scenario, random_scenario_with, GeneratorConfig};
+pub use governor_spec::{
+    GovernorSpec, DEFAULT_DOWN_THRESHOLD, DEFAULT_EPOCH_US, DEFAULT_PATIENCE, DEFAULT_UP_THRESHOLD,
+};
 pub use matrix::{run_matrix, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking};
 pub use scenario::Scenario;

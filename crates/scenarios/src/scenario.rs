@@ -6,6 +6,8 @@ use sara_sim::{ScenarioParams, SimReport, Simulation, SystemConfig};
 use sara_types::{ConfigError, MegaHertz};
 use sara_workloads::{CoreSpec, FRAMES_PER_SECOND};
 
+use crate::governor_spec::GovernorSpec;
+
 /// One self-contained allocation problem: a named set of core specs plus
 /// the platform knobs a run varies (DRAM frequency, scheduling policy,
 /// frame period, duration, seed).
@@ -44,6 +46,9 @@ pub struct Scenario {
     pub duration_ms: f64,
     /// Master seed for all stochastic generators.
     pub seed: u64,
+    /// Optional online self-adaptation stanza (`None` = static run; the
+    /// batch harness always runs scenarios statically regardless).
+    pub governor: Option<GovernorSpec>,
 }
 
 impl Scenario {
@@ -65,6 +70,7 @@ impl Scenario {
             frame_period_ns: 1e9 / FRAMES_PER_SECOND,
             duration_ms: 5.0,
             seed: 0x5a5a_0001,
+            governor: None,
         }
     }
 
@@ -101,6 +107,23 @@ impl Scenario {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Attaches an online-governor stanza (see [`GovernorSpec`]).
+    #[must_use]
+    pub fn with_governor(mut self, spec: GovernorSpec) -> Self {
+        self.governor = Some(spec);
+        self
+    }
+
+    /// The governor spec this scenario runs under: its own stanza, or the
+    /// default ladder anchored at its nominal frequency. This is the one
+    /// resolution rule shared by `sara govern` and the governor test
+    /// suites (CLI flags may override fields afterwards).
+    pub fn governor_spec(&self) -> GovernorSpec {
+        self.governor
+            .clone()
+            .unwrap_or_else(|| GovernorSpec::new(GovernorSpec::default_ladder(self.freq.as_u32())))
     }
 
     /// Lowers the scenario onto the sim layer's parameter type.

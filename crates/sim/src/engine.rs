@@ -19,11 +19,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sara_dram::Dram;
-use sara_memctrl::{MemoryController, TickResult};
+use sara_memctrl::{MemoryController, PolicyKind, TickResult};
 use sara_noc::Noc;
-use sara_types::{Clock, ConfigError, CoreClass, Cycle, DmaId, MemOp, Transaction, TransactionId};
+use sara_types::{
+    Clock, ConfigError, CoreClass, Cycle, DmaId, MegaHertz, MemOp, Transaction, TransactionId,
+};
 
 use crate::config::SystemConfig;
+use crate::health::{DmaHealth, SystemHealth};
 use crate::report::{ReportBuilder, SimReport};
 use crate::runtime::{build_dmas, DmaRuntime, BURST_BYTES};
 use crate::sampling::Samplers;
@@ -80,6 +83,11 @@ pub struct Simulation {
     samplers: Samplers,
     next_sample: Cycle,
     trace: TransactionTrace,
+    /// DRAM frequency currently in force (== `cfg.freq` until an online
+    /// DVFS step re-parameterises the device).
+    effective_freq: MegaHertz,
+    /// Per-DMA worst sampled NPI since the last [`Simulation::mark_epoch`].
+    epoch_floor: Vec<f64>,
 }
 
 impl Simulation {
@@ -129,6 +137,8 @@ impl Simulation {
             samplers,
             next_sample: Cycle::new(cfg.sample_period),
             trace: TransactionTrace::new(cfg.trace_capacity),
+            effective_freq: cfg.freq,
+            epoch_floor: vec![f64::INFINITY; dmas.len()],
             dmas,
             cfg,
         };
@@ -149,8 +159,12 @@ impl Simulation {
         self.now
     }
 
-    /// Runs until `end` (absolute cycle), then reports.
-    pub fn run_until(&mut self, end: Cycle) -> SimReport {
+    /// Runs until `end` (absolute cycle) without building a report — the
+    /// cheap stepping primitive for epoch-driven callers (the online
+    /// governor advances one control epoch at a time and reads
+    /// [`Simulation::health`] instead of paying for a full report per
+    /// epoch).
+    pub fn advance_until(&mut self, end: Cycle) {
         while let Some(Reverse((at, _, _))) = self.heap.peek() {
             if *at > end {
                 break;
@@ -161,6 +175,11 @@ impl Simulation {
             self.dispatch(at, kind);
         }
         self.now = end;
+    }
+
+    /// Runs until `end` (absolute cycle), then reports.
+    pub fn run_until(&mut self, end: Cycle) -> SimReport {
+        self.advance_until(end);
         self.report()
     }
 
@@ -391,8 +410,9 @@ impl Simulation {
         let now = self.now;
         for (i, dma) in self.dmas.iter_mut().enumerate() {
             dma.adapter.refresh(now);
-            self.samplers
-                .record(i, dma.adapter.npi(), dma.adapter.priority());
+            let npi = dma.adapter.npi();
+            self.epoch_floor[i] = self.epoch_floor[i].min(npi.as_f64());
+            self.samplers.record(i, npi, dma.adapter.priority());
         }
         self.samplers
             .record_bandwidth(self.dram.stats().total.total_bytes());
@@ -403,6 +423,114 @@ impl Simulation {
     /// The per-transaction trace (empty unless `trace_capacity` was set).
     pub fn trace(&self) -> &TransactionTrace {
         &self.trace
+    }
+
+    /// The DRAM frequency currently in force (equals the configured beat
+    /// clock until [`Simulation::set_dram_freq`] steps it down).
+    #[inline]
+    pub fn effective_dram_freq(&self) -> MegaHertz {
+        self.effective_freq
+    }
+
+    /// Steps the DRAM to `target` mid-run — the actuation half of the
+    /// online DVFS loop.
+    ///
+    /// The simulation beat clock (and with it every workload rate, frame
+    /// period and meter target, all denominated in beat cycles) never
+    /// changes; instead the DRAM timing set is re-expressed in beat cycles
+    /// at the new memory-clock ratio (see
+    /// [`sara_dram::TimingParams::rescaled`]). All device state — open
+    /// rows, per-bank next-legal times, bus reservations, refresh
+    /// deadlines, queued transactions — carries over: constraints already
+    /// scheduled under the old clock stay as scheduled, and commands
+    /// issued from now on obey the new one. Idempotent when `target`
+    /// already is the effective frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `target` exceeds the beat clock — the
+    /// ladder's top rung must be the frequency the system was built at.
+    pub fn set_dram_freq(&mut self, target: MegaHertz) -> Result<(), ConfigError> {
+        if target > self.cfg.freq {
+            return Err(ConfigError::new(format!(
+                "DVFS target {target} exceeds the beat clock {} the system was built at",
+                self.cfg.freq
+            )));
+        }
+        if target == self.effective_freq {
+            return Ok(());
+        }
+        let scaled = self
+            .cfg
+            .dram
+            .timing()
+            .rescaled(self.cfg.freq.as_u32() as u64, target.as_u32() as u64);
+        self.dram.set_timing(scaled);
+        self.effective_freq = target;
+        // Re-arm every channel with queued work: a step *up* moves legal
+        // issue times earlier than any pending retry wake, and waiting for
+        // the stale (late) wake would idle the faster device.
+        let now = self.now;
+        for ch in 0..self.channels {
+            if self.mc.queued_for_channel(ch) > 0 {
+                self.schedule_mc(ch, now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Switches the memory-scheduling policy mid-run (the governor's
+    /// second actuator). Queued transactions, statistics and aging state
+    /// carry over; the NoC arbitration discipline is fixed at build time
+    /// and intentionally keeps the original scheme — the controller is the
+    /// paper's QoS enforcement point.
+    pub fn set_policy(&mut self, policy: PolicyKind) {
+        self.cfg.policy = policy;
+        self.mc.set_policy(policy);
+    }
+
+    /// A cheap live health snapshot: per-DMA live NPI + worst sampled NPI
+    /// since the last [`Simulation::mark_epoch`], stamped priorities,
+    /// controller queue depths and the DRAM byte counter. The governor's
+    /// sensor.
+    pub fn health(&self) -> SystemHealth {
+        let now = self.now;
+        let dmas = self
+            .dmas
+            .iter()
+            .enumerate()
+            .map(|(i, dma)| {
+                let snap = dma.adapter.snapshot(now);
+                DmaHealth {
+                    dma: i,
+                    core: dma.core,
+                    class: dma.class,
+                    npi: snap.npi.as_f64(),
+                    epoch_floor: self.epoch_floor[i],
+                    priority: snap.priority.as_u8(),
+                    inflight: dma.inflight,
+                }
+            })
+            .collect();
+        SystemHealth {
+            now,
+            dmas,
+            mc_occupancy: self.mc.occupancy(),
+            queued_per_channel: (0..self.channels)
+                .map(|ch| self.mc.queued_for_channel(ch))
+                .collect(),
+            dram_bytes: self.dram.stats().total.total_bytes(),
+            effective_freq: self.effective_freq,
+            policy: self.cfg.policy,
+        }
+    }
+
+    /// Starts a new control epoch: resets the per-DMA sampled-NPI floors
+    /// that [`Simulation::health`] reports as `epoch_floor`.
+    pub fn mark_epoch(&mut self) {
+        for floor in &mut self.epoch_floor {
+            *floor = f64::INFINITY;
+        }
     }
 
     /// Builds a report for the elapsed window.
@@ -461,6 +589,96 @@ mod tests {
         let _ = sim.run_for_ms(0.1);
         let expected = sim.config().clock().cycles_from_ms(0.1);
         assert_eq!(sim.now().as_u64(), expected);
+    }
+}
+
+#[cfg(test)]
+mod governor_hook_tests {
+    use super::*;
+    use sara_memctrl::PolicyKind;
+    use sara_workloads::TestCase;
+
+    #[test]
+    fn dvfs_step_down_reduces_delivered_bandwidth() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut pinned = Simulation::new(cfg.clone()).unwrap();
+        let full = pinned.run_for_ms(0.4);
+
+        let mut stepped = Simulation::new(cfg).unwrap();
+        assert_eq!(stepped.effective_dram_freq().as_u32(), 1700);
+        let _ = stepped.run_for_ms(0.2);
+        stepped.set_dram_freq(MegaHertz::new(850)).unwrap();
+        assert_eq!(stepped.effective_dram_freq().as_u32(), 850);
+        let slowed = stepped.run_for_ms(0.4);
+        assert!(
+            slowed.dram.total.total_bytes() < full.dram.total.total_bytes(),
+            "half-speed DRAM in the second half must deliver fewer bytes \
+             ({} vs {})",
+            slowed.dram.total.total_bytes(),
+            full.dram.total.total_bytes()
+        );
+    }
+
+    #[test]
+    fn dvfs_step_back_up_restores_service_and_is_deterministic() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let run = |cfg: SystemConfig| {
+            let mut sim = Simulation::new(cfg).unwrap();
+            let _ = sim.run_for_ms(0.1);
+            sim.set_dram_freq(MegaHertz::new(850)).unwrap();
+            let _ = sim.run_for_ms(0.2);
+            sim.set_dram_freq(MegaHertz::new(1700)).unwrap();
+            sim.run_for_ms(0.4)
+        };
+        let a = run(cfg.clone());
+        let b = run(cfg);
+        assert_eq!(a.dram.total, b.dram.total);
+        assert_eq!(a.mc.total_completed(), b.mc.total_completed());
+        for (x, y) in a.cores.iter().zip(&b.cores) {
+            assert_eq!(x.min_npi, y.min_npi);
+            assert_eq!(x.completed, y.completed);
+        }
+    }
+
+    #[test]
+    fn dvfs_above_beat_clock_rejected_and_idempotent_step_is_free() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        assert!(sim.set_dram_freq(MegaHertz::new(1866)).is_err());
+        sim.set_dram_freq(MegaHertz::new(1700)).unwrap();
+        assert_eq!(sim.effective_dram_freq().as_u32(), 1700);
+    }
+
+    #[test]
+    fn policy_switch_mid_run_takes_effect() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Fcfs).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        let _ = sim.run_for_ms(0.1);
+        sim.set_policy(PolicyKind::Priority);
+        let report = sim.run_for_ms(0.2);
+        assert_eq!(report.policy, PolicyKind::Priority);
+        assert_eq!(sim.health().policy, PolicyKind::Priority);
+    }
+
+    #[test]
+    fn health_reports_floors_and_mark_epoch_resets_them() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        let _ = sim.run_for_ms(0.2);
+        let h = sim.health();
+        assert_eq!(h.dmas.len(), sim.dmas.len());
+        assert!(h.worst_npi().is_finite());
+        assert!(h.dmas.iter().all(|d| d.epoch_floor.is_finite()));
+        assert!(h.dram_bytes > 0);
+        assert_eq!(h.queued_per_channel.len(), 2);
+        sim.mark_epoch();
+        let fresh = sim.health();
+        assert!(
+            fresh.dmas.iter().all(|d| d.epoch_floor.is_infinite()),
+            "mark_epoch must clear the sampled floors"
+        );
+        // Live NPI still reads without samples.
+        assert!(fresh.worst_npi().is_finite());
     }
 }
 

@@ -113,11 +113,17 @@ pub struct DvfsPoint {
     pub bandwidth_gbs: f64,
 }
 
-/// A self-aware DVFS governor built on SARA's own health signals: sweep
-/// candidate DRAM frequencies (descending) under Policy 1 and pick the
-/// lowest one at which *every* core still meets its target — the natural
-/// energy-saving extension of the paper's Fig. 7 observation that the
-/// adaptation absorbs frequency loss until capacity truly runs out.
+/// The generic offline DVFS search every scenario can run: re-simulate
+/// `base` at each candidate DRAM frequency and pick the lowest one at
+/// which *every* core still meets its target — the natural energy-saving
+/// extension of the paper's Fig. 7 observation that the adaptation
+/// absorbs frequency loss until capacity truly runs out.
+///
+/// This is the engine under both the camcorder [`dvfs_governor`] shim and
+/// `sara-governor`'s `GovernorSearch` (which lowers any declarative
+/// `Scenario` onto `base`). For the *online* counterpart — stepping the
+/// frequency inside one run instead of re-running per candidate — see the
+/// `sara-governor` crate.
 ///
 /// Returns all evaluated points plus the index of the chosen one (the
 /// lowest passing frequency), or `None` if no candidate passes.
@@ -125,15 +131,16 @@ pub struct DvfsPoint {
 /// # Errors
 ///
 /// Returns [`ConfigError`] on inconsistent configuration.
-pub fn dvfs_governor(
-    case: TestCase,
+pub fn dvfs_search(
+    base: &ScenarioParams,
     freqs_mhz: &[u32],
     duration_ms: f64,
 ) -> Result<(Vec<DvfsPoint>, Option<usize>), ConfigError> {
     let mut points = Vec::with_capacity(freqs_mhz.len());
     for &mhz in freqs_mhz {
         let freq = MegaHertz::new(mhz);
-        let params = ScenarioParams::new(freq, PolicyKind::Priority, case.cores());
+        let mut params = base.clone();
+        params.freq = freq;
         let report = run_params(params, duration_ms)?;
         let energy = sara_dram::estimate_energy(
             &report.dram.total,
@@ -156,6 +163,21 @@ pub fn dvfs_governor(
         .min_by_key(|(_, p)| p.freq.as_u32())
         .map(|(i, _)| i);
     Ok((points, chosen))
+}
+
+/// [`dvfs_search`] specialised to the paper's camcorder workload under
+/// Policy 1 (the original Fig. 7-adjacent experiment).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on inconsistent configuration.
+pub fn dvfs_governor(
+    case: TestCase,
+    freqs_mhz: &[u32],
+    duration_ms: f64,
+) -> Result<(Vec<DvfsPoint>, Option<usize>), ConfigError> {
+    let base = ScenarioParams::new(case.dram_freq(), PolicyKind::Priority, case.cores());
+    dvfs_search(&base, freqs_mhz, duration_ms)
 }
 
 #[cfg(test)]

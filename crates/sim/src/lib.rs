@@ -16,6 +16,10 @@
 //!   [`Simulation::run_for_ms`], inspect the returned [`SimReport`],
 //! * [`experiment`] — canned runners for the paper's figures (policy
 //!   comparisons, frequency sweeps),
+//! * [`SystemHealth`] — the live snapshot API ([`Simulation::health`])
+//!   and the online actuators ([`Simulation::set_dram_freq`],
+//!   [`Simulation::set_policy`]) that the `sara-governor` closed loop
+//!   drives at every control epoch,
 //! * [`json`] — machine-comparable report serialization
 //!   ([`SimReport::to_json`]),
 //! * [`sweeps`] — CSV/JSON serialization for frequency and DVFS sweep
@@ -41,6 +45,7 @@
 mod config;
 mod engine;
 pub mod experiment;
+mod health;
 pub mod json;
 mod report;
 mod runtime;
@@ -50,6 +55,7 @@ mod trace;
 
 pub use config::{arbiter_for, ScenarioParams, SystemConfig};
 pub use engine::Simulation;
+pub use health::{DmaHealth, SystemHealth};
 pub use report::{CoreReport, SimReport, FAIL_THRESHOLD};
 pub use runtime::{DmaRuntime, BURST_BYTES};
 pub use sampling::{Samplers, MAX_LEVELS};

@@ -63,25 +63,40 @@ pub fn freq_points_json(points: &[FreqPoint]) -> String {
     .to_string_compact()
 }
 
+/// The CSV column set of one [`DvfsPoint`] (no trailing newline) —
+/// shared by [`dvfs_points_csv`] and any caller embedding the same
+/// columns in a wider table (the CLI's per-scenario search CSV), so the
+/// two cannot drift.
+pub const DVFS_CSV_COLUMNS: &str = "freq_mhz,all_met,energy_mj,pj_per_bit,bandwidth_gbs";
+
+/// One [`DvfsPoint`] as its CSV fields (no scenario prefix, no newline),
+/// in [`DVFS_CSV_COLUMNS`] order.
+pub fn dvfs_point_fields(p: &DvfsPoint) -> String {
+    format!(
+        "{},{},{},{},{}",
+        p.freq.as_u32(),
+        p.all_met,
+        cell(p.energy_mj),
+        cell(p.pj_per_bit),
+        cell(p.bandwidth_gbs)
+    )
+}
+
 /// Serializes a DVFS governor sweep as CSV, one row per candidate
 /// frequency.
 pub fn dvfs_points_csv(points: &[DvfsPoint]) -> String {
-    let mut out = String::from("freq_mhz,all_met,energy_mj,pj_per_bit,bandwidth_gbs\n");
+    let mut out = String::from(DVFS_CSV_COLUMNS);
+    out.push('\n');
     for p in points {
-        out.push_str(&format!(
-            "{},{},{},{},{}\n",
-            p.freq.as_u32(),
-            p.all_met,
-            cell(p.energy_mj),
-            cell(p.pj_per_bit),
-            cell(p.bandwidth_gbs)
-        ));
+        out.push_str(&dvfs_point_fields(p));
+        out.push('\n');
     }
     out
 }
 
-/// Serializes a DVFS governor sweep as a JSON array of per-point objects.
-pub fn dvfs_points_json(points: &[DvfsPoint]) -> String {
+/// A DVFS governor sweep as a JSON array node — for embedding in larger
+/// documents (e.g. the CLI's per-scenario search output).
+pub fn dvfs_points_value(points: &[DvfsPoint]) -> Value {
     Value::Array(
         points
             .iter()
@@ -96,7 +111,11 @@ pub fn dvfs_points_json(points: &[DvfsPoint]) -> String {
             })
             .collect(),
     )
-    .to_string_compact()
+}
+
+/// Serializes a DVFS governor sweep as a JSON array of per-point objects.
+pub fn dvfs_points_json(points: &[DvfsPoint]) -> String {
+    dvfs_points_value(points).to_string_compact()
 }
 
 #[cfg(test)]

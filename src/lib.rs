@@ -21,7 +21,11 @@
 //!   saturation stress), a seeded random scenario generator, and the
 //!   multi-threaded scenario × policy × frequency batch harness;
 //! * [`sim`] — the event-driven co-simulation engine and the experiment
-//!   runners behind every figure.
+//!   runners behind every figure;
+//! * [`governor`] — online, scenario-aware self-adaptation: a closed
+//!   control loop stepping DRAM frequency (and optionally the scheduling
+//!   policy) *inside* a running simulation, plus the offline
+//!   `GovernorSearch` over any scenario.
 //!
 //! # Quickstart
 //!
@@ -49,6 +53,7 @@
 
 pub use sara_core as core;
 pub use sara_dram as dram;
+pub use sara_governor as governor;
 pub use sara_memctrl as memctrl;
 pub use sara_noc as noc;
 pub use sara_scenarios as scenarios;

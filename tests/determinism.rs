@@ -5,9 +5,13 @@
 use sara::dram::{
     CommandRecord, Dram, DramCommand, DramConfig, Interleave, Issued, TimingChecker, TimingParams,
 };
+use sara::governor::{run_governed, run_pinned, trace};
 use sara::memctrl::{McConfig, MemoryController, PolicyKind, TickResult};
+use sara::scenarios::catalog;
 use sara::sim::experiment::run_camcorder;
-use sara::types::{Addr, CoreKind, Cycle, DmaId, MemOp, Priority, Transaction, TransactionId};
+use sara::types::{
+    Addr, CoreKind, Cycle, DmaId, MegaHertz, MemOp, Priority, Transaction, TransactionId,
+};
 use sara::workloads::TestCase;
 
 use rand::rngs::StdRng;
@@ -28,6 +32,32 @@ fn identical_runs_are_bit_identical() {
     for (kind, series) in &a.npi_series {
         assert_eq!(series, &b.npi_series[kind]);
     }
+}
+
+/// The governor's per-epoch trace — JSON and CSV — is part of the
+/// determinism contract: identical inputs must serialize to identical
+/// bytes, including the online frequency/policy actuation inside the run
+/// and the pinned static baseline alongside it.
+#[test]
+fn governor_epoch_trace_json_is_byte_identical() {
+    let scenario = catalog::by_name("adas-overload").unwrap();
+    let spec = scenario
+        .governor
+        .clone()
+        .expect("adas-overload carries a stanza");
+    let run = || {
+        let governed = run_governed(&scenario, &spec, 1.0).unwrap();
+        let pinned = run_pinned(&scenario, &spec, MegaHertz::new(spec.start_mhz()), 1.0).unwrap();
+        let json = trace::trace_json(&[(governed.clone(), Some(pinned))]);
+        let csv = trace::trace_csv(&[governed]);
+        (json, csv)
+    };
+    let (json_a, csv_a) = run();
+    let (json_b, csv_b) = run();
+    assert_eq!(json_a, json_b, "governed JSON trace drifted between runs");
+    assert_eq!(csv_a, csv_b, "governed CSV trace drifted between runs");
+    // And the trace really recorded online adaptation, not a static run.
+    assert!(csv_a.lines().any(|l| l.contains(",up:")), "{csv_a}");
 }
 
 #[test]
