@@ -10,6 +10,14 @@
 //! the measured `cells_per_sec` values varying, which is what makes a
 //! checked-in baseline diffable and a tolerance-gated CI comparison
 //! meaningful.
+//!
+//! The baseline gate compares *relative* per-scenario throughput: each
+//! scenario's cells/sec is normalised by the geometric mean of the run it
+//! came from, and the measured profile must stay within `--tolerance` of
+//! the baseline profile. A uniformly slower machine (CI runner vs the
+//! laptop that recorded the baseline) cancels out entirely; only a
+//! scenario that regressed *relative to its peers* — the signature of a
+//! real per-scenario performance bug — trips the gate.
 
 use std::time::Instant;
 
@@ -35,12 +43,18 @@ usage: sara bench [options]
   --baseline PATH    compare against a checked-in baseline document and
                      fail on regression; with SARA_UPDATE_BASELINE=1 in
                      the environment, (re)write PATH instead
-  --tolerance F      allowed slowdown factor vs the baseline (default 2.5,
-                     machine-noise-aware)
+  --tolerance F      allowed per-scenario slowdown relative to the run's
+                     own geometric mean vs the baseline profile (default
+                     2.5)
 
 Every catalog scenario runs all six policies serially; throughput is
 matrix cells per second. The output shape (keys, scenario order, cell
 counts) is byte-deterministic across runs — only the timings move.
+
+The gate is *relative*: each scenario's cells/sec is normalised by the
+geometric mean of its own run before comparing against the baseline's
+normalised profile, so a uniformly faster or slower machine never trips
+it — only a scenario that slowed down relative to its peers does.
 
 Regenerate the committed baseline after an intentional change:
   SARA_UPDATE_BASELINE=1 sara bench --baseline tests/data/bench-baseline.json";
@@ -106,7 +120,8 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
                 progress.line(line);
             }
             progress.line(format!(
-                "baseline check passed ({} scenarios within {tolerance}x of {path})",
+                "baseline check passed ({} scenarios' relative profiles within \
+                 {tolerance}x of {path})",
                 measurements.len()
             ));
         }
@@ -126,6 +141,7 @@ fn measure(
         freqs_mhz: Vec::new(),
         duration_ms: Some(duration_ms),
         threads: 1,
+        parallel_channels: false,
     };
     progress.line(format!(
         "{} scenarios x {} policies, {duration_ms} ms per cell, best of {repeat}, serial",
@@ -230,9 +246,19 @@ fn scenarios_of(doc: &Value, what: &str) -> Result<Vec<Measurement>, CliError> {
         .collect()
 }
 
-/// Compares a fresh measurement against a stored baseline: every baseline
-/// scenario must still exist with the same cell count, and its measured
-/// throughput must stay within `tolerance ×` of the recorded value.
+/// Geometric mean of the scenarios' throughputs — the run-local yardstick
+/// relative gating normalises by. Positive by construction
+/// ([`scenarios_of`] rejects non-positive numbers).
+fn geo_mean(list: &[Measurement]) -> f64 {
+    let n = list.len() as f64;
+    (list.iter().map(|m| m.cells_per_sec.ln()).sum::<f64>() / n).exp()
+}
+
+/// Compares a fresh measurement against a stored baseline *relatively*:
+/// every baseline scenario must still exist with the same cell count, and
+/// its throughput normalised by the run's own geometric mean must stay
+/// within `tolerance ×` of the baseline's normalised value. Uniform
+/// machine-speed differences cancel; per-scenario regressions do not.
 /// Returns the per-scenario report lines.
 fn compare_baseline(
     measured: &Value,
@@ -272,19 +298,24 @@ fn compare_baseline(
             names(&measured)
         )));
     }
+    let (m_mean, b_mean) = (geo_mean(&measured), geo_mean(&baseline));
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
     for (m, b) in measured.iter().zip(&baseline) {
-        let floor = b.cells_per_sec / tolerance;
-        if m.cells_per_sec < floor {
+        let m_rel = m.cells_per_sec / m_mean;
+        let b_rel = b.cells_per_sec / b_mean;
+        let floor = b_rel / tolerance;
+        if m_rel < floor {
             regressions.push(format!(
-                "{}: {:.2} cells/sec, below the {tolerance}x floor of {:.2} (baseline {:.2})",
-                m.name, m.cells_per_sec, floor, b.cells_per_sec
+                "{}: {:.3}x of this run's mean, below the {tolerance}x floor of {:.3}x \
+                 (baseline profile {:.3}x; measured {:.2} cells/sec)",
+                m.name, m_rel, floor, b_rel, m.cells_per_sec
             ));
         } else {
             lines.push(format!(
-                "ok {:<18} {:>8.2} cells/sec (baseline {:.2}, floor {:.2})",
-                m.name, m.cells_per_sec, b.cells_per_sec, floor
+                "ok {:<18} {:>6.3}x of run mean (baseline {:.3}x, floor {:.3}x, \
+                 {:.2} cells/sec)",
+                m.name, m_rel, b_rel, floor, m.cells_per_sec
             ));
         }
     }
@@ -330,30 +361,43 @@ mod tests {
 
     #[test]
     fn within_tolerance_passes_and_reports_every_scenario() {
-        let base = doc(&[("a", 6, 100.0)]);
-        let measured = doc(&[("a", 6, 41.0)]); // above 100/2.5 = 40
+        let base = doc(&[("a", 6, 100.0), ("b", 6, 50.0)]);
+        let measured = doc(&[("a", 6, 90.0), ("b", 6, 55.0)]);
         let lines = compare_baseline(&measured, &base, 2.5).unwrap();
-        assert_eq!(lines.len(), 1);
+        assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("ok a"));
+        assert!(lines[1].starts_with("ok b"));
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_never_trips_the_relative_gate() {
+        // A CI runner 10x slower than the laptop that recorded the
+        // baseline keeps every scenario's *relative* profile intact — the
+        // exact case the old absolute gate kept false-failing on.
+        let base = doc(&[("a", 6, 100.0), ("b", 6, 50.0), ("c", 6, 25.0)]);
+        let slowed = doc(&[("a", 6, 10.0), ("b", 6, 5.0), ("c", 6, 2.5)]);
+        assert!(compare_baseline(&slowed, &base, 1.01).is_ok());
     }
 
     #[test]
     fn regression_fails_with_the_offender_named() {
+        // `a` collapses by 10x while `b` holds: relative to the run mean,
+        // `a` drops well below the 2.5x floor.
         let base = doc(&[("a", 6, 100.0), ("b", 6, 100.0)]);
-        let measured = doc(&[("a", 6, 39.0), ("b", 6, 100.0)]);
+        let measured = doc(&[("a", 6, 10.0), ("b", 6, 100.0)]);
         let err = compare_baseline(&measured, &base, 2.5).unwrap_err();
         let CliError::Failure(msg) = err else {
             panic!("expected failure")
         };
-        assert!(msg.contains("a: 39.00"), "{msg}");
+        assert!(msg.contains("a: "), "{msg}");
         assert!(msg.contains("SARA_UPDATE_BASELINE"), "{msg}");
-        assert!(!msg.contains("b:"), "{msg}");
+        assert!(!msg.contains("b: "), "{msg}");
     }
 
     #[test]
     fn faster_than_baseline_is_fine() {
-        let base = doc(&[("a", 6, 100.0)]);
-        let measured = doc(&[("a", 6, 1000.0)]);
+        let base = doc(&[("a", 6, 100.0), ("b", 6, 100.0)]);
+        let measured = doc(&[("a", 6, 1000.0), ("b", 6, 1000.0)]);
         assert!(compare_baseline(&measured, &base, 2.5).is_ok());
     }
 

@@ -7,8 +7,8 @@ use crate::commands::{load_scenarios, scenario_row, take_scenario_names};
 use crate::output::{emit_value, page, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara matrix [--dir DIR | --scenarios NAMES] [--policies NAMES] \
-                     [--freqs MHZ] [--duration-ms MS] [--jobs N] [--json PATH|-] [--csv PATH|-] \
-                     [--pretty]";
+                     [--freqs MHZ] [--duration-ms MS] [--jobs N] [--parallel-channels] \
+                     [--json PATH|-] [--csv PATH|-] [--pretty]";
 
 const HELP: &str = "\
 sara matrix — run scenarios x policies x frequencies, ranked
@@ -28,6 +28,10 @@ matrix shape:
                      nominal duration
   --jobs N           worker threads (default: all hardware threads; the
                      aggregate is byte-identical for any value)
+  --parallel-channels
+                     step decoupled DRAM-channel lanes concurrently inside
+                     each cell's simulation; results are byte-identical to
+                     the default sequential stepping
 
 output:
   --json PATH|-      write the full summary (cells + rankings) as JSON
@@ -63,6 +67,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
     }
     let jobs = args.take_parsed::<usize>("--jobs")?;
+    let parallel_channels = args.take_flag("--parallel-channels");
     let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
     let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
     reject_double_stdout(json_sink.as_ref(), csv_sink.as_ref(), USAGE)?;
@@ -75,6 +80,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         freqs_mhz,
         duration_ms,
         threads: jobs.unwrap_or_else(|| MatrixSpec::default().threads),
+        parallel_channels,
     };
 
     let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref()]);

@@ -2,6 +2,7 @@
 //! logic they share.
 
 pub mod bench;
+pub mod completions;
 pub mod export;
 pub mod gen;
 pub mod govern;

@@ -49,11 +49,14 @@ commands:
   govern     online self-aware governor: closed-loop DVFS inside one run
   gen        generate seeded random scenarios
   bench      measure matrix throughput; emit or check a baseline
+  completions
+             emit a bash/zsh/fish completion script
 
 run `sara <command> --help` for per-command options.";
 
 /// One-line usage hint printed with top-level usage errors.
-const USAGE: &str = "usage: sara <export|validate|list|matrix|sweep|govern|gen|bench> [options] \
+const USAGE: &str = "usage: sara \
+                     <export|validate|list|matrix|sweep|govern|gen|bench|completions> [options] \
                      (see `sara --help`)";
 
 /// Runs the CLI on the given arguments (without the program name) and
@@ -104,6 +107,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "govern" => commands::govern::run(rest),
         "gen" => commands::gen::run(rest),
         "bench" => commands::bench::run(rest),
+        "completions" => commands::completions::run(rest),
         other => Err(CliError::Usage(format!(
             "unknown command \"{other}\"\n{USAGE}"
         ))),

@@ -86,9 +86,53 @@ fn help_output_matches_goldens() {
 }
 
 #[test]
+fn completion_scripts_match_goldens() {
+    check_golden(&["completions", "bash"], "completions-bash.txt");
+    check_golden(&["completions", "zsh"], "completions-zsh.txt");
+    check_golden(&["completions", "fish"], "completions-fish.txt");
+    // An unknown shell is a usage error naming the vocabulary.
+    let out = sara(&["completions", "tcsh"]);
+    assert_eq!(code(&out), 2);
+    assert!(
+        stderr(&out).contains("bash, zsh or fish"),
+        "{}",
+        stderr(&out)
+    );
+    // Every script names every subcommand, including itself.
+    for shell in ["bash", "zsh", "fish"] {
+        let text = stdout(&sara(&["completions", shell]));
+        for cmd in [
+            "export",
+            "validate",
+            "list",
+            "matrix",
+            "sweep",
+            "govern",
+            "gen",
+            "bench",
+            "completions",
+        ] {
+            assert!(text.contains(cmd), "{shell} script missing {cmd}");
+        }
+        assert!(
+            text.contains("per-channel") || text.contains("l per-channel"),
+            "{shell} script missing the govern flags"
+        );
+    }
+}
+
+#[test]
 fn every_subcommand_answers_help() {
     for cmd in [
-        "export", "validate", "list", "matrix", "sweep", "govern", "gen", "bench",
+        "export",
+        "validate",
+        "list",
+        "matrix",
+        "sweep",
+        "govern",
+        "gen",
+        "bench",
+        "completions",
     ] {
         let out = sara(&[cmd, "--help"]);
         assert_eq!(code(&out), 0, "{cmd} --help failed");
@@ -506,28 +550,65 @@ fn bench_baseline_update_check_and_regression() {
     assert_eq!(code(&out), 0, "{}", stderr(&out));
     assert!(stdout(&out).contains("baseline check passed"));
 
-    // An impossible baseline trips the gate with exit 1 and a regen hint.
-    fn inflate(doc: &Value) -> Value {
-        match doc {
-            Value::Object(members) => Value::Object(
-                members
-                    .iter()
-                    .map(|(k, v)| {
-                        if k == "cells_per_sec" {
-                            (k.clone(), Value::Float(9e9))
-                        } else {
-                            (k.clone(), inflate(v))
-                        }
-                    })
-                    .collect(),
-            ),
-            Value::Array(items) => Value::Array(items.iter().map(inflate).collect()),
-            other => other.clone(),
+    // The gate is relative: inflating EVERY scenario uniformly models a
+    // faster recording machine and must NOT trip it...
+    fn scale_one(doc: &Value, only: Option<&str>, factor: f64) -> Value {
+        fn walk(doc: &Value, only: Option<&str>, factor: f64, in_target: bool) -> Value {
+            match doc {
+                Value::Object(members) => {
+                    let hit = only.is_none()
+                        || members
+                            .iter()
+                            .any(|(k, v)| k == "name" && v.as_str() == only);
+                    Value::Object(
+                        members
+                            .iter()
+                            .map(|(k, v)| {
+                                if k == "cells_per_sec" && (in_target || hit) {
+                                    let cps = v.as_f64().unwrap();
+                                    (k.clone(), Value::Float(cps * factor))
+                                } else {
+                                    (k.clone(), walk(v, only, factor, in_target || hit))
+                                }
+                            })
+                            .collect(),
+                    )
+                }
+                Value::Array(items) => Value::Array(
+                    items
+                        .iter()
+                        .map(|v| walk(v, only, factor, in_target))
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
         }
+        walk(doc, only, factor, false)
     }
     let text = std::fs::read_to_string(baseline).unwrap();
-    let inflated = inflate(&json::parse(&text).unwrap());
-    std::fs::write(baseline, inflated.to_string_pretty()).unwrap();
+    let original = json::parse(&text).unwrap();
+    let uniform = scale_one(&original, None, 1000.0);
+    std::fs::write(baseline, uniform.to_string_pretty()).unwrap();
+    let out = sara(&[
+        "bench",
+        "--duration-ms",
+        "0.02",
+        "--repeat",
+        "1",
+        "--baseline",
+        baseline,
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "uniform speed difference must not trip the relative gate: {}",
+        stderr(&out)
+    );
+
+    // ...but skewing ONE scenario's baseline far above its peers is a
+    // relative regression: exit 1 with a regen hint.
+    let skewed = scale_one(&original, Some("adas"), 9e6);
+    std::fs::write(baseline, skewed.to_string_pretty()).unwrap();
     let out = sara(&[
         "bench",
         "--duration-ms",

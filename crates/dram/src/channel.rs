@@ -52,9 +52,23 @@ impl RankTiming {
 
 /// One DRAM channel: an independent command/data bus with its own ranks and
 /// banks, enforcing every timing constraint of [`TimingParams`].
+///
+/// A channel is a self-contained timing domain. It carries its *reference*
+/// timing set (the datasheet values at the beat clock it was built at) and
+/// the clock ratio currently in force, so a lane-structured simulation can
+/// step each channel's effective DRAM frequency independently via
+/// [`Channel::set_clock`] while the simulation beat clock stays fixed.
+/// Because every re-parameterisation is derived from the reference set,
+/// repeated up/down steps never compound rounding.
 #[derive(Debug, Clone)]
-pub(crate) struct Channel {
+pub struct Channel {
     timing: TimingParams,
+    /// The datasheet timing set at the beat clock; [`Channel::set_clock`]
+    /// always rescales from here, never from the current set.
+    reference: TimingParams,
+    /// Clock ratio `(num, den)` in force: the effective memory clock runs
+    /// at `den/num` of the beat clock (so `num/den ≥ 1` stretches).
+    clock_ratio: (u64, u64),
     banks_per_rank: usize,
     burst_bytes: u32,
     banks: Vec<Bank>,
@@ -80,7 +94,8 @@ pub(crate) struct Channel {
 }
 
 impl Channel {
-    pub(crate) fn new(timing: TimingParams, ranks: usize, banks: usize, burst_bytes: u32) -> Self {
+    /// Creates a channel with the given reference timing and geometry.
+    pub fn new(timing: TimingParams, ranks: usize, banks: usize, burst_bytes: u32) -> Self {
         let refresh_due = if timing.refresh_enabled() {
             Cycle::new(timing.trefi())
         } else {
@@ -100,6 +115,8 @@ impl Channel {
             refresh_busy_until: Cycle::ZERO,
             advanced_to: Cycle::ZERO,
             stats: ChannelStats::default(),
+            reference: timing.clone(),
+            clock_ratio: (1, 1),
             timing,
         }
     }
@@ -114,8 +131,56 @@ impl Channel {
         &self.banks[self.bank_index(loc)]
     }
 
-    pub(crate) fn stats(&self) -> &ChannelStats {
+    /// Statistics of this channel.
+    pub fn stats(&self) -> &ChannelStats {
         &self.stats
+    }
+
+    /// The reference timing set (datasheet values at the beat clock).
+    #[inline]
+    pub fn reference_timing(&self) -> &TimingParams {
+        &self.reference
+    }
+
+    /// The timing set currently gating commands (the reference set
+    /// rescaled by [`Channel::clock_ratio`]).
+    #[inline]
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The clock ratio `(num, den)` in force: the effective memory clock
+    /// runs at `den/num` of the beat clock.
+    #[inline]
+    pub fn clock_ratio(&self) -> (u64, u64) {
+        self.clock_ratio
+    }
+
+    /// Steps this channel's clock domain: the effective memory clock runs
+    /// at `den/num` of the beat clock from now on, so every
+    /// cycle-denominated constraint is re-derived from the *reference*
+    /// timing set stretched by `num/den` (see
+    /// [`TimingParams::rescaled`]). The beat clock itself never changes;
+    /// state carries over exactly as in [`Channel::set_timing`]. Because
+    /// the rescale always starts from the reference set, repeated steps do
+    /// not compound rounding, and `set_clock(1, 1)` restores the
+    /// reference exactly. Idempotent when the ratio is already in force.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn set_clock(&mut self, num: u64, den: u64) {
+        assert!(num > 0 && den > 0, "clock ratio must be positive");
+        if self.clock_ratio == (num, den) {
+            return;
+        }
+        let scaled = if (num, den) == (1, 1) {
+            self.reference.clone()
+        } else {
+            self.reference.rescaled(num, den)
+        };
+        self.set_timing(scaled);
+        self.clock_ratio = (num, den);
     }
 
     /// Swaps the timing set mid-run (online DVFS). All absolute state —
@@ -123,7 +188,7 @@ impl Channel {
     /// pending refresh deadline — carries over unchanged: constraints
     /// already scheduled under the old clock remain as scheduled, and
     /// every command issued from now on is gated by the new set.
-    pub(crate) fn set_timing(&mut self, timing: TimingParams) {
+    pub fn set_timing(&mut self, timing: TimingParams) {
         match (self.timing.refresh_enabled(), timing.refresh_enabled()) {
             // Refresh switched on mid-run: arm the first deadline one
             // interval past the channel's current time (not past cycle
@@ -145,7 +210,7 @@ impl Channel {
     /// Refresh is modelled conservatively: once due, the channel stops
     /// accepting new commands, waits until every bank may precharge, then
     /// spends `tRP + tRFC` refreshing. Banks come back closed.
-    pub(crate) fn advance(&mut self, now: Cycle) {
+    pub fn advance(&mut self, now: Cycle) {
         self.advanced_to = self.advanced_to.max(now);
         if !self.timing.refresh_enabled() {
             return;
@@ -170,13 +235,13 @@ impl Channel {
     }
 
     /// The command a transaction at `loc` needs next.
-    pub(crate) fn next_command(&self, loc: &Location) -> NextCommand {
+    pub fn next_command(&self, loc: &Location) -> NextCommand {
         self.bank(loc).next_command(loc.row)
     }
 
     /// Earliest cycle at which the *next* command for (`loc`, `op`) may
     /// legally issue. Always ≥ the refresh-busy horizon.
-    pub(crate) fn earliest(&self, loc: &Location, op: MemOp) -> Cycle {
+    pub fn earliest(&self, loc: &Location, op: MemOp) -> Cycle {
         let bank = self.bank(loc);
         let t = &self.timing;
         let base = self.cmd_free_at.max(self.refresh_busy_until);
@@ -212,7 +277,7 @@ impl Channel {
     ///
     /// Panics (in all builds) if `now` is earlier than [`Self::earliest`]
     /// allows — the memory controller must never issue an illegal command.
-    pub(crate) fn issue(&mut self, loc: &Location, op: MemOp, now: Cycle) -> Issued {
+    pub fn issue(&mut self, loc: &Location, op: MemOp, now: Cycle) -> Issued {
         let legal_at = self.earliest(loc, op);
         assert!(
             now >= legal_at,
@@ -277,7 +342,7 @@ impl Channel {
     }
 
     /// Cycle when the channel next becomes usable if it is refresh-blocked.
-    pub(crate) fn refresh_horizon(&self) -> Cycle {
+    pub fn refresh_horizon(&self) -> Cycle {
         self.refresh_busy_until
     }
 }
@@ -473,6 +538,32 @@ mod tests {
         assert_eq!(ch.stats().refreshes, 0, "no instant catch-up burst");
         ch.advance(Cycle::new(10_000_000 + 7280));
         assert_eq!(ch.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn clock_domain_steps_from_the_reference_and_restores_exactly() {
+        let mut ch = test_channel();
+        assert_eq!(ch.clock_ratio(), (1, 1));
+        let l = loc(0, 0, 10, 0);
+        let (_, _) = complete(&mut ch, &l, MemOp::Read, Cycle::ZERO);
+        // Half-speed: constraints double; the open row survives the step.
+        ch.set_clock(2, 1);
+        assert_eq!(ch.clock_ratio(), (2, 1));
+        assert_eq!(ch.timing().trcd(), 68);
+        assert_eq!(ch.next_command(&loc(0, 0, 10, 1)), NextCommand::Column);
+        // Stepping through a third ratio and back to 1:1 restores the
+        // reference timing bit-for-bit (no compounding).
+        ch.set_clock(3, 2);
+        ch.set_clock(1, 1);
+        assert_eq!(ch.timing(), ch.reference_timing());
+        assert_eq!(ch.timing(), &TimingParams::lpddr4_1866());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock ratio must be positive")]
+    fn zero_clock_ratio_panics() {
+        let mut ch = test_channel();
+        ch.set_clock(0, 1);
     }
 
     #[test]

@@ -79,6 +79,33 @@ impl Dram {
         &self.map
     }
 
+    /// Number of channels.
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Borrows one channel (its timing domain, banks and statistics).
+    #[inline]
+    pub fn channel(&self, channel: usize) -> &Channel {
+        &self.channels[channel]
+    }
+
+    /// Mutably borrows one channel — the per-lane stepping hook: a caller
+    /// that owns the device can drive each channel's command protocol (and
+    /// clock domain) independently.
+    #[inline]
+    pub fn channel_mut(&mut self, channel: usize) -> &mut Channel {
+        &mut self.channels[channel]
+    }
+
+    /// Decomposes the device into its configuration, address map and
+    /// channels, so a lane-structured engine can own each channel outright
+    /// (and step them concurrently) while sharing the map for decode.
+    pub fn into_parts(self) -> (DramConfig, AddressMap, Vec<Channel>) {
+        (self.cfg, self.map, self.channels)
+    }
+
     /// Decodes a physical address to its DRAM location.
     #[inline]
     pub fn decode(&self, addr: Addr) -> Location {
@@ -125,6 +152,17 @@ impl Dram {
         for ch in &mut self.channels {
             ch.set_timing(timing.clone());
         }
+    }
+
+    /// Steps one channel's clock domain to `den/num` of the beat clock
+    /// (see [`Channel::set_clock`]); the other channels are untouched —
+    /// per-channel DVFS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` or `den` is zero.
+    pub fn set_channel_clock(&mut self, channel: usize, num: u64, den: u64) {
+        self.channels[channel].set_clock(num, den);
     }
 
     /// Statistics of one channel.

@@ -49,6 +49,7 @@ mod timing;
 
 pub use address::{AddressMap, Interleave, Location};
 pub use bank::AccessOutcome;
+pub use channel::Channel;
 pub use checker::{TimingChecker, TimingViolation};
 pub use command::{CommandRecord, DramCommand, Issued, NextCommand};
 pub use config::{DramConfig, DramConfigBuilder};

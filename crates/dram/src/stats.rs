@@ -113,6 +113,18 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Aggregates per-channel counters into a device-level view — the
+    /// merge step a lane-structured engine uses when each channel's stats
+    /// live with its lane rather than in one `Dram` value.
+    pub fn from_channels<'a>(channels: impl IntoIterator<Item = &'a ChannelStats>) -> DramStats {
+        let per_channel: Vec<ChannelStats> = channels.into_iter().cloned().collect();
+        let mut total = ChannelStats::default();
+        for c in &per_channel {
+            total.merge(c);
+        }
+        DramStats { total, per_channel }
+    }
+
     /// Average delivered bandwidth in bytes/second given the I/O frequency
     /// in hertz and the elapsed cycle count.
     ///

@@ -449,6 +449,100 @@ mod tests {
     }
 
     #[test]
+    fn repeated_rescales_from_the_reference_round_trip_exactly() {
+        // The DVFS contract: every step re-derives from the reference set,
+        // so a ladder walk — down and back up, in any order, repeatedly —
+        // restores the reference bit-for-bit whenever it lands on the 1:1
+        // rung, and revisiting any rung reproduces the same set exactly.
+        // (Chaining rescales instead would compound the ceil rounding.)
+        let reference = TimingParams::lpddr4_1866();
+        let ladder: [u64; 4] = [933, 1333, 1600, 1866];
+        let first_visit: Vec<TimingParams> = ladder
+            .iter()
+            .map(|&rung| reference.rescaled(1866, rung))
+            .collect();
+        for _ in 0..3 {
+            for (&rung, first) in ladder.iter().rev().zip(first_visit.iter().rev()) {
+                assert_eq!(
+                    &reference.rescaled(1866, rung),
+                    first,
+                    "revisiting {rung} MHz must reproduce the first visit exactly"
+                );
+            }
+        }
+        assert_eq!(
+            reference.rescaled(1866, 1866),
+            reference,
+            "the top rung is the reference itself"
+        );
+        // And a chained down→up pair is *not* the identity, which is why
+        // the reference-based derivation matters: 34 → ceil(34·2) = 68 →
+        // ceil(68/2) = 34 happens to survive, but odd values do not.
+        let odd = TimingParams::builder().trrd(19).build().unwrap();
+        let chained = odd.rescaled(3, 2).rescaled(2, 3);
+        assert!(
+            chained.trrd() >= odd.trrd(),
+            "chained rescales only ever get more conservative"
+        );
+        assert_ne!(
+            chained, odd,
+            "chaining 3/2 then 2/3 must not silently pretend to round-trip"
+        );
+    }
+
+    #[test]
+    fn trefi_is_wall_time_invariant_across_a_full_ladder_walk() {
+        // Cell retention is physics: however deep the ladder walk goes, the
+        // refresh *interval* in beat cycles must never move, while every
+        // clock-domain constraint (including the refresh *cost* tRFC)
+        // stretches monotonically as the clock slows.
+        let reference = TimingParams::lpddr4_1866();
+        let ladder: [u64; 5] = [466, 933, 1120, 1600, 1866];
+        let mut prev_trfc = 0;
+        for &rung in &ladder {
+            let scaled = reference.rescaled(1866, rung);
+            assert_eq!(
+                scaled.trefi(),
+                reference.trefi(),
+                "tREFI drifted at {rung} MHz"
+            );
+            assert!(scaled.trfc() >= reference.trfc());
+            assert!(
+                scaled.trfc() <= prev_trfc || prev_trfc == 0,
+                "tRFC must shrink as the ladder climbs"
+            );
+            prev_trfc = scaled.trfc();
+            assert!(
+                scaled.trefi() > scaled.trfc(),
+                "refresh interval collapsed at {rung} MHz"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_rescales_stay_consistent() {
+        let t = TimingParams::lpddr4_1866();
+        // A pathological 10× slowdown must keep the builder invariants
+        // (beyond ~14× the refresh cost would overrun the wall-time
+        // interval, which the debug assertion in `rescaled` rejects —
+        // refresh physically cannot keep up on such a device).
+        let crawl = t.rescaled(10, 1);
+        assert!(crawl.tras() >= crawl.trcd());
+        assert!(crawl.tfaw() >= crawl.trrd());
+        assert!(crawl.tccd() >= crawl.burst_beats());
+        assert!(crawl.trefi() > crawl.trfc());
+        // Scaling *up* past the reference clamps at 1 rather than hitting 0
+        // (ceil keeps every non-zero constraint alive).
+        let sprint = t.rescaled(1, 10_000);
+        assert!(sprint.cl() >= 1 && sprint.burst_beats() >= 1);
+        assert_eq!(sprint.rtw_gap(), 1);
+        // The turnaround gap is the one field allowed to *be* zero, and a
+        // zero gap stays zero at any ratio.
+        let gapless = TimingParams::builder().rtw_gap(0).build().unwrap();
+        assert_eq!(gapless.rescaled(7, 3).rtw_gap(), 0);
+    }
+
+    #[test]
     fn builder_rejects_inconsistent() {
         assert!(TimingParams::builder().tras(10).build().is_err()); // < tRCD
         assert!(TimingParams::builder().tfaw(5).build().is_err()); // < tRRD

@@ -16,8 +16,12 @@ pub struct EpochRecord {
     pub epoch: u32,
     /// Simulated time at the epoch's end, milliseconds.
     pub end_ms: f64,
-    /// DRAM frequency in force *during* the epoch.
+    /// DRAM frequency in force *during* the epoch (the fastest lane's
+    /// clock domain when per-channel control has decoupled them).
     pub freq_mhz: u32,
+    /// Effective DRAM frequency of each channel's clock domain during the
+    /// epoch, in channel order.
+    pub freq_per_channel: Vec<u32>,
     /// Scheduling policy in force during the epoch.
     pub policy: PolicyKind,
     /// Worst NPI observed over the epoch (sampled floor ∧ live readout),
@@ -27,11 +31,17 @@ pub struct EpochRecord {
     pub failing_dmas: u32,
     /// Memory-controller occupancy at the epoch's end.
     pub mc_occupancy: u32,
+    /// Queued transactions per DRAM channel at the epoch's end — the
+    /// per-lane pressure signal, auditable even in single-knob mode.
+    pub queued_per_channel: Vec<u32>,
     /// DRAM bytes transferred during the epoch.
     pub bytes: u64,
     /// The governor's decision at the epoch's end (applies to the next
     /// epoch).
     pub action: GovernorAction,
+    /// The lane the action applied to (`None` for the single knob and for
+    /// holds).
+    pub action_lane: Option<u8>,
 }
 
 /// Everything a governed run produces: the per-epoch trace, the final
@@ -50,8 +60,11 @@ pub struct GovernedOutcome {
     pub trace: Vec<EpochRecord>,
     /// Final full report over the whole window.
     pub report: SimReport,
-    /// Frequency in force when the run ended.
+    /// Frequency in force when the run ended (fastest lane).
     pub final_freq: MegaHertz,
+    /// Frequency of each channel's clock domain when the run ended, in
+    /// channel order — the per-lane convergence witness.
+    pub final_freq_per_channel: Vec<u32>,
     /// Policy in force when the run ended.
     pub final_policy: PolicyKind,
     /// Number of frequency steps taken.
@@ -66,8 +79,9 @@ pub struct GovernedOutcome {
 }
 
 impl GovernedOutcome {
-    /// Whether the frequency was constant over the last `tail` epochs
-    /// (the convergence check; `tail` is clamped to the trace length).
+    /// Whether every lane's frequency was constant over the last `tail`
+    /// epochs (the convergence check; `tail` is clamped to the trace
+    /// length).
     pub fn settled(&self, tail: usize) -> bool {
         let n = self.trace.len();
         if n == 0 {
@@ -75,9 +89,11 @@ impl GovernedOutcome {
         }
         let tail = tail.clamp(1, n);
         let window = &self.trace[n - tail..];
-        window
-            .iter()
-            .all(|e| e.freq_mhz == window[0].freq_mhz && matches!(e.action, GovernorAction::Hold))
+        window.iter().all(|e| {
+            e.freq_mhz == window[0].freq_mhz
+                && e.freq_per_channel == window[0].freq_per_channel
+                && matches!(e.action, GovernorAction::Hold)
+        })
     }
 
     /// One human-readable summary line for CLI output.
@@ -119,10 +135,25 @@ fn beat_freq(scenario: &Scenario, spec: &GovernorSpec) -> MegaHertz {
     MegaHertz::new(top.max(scenario.freq.as_u32()))
 }
 
-fn build(scenario: &Scenario, beat: MegaHertz) -> Result<Simulation, ConfigError> {
+/// Execution options for a governed run, orthogonal to the control law in
+/// the [`GovernorSpec`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Advance decoupled channel lanes concurrently between NoC
+    /// synchronization horizons. Bit-identical results either way.
+    pub parallel_channels: bool,
+}
+
+fn build(
+    scenario: &Scenario,
+    beat: MegaHertz,
+    opts: RunOptions,
+) -> Result<Simulation, ConfigError> {
     let mut params: ScenarioParams = scenario.params();
     params.freq = beat;
-    Simulation::new(SystemConfig::from_scenario(params)?)
+    let mut cfg = SystemConfig::from_scenario(params)?;
+    cfg.parallel_channels = opts.parallel_channels;
+    Simulation::new(cfg)
 }
 
 /// Runs `scenario` under the online governor for `duration_ms` simulated
@@ -142,8 +173,56 @@ pub fn run_governed(
     spec: &GovernorSpec,
     duration_ms: f64,
 ) -> Result<GovernedOutcome, ConfigError> {
+    run_governed_with(scenario, spec, duration_ms, RunOptions::default())
+}
+
+/// [`run_governed`] with explicit [`RunOptions`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an invalid spec or an inconsistent
+/// scenario.
+pub fn run_governed_with(
+    scenario: &Scenario,
+    spec: &GovernorSpec,
+    duration_ms: f64,
+    opts: RunOptions,
+) -> Result<GovernedOutcome, ConfigError> {
     let beat = beat_freq(scenario, spec);
-    run_at_beat(scenario, spec, beat, duration_ms)
+    run_at_beat(scenario, spec, beat, duration_ms, opts)
+}
+
+/// The per-channel control law: pick which lane (if any) receives the
+/// system's QoS signal this epoch; every other lane sees an in-band
+/// reading and holds.
+///
+/// * **QoS error** (worst NPI below the up-threshold): the *most loaded*
+///   lane (deepest queue; ties to the lowest channel) is the bottleneck —
+///   it climbs. Staggering the up-steps one lane per epoch is what lets
+///   lanes settle on *different* rungs once aggregate service suffices.
+/// * **Headroom** (worst NPI above the down-threshold): the *least
+///   loaded* lane probes downward, guarded by its own patience and
+///   failed-rung memory.
+///
+/// Each lane's automaton keeps the full hysteresis/failed-rung machinery,
+/// so per-lane convergence is structural exactly as in the single-knob
+/// case: each lane can fail each rung at most once.
+fn per_channel_target(worst: f64, depths: &[usize], spec: &GovernorSpec) -> Option<usize> {
+    if worst < spec.up_threshold {
+        depths
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+    } else if worst > spec.down_threshold {
+        depths
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &d)| (d, i))
+            .map(|(i, _)| i)
+    } else {
+        None
+    }
 }
 
 fn run_at_beat(
@@ -151,15 +230,27 @@ fn run_at_beat(
     spec: &GovernorSpec,
     beat: MegaHertz,
     duration_ms: f64,
+    opts: RunOptions,
 ) -> Result<GovernedOutcome, ConfigError> {
     if !duration_ms.is_finite() || duration_ms <= 0.0 {
         return Err(ConfigError::new(format!(
             "duration must be > 0 ms, got {duration_ms}"
         )));
     }
-    let mut governor = Governor::new(spec)?;
-    let mut sim = build(scenario, beat)?;
-    sim.set_dram_freq(governor.current_freq())?;
+    let mut sim = build(scenario, beat, opts)?;
+    let channels = sim.channel_count();
+    // One automaton for the single knob; one per lane under `per_channel`.
+    let mut governors: Vec<Governor> = if spec.per_channel {
+        (0..channels)
+            .map(|_| Governor::new(spec))
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![Governor::new(spec)?]
+    };
+    sim.set_dram_freq(governors[0].current_freq())?;
+    // The in-band reading fed to non-target lanes: holds and resets their
+    // down-step patience without marking anything failed.
+    let mid_band = (spec.up_threshold + spec.down_threshold) / 2.0;
 
     let clock = sim.config().clock();
     let epoch_cycles = clock.cycles_from_ns(spec.epoch_us * 1e3).max(1);
@@ -168,11 +259,13 @@ fn run_at_beat(
     let mut trace = Vec::new();
     let mut freq_changes = 0u32;
     let mut policy_changes = 0u32;
+    let mut escalated = false;
     let mut prev_bytes = 0u64;
     let mut epoch = 0u32;
     let mut epoch_end = Cycle::new(epoch_cycles).min(end);
     loop {
         let freq_during = sim.effective_dram_freq();
+        let freqs_during: Vec<u32> = sim.channel_freqs().iter().map(|f| f.as_u32()).collect();
         let policy_during = sim.config().policy;
         sim.advance_until(epoch_end);
         let health = sim.health();
@@ -180,32 +273,73 @@ fn run_at_beat(
         // An epoch-end action governs the *next* epoch; at the final
         // boundary there is none, so don't actuate (or count) a step no
         // simulated time would ever run under.
-        let action = if epoch_end >= end {
-            GovernorAction::Hold
+        let (mut action, action_lane) = if epoch_end >= end {
+            (GovernorAction::Hold, None)
+        } else if spec.per_channel {
+            let target = per_channel_target(worst, &health.queued_per_channel, spec);
+            let failing = worst < spec.up_threshold;
+            let mut chosen = GovernorAction::Hold;
+            for (ch, governor) in governors.iter_mut().enumerate() {
+                if Some(ch) == target {
+                    chosen = governor.decide(worst);
+                } else if !failing {
+                    // In-band or headroom: non-target lanes see the
+                    // in-band reading (holds, resets down-step patience).
+                    let act = governor.decide(mid_band);
+                    debug_assert_eq!(act, GovernorAction::Hold);
+                }
+                // While the system is *failing*, non-target lanes hold
+                // without being fed a synthetic healthy reading: a lane
+                // already at the top keeps its escalation counter, so
+                // policy escalation still fires even when the deepest
+                // queue alternates between channels epoch to epoch.
+            }
+            (chosen, target.map(|ch| ch as u8))
         } else {
-            governor.decide(worst)
+            (governors[0].decide(worst), None)
         };
         match action {
             GovernorAction::Hold => {}
             GovernorAction::StepUp(f) | GovernorAction::StepDown(f) => {
-                sim.set_dram_freq(f)?;
+                match action_lane {
+                    Some(ch) => sim.set_channel_freq(ch as usize, f)?,
+                    None => sim.set_dram_freq(f)?,
+                }
                 freq_changes += 1;
             }
             GovernorAction::SwitchPolicy(p) => {
-                sim.set_policy(p);
-                policy_changes += 1;
+                // The scheduling policy is a platform-wide actuator: the
+                // first lane to exhaust its ladder escalates, later
+                // requests collapse into holds.
+                if escalated {
+                    action = GovernorAction::Hold;
+                } else {
+                    escalated = true;
+                    sim.set_policy(p);
+                    policy_changes += 1;
+                }
             }
         }
         trace.push(EpochRecord {
             epoch,
             end_ms: clock.ns_from_cycles(epoch_end.as_u64()) / 1e6,
             freq_mhz: freq_during.as_u32(),
+            freq_per_channel: freqs_during,
             policy: policy_during,
             worst_npi: worst.clamp(0.0, 10.0),
             failing_dmas: health.failing(spec.up_threshold) as u32,
             mc_occupancy: health.mc_occupancy as u32,
+            queued_per_channel: health
+                .queued_per_channel
+                .iter()
+                .map(|&q| q as u32)
+                .collect(),
             bytes: health.dram_bytes - prev_bytes,
             action,
+            action_lane: match action {
+                GovernorAction::Hold => None,
+                _ => action_lane,
+            },
         });
         prev_bytes = health.dram_bytes;
         sim.mark_epoch();
@@ -223,6 +357,7 @@ fn run_at_beat(
         spec: spec.clone(),
         beat_freq: beat,
         final_freq: sim.effective_dram_freq(),
+        final_freq_per_channel: sim.channel_freqs().iter().map(|f| f.as_u32()).collect(),
         final_policy: report.policy,
         trace,
         report,
@@ -249,11 +384,34 @@ pub fn run_pinned(
     freq: MegaHertz,
     duration_ms: f64,
 ) -> Result<GovernedOutcome, ConfigError> {
+    run_pinned_with(scenario, spec, freq, duration_ms, RunOptions::default())
+}
+
+/// [`run_pinned`] with explicit [`RunOptions`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for an inconsistent scenario or a pin above
+/// the beat clock.
+pub fn run_pinned_with(
+    scenario: &Scenario,
+    spec: &GovernorSpec,
+    freq: MegaHertz,
+    duration_ms: f64,
+    opts: RunOptions,
+) -> Result<GovernedOutcome, ConfigError> {
     let mut pinned = spec.clone();
     pinned.ladder_mhz = vec![freq.as_u32()];
     pinned.start_mhz = None;
     pinned.escalate_policy = None;
-    run_at_beat(scenario, &pinned, beat_freq(scenario, spec), duration_ms)
+    pinned.per_channel = false;
+    run_at_beat(
+        scenario,
+        &pinned,
+        beat_freq(scenario, spec),
+        duration_ms,
+        opts,
+    )
 }
 
 #[cfg(test)]

@@ -10,22 +10,42 @@ fn cell(v: f64) -> String {
     format!("{v}")
 }
 
-/// The CSV header shared by every epoch-trace row.
-pub const TRACE_CSV_HEADER: &str =
-    "scenario,epoch,end_ms,freq_mhz,policy,worst_npi,failing_dmas,mc_occupancy,bytes,action";
+/// Packs a per-channel vector into one rectangular CSV cell
+/// (semicolon-joined, channel order), so the header stays fixed whatever
+/// the device geometry.
+fn lanes_cell<T: std::fmt::Display>(values: &[T]) -> String {
+    values
+        .iter()
+        .map(T::to_string)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// The CSV header shared by every epoch-trace row. The `*_per_channel`
+/// columns pack one value per DRAM channel, semicolon-joined in channel
+/// order; `action_lane` names the channel a per-channel action applied to
+/// (`-` for the single knob and for holds).
+pub const TRACE_CSV_HEADER: &str = "scenario,epoch,end_ms,freq_mhz,freq_per_channel,policy,\
+     worst_npi,failing_dmas,mc_occupancy,queued_per_channel,bytes,action,action_lane";
 
 fn epoch_row(scenario: &str, e: &EpochRecord) -> String {
     format!(
-        "{scenario},{},{},{},{},{},{},{},{},{}\n",
+        "{scenario},{},{},{},{},{},{},{},{},{},{},{},{}\n",
         e.epoch,
         cell(e.end_ms),
         e.freq_mhz,
+        lanes_cell(&e.freq_per_channel),
         e.policy.name(),
         cell(e.worst_npi),
         e.failing_dmas,
         e.mc_occupancy,
+        lanes_cell(&e.queued_per_channel),
         e.bytes,
-        e.action.label()
+        e.action.label(),
+        match e.action_lane {
+            Some(ch) => ch.to_string(),
+            None => "-".to_string(),
+        }
     )
 }
 
@@ -48,12 +68,32 @@ fn epoch_value(e: &EpochRecord) -> Value {
         ("epoch".to_string(), e.epoch.into()),
         ("end_ms".to_string(), e.end_ms.into()),
         ("freq_mhz".to_string(), e.freq_mhz.into()),
+        (
+            "freq_per_channel".to_string(),
+            Value::Array(e.freq_per_channel.iter().map(|&f| Value::from(f)).collect()),
+        ),
         ("policy".to_string(), e.policy.name().into()),
         ("worst_npi".to_string(), e.worst_npi.into()),
         ("failing_dmas".to_string(), e.failing_dmas.into()),
         ("mc_occupancy".to_string(), e.mc_occupancy.into()),
+        (
+            "queued_per_channel".to_string(),
+            Value::Array(
+                e.queued_per_channel
+                    .iter()
+                    .map(|&q| Value::from(q))
+                    .collect(),
+            ),
+        ),
         ("bytes".to_string(), e.bytes.into()),
         ("action".to_string(), e.action.label().into()),
+        (
+            "action_lane".to_string(),
+            match e.action_lane {
+                Some(ch) => Value::from(u64::from(ch)),
+                None => Value::Null,
+            },
+        ),
     ])
 }
 
@@ -62,6 +102,15 @@ fn epoch_value(e: &EpochRecord) -> Value {
 fn outcome_value(o: &GovernedOutcome) -> Value {
     Value::Object(vec![
         ("final_mhz".to_string(), o.final_freq.as_u32().into()),
+        (
+            "final_mhz_per_channel".to_string(),
+            Value::Array(
+                o.final_freq_per_channel
+                    .iter()
+                    .map(|&f| Value::from(f))
+                    .collect(),
+            ),
+        ),
         ("final_policy".to_string(), o.final_policy.name().into()),
         ("freq_changes".to_string(), o.freq_changes.into()),
         ("policy_changes".to_string(), o.policy_changes.into()),
@@ -102,6 +151,7 @@ pub fn governed_value(o: &GovernedOutcome, baseline: Option<&GovernedOutcome>) -
                 None => Value::Null,
             },
         ),
+        ("per_channel".to_string(), o.spec.per_channel.into()),
         (
             "trace".to_string(),
             Value::Array(o.trace.iter().map(epoch_value).collect()),

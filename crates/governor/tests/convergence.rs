@@ -8,7 +8,9 @@
 //!    least one mid-run frequency change;
 //! 3. the whole loop is deterministic to the last byte of its trace.
 
-use sara_governor::{run_governed, run_pinned, trace, GovernorAction, GovernorSpec};
+use sara_governor::{
+    run_governed, run_governed_with, run_pinned, trace, GovernorAction, GovernorSpec, RunOptions,
+};
 use sara_scenarios::{catalog, random_scenario_with, GeneratorConfig};
 use sara_types::MegaHertz;
 
@@ -73,6 +75,109 @@ fn overload_scenario_improves_over_the_equivalent_static_run() {
         "governed deficit {} must clearly beat pinned {}",
         governed.qos_deficit,
         pinned.qos_deficit
+    );
+}
+
+#[test]
+fn per_channel_control_settles_lanes_on_different_rungs() {
+    // The overload is unsatisfiable at the lower rungs but satisfiable in
+    // between: per-channel control staggers its up-steps one lane per
+    // epoch, so the climb passes through asymmetric operating points and
+    // the hysteresis band catches the first one that restores QoS. The
+    // single knob can only jump both channels at once, overshoots to the
+    // ceiling, and still degrades — per-lane structure beats it outright.
+    let s = catalog::by_name("adas-overload").unwrap();
+    let spec = s.governor_spec().with_per_channel(true);
+    let out = run_governed(&s, &spec, 2.0).unwrap();
+    assert!(out.settled(4), "per-channel run must converge");
+    let rungs: std::collections::BTreeSet<u32> =
+        out.final_freq_per_channel.iter().copied().collect();
+    assert!(
+        rungs.len() >= 2,
+        "lanes must settle on different rungs: {:?}",
+        out.final_freq_per_channel
+    );
+    // Every settled rung is a ladder member and the trace recorded which
+    // lane each step applied to.
+    for f in &out.final_freq_per_channel {
+        assert!(spec.ladder_mhz.contains(f), "{f} is not a ladder rung");
+    }
+    assert!(out
+        .trace
+        .iter()
+        .any(|e| !matches!(e.action, GovernorAction::Hold) && e.action_lane.is_some()));
+    // Structural convergence holds per lane: at most 2 changes per rung
+    // per lane.
+    let lanes = out.final_freq_per_channel.len() as u32;
+    assert!(out.freq_changes <= 2 * lanes * spec.ladder_mhz.len() as u32);
+
+    // The asymmetric operating point ends healthier than the single-knob
+    // run over the same window.
+    let single = run_governed(&s, &s.governor_spec(), 2.0).unwrap();
+    assert!(
+        out.qos_deficit <= single.qos_deficit,
+        "per-channel (deficit {}) must not lose to the single knob ({})",
+        out.qos_deficit,
+        single.qos_deficit
+    );
+}
+
+#[test]
+fn per_channel_mode_still_escalates_policy_when_every_lane_tops_out() {
+    // Saturation offers ~27 GB/s against a ~21 GB/s platform: no rung can
+    // restore QoS, so per-channel control drives every lane to the top —
+    // and the escalation actuator must still fire there, even though the
+    // deepest queue (the up-step target) can alternate between channels
+    // epoch to epoch. Non-target lanes hold *without* a synthetic healthy
+    // reading precisely so their escalation counters survive the
+    // alternation.
+    let s = catalog::by_name("saturation").unwrap();
+    let spec = s
+        .governor_spec()
+        .with_per_channel(true)
+        .with_escalate_policy(sara_memctrl::PolicyKind::QosRowBuffer);
+    let out = run_governed(&s, &spec, 2.0).unwrap();
+    assert_eq!(
+        out.final_freq_per_channel,
+        vec![*spec.ladder_mhz.last().unwrap(); 2],
+        "sustained saturation must drive every lane to the top rung"
+    );
+    assert_eq!(
+        out.policy_changes,
+        1,
+        "escalation must fire exactly once: {:?}",
+        out.trace
+            .iter()
+            .map(|e| e.action.label())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(out.final_policy, sara_memctrl::PolicyKind::QosRowBuffer);
+}
+
+#[test]
+fn per_channel_runs_are_deterministic_and_parallel_stepping_matches() {
+    let s = catalog::by_name("adas-overload").unwrap();
+    let spec = s.governor_spec().with_per_channel(true);
+    let seq = || {
+        let out = run_governed(&s, &spec, 1.0).unwrap();
+        trace::trace_json(&[(out.clone(), None)]) + &trace::trace_csv(&[out])
+    };
+    assert_eq!(seq(), seq(), "per-channel trace drifted between runs");
+    // And the parallel stepping mode is byte-identical to sequential.
+    let par = run_governed_with(
+        &s,
+        &spec,
+        1.0,
+        RunOptions {
+            parallel_channels: true,
+        },
+    )
+    .unwrap();
+    let par_text = trace::trace_json(&[(par.clone(), None)]) + &trace::trace_csv(&[par]);
+    assert_eq!(
+        seq(),
+        par_text,
+        "parallel stepping diverged from sequential"
     );
 }
 

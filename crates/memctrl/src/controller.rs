@@ -1,22 +1,18 @@
-//! The memory controller: class queues + policy-driven command scheduling
-//! against the DRAM timing model.
+//! The memory-controller facade: the shared policy front-end
+//! ([`AdmissionControl`]) composed with one [`ChannelController`] per DRAM
+//! channel, presented through the original single-object API.
+//!
+//! The facade is the convenient way to drive the controller against a
+//! whole [`Dram`] device; a lane-structured engine instead owns the two
+//! halves directly (admission at the NoC boundary, one `ChannelController`
+//! per lane) so channels can be stepped independently.
 
-use std::collections::VecDeque;
-
-use sara_dram::{Dram, Issued, Location};
+use sara_dram::Dram;
 use sara_types::{Cycle, Transaction};
 
-use crate::config::{McConfig, NUM_QUEUES};
-use crate::policy::{select, Candidate, PolicyState, AGED_PRIORITY};
+use crate::channel_ctrl::{AdmissionControl, ChannelController};
+use crate::config::McConfig;
 use crate::stats::McStats;
-
-/// A transaction resident in a class queue.
-#[derive(Debug, Clone)]
-struct Entry {
-    txn: Transaction,
-    loc: Location,
-    accepted_at: Cycle,
-}
 
 /// A transaction whose final column command has been issued.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,22 +86,19 @@ pub enum TickResult {
 #[derive(Debug)]
 pub struct MemoryController {
     cfg: McConfig,
-    queues: [VecDeque<Entry>; NUM_QUEUES],
-    occupancy: usize,
-    state: PolicyState,
-    stats: McStats,
-    scratch: Vec<(usize, usize, Candidate)>,
+    front: AdmissionControl,
+    lanes: Vec<ChannelController>,
 }
 
 impl MemoryController {
-    /// Creates a controller with the given configuration.
+    /// Creates a controller with the given configuration. Per-channel
+    /// controllers are grown on demand as transactions decode to (or ticks
+    /// name) new channels, so the facade works against any device geometry
+    /// without being told the channel count up front.
     pub fn new(cfg: McConfig) -> Self {
         MemoryController {
-            queues: Default::default(),
-            occupancy: 0,
-            state: PolicyState::default(),
-            stats: McStats::default(),
-            scratch: Vec::with_capacity(cfg.total_entries()),
+            front: AdmissionControl::new(&cfg),
+            lanes: Vec::new(),
             cfg,
         }
     }
@@ -116,16 +109,29 @@ impl MemoryController {
         &self.cfg
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot: the admission front-end's counters
+    /// (accepted/rejected, peak occupancy) folded together with every
+    /// channel controller's scheduling counters. Computed on demand, so
+    /// there is exactly one owner per counter and nothing to drift.
+    pub fn stats(&self) -> McStats {
+        let mut stats = self.front.stats().clone();
+        for lane in &self.lanes {
+            stats.merge_scheduling(lane.stats());
+        }
+        stats
+    }
+
+    /// Statistics of one channel's controller (`None` if the channel never
+    /// saw traffic).
     #[inline]
-    pub fn stats(&self) -> &McStats {
-        &self.stats
+    pub fn channel_stats(&self, channel: usize) -> Option<&McStats> {
+        self.lanes.get(channel).map(ChannelController::stats)
     }
 
     /// Transactions currently queued.
     #[inline]
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.front.occupancy()
     }
 
     /// Switches the scheduling policy mid-run without disturbing queued
@@ -134,15 +140,26 @@ impl MemoryController {
     /// admitted under the old one simply compete under the new rules.
     pub fn set_policy(&mut self, policy: crate::policy::PolicyKind) {
         self.cfg.set_policy(policy);
+        for lane in &mut self.lanes {
+            lane.set_policy(policy);
+        }
     }
 
     /// Whether a transaction of `class_queue` would currently be admitted.
     pub fn has_room(&self, class_queue: usize) -> bool {
-        self.occupancy < self.cfg.total_entries()
-            && self.queues[class_queue].len() < self.cfg.queue_capacities()[class_queue]
+        self.front.has_room(class_queue)
     }
 
-    /// Admits a transaction into its class queue.
+    fn lane_mut(&mut self, channel: usize) -> &mut ChannelController {
+        while self.lanes.len() <= channel {
+            let ch = self.lanes.len();
+            self.lanes
+                .push(ChannelController::new(self.cfg.clone(), ch));
+        }
+        &mut self.lanes[channel]
+    }
+
+    /// Admits a transaction into its class queue on the owning channel.
     ///
     /// # Errors
     ///
@@ -155,19 +172,13 @@ impl MemoryController {
         dram: &Dram,
     ) -> Result<(), Transaction> {
         let q = txn.class.queue_index();
-        if !self.has_room(q) {
-            self.stats.class_mut(q).rejected += 1;
+        if !self.front.has_room(q) {
+            self.front.reject(q);
             return Err(txn);
         }
         let loc = dram.decode(txn.addr);
-        self.queues[q].push_back(Entry {
-            txn,
-            loc,
-            accepted_at: now,
-        });
-        self.occupancy += 1;
-        self.stats.class_mut(q).accepted += 1;
-        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy);
+        self.front.admit(q);
+        self.lane_mut(loc.channel).accept(txn, loc, now);
         Ok(())
     }
 
@@ -179,142 +190,20 @@ impl MemoryController {
     /// channel in the same cycle (the DRAM command bus allows one command
     /// per cycle).
     pub fn tick(&mut self, channel: usize, now: Cycle, dram: &mut Dram) -> TickResult {
-        dram.advance(now);
-
-        // Row-buffer protection (open-page policy): banks that still have
-        // queued same-row hits should not be precharged from under them by
-        // low-urgency traffic. Policy 2 enforces this below δ (its row-hit
-        // optimisation, §3.3); FR-FCFS enforces it unconditionally (that is
-        // what "first-ready" means); the other policies ignore it.
-        let policy = self.cfg.policy();
-        let row_guard = matches!(
-            policy,
-            crate::policy::PolicyKind::QosRowBuffer | crate::policy::PolicyKind::FrFcfs
-        );
-        let mut banks_with_hits: u64 = 0;
-        if row_guard {
-            for queue in &self.queues {
-                for entry in queue {
-                    if entry.loc.channel == channel && dram.next_command(&entry.loc).is_row_hit() {
-                        banks_with_hits |= 1 << (entry.loc.rank * 32 + entry.loc.bank).min(63);
-                    }
-                }
-            }
+        let lane = self.lane_mut(channel);
+        let result = lane.tick(now, dram.channel_mut(channel));
+        if let TickResult::Issued {
+            completed: Some(c), ..
+        } = &result
+        {
+            self.front.release(c.txn.class.queue_index());
         }
-
-        // Gather issuable candidates and the earliest future opportunity.
-        self.scratch.clear();
-        let mut retry_at: Option<Cycle> = None;
-        let aging = if self.cfg.policy().uses_priorities() {
-            self.cfg.aging_threshold()
-        } else {
-            None
-        };
-        for (qi, queue) in self.queues.iter().enumerate() {
-            for (pos, entry) in queue.iter().enumerate() {
-                if entry.loc.channel != channel {
-                    continue;
-                }
-                let earliest = dram.earliest(&entry.loc, entry.txn.op);
-                if earliest > now {
-                    retry_at = Some(match retry_at {
-                        Some(cur) => cur.min(earliest),
-                        None => earliest,
-                    });
-                    continue;
-                }
-                // Backlog clearing (§3.3) bounds the waiting time of
-                // transactions with a QoS stamp; best-effort (priority 0)
-                // traffic has no target to protect and never ages.
-                let aged = entry.txn.priority.as_u8() > 0
-                    && matches!(aging, Some(t) if now.saturating_sub(entry.accepted_at) >= t);
-                let effective_priority = if aged {
-                    AGED_PRIORITY
-                } else {
-                    entry.txn.priority.as_u8()
-                };
-                let next = dram.next_command(&entry.loc);
-                if row_guard
-                    && matches!(next, sara_dram::NextCommand::Precharge)
-                    && banks_with_hits & (1 << (entry.loc.rank * 32 + entry.loc.bank).min(63)) != 0
-                {
-                    // Suppress the row-closing precharge while hits are
-                    // pending — unless this transaction is urgent enough to
-                    // break the row (Policy 2's δ rule; aged counts too).
-                    let may_break = policy == crate::policy::PolicyKind::QosRowBuffer
-                        && effective_priority >= self.cfg.delta().as_u8();
-                    if !may_break {
-                        continue;
-                    }
-                }
-                self.scratch.push((
-                    qi,
-                    pos,
-                    Candidate {
-                        queue: qi,
-                        seq: entry.txn.id.as_u64(),
-                        dma: entry.txn.dma,
-                        priority: entry.txn.priority,
-                        effective_priority,
-                        urgent: entry.txn.urgent,
-                        row_hit: next.is_row_hit(),
-                    },
-                ));
-            }
-        }
-
-        let cands: Vec<Candidate> = self.scratch.iter().map(|(_, _, c)| *c).collect();
-        let Some(winner) = select(self.cfg.policy(), &cands, &mut self.state, self.cfg.delta())
-        else {
-            return TickResult::Idle { retry_at };
-        };
-        let (qi, pos, cand) = self.scratch[winner];
-
-        let entry = &self.queues[qi][pos];
-        let issued = dram.issue(&entry.loc, entry.txn.op, now);
-        self.stats.commands_issued += 1;
-
-        let completed = match issued {
-            Issued::Read { data_ready } => Some(data_ready),
-            Issued::Write { data_done } => Some(data_done),
-            Issued::Activate | Issued::Precharge => None,
-        };
-        match completed {
-            None => TickResult::Issued { completed: None },
-            Some(done_at) => {
-                let entry = self.queues[qi].remove(pos).expect("winner position valid");
-                self.occupancy -= 1;
-                let queued_for = now.saturating_sub(entry.accepted_at);
-                let was_aged = cand.effective_priority == AGED_PRIORITY;
-                let class = self.stats.class_mut(qi);
-                class.completed += 1;
-                class.total_wait += queued_for;
-                class.max_wait = class.max_wait.max(queued_for);
-                if was_aged {
-                    class.aged += 1;
-                }
-                self.state.advance(qi, entry.txn.dma);
-                TickResult::Issued {
-                    completed: Some(Completion {
-                        txn: entry.txn,
-                        done_at,
-                        issued_at: now,
-                        queued_for,
-                        row_hit: cand.row_hit,
-                        was_aged,
-                    }),
-                }
-            }
-        }
+        result
     }
 
     /// Queued transactions targeting `channel`.
     pub fn queued_for_channel(&self, channel: usize) -> usize {
-        self.queues
-            .iter()
-            .flat_map(|q| q.iter())
-            .filter(|e| e.loc.channel == channel)
-            .count()
+        self.lanes.get(channel).map_or(0, ChannelController::queued)
     }
 }
 

@@ -8,17 +8,29 @@
 //! starvation aging), **Policy 2** (QoS-RB: row-buffer optimisation gated by
 //! the δ threshold) and FR-FCFS.
 //!
+//! The controller is split along the channel boundary: a shared policy
+//! front-end ([`AdmissionControl`]) admits transactions against the
+//! per-class capacities and the shared entry budget, after which each
+//! transaction belongs to exactly one [`ChannelController`] — the
+//! scheduling engine for one DRAM channel, with its own queues,
+//! round-robin/aging state and counters. [`MemoryController`] composes the
+//! two halves behind the original single-object API; a lane-structured
+//! engine owns the halves directly so channels can be stepped
+//! independently (and concurrently).
+//!
 //! See [`MemoryController`] for the scheduling protocol and [`PolicyKind`]
 //! for the policy taxonomy.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod channel_ctrl;
 mod config;
 mod controller;
 mod policy;
 mod stats;
 
+pub use channel_ctrl::{AdmissionControl, ChannelController};
 pub use config::{McConfig, McConfigBuilder, NUM_QUEUES};
 pub use controller::{Completion, MemoryController, TickResult};
 pub use policy::{select, Candidate, PolicyKind, PolicyState, AGED_PRIORITY};

@@ -61,6 +61,21 @@ impl McStats {
     pub fn total_rejected(&self) -> u64 {
         self.per_class.iter().map(|c| c.rejected).sum()
     }
+
+    /// Folds a per-channel controller's *scheduling* counters into this
+    /// (admission-side) view: completions, waits, aging promotions and
+    /// commands issued. Admission counters (`accepted`, `rejected`, peak
+    /// occupancy) are left alone — the front-end already tracked those, and
+    /// summing both sides would double count.
+    pub fn merge_scheduling(&mut self, lane: &McStats) {
+        for (acc, c) in self.per_class.iter_mut().zip(&lane.per_class) {
+            acc.completed += c.completed;
+            acc.total_wait += c.total_wait;
+            acc.max_wait = acc.max_wait.max(c.max_wait);
+            acc.aged += c.aged;
+        }
+        self.commands_issued += lane.commands_issued;
+    }
 }
 
 #[cfg(test)]

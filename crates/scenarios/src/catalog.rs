@@ -208,9 +208,11 @@ pub fn adas() -> Scenario {
 
 /// Mixed-criticality overload variant of [`adas`]: the same safety-critical
 /// sensors but hotter cameras and an unbounded (elastic) infotainment CPU,
-/// oversubscribing the 1600 MHz platform — the question is who degrades.
+/// oversubscribing the platform's lower rungs — the question is who
+/// degrades, and how far up the ladder the governor must climb before the
+/// answer is "nobody".
 pub fn adas_overload() -> Scenario {
-    let mut cores = adas_cores(1100.0, 0.0);
+    let mut cores = adas_cores(963.0, 0.0);
     // Infotainment goes closed-loop: it will absorb every spare cycle the
     // policy is willing to grant.
     cores.push(CoreSpec::new(
@@ -242,8 +244,13 @@ pub fn adas_overload() -> Scenario {
     )
     // The catalog's showcase for the online self-aware governor: start on
     // the lowest rung and let the closed loop climb the ladder as the
-    // overload bites (see `sara govern --scenarios adas-overload`).
-    .with_governor(GovernorSpec::new(GovernorSpec::default_ladder(1600)))
+    // overload bites (see `sara govern --scenarios adas-overload`). The
+    // ladder tops out *above* the nominal 1600 MHz platform clock — the
+    // governed system is built at the 1866 MHz beat clock — so frequency
+    // alone can restore QoS near the top, which is also what lets
+    // per-channel control (`sara govern --per-channel`) settle its lanes
+    // on different rungs instead of pinning every channel to the ceiling.
+    .with_governor(GovernorSpec::new(vec![1120, 1360, 1480, 1600, 1750, 1866]))
 }
 
 /// The safety-critical ADAS sensor set. `camera_mb` scales the four

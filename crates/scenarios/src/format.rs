@@ -26,8 +26,10 @@
 //! The optional `governor` stanza configures the `sara-governor` closed
 //! loop: `epoch_us` (> 0), `ladder_mhz` (strictly ascending array),
 //! `up_threshold` < `down_threshold`, `patience` (≥ 1), plus optional
-//! `start_mhz` (a ladder rung) and `escalate_policy` (policy vocabulary
-//! above). Documents without it are byte-for-byte unchanged from
+//! `start_mhz` (a ladder rung), `escalate_policy` (policy vocabulary
+//! above) and `per_channel` (boolean; one ladder automaton per DRAM
+//! channel instead of the single knob — emitted only when `true`).
+//! Documents without the stanza are byte-for-byte unchanged from
 //! pre-governor `v1`.
 //!
 //! Each DMA carries `name`, `op` (`"RD"`/`"WR"`), `window` (max outstanding
@@ -218,6 +220,10 @@ fn governor_value(g: &GovernorSpec) -> Value {
     }
     if let Some(policy) = g.escalate_policy {
         members.push(kv("escalate_policy", policy.name()));
+    }
+    // Emitted only when set, so pre-lane documents keep their exact bytes.
+    if g.per_channel {
+        members.push(kv("per_channel", true));
     }
     Value::Object(members)
 }
@@ -484,6 +490,7 @@ fn governor_from(v: &Value, ctx: &str) -> Result<GovernorSpec, ConfigError> {
             "patience",
             "start_mhz",
             "escalate_policy",
+            "per_channel",
         ],
         ctx,
     )?;
@@ -544,6 +551,15 @@ fn governor_from(v: &Value, ctx: &str) -> Result<GovernorSpec, ConfigError> {
             })?)
         }
     };
+    let per_channel = match members.iter().find(|(k, _)| k == "per_channel") {
+        None => false,
+        Some((_, v)) => v.as_bool().ok_or_else(|| {
+            err(
+                ctx,
+                format!("\"per_channel\" must be a boolean, got {}", v.type_name()),
+            )
+        })?,
+    };
     let spec = GovernorSpec {
         epoch_us: positive_field(members, "epoch_us", ctx)?,
         ladder_mhz,
@@ -552,6 +568,7 @@ fn governor_from(v: &Value, ctx: &str) -> Result<GovernorSpec, ConfigError> {
         patience,
         start_mhz,
         escalate_policy,
+        per_channel,
     };
     spec.validate().map_err(|e| err(ctx, e.message()))?;
     Ok(spec)

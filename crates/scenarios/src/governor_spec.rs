@@ -48,6 +48,11 @@ pub struct GovernorSpec {
     /// (after `patience` failing epochs at the top). `None` disables
     /// policy switching.
     pub escalate_policy: Option<PolicyKind>,
+    /// Per-channel control: one ladder automaton per DRAM channel, each
+    /// stepping its own lane's frequency (`false` = the classic single
+    /// knob over all channels). Requires a lane-aware runner; the stanza
+    /// stays v1-compatible because the key is emitted only when set.
+    pub per_channel: bool,
 }
 
 /// Default control-epoch length (µs): ten NPI sampling periods.
@@ -72,6 +77,7 @@ impl GovernorSpec {
             patience: DEFAULT_PATIENCE,
             start_mhz: None,
             escalate_policy: None,
+            per_channel: false,
         }
     }
 
@@ -112,6 +118,13 @@ impl GovernorSpec {
     #[must_use]
     pub fn with_escalate_policy(mut self, policy: PolicyKind) -> Self {
         self.escalate_policy = Some(policy);
+        self
+    }
+
+    /// Enables or disables per-channel control.
+    #[must_use]
+    pub fn with_per_channel(mut self, per_channel: bool) -> Self {
+        self.per_channel = per_channel;
         self
     }
 

@@ -30,6 +30,10 @@ pub struct MatrixSpec {
     pub duration_ms: Option<f64>,
     /// Worker threads (0 and 1 both mean serial; capped at the job count).
     pub threads: usize,
+    /// Parallel channel stepping *within* each cell's simulation (the
+    /// complementary axis to `threads`, which parallelises *across*
+    /// cells). Bit-identical results either way.
+    pub parallel_channels: bool,
 }
 
 impl Default for MatrixSpec {
@@ -39,6 +43,7 @@ impl Default for MatrixSpec {
             freqs_mhz: Vec::new(),
             duration_ms: None,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            parallel_channels: false,
         }
     }
 }
@@ -261,7 +266,7 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
         s.clone()
             .with_policy(job.policy)
             .with_freq(job.freq)
-            .run_for_ms(job.duration_ms)
+            .run_for_ms_stepped(job.duration_ms, spec.parallel_channels)
     };
 
     if workers <= 1 {
@@ -342,6 +347,7 @@ mod tests {
             freqs_mhz: Vec::new(),
             duration_ms: Some(0.2),
             threads,
+            parallel_channels: false,
         };
         run_matrix(&scenarios, &spec).unwrap()
     }
@@ -401,6 +407,7 @@ mod tests {
             freqs_mhz: Vec::new(),
             duration_ms: Some(0.05),
             threads: 1,
+            parallel_channels: false,
         };
         let summary = run_matrix(&[s], &spec).unwrap();
         let csv = summary.to_csv();
@@ -432,6 +439,7 @@ mod tests {
             freqs_mhz: Vec::new(),
             duration_ms: Some(0.1),
             threads: 2,
+            parallel_channels: false,
         };
         let summary = run_matrix(&scenarios, &spec).unwrap();
         assert_eq!(summary.cells.len(), 4);
@@ -453,6 +461,7 @@ mod tests {
             freqs_mhz: vec![1333, 1700],
             duration_ms: Some(0.1),
             threads: 2,
+            parallel_channels: false,
         };
         let summary = run_matrix(&s, &spec).unwrap();
         assert_eq!(summary.cells.len(), 2);

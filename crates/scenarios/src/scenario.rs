@@ -158,7 +158,26 @@ impl Scenario {
     ///
     /// Returns [`ConfigError`] on an inconsistent spec.
     pub fn run_for_ms(&self, ms: f64) -> Result<SimReport, ConfigError> {
-        Ok(Simulation::new(self.config()?)?.run_for_ms(ms))
+        self.run_for_ms_stepped(ms, false)
+    }
+
+    /// Like [`Scenario::run_for_ms`], with the lane-stepping strategy made
+    /// explicit: `parallel_channels` advances decoupled channel lanes
+    /// concurrently between NoC synchronization horizons. The report is
+    /// bit-identical either way (the determinism suite asserts it); the
+    /// knob only trades wall-clock for thread fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent spec.
+    pub fn run_for_ms_stepped(
+        &self,
+        ms: f64,
+        parallel_channels: bool,
+    ) -> Result<SimReport, ConfigError> {
+        let mut cfg = self.config()?;
+        cfg.parallel_channels = parallel_channels;
+        Ok(Simulation::new(cfg)?.run_for_ms(ms))
     }
 
     /// Total offered load of all rated (non-elastic) traffic, GB/s.

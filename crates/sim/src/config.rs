@@ -117,6 +117,11 @@ pub struct SystemConfig {
     pub priority_bits: PriorityBits,
     /// Per-transaction trace ring size (0 disables tracing).
     pub trace_capacity: usize,
+    /// Opt-in parallel channel stepping: decoupled lanes advance
+    /// concurrently between NoC synchronization horizons. Purely an
+    /// execution strategy — reports and traces are bit-identical to the
+    /// sequential mode (asserted by the determinism suite).
+    pub parallel_channels: bool,
 }
 
 impl SystemConfig {
@@ -179,6 +184,7 @@ impl SystemConfig {
             seed: params.seed,
             priority_bits: PriorityBits::PAPER,
             trace_capacity: 0,
+            parallel_channels: false,
         })
     }
 

@@ -1,15 +1,28 @@
-//! The deterministic event-driven co-simulation engine.
+//! The deterministic lane-structured co-simulation engine.
 //!
-//! Wires DMAs → NoC → memory controller → DRAM exactly as Fig. 3 of the
-//! paper, and advances the system through five event kinds:
+//! Wires DMAs → NoC → per-channel lanes exactly as Fig. 3 of the paper,
+//! with the memory subsystem decomposed along the channel boundary: each
+//! [`ChannelLane`] owns one DRAM channel, that channel's slice of the
+//! controller, and its clock domain, and is advanced as a self-contained
+//! state machine. The lanes couple to the rest of the system only at the
+//! NoC pump/deliver boundary, through four global event kinds:
 //!
 //! * `Inject`  — a DMA's stimulus released transactions; stamp priorities
 //!   and push them into the NoC (backpressure-aware),
-//! * `Pump`    — sweep the NoC arbitration tree,
-//! * `McTick`  — the controller attempts one DRAM command on a channel,
+//! * `Pump`    — sweep the NoC arbitration tree; admitted transactions are
+//!   routed to their channel's lane,
 //! * `Deliver` — completed data returns to the DMA; its meter and priority
 //!   adaptation update,
 //! * `Sample`  — periodic NPI/priority/bandwidth sampling.
+//!
+//! Execution is horizon-stepped: between two consecutive global events,
+//! every lane advances its own tick chain independently (DRAM command
+//! scheduling never reads anything outside its lane), then the lanes'
+//! buffered outputs — completions becoming `Deliver` events, freed
+//! shared-budget credit waking the NoC — are merged in a fixed
+//! `(cycle, lane)` order. Because lane advancement is independent and the
+//! merge order is fixed, advancing lanes sequentially or concurrently
+//! (the opt-in parallel stepping mode) produces bit-identical results.
 //!
 //! Wake-up suppression keeps the event count proportional to transaction
 //! count rather than simulated cycles, so a full 33 ms frame at 1866 MHz
@@ -18,8 +31,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use sara_dram::Dram;
-use sara_memctrl::{MemoryController, PolicyKind, TickResult};
+use sara_dram::{AddressMap, Dram, DramStats};
+use sara_memctrl::{AdmissionControl, ChannelController, McStats, PolicyKind};
 use sara_noc::Noc;
 use sara_types::{
     Clock, ConfigError, CoreClass, Cycle, DmaId, MegaHertz, MemOp, Transaction, TransactionId,
@@ -27,16 +40,29 @@ use sara_types::{
 
 use crate::config::SystemConfig;
 use crate::health::{DmaHealth, SystemHealth};
+use crate::lane::ChannelLane;
 use crate::report::{ReportBuilder, SimReport};
 use crate::runtime::{build_dmas, DmaRuntime, BURST_BYTES};
 use crate::sampling::Samplers;
 use crate::trace::{TraceRecord, TransactionTrace};
 
+/// Minimum horizon width (in cycles from the earliest pending lane tick)
+/// before the parallel stepping mode spawns threads for a window; narrower
+/// windows are advanced inline, where the synchronization cost would dwarf
+/// the work. Purely a scheduling heuristic — results are bit-identical
+/// either way.
+const PARALLEL_WINDOW_MIN: u64 = 512;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     Inject(u16),
     Pump,
-    McTick(u8),
+    /// A completed transaction's shared-budget credit returns to the
+    /// admission front-end (and the NoC gets a pump to exploit it). Kept
+    /// as an event so a credit freed late in a lane window cannot be spent
+    /// by a pump running at an earlier cycle of the same window — the
+    /// 42-entry budget stays cycle-accurate.
+    Release(u8),
     Deliver {
         dma: u16,
         bytes: u32,
@@ -67,8 +93,9 @@ type Entry = Reverse<(Cycle, u64, EventKind)>;
 pub struct Simulation {
     cfg: SystemConfig,
     clock: Clock,
-    dram: Dram,
-    mc: MemoryController,
+    map: AddressMap,
+    lanes: Vec<ChannelLane>,
+    front: AdmissionControl,
     noc: Noc,
     dmas: Vec<DmaRuntime>,
     heap: BinaryHeap<Entry>,
@@ -77,17 +104,17 @@ pub struct Simulation {
     txn_seq: u64,
     channels: usize,
     dma_pending: Vec<Option<Cycle>>,
-    mc_pending: Vec<Option<Cycle>>,
     noc_pending: Option<Cycle>,
     leaf_forwarded: [u64; 5],
     samplers: Samplers,
     next_sample: Cycle,
     trace: TransactionTrace,
-    /// DRAM frequency currently in force (== `cfg.freq` until an online
-    /// DVFS step re-parameterises the device).
-    effective_freq: MegaHertz,
     /// Per-DMA worst sampled NPI since the last [`Simulation::mark_epoch`].
     epoch_floor: Vec<f64>,
+    /// Whether decoupled lanes advance concurrently between horizons.
+    parallel: bool,
+    /// Scratch for the deterministic completion merge.
+    merge_keys: Vec<(Cycle, usize, usize)>,
 }
 
 impl Simulation {
@@ -107,7 +134,20 @@ impl Simulation {
             )));
         }
         let dram = Dram::new(cfg.dram.clone(), cfg.interleave)?;
-        let mc = MemoryController::new(cfg.mc.clone());
+        let (_, map, channels) = dram.into_parts();
+        let lanes: Vec<ChannelLane> = channels
+            .into_iter()
+            .enumerate()
+            .map(|(ch, chan)| {
+                ChannelLane::new(
+                    ch,
+                    ChannelController::new(cfg.mc.clone(), ch),
+                    chan,
+                    cfg.freq,
+                )
+            })
+            .collect();
+        let front = AdmissionControl::new(&cfg.mc);
         let dmas = build_dmas(
             &cfg.cores,
             clock,
@@ -118,27 +158,28 @@ impl Simulation {
         )?;
         let classes: Vec<CoreClass> = dmas.iter().map(|d| d.class).collect();
         let noc = Noc::class_tree(cfg.noc.clone(), &classes)?;
-        let channels = cfg.dram.channels();
+        let channel_count = lanes.len();
         let samplers = Samplers::new(dmas.len(), cfg.sample_period);
         let mut sim = Simulation {
             clock,
-            dram,
-            mc,
+            map,
+            lanes,
+            front,
             noc,
             dma_pending: vec![None; dmas.len()],
-            mc_pending: vec![None; channels],
             noc_pending: None,
             leaf_forwarded: [0; 5],
             heap: BinaryHeap::new(),
             seq: 0,
             now: Cycle::ZERO,
             txn_seq: 0,
-            channels,
+            channels: channel_count,
             samplers,
             next_sample: Cycle::new(cfg.sample_period),
             trace: TransactionTrace::new(cfg.trace_capacity),
-            effective_freq: cfg.freq,
             epoch_floor: vec![f64::INFINITY; dmas.len()],
+            parallel: cfg.parallel_channels,
+            merge_keys: Vec::new(),
             dmas,
             cfg,
         };
@@ -159,20 +200,63 @@ impl Simulation {
         self.now
     }
 
+    /// Number of DRAM channels (= lanes).
+    pub fn channel_count(&self) -> usize {
+        self.channels
+    }
+
+    /// Switches between sequential and parallel lane stepping mid-run.
+    /// Purely an execution-strategy knob: both modes produce bit-identical
+    /// reports and traces (asserted by the determinism suite).
+    pub fn set_parallel_channels(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Whether decoupled lanes advance concurrently between horizons.
+    pub fn parallel_channels(&self) -> bool {
+        self.parallel
+    }
+
     /// Runs until `end` (absolute cycle) without building a report — the
     /// cheap stepping primitive for epoch-driven callers (the online
     /// governor advances one control epoch at a time and reads
     /// [`Simulation::health`] instead of paying for a full report per
     /// epoch).
     pub fn advance_until(&mut self, end: Cycle) {
-        while let Some(Reverse((at, _, _))) = self.heap.peek() {
-            if *at > end {
-                break;
+        loop {
+            let next_global = self.heap.peek().map(|Reverse((at, _, _))| *at);
+            match next_global {
+                Some(h) if h <= end => {
+                    // Advance every lane to the horizon, then process the
+                    // heap strictly in time order — the lane advance may
+                    // have surfaced delivers earlier than h.
+                    self.advance_lanes(h, false);
+                    let top = self
+                        .heap
+                        .peek()
+                        .map(|Reverse((at, _, _))| *at)
+                        .expect("event at h still queued");
+                    if top < h {
+                        continue;
+                    }
+                    self.drain_events_at(h);
+                }
+                _ => {
+                    // No global event inside the window: run every lane
+                    // through the end boundary (inclusive). Completions may
+                    // surface new global events inside the window, so loop
+                    // until quiescent.
+                    if self
+                        .lanes
+                        .iter()
+                        .any(|lane| lane.has_work_before(end, true))
+                    {
+                        self.advance_lanes(end, true);
+                    } else {
+                        break;
+                    }
+                }
             }
-            let Reverse((at, _, kind)) = self.heap.pop().expect("peeked");
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.dispatch(at, kind);
         }
         self.now = end;
     }
@@ -187,6 +271,114 @@ impl Simulation {
     pub fn run_for_ms(&mut self, ms: f64) -> SimReport {
         let end = Cycle::new(self.clock.cycles_from_ms(ms));
         self.run_until(end)
+    }
+
+    /// Pops and dispatches every global event scheduled at exactly `h`
+    /// (handlers may push more events at `h`; they are processed too).
+    fn drain_events_at(&mut self, h: Cycle) {
+        while let Some(Reverse((at, _, _))) = self.heap.peek() {
+            if *at != h {
+                break;
+            }
+            let Reverse((at, _, kind)) = self.heap.pop().expect("peeked");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.dispatch(at, kind);
+        }
+    }
+
+    /// Advances every lane to the horizon `h` — sequentially, or
+    /// concurrently when parallel stepping is enabled and the window is
+    /// wide enough to amortise the synchronization — then merges the
+    /// lanes' buffered outputs in a fixed order. The merge is what makes
+    /// the two strategies indistinguishable: completions are re-ordered by
+    /// `(cycle, lane)` before any global state is touched.
+    fn advance_lanes(&mut self, h: Cycle, inclusive: bool) {
+        let mut active = 0usize;
+        let mut earliest = Cycle::MAX;
+        for lane in &self.lanes {
+            if lane.has_work_before(h, inclusive) {
+                active += 1;
+                if let Some(t) = lane.pending {
+                    earliest = earliest.min(t);
+                }
+            }
+        }
+        let wide = h.saturating_sub(earliest) >= PARALLEL_WINDOW_MIN;
+        if self.parallel && active >= 2 && wide {
+            std::thread::scope(|scope| {
+                for lane in self.lanes.iter_mut() {
+                    if lane.has_work_before(h, inclusive) {
+                        scope.spawn(move || lane.advance_to(h, inclusive));
+                    }
+                }
+            });
+        } else {
+            for lane in &mut self.lanes {
+                lane.advance_to(h, inclusive);
+            }
+        }
+        self.merge_lane_outputs();
+    }
+
+    /// Applies the lanes' buffered window outputs to the global state in
+    /// deterministic `(cycle, lane)` order: trace records, `Deliver`
+    /// events, shared-budget releases, and a NoC pump at each completion
+    /// cycle (a freed controller entry may unblock the root arbiter).
+    fn merge_lane_outputs(&mut self) {
+        self.merge_keys.clear();
+        for (li, lane) in self.lanes.iter().enumerate() {
+            for (i, c) in lane.out.iter().enumerate() {
+                self.merge_keys.push((c.at, li, i));
+            }
+        }
+        if self.merge_keys.is_empty() {
+            return;
+        }
+        // At most one command per cycle per lane makes (cycle, lane)
+        // unique, so the order is total and mode-independent.
+        self.merge_keys.sort_unstable();
+        let keys = std::mem::take(&mut self.merge_keys);
+        for &(at, li, i) in &keys {
+            let c = self.lanes[li].out[i].completion.clone();
+            if self.cfg.trace_capacity > 0 {
+                self.trace.push(TraceRecord {
+                    id: c.txn.id,
+                    dma: c.txn.dma,
+                    core: c.txn.core,
+                    op: c.txn.op,
+                    priority: c.txn.priority,
+                    injected_at: c.txn.injected_at,
+                    done_at: c.done_at,
+                    queued_for: c.queued_for,
+                    row_hit: c.row_hit,
+                    was_aged: c.was_aged,
+                });
+            }
+            let is_read = c.txn.op.is_read();
+            let deliver_at = if is_read {
+                c.done_at + self.cfg.read_response_latency
+            } else {
+                c.done_at
+            };
+            self.push(
+                deliver_at,
+                EventKind::Deliver {
+                    dma: c.txn.dma.index() as u16,
+                    bytes: c.txn.bytes,
+                    injected_at: c.txn.injected_at,
+                    is_read,
+                },
+            );
+            // The freed controller entry becomes visible to admission (and
+            // the NoC gets its pump) at the completion cycle, not at merge
+            // time — see `EventKind::Release`.
+            self.push(at, EventKind::Release(c.txn.class.queue_index() as u8));
+        }
+        self.merge_keys = keys;
+        for lane in &mut self.lanes {
+            lane.out.clear();
+        }
     }
 
     fn dispatch(&mut self, at: Cycle, kind: EventKind) {
@@ -206,13 +398,11 @@ impl Simulation {
                 self.noc_pending = None;
                 self.pump();
             }
-            EventKind::McTick(ch) => {
-                let ch = ch as usize;
-                if self.mc_pending[ch] != Some(at) {
-                    return;
-                }
-                self.mc_pending[ch] = None;
-                self.tick(ch);
+            EventKind::Release(queue) => {
+                self.front.release(queue as usize);
+                // The root arbiter may now make progress on the freed
+                // entry.
+                self.schedule_pump(at);
             }
             EventKind::Deliver {
                 dma,
@@ -245,15 +435,6 @@ impl Simulation {
         }
         self.noc_pending = Some(at);
         self.push(at, EventKind::Pump);
-    }
-
-    fn schedule_mc(&mut self, ch: usize, at: Cycle) {
-        let at = at.max(self.now);
-        if matches!(self.mc_pending[ch], Some(t) if t <= at) {
-            return;
-        }
-        self.mc_pending[ch] = Some(at);
-        self.push(at, EventKind::McTick(ch as u8));
     }
 
     fn try_inject(&mut self, i: usize) {
@@ -309,20 +490,24 @@ impl Simulation {
     fn pump(&mut self) {
         let now = self.now;
         let mut accepted = [false; 8];
-        let (noc, mc, dram) = (&mut self.noc, &mut self.mc, &mut self.dram);
+        let (noc, front, lanes, map) = (&mut self.noc, &mut self.front, &mut self.lanes, &self.map);
         let outcome = noc.pump(now, &mut |txn| {
-            let ch = dram.decode(txn.addr).channel;
-            match mc.try_accept(txn, now, dram) {
-                Ok(()) => {
-                    accepted[ch] = true;
-                    Ok(())
-                }
-                Err(t) => Err(t),
+            let q = txn.class.queue_index();
+            if !front.has_room(q) {
+                front.reject(q);
+                return Err(txn);
             }
+            let loc = map.decode(txn.addr);
+            front.admit(q);
+            accepted[loc.channel] = true;
+            let lane = &mut lanes[loc.channel];
+            debug_assert_eq!(lane.id.index(), loc.channel, "lane order matches channels");
+            lane.ctrl.accept(txn, loc, now);
+            Ok(())
         });
         for (ch, &hit) in accepted.iter().enumerate().take(self.channels) {
             if hit {
-                self.schedule_mc(ch, now);
+                self.lanes[ch].arm(now);
             }
         }
         if let Some(at) = outcome.next_action {
@@ -344,54 +529,6 @@ impl Simulation {
         }
     }
 
-    fn tick(&mut self, ch: usize) {
-        let now = self.now;
-        match self.mc.tick(ch, now, &mut self.dram) {
-            TickResult::Issued { completed } => {
-                self.schedule_mc(ch, now + 1);
-                if let Some(c) = completed {
-                    if self.cfg.trace_capacity > 0 {
-                        self.trace.push(TraceRecord {
-                            id: c.txn.id,
-                            dma: c.txn.dma,
-                            core: c.txn.core,
-                            op: c.txn.op,
-                            priority: c.txn.priority,
-                            injected_at: c.txn.injected_at,
-                            done_at: c.done_at,
-                            queued_for: c.queued_for,
-                            row_hit: c.row_hit,
-                            was_aged: c.was_aged,
-                        });
-                    }
-                    let is_read = c.txn.op.is_read();
-                    let deliver_at = if is_read {
-                        c.done_at + self.cfg.read_response_latency
-                    } else {
-                        c.done_at
-                    };
-                    self.push(
-                        deliver_at,
-                        EventKind::Deliver {
-                            dma: c.txn.dma.index() as u16,
-                            bytes: c.txn.bytes,
-                            injected_at: c.txn.injected_at,
-                            is_read,
-                        },
-                    );
-                    // A controller entry was freed: the NoC root may now
-                    // make progress.
-                    self.schedule_pump(now);
-                }
-            }
-            TickResult::Idle { retry_at } => {
-                if let Some(at) = retry_at {
-                    self.schedule_mc(ch, at);
-                }
-            }
-        }
-    }
-
     fn deliver(&mut self, i: usize, bytes: u32, injected_at: Cycle, is_read: bool) {
         let now = self.now;
         let latency = now.saturating_sub(injected_at);
@@ -406,6 +543,13 @@ impl Simulation {
         self.try_inject(i);
     }
 
+    fn dram_bytes(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|lane| lane.chan.stats().total_bytes())
+            .sum()
+    }
+
     fn sample(&mut self) {
         let now = self.now;
         for (i, dma) in self.dmas.iter_mut().enumerate() {
@@ -414,8 +558,8 @@ impl Simulation {
             self.epoch_floor[i] = self.epoch_floor[i].min(npi.as_f64());
             self.samplers.record(i, npi, dma.adapter.priority());
         }
-        self.samplers
-            .record_bandwidth(self.dram.stats().total.total_bytes());
+        let bytes = self.dram_bytes();
+        self.samplers.record_bandwidth(bytes);
         self.next_sample = now + self.cfg.sample_period;
         self.push(self.next_sample, EventKind::Sample);
     }
@@ -425,20 +569,31 @@ impl Simulation {
         &self.trace
     }
 
-    /// The DRAM frequency currently in force (equals the configured beat
-    /// clock until [`Simulation::set_dram_freq`] steps it down).
+    /// The fastest lane's effective DRAM frequency (all lanes are equal
+    /// until [`Simulation::set_channel_freq`] decouples them; then this is
+    /// the pace of the fastest clock domain).
     #[inline]
     pub fn effective_dram_freq(&self) -> MegaHertz {
-        self.effective_freq
+        self.lanes
+            .iter()
+            .map(|lane| lane.effective_freq)
+            .max()
+            .expect("at least one channel")
     }
 
-    /// Steps the DRAM to `target` mid-run — the actuation half of the
-    /// online DVFS loop.
+    /// Effective DRAM frequency of every channel's clock domain, in
+    /// channel order.
+    pub fn channel_freqs(&self) -> Vec<MegaHertz> {
+        self.lanes.iter().map(|lane| lane.effective_freq).collect()
+    }
+
+    /// Steps every channel's clock domain to `target` — the single-knob
+    /// actuation of the online DVFS loop.
     ///
     /// The simulation beat clock (and with it every workload rate, frame
     /// period and meter target, all denominated in beat cycles) never
-    /// changes; instead the DRAM timing set is re-expressed in beat cycles
-    /// at the new memory-clock ratio (see
+    /// changes; instead each channel's DRAM timing set is re-expressed in
+    /// beat cycles at the new memory-clock ratio (see
     /// [`sara_dram::TimingParams::rescaled`]). All device state — open
     /// rows, per-bank next-legal times, bus reservations, refresh
     /// deadlines, queued transactions — carries over: constraints already
@@ -451,30 +606,53 @@ impl Simulation {
     /// Returns [`ConfigError`] if `target` exceeds the beat clock — the
     /// ladder's top rung must be the frequency the system was built at.
     pub fn set_dram_freq(&mut self, target: MegaHertz) -> Result<(), ConfigError> {
+        for ch in 0..self.channels {
+            self.set_channel_freq(ch, target)?;
+        }
+        Ok(())
+    }
+
+    /// Steps one channel's clock domain to `target`, leaving the other
+    /// lanes untouched — the per-channel actuation of the online DVFS
+    /// loop. Semantics per channel are identical to
+    /// [`Simulation::set_dram_freq`]; because each step re-derives the
+    /// timing set from the channel's reference parameters, ladder walks
+    /// never compound rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `target` exceeds the beat clock or
+    /// `channel` does not exist.
+    pub fn set_channel_freq(
+        &mut self,
+        channel: usize,
+        target: MegaHertz,
+    ) -> Result<(), ConfigError> {
         if target > self.cfg.freq {
             return Err(ConfigError::new(format!(
                 "DVFS target {target} exceeds the beat clock {} the system was built at",
                 self.cfg.freq
             )));
         }
-        if target == self.effective_freq {
+        if channel >= self.channels {
+            return Err(ConfigError::new(format!(
+                "channel {channel} does not exist ({} channels)",
+                self.channels
+            )));
+        }
+        let lane = &mut self.lanes[channel];
+        if target == lane.effective_freq {
             return Ok(());
         }
-        let scaled = self
-            .cfg
-            .dram
-            .timing()
-            .rescaled(self.cfg.freq.as_u32() as u64, target.as_u32() as u64);
-        self.dram.set_timing(scaled);
-        self.effective_freq = target;
-        // Re-arm every channel with queued work: a step *up* moves legal
+        lane.chan
+            .set_clock(self.cfg.freq.as_u32() as u64, target.as_u32() as u64);
+        lane.effective_freq = target;
+        // Re-arm the lane if it has queued work: a step *up* moves legal
         // issue times earlier than any pending retry wake, and waiting for
         // the stale (late) wake would idle the faster device.
-        let now = self.now;
-        for ch in 0..self.channels {
-            if self.mc.queued_for_channel(ch) > 0 {
-                self.schedule_mc(ch, now);
-            }
+        if lane.ctrl.queued() > 0 {
+            let now = self.now;
+            lane.arm(now);
         }
         Ok(())
     }
@@ -486,13 +664,15 @@ impl Simulation {
     /// paper's QoS enforcement point.
     pub fn set_policy(&mut self, policy: PolicyKind) {
         self.cfg.policy = policy;
-        self.mc.set_policy(policy);
+        for lane in &mut self.lanes {
+            lane.ctrl.set_policy(policy);
+        }
     }
 
     /// A cheap live health snapshot: per-DMA live NPI + worst sampled NPI
     /// since the last [`Simulation::mark_epoch`], stamped priorities,
-    /// controller queue depths and the DRAM byte counter. The governor's
-    /// sensor.
+    /// controller queue depths and effective frequency per channel, and
+    /// the DRAM byte counter. The governor's sensor.
     pub fn health(&self) -> SystemHealth {
         let now = self.now;
         let dmas = self
@@ -515,12 +695,11 @@ impl Simulation {
         SystemHealth {
             now,
             dmas,
-            mc_occupancy: self.mc.occupancy(),
-            queued_per_channel: (0..self.channels)
-                .map(|ch| self.mc.queued_for_channel(ch))
-                .collect(),
-            dram_bytes: self.dram.stats().total.total_bytes(),
-            effective_freq: self.effective_freq,
+            mc_occupancy: self.front.occupancy(),
+            queued_per_channel: self.lanes.iter().map(|lane| lane.ctrl.queued()).collect(),
+            freq_per_channel: self.channel_freqs(),
+            dram_bytes: self.dram_bytes(),
+            effective_freq: self.effective_dram_freq(),
             policy: self.cfg.policy,
         }
     }
@@ -533,6 +712,17 @@ impl Simulation {
         }
     }
 
+    /// Aggregated controller statistics: the admission front-end's
+    /// counters (rejections, peak occupancy) folded together with every
+    /// lane's scheduling counters.
+    fn mc_stats(&self) -> McStats {
+        let mut stats = self.front.stats().clone();
+        for lane in &self.lanes {
+            stats.merge_scheduling(lane.ctrl.stats());
+        }
+        stats
+    }
+
     /// Builds a report for the elapsed window.
     pub fn report(&self) -> SimReport {
         ReportBuilder {
@@ -540,8 +730,8 @@ impl Simulation {
             clock: self.clock,
             now: self.now,
             dmas: &self.dmas,
-            dram: &self.dram,
-            mc: &self.mc,
+            dram: DramStats::from_channels(self.lanes.iter().map(|lane| lane.chan.stats())),
+            mc: self.mc_stats(),
             noc: &self.noc,
             samplers: &self.samplers,
         }
@@ -589,6 +779,32 @@ mod tests {
         let _ = sim.run_for_ms(0.1);
         let expected = sim.config().clock().cycles_from_ms(0.1);
         assert_eq!(sim.now().as_u64(), expected);
+    }
+
+    #[test]
+    fn parallel_stepping_is_bit_identical_to_sequential() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut seq = Simulation::new(cfg.clone()).unwrap();
+        assert!(!seq.parallel_channels());
+        let a = seq.run_for_ms(0.4);
+
+        let mut par_cfg = cfg;
+        par_cfg.parallel_channels = true;
+        let mut par = Simulation::new(par_cfg).unwrap();
+        assert!(par.parallel_channels());
+        let b = par.run_for_ms(0.4);
+
+        assert_eq!(a.dram, b.dram);
+        assert_eq!(a.mc, b.mc);
+        assert_eq!(a.noc_forwarded, b.noc_forwarded);
+        for (x, y) in a.cores.iter().zip(&b.cores) {
+            assert_eq!(x.min_npi, y.min_npi);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.priority_residency, y.priority_residency);
+        }
+        for (kind, series) in &a.npi_series {
+            assert_eq!(series, &b.npi_series[kind]);
+        }
     }
 }
 
@@ -650,6 +866,57 @@ mod governor_hook_tests {
     }
 
     #[test]
+    fn per_channel_steps_decouple_the_lanes() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut sim = Simulation::new(cfg).unwrap();
+        let _ = sim.run_for_ms(0.1);
+        sim.set_channel_freq(1, MegaHertz::new(850)).unwrap();
+        assert_eq!(
+            sim.channel_freqs()
+                .iter()
+                .map(|f| f.as_u32())
+                .collect::<Vec<_>>(),
+            vec![1700, 850]
+        );
+        // The aggregate view reports the fastest domain; health carries
+        // the full per-lane vector.
+        assert_eq!(sim.effective_dram_freq().as_u32(), 1700);
+        let h = sim.health();
+        assert_eq!(h.freq_per_channel.len(), 2);
+        assert_eq!(h.freq_per_channel[1].as_u32(), 850);
+        // Out-of-range channel and over-clock are rejected.
+        assert!(sim.set_channel_freq(7, MegaHertz::new(850)).is_err());
+        assert!(sim.set_channel_freq(0, MegaHertz::new(1866)).is_err());
+        // Asymmetric lanes still simulate deterministically.
+        let a = sim.run_for_ms(0.3);
+        assert!(a.mc.total_completed() > 0);
+    }
+
+    #[test]
+    fn per_channel_slowdown_skews_channel_bandwidth() {
+        let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Priority).unwrap();
+        let mut even = Simulation::new(cfg.clone()).unwrap();
+        let balanced = even.run_for_ms(0.4);
+
+        let mut skewed = Simulation::new(cfg).unwrap();
+        skewed.set_channel_freq(0, MegaHertz::new(566)).unwrap();
+        let report = skewed.run_for_ms(0.4);
+        let slow = report.dram.per_channel[0].total_bytes();
+        let fast = report.dram.per_channel[1].total_bytes();
+        assert!(
+            slow < fast,
+            "the down-clocked lane must move fewer bytes ({slow} vs {fast})"
+        );
+        // The balanced run splits roughly evenly by interleave.
+        let b0 = balanced.dram.per_channel[0].total_bytes() as f64;
+        let b1 = balanced.dram.per_channel[1].total_bytes() as f64;
+        assert!(
+            (b0 / b1 - 1.0).abs() < 0.2,
+            "balanced split drifted: {b0} {b1}"
+        );
+    }
+
+    #[test]
     fn policy_switch_mid_run_takes_effect() {
         let cfg = SystemConfig::camcorder(TestCase::B, PolicyKind::Fcfs).unwrap();
         let mut sim = Simulation::new(cfg).unwrap();
@@ -671,6 +938,7 @@ mod governor_hook_tests {
         assert!(h.dmas.iter().all(|d| d.epoch_floor.is_finite()));
         assert!(h.dram_bytes > 0);
         assert_eq!(h.queued_per_channel.len(), 2);
+        assert_eq!(h.freq_per_channel.len(), 2);
         sim.mark_epoch();
         let fresh = sim.health();
         assert!(

@@ -52,9 +52,13 @@ pub struct SystemHealth {
     pub mc_occupancy: usize,
     /// Queue depth per DRAM channel.
     pub queued_per_channel: Vec<usize>,
+    /// Effective DRAM frequency of each channel's clock domain, in
+    /// channel order (all equal until per-channel DVFS decouples them).
+    pub freq_per_channel: Vec<MegaHertz>,
     /// Cumulative DRAM bytes transferred (reads + writes).
     pub dram_bytes: u64,
-    /// Effective DRAM frequency (≤ the beat clock under online DVFS).
+    /// Effective DRAM frequency of the fastest lane (≤ the beat clock
+    /// under online DVFS).
     pub effective_freq: MegaHertz,
     /// Scheduling policy currently in force.
     pub policy: PolicyKind,
@@ -106,6 +110,7 @@ mod tests {
             dmas: vec![dma(1.2, 1.1), dma(0.9, 0.6), dma(2.0, f64::INFINITY)],
             mc_occupancy: 0,
             queued_per_channel: vec![0, 0],
+            freq_per_channel: vec![MegaHertz::new(1866); 2],
             dram_bytes: 0,
             effective_freq: MegaHertz::new(1866),
             policy: PolicyKind::Priority,

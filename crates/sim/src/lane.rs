@@ -1,0 +1,129 @@
+//! The per-channel lane: one DRAM channel, its controller slice, and its
+//! clock domain, advanced as a self-contained state machine.
+//!
+//! A [`ChannelLane`] is the unit of decoupling in the lane-structured
+//! engine. Between two synchronization horizons (the global events that
+//! couple lanes to the NoC and the DMAs — pumps, injects, delivers,
+//! samples), a lane's tick chain touches nothing but its own
+//! [`ChannelController`] and [`Channel`], so the engine may advance lanes
+//! one after another *or concurrently* and obtain bit-identical state:
+//! every cross-lane effect (completions → delivers, freed budget → pump)
+//! is buffered in [`ChannelLane::out`] and merged by the engine in a fixed
+//! lane order after all lanes reach the horizon.
+
+use sara_dram::Channel;
+use sara_memctrl::{ChannelController, Completion, TickResult};
+use sara_types::{ChannelId, Cycle, MegaHertz};
+
+/// One completion surfaced by a lane advance, stamped with the cycle its
+/// final column command issued at (the merge sort key).
+#[derive(Debug)]
+pub(crate) struct LaneCompletion {
+    /// Tick cycle of the final column command.
+    pub at: Cycle,
+    /// The completed transaction.
+    pub completion: Completion,
+}
+
+/// One channel's lane: controller slice + DRAM channel + clock domain +
+/// pending-tick state.
+#[derive(Debug)]
+pub(crate) struct ChannelLane {
+    /// Which channel this lane owns.
+    pub id: ChannelId,
+    /// The channel's scheduling engine (queues, policy state, counters).
+    pub ctrl: ChannelController,
+    /// The channel's DRAM timing domain (banks, buses, refresh, clock).
+    pub chan: Channel,
+    /// Earliest scheduled tick, if any. A lane with queued work always has
+    /// one; `None` means the lane is idle until the next accept.
+    pub pending: Option<Cycle>,
+    /// One past the last tick this lane actually processed — the earliest
+    /// cycle a new wake may target. Commands were issued up to here, so
+    /// the channel's past is immutable; an *idle* stretch leaves the
+    /// frontier behind, and a wake landing there simply resumes the lane
+    /// in its quiescent gap.
+    pub frontier: Cycle,
+    /// Effective DRAM frequency of this lane's clock domain (≤ the beat
+    /// clock; the beat clock itself never changes).
+    pub effective_freq: MegaHertz,
+    /// Completions produced by the last advance, in tick order. Drained by
+    /// the engine's merge step.
+    pub out: Vec<LaneCompletion>,
+}
+
+impl ChannelLane {
+    pub(crate) fn new(id: usize, ctrl: ChannelController, chan: Channel, freq: MegaHertz) -> Self {
+        ChannelLane {
+            id: ChannelId::new(id as u8),
+            ctrl,
+            chan,
+            pending: None,
+            frontier: Cycle::ZERO,
+            effective_freq: freq,
+            out: Vec::new(),
+        }
+    }
+
+    /// Requests a tick at `at` (clamped to the lane's frontier), keeping
+    /// only the earliest pending wake — the per-lane analogue of the old
+    /// engine's wake-up suppression.
+    pub(crate) fn arm(&mut self, at: Cycle) {
+        let at = at.max(self.frontier);
+        if matches!(self.pending, Some(t) if t <= at) {
+            return;
+        }
+        self.pending = Some(at);
+    }
+
+    /// Whether this lane has a tick to run before (or, when `inclusive`,
+    /// at) the horizon `h`.
+    #[inline]
+    pub(crate) fn has_work_before(&self, h: Cycle, inclusive: bool) -> bool {
+        match self.pending {
+            Some(t) => t < h || (inclusive && t == h),
+            None => false,
+        }
+    }
+
+    /// Advances this lane's tick chain up to the horizon `h` (exclusive,
+    /// or inclusive at the `end` boundary), buffering completions into
+    /// [`ChannelLane::out`]. Touches nothing outside the lane — the
+    /// property that makes concurrent advancement sound.
+    ///
+    /// The advance stops after the *first* completion: a completion frees
+    /// a shared-budget entry, and the NoC must get a chance to exploit it
+    /// at that cycle (not at the far edge of the window) or a drained
+    /// controller starves behind a distant horizon. The engine re-enters
+    /// with a fresh horizon immediately after merging, so lanes still run
+    /// decoupled through every completion-free stretch.
+    pub(crate) fn advance_to(&mut self, h: Cycle, inclusive: bool) {
+        while let Some(t) = self.pending {
+            if t > h || (!inclusive && t == h) {
+                break;
+            }
+            self.pending = None;
+            self.frontier = t + 1;
+            match self.ctrl.tick(t, &mut self.chan) {
+                TickResult::Issued { completed } => {
+                    // Command bus: one command per cycle per channel.
+                    self.pending = Some(t + 1);
+                    if let Some(c) = completed {
+                        self.out.push(LaneCompletion {
+                            at: t,
+                            completion: c,
+                        });
+                        break;
+                    }
+                }
+                TickResult::Idle { retry_at } => self.pending = retry_at,
+            }
+        }
+        debug_assert!(
+            self.ctrl.queued() == 0 || self.pending.is_some(),
+            "lane {} lost its wake with {} queued",
+            self.id,
+            self.ctrl.queued()
+        );
+    }
+}

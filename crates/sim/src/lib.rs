@@ -47,6 +47,7 @@ mod engine;
 pub mod experiment;
 mod health;
 pub mod json;
+mod lane;
 mod report;
 mod runtime;
 mod sampling;

@@ -4,8 +4,8 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
-use sara_dram::{Dram, DramStats};
-use sara_memctrl::{McStats, MemoryController, PolicyKind};
+use sara_dram::DramStats;
+use sara_memctrl::{McStats, PolicyKind};
 use sara_noc::Noc;
 use sara_types::{Clock, CoreKind, Cycle, MegaHertz};
 
@@ -195,8 +195,10 @@ pub(crate) struct ReportBuilder<'a> {
     pub clock: Clock,
     pub now: Cycle,
     pub dmas: &'a [DmaRuntime],
-    pub dram: &'a Dram,
-    pub mc: &'a MemoryController,
+    /// Merged per-lane DRAM counters (the lanes own their channels).
+    pub dram: DramStats,
+    /// Admission + per-lane scheduling counters, merged.
+    pub mc: McStats,
     pub noc: &'a Noc,
     pub samplers: &'a Samplers,
 }
@@ -270,7 +272,7 @@ impl ReportBuilder<'_> {
             npi_series.insert(kind, series);
         }
 
-        let dram_stats = self.dram.stats();
+        let dram_stats = self.dram;
         let bandwidth_gbs = dram_stats.bandwidth_bytes_per_s(self.cfg.freq.as_hz(), elapsed) / 1e9;
         SimReport {
             policy: self.cfg.policy,
@@ -279,7 +281,7 @@ impl ReportBuilder<'_> {
             elapsed_ms: self.clock.ns_from_cycles(elapsed) / 1e6,
             row_hit_rate: dram_stats.total.row_hit_rate(),
             dram: dram_stats,
-            mc: self.mc.stats().clone(),
+            mc: self.mc,
             noc_forwarded: self.noc.root_stats().forwarded,
             sample_period: self.cfg.sample_period,
             npi_series,

@@ -205,6 +205,41 @@ impl fmt::Display for DmaId {
     }
 }
 
+/// Identifier of one DRAM channel — and, in the lane-structured engine, of
+/// the lane that owns it (controller slice + DRAM channel + clock domain).
+///
+/// # Examples
+///
+/// ```
+/// use sara_types::ChannelId;
+///
+/// let ch = ChannelId::new(1);
+/// assert_eq!(ch.index(), 1);
+/// assert_eq!(ch.to_string(), "ch1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ChannelId(u8);
+
+impl ChannelId {
+    /// Creates a channel identifier from its dense index.
+    #[inline]
+    pub const fn new(index: u8) -> Self {
+        ChannelId(index)
+    }
+
+    /// The dense index (usable for `Vec` indexing).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,7 +45,7 @@ mod transaction;
 pub mod units;
 
 pub use error::ConfigError;
-pub use ids::{CoreClass, CoreKind, DmaId};
+pub use ids::{ChannelId, CoreClass, CoreKind, DmaId};
 pub use priority::{Priority, PriorityBits};
 pub use time::{Clock, Cycle, MegaHertz};
 pub use transaction::{Addr, MemOp, Transaction, TransactionId};

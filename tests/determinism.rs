@@ -5,7 +5,7 @@
 use sara::dram::{
     CommandRecord, Dram, DramCommand, DramConfig, Interleave, Issued, TimingChecker, TimingParams,
 };
-use sara::governor::{run_governed, run_pinned, trace};
+use sara::governor::{run_governed, run_governed_with, run_pinned, trace, RunOptions};
 use sara::memctrl::{McConfig, MemoryController, PolicyKind, TickResult};
 use sara::scenarios::catalog;
 use sara::sim::experiment::run_camcorder;
@@ -31,6 +31,48 @@ fn identical_runs_are_bit_identical() {
     }
     for (kind, series) in &a.npi_series {
         assert_eq!(series, &b.npi_series[kind]);
+    }
+}
+
+/// Sequential and parallel lane stepping are two execution strategies for
+/// one defined semantics: for every catalog scenario the `SimReport` JSON
+/// must be byte-identical between them. This is the contract that lets
+/// `--parallel-channels` be a pure wall-clock knob.
+#[test]
+fn parallel_stepping_reports_are_byte_identical_across_the_catalog() {
+    for s in catalog::builtin() {
+        let seq = s.run_for_ms_stepped(0.4, false).unwrap().to_json();
+        let par = s.run_for_ms_stepped(0.4, true).unwrap().to_json();
+        assert_eq!(seq, par, "{}: parallel stepping diverged", s.name);
+    }
+}
+
+/// The same contract for governed runs: epoch traces (JSON + CSV) from
+/// the parallel stepping mode are byte-identical to sequential, for every
+/// catalog scenario under its own governor spec — including per-channel
+/// control where the spec enables it.
+#[test]
+fn governed_traces_match_across_stepping_modes_for_every_catalog_scenario() {
+    for s in catalog::builtin() {
+        let spec = s.governor_spec();
+        let text = |parallel| {
+            let out = run_governed_with(
+                &s,
+                &spec,
+                0.6,
+                RunOptions {
+                    parallel_channels: parallel,
+                },
+            )
+            .unwrap();
+            trace::trace_json(&[(out.clone(), None)]) + &trace::trace_csv(&[out])
+        };
+        assert_eq!(
+            text(false),
+            text(true),
+            "{}: governed trace diverged",
+            s.name
+        );
     }
 }
 

@@ -18,6 +18,7 @@ fn every_builtin_scenario_completes_one_ms() {
         freqs_mhz: Vec::new(),
         duration_ms: Some(1.0),
         threads: 8,
+        parallel_channels: false,
     };
     let summary = run_matrix(&scenarios, &spec).expect("matrix must run");
     assert_eq!(summary.cells.len(), scenarios.len());
@@ -54,6 +55,7 @@ fn rankings_prefer_the_policy_that_meets_targets() {
         freqs_mhz: Vec::new(),
         duration_ms: Some(1.5),
         threads: 2,
+        parallel_channels: false,
     };
     let summary = run_matrix(&scenarios, &spec).unwrap();
     let best = summary.best("camcorder-b").unwrap();
@@ -91,6 +93,7 @@ fn matrix_json_identical_for_1_2_and_8_workers() {
             freqs_mhz: Vec::new(),
             duration_ms: Some(0.25),
             threads,
+            parallel_channels: false,
         };
         run_matrix(&scenarios, &spec).unwrap().to_json()
     };
