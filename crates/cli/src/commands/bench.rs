@@ -29,7 +29,7 @@ use crate::args::{Args, CliError};
 use crate::output::{emit_value, page, Progress, Sink};
 
 const USAGE: &str = "usage: sara bench [--duration-ms MS] [--repeat N] [--json PATH|-] \
-                     [--pretty] [--baseline PATH] [--tolerance F]";
+                     [--pretty] [--baseline PATH] [--tolerance F] [--history PATH]";
 
 const HELP: &str = "\
 sara bench — measure matrix throughput; emit or check a baseline
@@ -46,6 +46,9 @@ usage: sara bench [options]
   --tolerance F      allowed per-scenario slowdown relative to the run's
                      own geometric mean vs the baseline profile (default
                      2.5)
+  --history PATH     append this run (timestamp, geo mean, per-scenario
+                     cells/sec) to a perf-timeline JSON document, creating
+                     PATH on first use; summarize it with `sara report`
 
 Every catalog scenario runs all six policies serially; throughput is
 matrix cells per second. The output shape (keys, scenario order, cell
@@ -61,6 +64,9 @@ Regenerate the committed baseline after an intentional change:
 
 /// The `format` tag carried by measurement and baseline documents.
 pub const FORMAT_TAG: &str = "sara-bench/v1";
+
+/// The `format` tag carried by `--history` perf-timeline documents.
+pub const HISTORY_FORMAT_TAG: &str = "sara-bench-history/v1";
 
 /// One scenario's measured throughput.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +100,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     if !tolerance.is_finite() || tolerance < 1.0 {
         return Err(CliError::usage(USAGE, "--tolerance must be ≥ 1"));
     }
+    let history_path = args.take_opt("--history")?;
     args.finish()?;
 
     let progress = Progress::new(&[json_sink.as_ref()]);
@@ -105,6 +112,14 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         if !sink.is_stdout() {
             progress.line(format!("wrote {}", sink.describe()));
         }
+    }
+
+    if let Some(path) = &history_path {
+        let records = append_history(path, duration_ms, &measurements)?;
+        progress.line(format!(
+            "appended to history {path} ({records} record{})",
+            if records == 1 { "" } else { "s" }
+        ));
     }
 
     if let Some(path) = &baseline_path {
@@ -199,6 +214,72 @@ fn to_value(duration_ms: f64, measurements: &[Measurement]) -> Value {
             ),
         ),
     ])
+}
+
+/// Appends one timestamped record to the perf-timeline history at
+/// `path` (created with an empty record list on first use), returning
+/// the new record count. The document is rewritten pretty-printed so it
+/// diffs cleanly under version control.
+fn append_history(
+    path: &str,
+    duration_ms: f64,
+    measurements: &[Measurement],
+) -> Result<usize, CliError> {
+    let fail = |e: String| CliError::Failure(format!("{path}: {e}"));
+    let mut doc = match std::fs::read_to_string(path) {
+        Ok(text) => json::parse(&text).map_err(|e| fail(e.to_string()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Value::Object(vec![
+            ("format".to_string(), HISTORY_FORMAT_TAG.into()),
+            ("records".to_string(), Value::Array(Vec::new())),
+        ]),
+        Err(e) => return Err(fail(e.to_string())),
+    };
+    match doc.get("format").and_then(Value::as_str) {
+        Some(HISTORY_FORMAT_TAG) => {}
+        other => {
+            return Err(fail(format!(
+                "format tag {other:?} (expected \"{HISTORY_FORMAT_TAG}\"; \
+                 --history will not overwrite an unrelated file)"
+            )))
+        }
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let record = Value::Object(vec![
+        ("unix_ms".to_string(), unix_ms.into()),
+        ("duration_ms".to_string(), duration_ms.into()),
+        ("geo_mean".to_string(), geo_mean(measurements).into()),
+        (
+            "scenarios".to_string(),
+            Value::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        Value::Object(vec![
+                            ("name".to_string(), m.name.as_str().into()),
+                            ("cells_per_sec".to_string(), m.cells_per_sec.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let Value::Object(members) = &mut doc else {
+        return Err(fail("history document is not an object".to_string()));
+    };
+    let records = members
+        .iter_mut()
+        .find(|(k, _)| k == "records")
+        .ok_or_else(|| fail("missing \"records\" array".to_string()))?;
+    let Value::Array(list) = &mut records.1 else {
+        return Err(fail("\"records\" is not an array".to_string()));
+    };
+    list.push(record);
+    let count = list.len();
+    Sink::File(path.into()).write(&emit_value(&doc, true))?;
+    Ok(count)
 }
 
 /// Reads the scenario list out of a measurement/baseline document.
@@ -420,6 +501,50 @@ mod tests {
         }
         let err = compare_baseline(&other, &base, 2.5).unwrap_err();
         assert!(matches!(&err, CliError::Failure(m) if m.contains("duration_ms")));
+    }
+
+    #[test]
+    fn history_creates_then_appends_and_refuses_unrelated_files() {
+        let dir = std::env::temp_dir().join(format!("sara-bench-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.json");
+        let path = path.to_str().unwrap();
+        let measurements = [
+            Measurement {
+                name: "adas".to_string(),
+                cells: 6,
+                cells_per_sec: 120.0,
+            },
+            Measurement {
+                name: "saturation".to_string(),
+                cells: 6,
+                cells_per_sec: 80.0,
+            },
+        ];
+        assert_eq!(append_history(path, 0.2, &measurements).unwrap(), 1);
+        assert_eq!(append_history(path, 0.2, &measurements).unwrap(), 2);
+        let doc = json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(Value::as_str),
+            Some(HISTORY_FORMAT_TAG)
+        );
+        let records = doc.get("records").and_then(Value::as_array).unwrap();
+        assert_eq!(records.len(), 2);
+        for r in records {
+            assert_eq!(
+                r.get("scenarios").and_then(Value::as_array).map(<[_]>::len),
+                Some(2)
+            );
+            let gm = r.get("geo_mean").and_then(Value::as_f64).unwrap();
+            assert!((gm - (120.0f64 * 80.0).sqrt()).abs() < 1e-6);
+        }
+        // A file that is not a history document is never overwritten.
+        let other = dir.join("other.json");
+        std::fs::write(&other, "{\"format\":\"something-else\"}").unwrap();
+        let err = append_history(other.to_str().unwrap(), 0.2, &measurements).unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("format tag")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -70,6 +70,7 @@ const COMMANDS: &[Command] = &[
             "--jobs",
             "--json",
             "--csv",
+            "--chrome-trace",
         ],
         bool_flags: &["--parallel-channels", "--pretty"],
     },
@@ -101,6 +102,7 @@ const COMMANDS: &[Command] = &[
             "--duration-ms",
             "--json",
             "--csv",
+            "--chrome-trace",
         ],
         bool_flags: &["--per-channel", "--parallel-channels", "--no-baseline"],
     },
@@ -127,8 +129,15 @@ const COMMANDS: &[Command] = &[
             "--json",
             "--baseline",
             "--tolerance",
+            "--history",
         ],
         bool_flags: &["--pretty"],
+    },
+    Command {
+        name: "report",
+        summary: "summarize or diff sara JSON dumps",
+        value_flags: &["--tolerance"],
+        bool_flags: &["--diff"],
     },
     Command {
         name: "completions",

@@ -6,12 +6,12 @@ use sara_types::MegaHertz;
 
 use crate::args::{parse_freqs_ascending, Args, CliError};
 use crate::commands::{load_scenarios, take_scenario_names};
-use crate::output::{reject_double_stdout, Progress, Sink};
+use crate::output::{emit_value, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara govern [--dir DIR | --scenarios NAMES] [--epoch-us US] \
                      [--ladder MHZ] [--start MHZ] [--escalate-policy NAME] [--per-channel] \
                      [--parallel-channels] [--duration-ms MS] [--no-baseline] \
-                     [--json PATH|-] [--csv PATH|-]";
+                     [--json PATH|-] [--csv PATH|-] [--chrome-trace PATH|-]";
 
 const HELP: &str = "\
 sara govern — run scenarios under the online self-aware governor
@@ -51,6 +51,12 @@ run shape and output:
   --no-baseline      skip the pinned static comparison run
   --json PATH|-      write trace + outcome (+ baseline) as JSON
   --csv PATH|-       write the per-epoch trace as CSV
+  --chrome-trace PATH|-
+                     write a Chrome trace-event / Perfetto document: one
+                     process per scenario with a governor track (epoch
+                     spans, action markers) and one track per DRAM lane,
+                     plus queue/frequency/NPI counter series, on
+                     simulated-time timestamps (byte-deterministic)
 
 Traces are byte-deterministic: identical inputs give identical files.
 `-` sends machine output to stdout and demotes progress text to stderr.";
@@ -102,11 +108,16 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     let baseline_wanted = !args.take_flag("--no-baseline");
     let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
     let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
+    let chrome_sink = args
+        .take_opt("--chrome-trace")?
+        .map(|raw| Sink::parse(&raw));
     reject_double_stdout(json_sink.as_ref(), csv_sink.as_ref(), USAGE)?;
+    reject_double_stdout(json_sink.as_ref(), chrome_sink.as_ref(), USAGE)?;
+    reject_double_stdout(csv_sink.as_ref(), chrome_sink.as_ref(), USAGE)?;
     args.finish()?;
 
     let scenarios = load_scenarios(dir.as_deref(), &names, USAGE)?;
-    let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref()]);
+    let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref(), chrome_sink.as_ref()]);
 
     let mut runs: Vec<(GovernedOutcome, Option<GovernedOutcome>)> = Vec::new();
     for s in &scenarios {
@@ -182,6 +193,13 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     }
     if let Some(sink) = &csv_sink {
         sink.write(&trace::trace_csv(runs.iter().map(|(o, _)| o)))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    if let Some(sink) = &chrome_sink {
+        let doc = sara_governor::chrome::chrome_trace_value(runs.iter().map(|(o, _)| o));
+        sink.write(&emit_value(&doc, false))?;
         if !sink.is_stdout() {
             progress.line(format!("wrote {}", sink.describe()));
         }

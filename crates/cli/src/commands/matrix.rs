@@ -8,7 +8,7 @@ use crate::output::{emit_value, page, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara matrix [--dir DIR | --scenarios NAMES] [--policies NAMES] \
                      [--freqs MHZ] [--duration-ms MS] [--jobs N] [--parallel-channels] \
-                     [--json PATH|-] [--csv PATH|-] [--pretty]";
+                     [--json PATH|-] [--csv PATH|-] [--chrome-trace PATH|-] [--pretty]";
 
 const HELP: &str = "\
 sara matrix — run scenarios x policies x frequencies, ranked
@@ -36,6 +36,10 @@ matrix shape:
 output:
   --json PATH|-      write the full summary (cells + rankings) as JSON
   --csv PATH|-       write one CSV row per cell with its scenario-local rank
+  --chrome-trace PATH|-
+                     write a Chrome trace-event profile of the harness
+                     itself: per-cell setup/sim/report wall-clock phase
+                     spans, one track per worker thread
   --pretty           pretty-print the JSON output
 
 `-` sends machine output to stdout and demotes progress text to stderr.";
@@ -70,7 +74,12 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     let parallel_channels = args.take_flag("--parallel-channels");
     let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
     let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
+    let chrome_sink = args
+        .take_opt("--chrome-trace")?
+        .map(|raw| Sink::parse(&raw));
     reject_double_stdout(json_sink.as_ref(), csv_sink.as_ref(), USAGE)?;
+    reject_double_stdout(json_sink.as_ref(), chrome_sink.as_ref(), USAGE)?;
+    reject_double_stdout(csv_sink.as_ref(), chrome_sink.as_ref(), USAGE)?;
     let pretty = args.take_flag("--pretty");
     args.finish()?;
 
@@ -83,7 +92,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         parallel_channels,
     };
 
-    let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref()]);
+    let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref(), chrome_sink.as_ref()]);
     for s in &scenarios {
         progress.line(scenario_row(s));
     }
@@ -109,6 +118,12 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     }
     if let Some(sink) = &csv_sink {
         sink.write(&summary.to_csv())?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    if let Some(sink) = &chrome_sink {
+        sink.write(&emit_value(&summary.chrome_trace_value(), pretty))?;
         if !sink.is_stdout() {
             progress.line(format!("wrote {}", sink.describe()));
         }

@@ -1,0 +1,861 @@
+//! `sara report` — summarize or diff the JSON documents the other
+//! subcommands emit.
+//!
+//! A triage loop produces dumps faster than humans read them: matrix
+//! summaries, bench measurements, governed traces, Chrome trace-event
+//! exports, perf-timeline histories. This command recognizes each kind
+//! by shape (no flags to remember), prints a compact summary, and — for
+//! the kinds carrying comparable numbers — diffs two dumps, exiting
+//! non-zero when the new one regressed, which is what CI wires into a
+//! gate.
+
+use json::Value;
+
+use crate::args::{Args, CliError};
+use crate::commands::bench::{FORMAT_TAG as BENCH_TAG, HISTORY_FORMAT_TAG as HISTORY_TAG};
+use crate::output::page;
+
+const USAGE: &str = "usage: sara report FILE | sara report --diff OLD NEW [--tolerance F]";
+
+const HELP: &str = "\
+sara report — summarize or diff sara JSON dumps
+
+usage: sara report FILE
+       sara report --diff OLD NEW [--tolerance F]
+
+Reads a JSON document written by another sara subcommand, recognizes its
+kind by shape, and either summarizes it or compares two dumps of the
+same kind for regressions:
+
+  matrix    `sara matrix --json` summaries (cells + rankings)
+  bench     `sara bench --json` throughput measurements
+  history   `sara bench --history` performance timelines
+  govern    `sara govern --json` governed-run trace batches
+  chrome    `--chrome-trace` trace-event documents
+
+  --diff OLD NEW   compare two dumps of the same kind; any regression in
+                   NEW relative to OLD exits 1 with the offenders named:
+                     matrix  QoS targets newly missed, more failed
+                             cores, or bandwidth down past the tolerance
+                     bench   a scenario's cells/sec falling relative to
+                             the run's own geometric mean
+                     govern  more failing epochs, or a QoS deficit grown
+                             past the tolerance
+  --tolerance F    allowed fractional drop before a numeric change
+                   counts as a regression (default 0.05)
+
+Chrome traces and history timelines summarize only (no --diff). Output
+tolerates a closed pipe: `sara report big.json | head` exits cleanly.";
+
+/// The document kinds `report` understands, detected by shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Matrix,
+    Bench,
+    History,
+    Govern,
+    Chrome,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Matrix => "matrix",
+            Kind::Bench => "bench",
+            Kind::History => "bench history",
+            Kind::Govern => "govern",
+            Kind::Chrome => "chrome trace",
+        }
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for bad flags; runtime failure for unreadable or
+/// unrecognizable files, and for any detected regression in `--diff`
+/// mode (exit code 1, the acceptance gate).
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let mut args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        page(HELP);
+        return Ok(());
+    }
+    let diff_mode = args.take_flag("--diff");
+    let tolerance = args.take_parsed::<f64>("--tolerance")?.unwrap_or(0.05);
+    if !tolerance.is_finite() || tolerance < 0.0 {
+        return Err(CliError::usage(USAGE, "--tolerance must be ≥ 0"));
+    }
+    let files = args.finish_positional(2)?;
+
+    if diff_mode {
+        if files.len() != 2 {
+            return Err(CliError::usage(
+                USAGE,
+                "--diff needs exactly two files: OLD NEW",
+            ));
+        }
+        let (old_doc, old_kind) = load(&files[0])?;
+        let (new_doc, new_kind) = load(&files[1])?;
+        if old_kind != new_kind {
+            return Err(CliError::Failure(format!(
+                "cannot diff a {} dump against a {} dump",
+                old_kind.name(),
+                new_kind.name()
+            )));
+        }
+        let (ok, regressions) = diff(&old_doc, &new_doc, old_kind, tolerance)?;
+        for line in ok {
+            page(line);
+        }
+        if regressions.is_empty() {
+            page(format!(
+                "no regressions ({} dump, tolerance {tolerance})",
+                old_kind.name()
+            ));
+            Ok(())
+        } else {
+            Err(CliError::Failure(format!(
+                "{} regression{} in {} vs {}:\n  {}",
+                regressions.len(),
+                if regressions.len() == 1 { "" } else { "s" },
+                files[1],
+                files[0],
+                regressions.join("\n  ")
+            )))
+        }
+    } else {
+        if files.len() != 1 {
+            return Err(CliError::usage(
+                USAGE,
+                "exactly one FILE to summarize (or --diff OLD NEW)",
+            ));
+        }
+        let (doc, kind) = load(&files[0])?;
+        for line in summarize(&doc, kind)? {
+            page(line);
+        }
+        Ok(())
+    }
+}
+
+/// Reads, parses and classifies one dump.
+fn load(path: &str) -> Result<(Value, Kind), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+    let doc = json::parse(&text).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+    let kind = detect(&doc).ok_or_else(|| {
+        CliError::Failure(format!(
+            "{path}: unrecognized document shape (expected a sara matrix, bench, \
+             bench-history, govern, or chrome-trace dump)"
+        ))
+    })?;
+    Ok((doc, kind))
+}
+
+/// Classifies a document by its shape.
+fn detect(doc: &Value) -> Option<Kind> {
+    match doc.get("format").and_then(Value::as_str) {
+        Some(BENCH_TAG) => return Some(Kind::Bench),
+        Some(HISTORY_TAG) => return Some(Kind::History),
+        _ => {}
+    }
+    if doc.get("cells").is_some() && doc.get("rankings").is_some() {
+        return Some(Kind::Matrix);
+    }
+    if doc.get("traceEvents").is_some() {
+        return Some(Kind::Chrome);
+    }
+    match doc.as_array() {
+        Some(runs)
+            if !runs.is_empty()
+                && runs
+                    .iter()
+                    .all(|r| r.get("scenario").is_some() && r.get("trace").is_some()) =>
+        {
+            Some(Kind::Govern)
+        }
+        _ => None,
+    }
+}
+
+// --- field access helpers ----------------------------------------------------
+
+fn req<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, CliError> {
+    v.get(key)
+        .ok_or_else(|| CliError::Failure(format!("{what}: missing \"{key}\"")))
+}
+
+fn req_str(v: &Value, key: &str, what: &str) -> Result<String, CliError> {
+    req(v, key, what)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| CliError::Failure(format!("{what}: \"{key}\" is not a string")))
+}
+
+fn req_u64(v: &Value, key: &str, what: &str) -> Result<u64, CliError> {
+    req(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| CliError::Failure(format!("{what}: \"{key}\" is not an integer")))
+}
+
+fn req_f64(v: &Value, key: &str, what: &str) -> Result<f64, CliError> {
+    req(v, key, what)?
+        .as_f64()
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| CliError::Failure(format!("{what}: \"{key}\" is not a finite number")))
+}
+
+fn req_array<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a [Value], CliError> {
+    req(v, key, what)?
+        .as_array()
+        .ok_or_else(|| CliError::Failure(format!("{what}: \"{key}\" is not an array")))
+}
+
+/// Geometric mean of positive throughputs (the bench gate's yardstick).
+fn geo_mean(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    (values.iter().map(|v| v.ln()).sum::<f64>() / n).exp()
+}
+
+// --- matrix ------------------------------------------------------------------
+
+/// What the matrix diff compares, one entry per cell.
+struct CellFacts {
+    scenario: String,
+    policy: String,
+    freq_mhz: u64,
+    targets_met: bool,
+    failed_cores: usize,
+    bandwidth_gbs: f64,
+}
+
+impl CellFacts {
+    fn key(&self) -> String {
+        format!("{} {} @{} MHz", self.scenario, self.policy, self.freq_mhz)
+    }
+}
+
+fn matrix_cells(doc: &Value, what: &str) -> Result<Vec<CellFacts>, CliError> {
+    req_array(doc, "cells", what)?
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let what = format!("{what}: cells[{i}]");
+            let report = req(cell, "report", &what)?;
+            let failed_cores = req_array(report, "cores", &what)?
+                .iter()
+                .filter(|c| c.get("failed").and_then(Value::as_bool) == Some(true))
+                .count();
+            Ok(CellFacts {
+                scenario: req_str(cell, "scenario", &what)?,
+                policy: req_str(cell, "policy", &what)?,
+                freq_mhz: req_u64(cell, "freq_mhz", &what)?,
+                targets_met: req(report, "all_targets_met", &what)?
+                    .as_bool()
+                    .ok_or_else(|| {
+                        CliError::Failure(format!("{what}: \"all_targets_met\" is not a bool"))
+                    })?,
+                failed_cores,
+                bandwidth_gbs: req_f64(report, "bandwidth_gbs", &what)?,
+            })
+        })
+        .collect()
+}
+
+fn summarize_matrix(doc: &Value) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "matrix dump";
+    let cells = matrix_cells(doc, WHAT)?;
+    let rankings = req_array(doc, "rankings", WHAT)?;
+    let met = cells.iter().filter(|c| c.targets_met).count();
+    let mut lines = vec![format!(
+        "matrix dump: {} cells across {} scenarios; all targets met in {met}/{} cells",
+        cells.len(),
+        rankings.len(),
+        cells.len()
+    )];
+    for r in rankings {
+        let scenario = req_str(r, "scenario", WHAT)?;
+        let ranked = req_array(r, "ranked", WHAT)?;
+        let best = ranked
+            .first()
+            .and_then(Value::as_u64)
+            .map(|i| i as usize)
+            .filter(|&i| i < cells.len())
+            .ok_or_else(|| {
+                CliError::Failure(format!(
+                    "{WHAT}: ranking for {scenario} has no valid winner"
+                ))
+            })?;
+        let c = &cells[best];
+        lines.push(format!(
+            "  {:<18} best {:<8} @{} MHz  {:>7.2} GB/s  {} failed core{}{}",
+            scenario,
+            c.policy,
+            c.freq_mhz,
+            c.bandwidth_gbs,
+            c.failed_cores,
+            if c.failed_cores == 1 { "" } else { "s" },
+            if c.targets_met {
+                "  (all targets met)"
+            } else {
+                ""
+            }
+        ));
+    }
+    Ok(lines)
+}
+
+fn diff_matrix(old: &Value, new: &Value, tol: f64) -> Result<(Vec<String>, Vec<String>), CliError> {
+    let old = matrix_cells(old, "OLD")?;
+    let new = matrix_cells(new, "NEW")?;
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for o in &old {
+        let Some(n) = new.iter().find(|n| n.key() == o.key()) else {
+            bad.push(format!("{}: cell missing from the new dump", o.key()));
+            continue;
+        };
+        let mut faults = Vec::new();
+        if o.targets_met && !n.targets_met {
+            faults.push("QoS targets newly missed".to_string());
+        }
+        if n.failed_cores > o.failed_cores {
+            faults.push(format!(
+                "failed cores {} -> {}",
+                o.failed_cores, n.failed_cores
+            ));
+        }
+        let floor = o.bandwidth_gbs * (1.0 - tol);
+        if n.bandwidth_gbs < floor {
+            faults.push(format!(
+                "bandwidth {:.3} -> {:.3} GB/s (below the {floor:.3} GB/s floor)",
+                o.bandwidth_gbs, n.bandwidth_gbs
+            ));
+        }
+        if faults.is_empty() {
+            ok.push(format!(
+                "ok {:<36} {:.3} -> {:.3} GB/s",
+                o.key(),
+                o.bandwidth_gbs,
+                n.bandwidth_gbs
+            ));
+        } else {
+            bad.push(format!("{}: {}", o.key(), faults.join("; ")));
+        }
+    }
+    for n in &new {
+        if !old.iter().any(|o| o.key() == n.key()) {
+            ok.push(format!("new cell {} (not in the old dump)", n.key()));
+        }
+    }
+    Ok((ok, bad))
+}
+
+// --- bench -------------------------------------------------------------------
+
+fn bench_scenarios(doc: &Value, what: &str) -> Result<Vec<(String, f64)>, CliError> {
+    let list: Vec<(String, f64)> = req_array(doc, "scenarios", what)?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let what = format!("{what}: scenarios[{i}]");
+            let cps = req_f64(s, "cells_per_sec", &what)?;
+            if cps <= 0.0 {
+                return Err(CliError::Failure(format!(
+                    "{what}: \"cells_per_sec\" must be positive"
+                )));
+            }
+            Ok((req_str(s, "name", &what)?, cps))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err(CliError::Failure(format!("{what}: no scenarios")));
+    }
+    Ok(list)
+}
+
+fn summarize_bench(doc: &Value) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "bench dump";
+    let scenarios = bench_scenarios(doc, WHAT)?;
+    let duration_ms = req_f64(doc, "duration_ms", WHAT)?;
+    let mean = geo_mean(&scenarios.iter().map(|(_, cps)| *cps).collect::<Vec<_>>());
+    let mut lines = vec![format!(
+        "bench measurement: {} scenarios at {duration_ms} ms per cell; geo mean {mean:.2} cells/sec",
+        scenarios.len()
+    )];
+    for (name, cps) in &scenarios {
+        lines.push(format!(
+            "  {name:<18} {cps:>9.2} cells/sec  ({:.3}x of run mean)",
+            cps / mean
+        ));
+    }
+    Ok(lines)
+}
+
+fn diff_bench(old: &Value, new: &Value, tol: f64) -> Result<(Vec<String>, Vec<String>), CliError> {
+    let old = bench_scenarios(old, "OLD")?;
+    let new = bench_scenarios(new, "NEW")?;
+    // Compare *relative* profiles (like the bench baseline gate): each
+    // scenario normalised by its own run's geometric mean, so a uniformly
+    // slower machine never flags.
+    let o_mean = geo_mean(&old.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+    let n_mean = geo_mean(&new.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (name, o_cps) in &old {
+        let Some((_, n_cps)) = new.iter().find(|(n, _)| n == name) else {
+            bad.push(format!("{name}: scenario missing from the new dump"));
+            continue;
+        };
+        let (o_rel, n_rel) = (o_cps / o_mean, n_cps / n_mean);
+        if n_rel < o_rel * (1.0 - tol) {
+            bad.push(format!(
+                "{name}: {o_rel:.3}x of run mean -> {n_rel:.3}x (down more than {:.1}%)",
+                tol * 100.0
+            ));
+        } else {
+            ok.push(format!(
+                "ok {name:<18} {o_rel:.3}x of run mean -> {n_rel:.3}x"
+            ));
+        }
+    }
+    for (name, _) in &new {
+        if !old.iter().any(|(o, _)| o == name) {
+            ok.push(format!("new scenario {name} (not in the old dump)"));
+        }
+    }
+    Ok((ok, bad))
+}
+
+// --- bench history -----------------------------------------------------------
+
+fn summarize_history(doc: &Value) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "bench history";
+    let records = req_array(doc, "records", WHAT)?;
+    let mut lines = vec![format!(
+        "bench history: {} record{}",
+        records.len(),
+        if records.len() == 1 { "" } else { "s" }
+    )];
+    for (i, r) in records.iter().enumerate() {
+        let what = format!("{WHAT}: records[{i}]");
+        lines.push(format!(
+            "  {i:>3}  unix_ms {:>13}  geo mean {:>9.2} cells/sec  ({} scenarios at {} ms per cell)",
+            req_u64(r, "unix_ms", &what)?,
+            req_f64(r, "geo_mean", &what)?,
+            req_array(r, "scenarios", &what)?.len(),
+            req_f64(r, "duration_ms", &what)?
+        ));
+    }
+    Ok(lines)
+}
+
+// --- govern ------------------------------------------------------------------
+
+/// What the govern diff compares, one entry per governed run.
+struct RunFacts {
+    scenario: String,
+    failing_epochs: u64,
+    qos_deficit: f64,
+}
+
+fn govern_runs(doc: &Value, what: &str) -> Result<Vec<RunFacts>, CliError> {
+    doc.as_array()
+        .ok_or_else(|| CliError::Failure(format!("{what}: not a run array")))?
+        .iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let what = format!("{what}: runs[{i}]");
+            let outcome = req(run, "outcome", &what)?;
+            Ok(RunFacts {
+                scenario: req_str(run, "scenario", &what)?,
+                failing_epochs: req_u64(outcome, "failing_epochs", &what)?,
+                qos_deficit: req_f64(outcome, "qos_deficit", &what)?,
+            })
+        })
+        .collect()
+}
+
+fn summarize_govern(doc: &Value) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "govern dump";
+    let runs = doc
+        .as_array()
+        .ok_or_else(|| CliError::Failure(format!("{WHAT}: not a run array")))?;
+    let mut lines = vec![format!("governed runs: {}", runs.len())];
+    for (i, run) in runs.iter().enumerate() {
+        let what = format!("{WHAT}: runs[{i}]");
+        let outcome = req(run, "outcome", &what)?;
+        lines.push(format!(
+            "  {:<18} {} epochs, final {} MHz {}, {} freq changes, {} failing epochs, deficit {:.4}",
+            req_str(run, "scenario", &what)?,
+            req_array(run, "trace", &what)?.len(),
+            req_u64(outcome, "final_mhz", &what)?,
+            req_str(outcome, "final_policy", &what)?,
+            req_u64(outcome, "freq_changes", &what)?,
+            req_u64(outcome, "failing_epochs", &what)?,
+            req_f64(outcome, "qos_deficit", &what)?
+        ));
+        if let Some(baseline) = run.get("baseline") {
+            let b = req(baseline, "outcome", &what)?;
+            let (b_deficit, g_deficit) = (
+                req_f64(b, "qos_deficit", &what)?,
+                req_f64(outcome, "qos_deficit", &what)?,
+            );
+            lines.push(format!(
+                "    vs static @{} MHz: {} failing epochs, deficit {:.4} ({})",
+                req_u64(baseline, "pinned_mhz", &what)?,
+                req_u64(b, "failing_epochs", &what)?,
+                b_deficit,
+                if g_deficit <= b_deficit {
+                    "governed improves"
+                } else {
+                    "governed regresses"
+                }
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+fn diff_govern(old: &Value, new: &Value, tol: f64) -> Result<(Vec<String>, Vec<String>), CliError> {
+    let old = govern_runs(old, "OLD")?;
+    let new = govern_runs(new, "NEW")?;
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for o in &old {
+        let Some(n) = new.iter().find(|n| n.scenario == o.scenario) else {
+            bad.push(format!("{}: run missing from the new dump", o.scenario));
+            continue;
+        };
+        let mut faults = Vec::new();
+        if n.failing_epochs > o.failing_epochs {
+            faults.push(format!(
+                "failing epochs {} -> {}",
+                o.failing_epochs, n.failing_epochs
+            ));
+        }
+        if n.qos_deficit > o.qos_deficit * (1.0 + tol) {
+            faults.push(format!(
+                "QoS deficit {:.4} -> {:.4} (grew more than {:.1}%)",
+                o.qos_deficit,
+                n.qos_deficit,
+                tol * 100.0
+            ));
+        }
+        if faults.is_empty() {
+            ok.push(format!(
+                "ok {:<18} deficit {:.4} -> {:.4}",
+                o.scenario, o.qos_deficit, n.qos_deficit
+            ));
+        } else {
+            bad.push(format!("{}: {}", o.scenario, faults.join("; ")));
+        }
+    }
+    for n in &new {
+        if !old.iter().any(|o| o.scenario == n.scenario) {
+            ok.push(format!("new run {} (not in the old dump)", n.scenario));
+        }
+    }
+    Ok((ok, bad))
+}
+
+// --- chrome ------------------------------------------------------------------
+
+fn summarize_chrome(doc: &Value) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "chrome trace";
+    let events = req_array(doc, "traceEvents", WHAT)?;
+    let count_ph = |ph: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+            .count()
+    };
+    let pids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+        .collect();
+    let end_us = events
+        .iter()
+        .map(|e| {
+            e.get("ts").and_then(Value::as_u64).unwrap_or(0)
+                + e.get("dur").and_then(Value::as_u64).unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+    Ok(vec![format!(
+        "chrome trace: {} events ({} spans, {} instants, {} counter samples, {} metadata) \
+         across {} process{}, ending at {end_us} us",
+        events.len(),
+        count_ph("X"),
+        count_ph("i"),
+        count_ph("C"),
+        count_ph("M"),
+        pids.len(),
+        if pids.len() == 1 { "" } else { "es" }
+    )])
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+fn summarize(doc: &Value, kind: Kind) -> Result<Vec<String>, CliError> {
+    match kind {
+        Kind::Matrix => summarize_matrix(doc),
+        Kind::Bench => summarize_bench(doc),
+        Kind::History => summarize_history(doc),
+        Kind::Govern => summarize_govern(doc),
+        Kind::Chrome => summarize_chrome(doc),
+    }
+}
+
+fn diff(
+    old: &Value,
+    new: &Value,
+    kind: Kind,
+    tol: f64,
+) -> Result<(Vec<String>, Vec<String>), CliError> {
+    match kind {
+        Kind::Matrix => diff_matrix(old, new, tol),
+        Kind::Bench => diff_bench(old, new, tol),
+        Kind::Govern => diff_govern(old, new, tol),
+        Kind::History | Kind::Chrome => Err(CliError::Failure(format!(
+            "--diff is not supported for {} dumps (summaries only)",
+            kind.name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_doc(cells: &[(&str, &str, u64, bool, usize, f64)]) -> Value {
+        let cell_values: Vec<Value> = cells
+            .iter()
+            .map(|&(scenario, policy, freq, met, failed, bw)| {
+                let cores: Vec<Value> = (0..failed.max(1))
+                    .map(|i| {
+                        Value::Object(vec![
+                            ("core".to_string(), "CPU".into()),
+                            ("failed".to_string(), (i < failed).into()),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("scenario".to_string(), scenario.into()),
+                    ("policy".to_string(), policy.into()),
+                    ("freq_mhz".to_string(), freq.into()),
+                    (
+                        "report".to_string(),
+                        Value::Object(vec![
+                            ("bandwidth_gbs".to_string(), bw.into()),
+                            ("all_targets_met".to_string(), met.into()),
+                            ("cores".to_string(), Value::Array(cores)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let mut scenarios: Vec<&str> = cells.iter().map(|c| c.0).collect();
+        scenarios.dedup();
+        let rankings: Vec<Value> = scenarios
+            .iter()
+            .map(|s| {
+                let ranked: Vec<Value> = cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.0 == *s)
+                    .map(|(i, _)| Value::from(i as u64))
+                    .collect();
+                Value::Object(vec![
+                    ("scenario".to_string(), (*s).into()),
+                    ("ranked".to_string(), Value::Array(ranked)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("cells".to_string(), Value::Array(cell_values)),
+            ("rankings".to_string(), Value::Array(rankings)),
+        ])
+    }
+
+    fn bench_doc(entries: &[(&str, f64)]) -> Value {
+        Value::Object(vec![
+            ("format".to_string(), BENCH_TAG.into()),
+            ("duration_ms".to_string(), 0.2.into()),
+            (
+                "scenarios".to_string(),
+                Value::Array(
+                    entries
+                        .iter()
+                        .map(|&(name, cps)| {
+                            Value::Object(vec![
+                                ("name".to_string(), name.into()),
+                                ("cells".to_string(), 6u64.into()),
+                                ("cells_per_sec".to_string(), cps.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn govern_doc(runs: &[(&str, u64, f64)]) -> Value {
+        Value::Array(
+            runs.iter()
+                .map(|&(scenario, failing, deficit)| {
+                    Value::Object(vec![
+                        ("scenario".to_string(), scenario.into()),
+                        ("trace".to_string(), Value::Array(vec![])),
+                        (
+                            "outcome".to_string(),
+                            Value::Object(vec![
+                                ("final_mhz".to_string(), 1600u64.into()),
+                                ("final_policy".to_string(), "QoS".into()),
+                                ("freq_changes".to_string(), 1u64.into()),
+                                ("failing_epochs".to_string(), failing.into()),
+                                ("qos_deficit".to_string(), deficit.into()),
+                            ]),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn detect_recognizes_each_kind() {
+        assert_eq!(
+            detect(&matrix_doc(&[("a", "FCFS", 1600, true, 0, 10.0)])),
+            Some(Kind::Matrix)
+        );
+        assert_eq!(detect(&bench_doc(&[("a", 10.0)])), Some(Kind::Bench));
+        assert_eq!(detect(&govern_doc(&[("a", 0, 0.0)])), Some(Kind::Govern));
+        let history = Value::Object(vec![
+            ("format".to_string(), HISTORY_TAG.into()),
+            ("records".to_string(), Value::Array(vec![])),
+        ]);
+        assert_eq!(detect(&history), Some(Kind::History));
+        let chrome = Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(vec![])),
+            ("displayTimeUnit".to_string(), "ms".into()),
+        ]);
+        assert_eq!(detect(&chrome), Some(Kind::Chrome));
+        assert_eq!(detect(&Value::Object(vec![])), None);
+        assert_eq!(detect(&Value::Array(vec![])), None);
+    }
+
+    #[test]
+    fn matrix_diff_flags_targets_failures_and_bandwidth() {
+        let old = matrix_doc(&[
+            ("a", "FCFS", 1600, true, 0, 10.0),
+            ("b", "FCFS", 1600, true, 0, 10.0),
+        ]);
+        let new = matrix_doc(&[
+            ("a", "FCFS", 1600, false, 2, 4.0),
+            ("b", "FCFS", 1600, true, 0, 10.0),
+        ]);
+        let (ok, bad) = diff_matrix(&old, &new, 0.05).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("a FCFS @1600 MHz"), "{bad:?}");
+        assert!(bad[0].contains("QoS targets newly missed"), "{bad:?}");
+        assert!(bad[0].contains("failed cores 0 -> 2"), "{bad:?}");
+        assert!(bad[0].contains("bandwidth"), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].starts_with("ok b FCFS"), "{ok:?}");
+    }
+
+    #[test]
+    fn matrix_diff_identical_is_clean_and_tolerance_absorbs_noise() {
+        let doc = matrix_doc(&[("a", "QoS", 1333, true, 0, 8.0)]);
+        let (ok, bad) = diff_matrix(&doc, &doc, 0.0).unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        // A 3% dip stays under the default 5% tolerance.
+        let dipped = matrix_doc(&[("a", "QoS", 1333, true, 0, 7.76)]);
+        let (_, bad) = diff_matrix(&doc, &dipped, 0.05).unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+        let (_, bad) = diff_matrix(&doc, &dipped, 0.01).unwrap();
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn matrix_diff_missing_cell_is_a_regression() {
+        let old = matrix_doc(&[
+            ("a", "FCFS", 1600, true, 0, 10.0),
+            ("b", "FCFS", 1600, true, 0, 10.0),
+        ]);
+        let new = matrix_doc(&[("a", "FCFS", 1600, true, 0, 10.0)]);
+        let (_, bad) = diff_matrix(&old, &new, 0.05).unwrap();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("missing"), "{bad:?}");
+    }
+
+    #[test]
+    fn bench_diff_is_relative() {
+        let old = bench_doc(&[("a", 100.0), ("b", 50.0)]);
+        // Uniformly 10x slower: relative profile intact, nothing flags.
+        let uniform = bench_doc(&[("a", 10.0), ("b", 5.0)]);
+        let (ok, bad) = diff_bench(&old, &uniform, 0.05).unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 2);
+        // Only `a` collapsing is a relative regression.
+        let skewed = bench_doc(&[("a", 10.0), ("b", 50.0)]);
+        let (_, bad) = diff_bench(&old, &skewed, 0.05).unwrap();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].starts_with("a:"), "{bad:?}");
+    }
+
+    #[test]
+    fn govern_diff_flags_deficit_growth_and_failing_epochs() {
+        let old = govern_doc(&[("adas", 2, 0.10), ("camcorder-b", 0, 0.0)]);
+        let worse = govern_doc(&[("adas", 5, 0.30), ("camcorder-b", 0, 0.0)]);
+        let (ok, bad) = diff_govern(&old, &worse, 0.05).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("adas"), "{bad:?}");
+        assert!(bad[0].contains("failing epochs 2 -> 5"), "{bad:?}");
+        assert!(bad[0].contains("QoS deficit"), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        // Identical runs are clean even at zero tolerance.
+        let (_, bad) = diff_govern(&old, &old, 0.0).unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+    }
+
+    #[test]
+    fn summaries_render_for_each_kind() {
+        let lines = summarize_matrix(&matrix_doc(&[("adas", "QoS", 1600, true, 0, 9.5)])).unwrap();
+        assert!(lines[0].contains("1 cells"), "{lines:?}");
+        assert!(lines[1].contains("adas"), "{lines:?}");
+        assert!(lines[1].contains("all targets met"), "{lines:?}");
+
+        let lines = summarize_bench(&bench_doc(&[("adas", 120.0)])).unwrap();
+        assert!(lines[0].contains("geo mean"), "{lines:?}");
+
+        let lines = summarize_govern(&govern_doc(&[("adas", 1, 0.2)])).unwrap();
+        assert!(lines[1].contains("failing epochs"), "{lines:?}");
+
+        let chrome = Value::Object(vec![(
+            "traceEvents".to_string(),
+            Value::Array(vec![Value::Object(vec![
+                ("name".to_string(), "x".into()),
+                ("cat".to_string(), "cell".into()),
+                ("ph".to_string(), "X".into()),
+                ("pid".to_string(), 0u64.into()),
+                ("ts".to_string(), 5u64.into()),
+                ("dur".to_string(), 10u64.into()),
+            ])]),
+        )]);
+        let lines = summarize_chrome(&chrome).unwrap();
+        assert!(lines[0].contains("1 spans"), "{lines:?}");
+        assert!(lines[0].contains("ending at 15 us"), "{lines:?}");
+    }
+
+    #[test]
+    fn kinds_without_numbers_refuse_to_diff() {
+        let chrome = Value::Object(vec![("traceEvents".to_string(), Value::Array(vec![]))]);
+        let err = diff(&chrome, &chrome, Kind::Chrome, 0.05).unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("not supported")));
+    }
+}

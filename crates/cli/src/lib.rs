@@ -49,6 +49,7 @@ commands:
   govern     online self-aware governor: closed-loop DVFS inside one run
   gen        generate seeded random scenarios
   bench      measure matrix throughput; emit or check a baseline
+  report     summarize or diff matrix/bench/govern JSON dumps
   completions
              emit a bash/zsh/fish completion script
 
@@ -56,8 +57,8 @@ run `sara <command> --help` for per-command options.";
 
 /// One-line usage hint printed with top-level usage errors.
 const USAGE: &str = "usage: sara \
-                     <export|validate|list|matrix|sweep|govern|gen|bench|completions> [options] \
-                     (see `sara --help`)";
+                     <export|validate|list|matrix|sweep|govern|gen|bench|report|completions> \
+                     [options] (see `sara --help`)";
 
 /// Runs the CLI on the given arguments (without the program name) and
 /// returns the process exit code.
@@ -107,6 +108,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "govern" => commands::govern::run(rest),
         "gen" => commands::gen::run(rest),
         "bench" => commands::bench::run(rest),
+        "report" => commands::report::run(rest),
         "completions" => commands::completions::run(rest),
         other => Err(CliError::Usage(format!(
             "unknown command \"{other}\"\n{USAGE}"

@@ -83,6 +83,7 @@ fn help_output_matches_goldens() {
     check_golden(&["matrix", "--help"], "help-matrix.txt");
     check_golden(&["bench", "--help"], "help-bench.txt");
     check_golden(&["govern", "--help"], "help-govern.txt");
+    check_golden(&["report", "--help"], "help-report.txt");
 }
 
 #[test]
@@ -110,6 +111,7 @@ fn completion_scripts_match_goldens() {
             "govern",
             "gen",
             "bench",
+            "report",
             "completions",
         ] {
             assert!(text.contains(cmd), "{shell} script missing {cmd}");
@@ -132,6 +134,7 @@ fn every_subcommand_answers_help() {
         "govern",
         "gen",
         "bench",
+        "report",
         "completions",
     ] {
         let out = sara(&[cmd, "--help"]);
@@ -512,6 +515,210 @@ fn bench_output_shape_is_deterministic() {
         let cps = s.get("cells_per_sec").and_then(Value::as_f64).unwrap();
         assert!(cps > 0.0, "throughput must be positive");
     }
+}
+
+// --- report: summarize and diff ---------------------------------------------
+
+/// Walks a document scaling every `bandwidth_gbs` by `factor` — the
+/// regression-injection helper the `report --diff` gate is tested with.
+fn scale_bandwidth(doc: &Value, factor: f64) -> Value {
+    match doc {
+        Value::Object(members) => Value::Object(
+            members
+                .iter()
+                .map(|(k, v)| {
+                    if k == "bandwidth_gbs" {
+                        (k.clone(), Value::Float(v.as_f64().unwrap() * factor))
+                    } else {
+                        (k.clone(), scale_bandwidth(v, factor))
+                    }
+                })
+                .collect(),
+        ),
+        Value::Array(items) => {
+            Value::Array(items.iter().map(|v| scale_bandwidth(v, factor)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn report_summarizes_and_diffs_matrix_dumps() {
+    let dir = scratch("report-matrix");
+    let old = dir.join("old.json");
+    let out = sara(&[
+        "matrix",
+        "--scenarios",
+        "adas,camcorder-b",
+        "--policies",
+        "FCFS,QoS",
+        "--duration-ms",
+        "0.05",
+        "--json",
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    // Summarize: kind is detected from shape, one line per scenario.
+    let out = sara(&["report", old.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("matrix dump"), "{text}");
+    assert!(text.contains("adas"), "{text}");
+    assert!(text.contains("camcorder-b"), "{text}");
+
+    // A dump diffed against itself is clean (exit 0).
+    let out = sara(&[
+        "report",
+        "--diff",
+        old.to_str().unwrap(),
+        old.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("no regressions"), "{}", stdout(&out));
+
+    // Injecting a per-scenario bandwidth collapse flags a regression and
+    // exits non-zero — the CI acceptance gate.
+    let doc = json::parse(&std::fs::read_to_string(&old).unwrap()).unwrap();
+    let new = dir.join("new.json");
+    std::fs::write(&new, scale_bandwidth(&doc, 0.5).to_string_compact()).unwrap();
+    let out = sara(&[
+        "report",
+        "--diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("regression"), "{err}");
+    assert!(err.contains("bandwidth"), "{err}");
+
+    // Mixed kinds refuse to diff; a bogus file fails loudly.
+    let bogus = dir.join("bogus.json");
+    std::fs::write(&bogus, "{\"who\": \"knows\"}").unwrap();
+    let out = sara(&[
+        "report",
+        "--diff",
+        old.to_str().unwrap(),
+        bogus.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1);
+    assert!(
+        stderr(&out).contains("unrecognized document shape"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn govern_chrome_trace_is_deterministic_and_reportable() {
+    let dir = scratch("chrome-trace");
+    let run = |name: &str| {
+        let path = dir.join(name);
+        let out = sara(&[
+            "govern",
+            "--scenarios",
+            "camcorder-b",
+            "--duration-ms",
+            "0.6",
+            "--epoch-us",
+            "200",
+            "--no-baseline",
+            "--chrome-trace",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(code(&out), 0, "{}", stderr(&out));
+        path
+    };
+    let (a, b) = (run("a.json"), run("b.json"));
+    // Simulated-time timestamps make two identical runs byte-identical.
+    assert_eq!(
+        std::fs::read(&a).unwrap(),
+        std::fs::read(&b).unwrap(),
+        "chrome trace must be byte-deterministic"
+    );
+    let doc = json::parse(std::fs::read_to_string(&a).unwrap().trim()).expect("trace parses");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert!(!events.is_empty());
+    // `sara report` recognizes and summarizes the trace.
+    let out = sara(&["report", a.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("chrome trace"), "{}", stdout(&out));
+}
+
+#[test]
+fn matrix_chrome_trace_profiles_the_harness() {
+    let dir = scratch("matrix-chrome");
+    let path = dir.join("profile.json");
+    let out = sara(&[
+        "matrix",
+        "--scenarios",
+        "adas",
+        "--policies",
+        "FCFS",
+        "--duration-ms",
+        "0.05",
+        "--chrome-trace",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let doc = json::parse(std::fs::read_to_string(&path).unwrap().trim()).expect("parses");
+    let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+    // One cell: its span plus the three phase spans, plus metadata.
+    let cells = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Value::as_str) == Some("cell"))
+        .count();
+    assert_eq!(cells, 1);
+    let phases: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Value::as_str) == Some("phase"))
+        .map(|e| e.get("name").and_then(Value::as_str).unwrap())
+        .collect();
+    assert!(phases.contains(&"sim"), "{phases:?}");
+}
+
+#[test]
+fn bench_history_appends_timestamped_records() {
+    let dir = scratch("bench-history");
+    let path = dir.join("history.json");
+    for _ in 0..2 {
+        let out = sara(&[
+            "bench",
+            "--duration-ms",
+            "0.02",
+            "--repeat",
+            "1",
+            "--history",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(code(&out), 0, "{}", stderr(&out));
+        assert!(stdout(&out).contains("appended to history"));
+    }
+    let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("format").and_then(Value::as_str),
+        Some("sara-bench-history/v1")
+    );
+    let records = doc.get("records").and_then(Value::as_array).unwrap();
+    assert_eq!(records.len(), 2);
+    for r in records {
+        let scenarios = r.get("scenarios").and_then(Value::as_array).unwrap();
+        assert_eq!(scenarios.len(), 8, "one entry per catalog scenario");
+        assert!(r.get("geo_mean").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+    // The timeline summarizes through `sara report`.
+    let out = sara(&["report", path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("bench history: 2 records"),
+        "{}",
+        stdout(&out)
+    );
 }
 
 #[test]

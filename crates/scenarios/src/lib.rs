@@ -66,5 +66,5 @@ pub use generator::{random_scenario, random_scenario_with, GeneratorConfig};
 pub use governor_spec::{
     GovernorSpec, DEFAULT_DOWN_THRESHOLD, DEFAULT_EPOCH_US, DEFAULT_PATIENCE, DEFAULT_UP_THRESHOLD,
 };
-pub use matrix::{run_matrix, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking};
+pub use matrix::{run_matrix, CellProfile, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking};
 pub use scenario::Scenario;

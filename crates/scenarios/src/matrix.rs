@@ -10,11 +10,13 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use json::Value;
 use sara_memctrl::PolicyKind;
 use sara_sim::SimReport;
-use sara_types::{ConfigError, MegaHertz};
+use sara_telemetry::ChromeTrace;
+use sara_types::{ConfigError, Cycle, MegaHertz};
 
 use crate::scenario::Scenario;
 
@@ -77,6 +79,35 @@ impl MatrixCell {
     }
 }
 
+/// Wall-clock phase profile of one matrix cell — where the *harness*
+/// spent its time, as opposed to the simulated time the cell's report
+/// covers.
+///
+/// Wall-clock readings vary run to run, so profiles are deliberately kept
+/// out of [`MatrixSummary::to_json_value`] (whose bytes are pinned across
+/// thread counts); they surface through
+/// [`MatrixSummary::chrome_trace_value`] and direct field access.
+#[derive(Debug, Clone, Copy)]
+pub struct CellProfile {
+    /// Index of the worker thread that ran the cell (0 for serial runs).
+    pub worker: usize,
+    /// Cell start, milliseconds since the matrix was submitted.
+    pub start_ms: f64,
+    /// Configuration lowering + system construction, milliseconds.
+    pub setup_ms: f64,
+    /// Event-loop simulation, milliseconds.
+    pub sim_ms: f64,
+    /// Report aggregation, milliseconds.
+    pub report_ms: f64,
+}
+
+impl CellProfile {
+    /// Total wall-clock spent on the cell, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.setup_ms + self.sim_ms + self.report_ms
+    }
+}
+
 /// Aggregated outcome of a matrix run: all cells in deterministic
 /// (scenario-major) order plus per-scenario policy rankings.
 #[derive(Debug, Clone)]
@@ -85,6 +116,9 @@ pub struct MatrixSummary {
     pub cells: Vec<MatrixCell>,
     /// Per-scenario ranking of cell indices, best first.
     pub rankings: Vec<ScenarioRanking>,
+    /// Wall-clock phase profile of each cell, aligned with
+    /// [`MatrixSummary::cells`].
+    pub profile: Vec<CellProfile>,
 }
 
 /// Ranked cells of one scenario.
@@ -169,6 +203,69 @@ impl MatrixSummary {
     /// Returns any I/O error from the writer.
     pub fn to_json_writer<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         writeln!(w, "{}", self.to_json())
+    }
+
+    /// The harness profile as a Chrome trace-event document
+    /// (`chrome://tracing` / Perfetto): one track per worker thread, one
+    /// complete span per cell with nested setup/sim/report phase spans,
+    /// and the cell's headline results attached as span args.
+    ///
+    /// Timestamps are wall-clock microseconds since the matrix was
+    /// submitted, so — unlike [`MatrixSummary::to_json_value`] — the
+    /// document is *not* byte-stable across runs.
+    pub fn chrome_trace_value(&self) -> Value {
+        let mut trace = ChromeTrace::new();
+        trace.process_name(0, "sara matrix");
+        let mut workers: Vec<usize> = self.profile.iter().map(|p| p.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for &w in &workers {
+            trace.thread_name(0, w as u32, &format!("worker {w}"));
+        }
+        let us = |ms: f64| (ms * 1e3).round().max(0.0) as u64;
+        for (cell, p) in self.cells.iter().zip(&self.profile) {
+            let tid = p.worker as u32;
+            let name = format!(
+                "{} {} @{}MHz",
+                cell.scenario,
+                cell.policy.name(),
+                cell.freq.as_u32()
+            );
+            let start = us(p.start_ms);
+            trace.complete(
+                0,
+                tid,
+                &name,
+                "cell",
+                start,
+                us(p.total_ms()),
+                &[
+                    ("bandwidth_gbs", cell.report.bandwidth_gbs.into()),
+                    ("all_targets_met", cell.report.all_targets_met().into()),
+                    ("failures", cell.failures().into()),
+                ],
+            );
+            trace.complete(0, tid, "setup", "phase", start, us(p.setup_ms), &[]);
+            trace.complete(
+                0,
+                tid,
+                "sim",
+                "phase",
+                start + us(p.setup_ms),
+                us(p.sim_ms),
+                &[],
+            );
+            trace.complete(
+                0,
+                tid,
+                "report",
+                "phase",
+                start + us(p.setup_ms) + us(p.sim_ms),
+                us(p.report_ms),
+                &[],
+            );
+        }
+        trace.to_value()
     }
 
     /// Serializes the summary as CSV: one row per cell in submission order,
@@ -258,30 +355,49 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
 
     let workers = spec.threads.max(1).min(jobs.len());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<SimReport, ConfigError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
+    type CellResult = Result<(SimReport, CellProfile), ConfigError>;
+    let slots: Vec<Mutex<Option<CellResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    let run_one = |job: &Job| -> Result<SimReport, ConfigError> {
+    let epoch = Instant::now();
+    let ms_since = |from: Instant, to: Instant| to.duration_since(from).as_secs_f64() * 1e3;
+    let run_one = |job: &Job, worker: usize| -> CellResult {
         let s = &scenarios[job.scenario];
-        s.clone()
+        let started = Instant::now();
+        let mut sim = s
+            .clone()
             .with_policy(job.policy)
             .with_freq(job.freq)
-            .run_for_ms_stepped(job.duration_ms, spec.parallel_channels)
+            .build_stepped(spec.parallel_channels)?;
+        let built = Instant::now();
+        let end = sim.config().clock().cycles_from_ms(job.duration_ms);
+        sim.advance_until(Cycle::new(end));
+        let advanced = Instant::now();
+        let report = sim.report();
+        let reported = Instant::now();
+        let profile = CellProfile {
+            worker,
+            start_ms: ms_since(epoch, started),
+            setup_ms: ms_since(started, built),
+            sim_ms: ms_since(built, advanced),
+            report_ms: ms_since(advanced, reported),
+        };
+        Ok((report, profile))
     };
 
     if workers <= 1 {
         for (job, slot) in jobs.iter().zip(&slots) {
-            *slot.lock().expect("slot poisoned") = Some(run_one(job));
+            *slot.lock().expect("slot poisoned") = Some(run_one(job, 0));
         }
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            let (jobs, slots, next, run_one) = (&jobs, &slots, &next, &run_one);
+            for worker in 0..workers {
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    let result = run_one(&jobs[i]);
+                    let result = run_one(&jobs[i], worker);
                     *slots[i].lock().expect("slot poisoned") = Some(result);
                 });
             }
@@ -290,8 +406,9 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
 
     // Collect in submission order; surface the earliest error.
     let mut cells = Vec::with_capacity(jobs.len());
+    let mut profile = Vec::with_capacity(jobs.len());
     for (job, slot) in jobs.iter().zip(slots) {
-        let report = slot
+        let (report, cell_profile) = slot
             .into_inner()
             .expect("slot poisoned")
             .expect("worker left a cell unfilled")?;
@@ -301,6 +418,7 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
             freq: job.freq,
             report,
         });
+        profile.push(cell_profile);
     }
 
     // Rank each scenario's cells, matching by submitted scenario index
@@ -329,7 +447,11 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
         });
     }
 
-    Ok(MatrixSummary { cells, rankings })
+    Ok(MatrixSummary {
+        cells,
+        rankings,
+        profile,
+    })
 }
 
 #[cfg(test)]
@@ -364,6 +486,31 @@ mod tests {
         assert!(summary.best("nonexistent").is_none());
         let table = summary.summary_table();
         assert!(table.contains("=== ar-headset ==="));
+    }
+
+    #[test]
+    fn profile_covers_every_cell_and_chrome_trace_parses() {
+        let summary = small_matrix(2);
+        assert_eq!(summary.profile.len(), summary.cells.len());
+        for p in &summary.profile {
+            assert!(p.total_ms() > 0.0);
+            assert!(p.setup_ms >= 0.0 && p.sim_ms >= 0.0 && p.report_ms >= 0.0);
+        }
+        let text = summary.chrome_trace_value().to_string_compact();
+        let parsed = json::parse(&text).expect("chrome trace re-parses");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        // One process-name metadata event, at least one worker track, and
+        // four spans (cell + three phases) per cell.
+        assert!(
+            events.len() >= 2 + summary.cells.len() * 4,
+            "{}",
+            events.len()
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("sim")));
+        // Wall-clock profiles stay out of the deterministic summary JSON.
+        assert!(!summary.to_json().contains("profile"));
     }
 
     #[test]

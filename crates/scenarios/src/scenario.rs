@@ -175,9 +175,21 @@ impl Scenario {
         ms: f64,
         parallel_channels: bool,
     ) -> Result<SimReport, ConfigError> {
+        Ok(self.build_stepped(parallel_channels)?.run_for_ms(ms))
+    }
+
+    /// Builds the runnable simulation without advancing it — the setup
+    /// half of [`Scenario::run_for_ms_stepped`], split out so harnesses
+    /// can drive (and time) the setup, simulation and reporting phases
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on an inconsistent spec.
+    pub fn build_stepped(&self, parallel_channels: bool) -> Result<Simulation, ConfigError> {
         let mut cfg = self.config()?;
         cfg.parallel_channels = parallel_channels;
-        Ok(Simulation::new(cfg)?.run_for_ms(ms))
+        Simulation::new(cfg)
     }
 
     /// Total offered load of all rated (non-elastic) traffic, GB/s.

@@ -44,6 +44,7 @@ use crate::lane::ChannelLane;
 use crate::report::{ReportBuilder, SimReport};
 use crate::runtime::{build_dmas, DmaRuntime, BURST_BYTES};
 use crate::sampling::Samplers;
+use crate::telemetry::{SimTelemetry, TelemetryReport};
 use crate::trace::{TraceRecord, TransactionTrace};
 
 /// Minimum horizon width (in cycles from the earliest pending lane tick)
@@ -109,6 +110,9 @@ pub struct Simulation {
     samplers: Samplers,
     next_sample: Cycle,
     trace: TransactionTrace,
+    /// Hot-path metrics recorder (fed from the completion merge and the
+    /// `Deliver` handler, both on the deterministic engine order).
+    telemetry: SimTelemetry,
     /// Per-DMA worst sampled NPI since the last [`Simulation::mark_epoch`].
     epoch_floor: Vec<f64>,
     /// Whether decoupled lanes advance concurrently between horizons.
@@ -177,6 +181,7 @@ impl Simulation {
             samplers,
             next_sample: Cycle::new(cfg.sample_period),
             trace: TransactionTrace::new(cfg.trace_capacity),
+            telemetry: SimTelemetry::new(dmas.len(), channel_count),
             epoch_floor: vec![f64::INFINITY; dmas.len()],
             parallel: cfg.parallel_channels,
             merge_keys: Vec::new(),
@@ -341,6 +346,8 @@ impl Simulation {
         let keys = std::mem::take(&mut self.merge_keys);
         for &(at, li, i) in &keys {
             let c = self.lanes[li].out[i].completion.clone();
+            self.telemetry
+                .record_completion(li, c.txn.class, c.queued_for, c.row_hit, c.was_aged);
             if self.cfg.trace_capacity > 0 {
                 self.trace.push(TraceRecord {
                     id: c.txn.id,
@@ -532,6 +539,8 @@ impl Simulation {
     fn deliver(&mut self, i: usize, bytes: u32, injected_at: Cycle, is_read: bool) {
         let now = self.now;
         let latency = now.saturating_sub(injected_at);
+        self.telemetry
+            .record_delivery(i, self.dmas[i].class, latency);
         let dma = &mut self.dmas[i];
         let op = if is_read { MemOp::Read } else { MemOp::Write };
         dma.adapter.on_complete(now, bytes, latency, op);
@@ -567,6 +576,13 @@ impl Simulation {
     /// The per-transaction trace (empty unless `trace_capacity` was set).
     pub fn trace(&self) -> &TransactionTrace {
         &self.trace
+    }
+
+    /// The live metrics recorder (distributions accumulated so far).
+    /// [`Simulation::report`] joins it with the admission/DRAM/NoC
+    /// counters into the report's [`TelemetryReport`] snapshot.
+    pub fn telemetry(&self) -> &SimTelemetry {
+        &self.telemetry
     }
 
     /// The fastest lane's effective DRAM frequency (all lanes are equal
@@ -725,15 +741,19 @@ impl Simulation {
 
     /// Builds a report for the elapsed window.
     pub fn report(&self) -> SimReport {
+        let dram = DramStats::from_channels(self.lanes.iter().map(|lane| lane.chan.stats()));
+        let mc = self.mc_stats();
+        let telemetry = TelemetryReport::new(&self.telemetry, &mc, &dram, &self.noc, &self.dmas);
         ReportBuilder {
             cfg: &self.cfg,
             clock: self.clock,
             now: self.now,
             dmas: &self.dmas,
-            dram: DramStats::from_channels(self.lanes.iter().map(|lane| lane.chan.stats())),
-            mc: self.mc_stats(),
+            dram,
+            mc,
             noc: &self.noc,
             samplers: &self.samplers,
+            telemetry,
         }
         .build()
     }

@@ -37,9 +37,10 @@ impl SimReport {
     ///
     /// Covers everything batch comparisons need — policy, frequency,
     /// elapsed window, system bandwidth and row-hit rate, DRAM/controller
-    /// totals, and per-core QoS verdicts. The per-sample NPI/bandwidth
-    /// series are omitted (they are plot inputs, exported via the CSV
-    /// writers).
+    /// totals, per-core QoS verdicts, and the `telemetry` snapshot
+    /// (latency/queue-delay histograms plus per-class / per-DMA /
+    /// per-lane / NoC counters). The per-sample NPI/bandwidth series are
+    /// omitted (they are plot inputs, exported via the CSV writers).
     pub fn to_json_value(&self) -> Value {
         Value::Object(vec![
             ("policy".to_string(), self.policy.name().into()),
@@ -59,6 +60,7 @@ impl SimReport {
                 "cores".to_string(),
                 Value::Array(self.cores.iter().map(core_value).collect()),
             ),
+            ("telemetry".to_string(), self.telemetry.to_json_value()),
         ])
     }
 

@@ -22,6 +22,9 @@
 //!   drives at every control epoch,
 //! * [`json`] — machine-comparable report serialization
 //!   ([`SimReport::to_json`]),
+//! * [`telemetry`] — the deterministic metrics plane: hot-path recorders
+//!   ([`SimTelemetry`]) and the owned snapshot every report embeds
+//!   ([`TelemetryReport`], serialized under the report's `telemetry` key),
 //! * [`sweeps`] — CSV/JSON serialization for frequency and DVFS sweep
 //!   results ([`experiment::FreqPoint`] / [`experiment::DvfsPoint`]).
 //!
@@ -52,6 +55,7 @@ mod report;
 mod runtime;
 mod sampling;
 pub mod sweeps;
+pub mod telemetry;
 mod trace;
 
 pub use config::{arbiter_for, ScenarioParams, SystemConfig};
@@ -60,4 +64,5 @@ pub use health::{DmaHealth, SystemHealth};
 pub use report::{CoreReport, SimReport, FAIL_THRESHOLD};
 pub use runtime::{DmaRuntime, BURST_BYTES};
 pub use sampling::{Samplers, MAX_LEVELS};
+pub use telemetry::{SimTelemetry, TelemetryReport};
 pub use trace::{TraceRecord, TransactionTrace};

@@ -12,6 +12,7 @@ use sara_types::{Clock, CoreKind, Cycle, MegaHertz};
 use crate::config::SystemConfig;
 use crate::runtime::DmaRuntime;
 use crate::sampling::{Samplers, MAX_LEVELS};
+use crate::telemetry::TelemetryReport;
 
 /// NPI below this is a failed target. Slightly under 1.0 to absorb the
 /// quantisation ripple of byte-granular meters; real failures in this
@@ -71,6 +72,9 @@ pub struct SimReport {
     pub npi_series: BTreeMap<CoreKind, Vec<f64>>,
     /// Delivered DRAM bandwidth per sampling interval, bytes/cycle.
     pub bandwidth_series: Vec<f64>,
+    /// The telemetry snapshot: latency/queue-delay distributions and
+    /// per-class / per-DMA / per-lane / NoC counters.
+    pub telemetry: TelemetryReport,
 }
 
 impl SimReport {
@@ -201,6 +205,8 @@ pub(crate) struct ReportBuilder<'a> {
     pub mc: McStats,
     pub noc: &'a Noc,
     pub samplers: &'a Samplers,
+    /// The pre-assembled telemetry snapshot (owned; moves into the report).
+    pub telemetry: TelemetryReport,
 }
 
 impl ReportBuilder<'_> {
@@ -286,6 +292,7 @@ impl ReportBuilder<'_> {
             sample_period: self.cfg.sample_period,
             npi_series,
             bandwidth_series: self.samplers.bandwidth_series(),
+            telemetry: self.telemetry,
             cores,
             bandwidth_gbs,
         }

@@ -1,0 +1,265 @@
+//! Chrome trace-event / Perfetto JSON builder.
+//!
+//! Emits the JSON-object flavour of the [trace-event format] understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: a `traceEvents` array
+//! of phase-tagged events. Processes (`pid`) render as top-level groups,
+//! threads (`tid`) as tracks inside them — the SARA exporters map DRAM
+//! lanes and harness workers onto tracks, governor decisions onto instant
+//! events, and per-epoch readings onto counter series.
+//!
+//! Events are emitted in exactly the order the builder receives them and
+//! all timestamps are caller-supplied microseconds, so a trace built from
+//! deterministic simulation state is itself byte-deterministic — CI `cmp`s
+//! two `sara govern --chrome-trace` runs.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! # Examples
+//!
+//! ```
+//! use sara_telemetry::ChromeTrace;
+//!
+//! let mut t = ChromeTrace::new();
+//! t.process_name(0, "camcorder-a");
+//! t.thread_name(0, 1, "ch0");
+//! t.complete(0, 1, "epoch 0", "epoch", 0, 1_000, &[("freq_mhz", 1866u64.into())]);
+//! t.instant(0, 1, "up:ch0", "governor", 1_000, &[]);
+//! t.counter(0, "queued", 500, &[("ch0", 12u64.into())]);
+//! let doc = t.to_value();
+//! assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 5);
+//! ```
+
+use json::Value;
+
+/// An incrementally built Chrome trace-event document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Value>,
+}
+
+/// Shared fields of every event: name, category, phase, pid — and
+/// optionally tid, timestamp, duration and an args object.
+#[allow(clippy::too_many_arguments)]
+fn event(
+    name: &str,
+    cat: &str,
+    ph: &str,
+    pid: u32,
+    tid: Option<u32>,
+    ts_us: Option<u64>,
+    dur_us: Option<u64>,
+    args: &[(&str, Value)],
+) -> Value {
+    let mut members: Vec<(String, Value)> = vec![
+        ("name".to_string(), name.into()),
+        ("cat".to_string(), cat.into()),
+        ("ph".to_string(), ph.into()),
+        ("pid".to_string(), pid.into()),
+    ];
+    if let Some(tid) = tid {
+        members.push(("tid".to_string(), tid.into()));
+    }
+    if let Some(ts) = ts_us {
+        members.push(("ts".to_string(), ts.into()));
+    }
+    if let Some(dur) = dur_us {
+        members.push(("dur".to_string(), dur.into()));
+    }
+    if !args.is_empty() {
+        members.push((
+            "args".to_string(),
+            Value::Object(
+                args.iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Object(members)
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a process group (`"M"` metadata event).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(event(
+            "process_name",
+            "__metadata",
+            "M",
+            pid,
+            None,
+            None,
+            None,
+            &[("name", name.into())],
+        ));
+    }
+
+    /// Names a thread track inside a process (`"M"` metadata event).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(event(
+            "thread_name",
+            "__metadata",
+            "M",
+            pid,
+            Some(tid),
+            None,
+            None,
+            &[("name", name.into())],
+        ));
+    }
+
+    /// A complete span (`"X"` event): `[ts_us, ts_us + dur_us)` on one
+    /// track.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, Value)],
+    ) {
+        self.events.push(event(
+            name,
+            cat,
+            "X",
+            pid,
+            Some(tid),
+            Some(ts_us),
+            Some(dur_us),
+            args,
+        ));
+    }
+
+    /// A thread-scoped instant marker (`"i"` event) — used for governor
+    /// actions.
+    pub fn instant(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        args: &[(&str, Value)],
+    ) {
+        let mut ev = event(name, cat, "i", pid, Some(tid), Some(ts_us), None, args);
+        if let Value::Object(members) = &mut ev {
+            members.push(("s".to_string(), "t".into()));
+        }
+        self.events.push(ev);
+    }
+
+    /// One point of a counter series (`"C"` event); each member of `args`
+    /// is a sub-series of the counter track.
+    pub fn counter(&mut self, pid: u32, name: &str, ts_us: u64, series: &[(&str, Value)]) {
+        self.events.push(event(
+            name,
+            "counter",
+            "C",
+            pid,
+            None,
+            Some(ts_us),
+            None,
+            series,
+        ));
+    }
+
+    /// The finished document: `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("traceEvents".to_string(), Value::Array(self.events.clone())),
+            ("displayTimeUnit".to_string(), "ms".into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_documented_shape() {
+        let mut t = ChromeTrace::new();
+        assert!(t.is_empty());
+        t.process_name(1, "scenario");
+        t.thread_name(1, 2, "ch2");
+        t.complete(
+            1,
+            2,
+            "epoch 3",
+            "epoch",
+            10,
+            20,
+            &[("freq_mhz", 1600u64.into())],
+        );
+        t.instant(
+            1,
+            2,
+            "down:ch2",
+            "governor",
+            30,
+            &[("reason", "slack".into())],
+        );
+        t.counter(1, "queued", 30, &[("ch2", 7u64.into())]);
+        assert_eq!(t.len(), 5);
+
+        let doc = t.to_value();
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("ph").and_then(Value::as_str), Some("M"));
+        assert_eq!(
+            events[1]
+                .get("args")
+                .unwrap()
+                .get("name")
+                .and_then(Value::as_str),
+            Some("ch2")
+        );
+        let x = &events[2];
+        assert_eq!(x.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(x.get("ts").and_then(Value::as_u64), Some(10));
+        assert_eq!(x.get("dur").and_then(Value::as_u64), Some(20));
+        let i = &events[3];
+        assert_eq!(i.get("ph").and_then(Value::as_str), Some("i"));
+        assert_eq!(i.get("s").and_then(Value::as_str), Some("t"));
+        let c = &events[4];
+        assert_eq!(c.get("ph").and_then(Value::as_str), Some("C"));
+        assert_eq!(
+            c.get("args").unwrap().get("ch2").and_then(Value::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn emission_is_deterministic_and_reparses() {
+        let build = || {
+            let mut t = ChromeTrace::new();
+            t.process_name(0, "p");
+            t.complete(0, 0, "cell", "harness", 0, 5, &[]);
+            t.to_value().to_string_compact()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b);
+        let doc = json::parse(&a).expect("trace JSON re-parses");
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 2);
+    }
+}

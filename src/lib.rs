@@ -25,7 +25,10 @@
 //! * [`governor`] — online, scenario-aware self-adaptation: a closed
 //!   control loop stepping DRAM frequency (and optionally the scheduling
 //!   policy) *inside* a running simulation, plus the offline
-//!   `GovernorSearch` over any scenario.
+//!   `GovernorSearch` over any scenario;
+//! * [`telemetry`] — the deterministic metrics substrate: counters,
+//!   gauges, log2-bucketed latency histograms with exact merge, and the
+//!   Chrome trace-event builder behind every `--chrome-trace` export.
 //!
 //! # Quickstart
 //!
@@ -44,8 +47,9 @@
 //! ```
 //!
 //! The production entry point is the `sara` binary (`crates/cli`):
-//! `sara export` / `validate` / `list` / `matrix` / `sweep` / `gen` /
-//! `bench` drive everything above from the command line, and the
+//! `sara export` / `validate` / `list` / `matrix` / `sweep` / `govern` /
+//! `gen` / `bench` / `report` drive everything above from the command
+//! line, and the
 //! `examples/` are thin shims over the same library. `crates/bench` holds
 //! the binaries regenerating each table and figure of the paper.
 
@@ -58,5 +62,6 @@ pub use sara_memctrl as memctrl;
 pub use sara_noc as noc;
 pub use sara_scenarios as scenarios;
 pub use sara_sim as sim;
+pub use sara_telemetry as telemetry;
 pub use sara_types as types;
 pub use sara_workloads as workloads;

@@ -47,6 +47,45 @@ fn parallel_stepping_reports_are_byte_identical_across_the_catalog() {
     }
 }
 
+/// The telemetry layer rides the same contract, called out separately so
+/// a divergence in the metrics substrate fails loudly by name rather
+/// than as an opaque whole-report byte mismatch: for every catalog
+/// scenario, the `telemetry` section of the report JSON — per-class
+/// latency and queue-delay histograms, per-DMA latency, per-lane
+/// row-hit/conflict counters, NoC occupancy — must serialize to
+/// identical bytes whether the lanes stepped sequentially or in
+/// parallel. Histogram merge order differs between the two modes, so
+/// this also exercises the log2-bucket merge's order independence on
+/// real traffic.
+#[test]
+fn telemetry_sections_are_byte_identical_across_stepping_modes() {
+    for s in catalog::builtin() {
+        let section = |parallel| {
+            s.run_for_ms_stepped(0.4, parallel)
+                .unwrap()
+                .to_json_value()
+                .get("telemetry")
+                .expect("report JSON carries a telemetry section")
+                .to_string_compact()
+        };
+        let seq = section(false);
+        let par = section(true);
+        assert_eq!(seq, par, "{}: telemetry diverged", s.name);
+        // And it is real telemetry, not an empty stub.
+        let doc = json::parse(&seq).unwrap();
+        let completed = doc
+            .get("totals")
+            .and_then(|t| t.get("completed"))
+            .and_then(json::Value::as_u64)
+            .unwrap_or(0);
+        assert!(
+            completed > 0,
+            "{}: telemetry recorded no completions",
+            s.name
+        );
+    }
+}
+
 /// The same contract for governed runs: epoch traces (JSON + CSV) from
 /// the parallel stepping mode are byte-identical to sequential, for every
 /// catalog scenario under its own governor spec — including per-channel
