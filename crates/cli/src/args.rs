@@ -184,6 +184,25 @@ pub fn parse_freqs(raw: &str, usage: &str) -> Result<Vec<u32>, CliError> {
         .collect()
 }
 
+/// Parses a comma-separated DRAM channel-count list; each entry must be
+/// a power of two in `1..=256` (the address map folds the channel index
+/// out of power-of-two bit fields).
+///
+/// # Errors
+///
+/// Usage error naming the offending token.
+pub fn parse_channels(raw: &str, usage: &str) -> Result<Vec<usize>, CliError> {
+    raw.split(',')
+        .map(|tok| match tok.parse::<usize>() {
+            Ok(n) if n > 0 && n <= 256 && n.is_power_of_two() => Ok(n),
+            _ => Err(CliError::usage(
+                usage,
+                format!("bad channel count \"{tok}\" (expected a power of two in 1..=256)"),
+            )),
+        })
+        .collect()
+}
+
 /// Like [`parse_freqs`], but additionally rejects duplicate and
 /// non-ascending candidate lists — sweep and ladder semantics depend on
 /// order, and silently sweeping `1700,1333,1700` would burn simulation

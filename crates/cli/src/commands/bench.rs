@@ -29,7 +29,8 @@ use crate::args::{Args, CliError};
 use crate::output::{emit_value, page, Progress, Sink};
 
 const USAGE: &str = "usage: sara bench [--duration-ms MS] [--repeat N] [--json PATH|-] \
-                     [--pretty] [--baseline PATH] [--tolerance F] [--history PATH]";
+                     [--pretty] [--baseline PATH] [--tolerance F] [--history PATH] \
+                     [--compare-stepping] [--min-speedup F]";
 
 const HELP: &str = "\
 sara bench — measure matrix throughput; emit or check a baseline
@@ -49,6 +50,15 @@ usage: sara bench [options]
   --history PATH     append this run (timestamp, geo mean, per-scenario
                      cells/sec) to a perf-timeline JSON document, creating
                      PATH on first use; summarize it with `sara report`
+  --compare-stepping time sequential vs parallel lane stepping on every
+                     multi-channel catalog scenario instead of the normal
+                     measurement (exclusive mode; only --duration-ms,
+                     --repeat and --min-speedup apply)
+  --min-speedup F    with --compare-stepping, fail unless parallel
+                     stepping is at least F times faster than sequential
+                     on every compared scenario (default 0: report only;
+                     not enforced on single-hardware-thread hosts, where
+                     both modes step inline)
 
 Every catalog scenario runs all six policies serially; throughput is
 matrix cells per second. The output shape (keys, scenario order, cell
@@ -101,9 +111,23 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage(USAGE, "--tolerance must be ≥ 1"));
     }
     let history_path = args.take_opt("--history")?;
+    let compare_stepping = args.take_flag("--compare-stepping");
+    let min_speedup = args.take_parsed::<f64>("--min-speedup")?.unwrap_or(0.0);
+    if !min_speedup.is_finite() || min_speedup < 0.0 {
+        return Err(CliError::usage(USAGE, "--min-speedup must be ≥ 0"));
+    }
     args.finish()?;
 
     let progress = Progress::new(&[json_sink.as_ref()]);
+    if compare_stepping {
+        if json_sink.is_some() || baseline_path.is_some() || history_path.is_some() {
+            return Err(CliError::usage(
+                USAGE,
+                "--compare-stepping is an exclusive mode; drop --json/--baseline/--history",
+            ));
+        }
+        return compare_stepping_run(duration_ms, repeat, min_speedup, &progress);
+    }
     let measurements = measure(duration_ms, repeat, &progress)?;
     let doc = to_value(duration_ms, &measurements);
 
@@ -144,6 +168,81 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Times sequential vs parallel lane stepping on every multi-channel
+/// catalog scenario (single policy, one worker thread, best-of `repeat`),
+/// failing if any speedup lands under `min_speedup`. Hosts with one
+/// hardware thread step inline in both modes, so the floor is advisory
+/// there — the delta is scheduler noise, not the pool.
+fn compare_stepping_run(
+    duration_ms: f64,
+    repeat: usize,
+    min_speedup: f64,
+    progress: &Progress,
+) -> Result<(), CliError> {
+    let scenarios: Vec<_> = catalog::builtin()
+        .into_iter()
+        .filter(|s| s.channels > 2)
+        .collect();
+    if scenarios.is_empty() {
+        return Err(CliError::Failure(
+            "no catalog scenario has more than two channels to compare stepping on".to_string(),
+        ));
+    }
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let enforce = cpus >= 2;
+    if !enforce {
+        progress.line(
+            "note: this host has one hardware thread, so the engine steps lanes inline \
+             in both modes — the comparison is timing noise and --min-speedup is not \
+             enforced",
+        );
+    }
+    let mut failures = Vec::new();
+    for s in scenarios {
+        let one = [s.clone()];
+        let time = |parallel: bool| -> Result<f64, CliError> {
+            let spec = MatrixSpec {
+                policies: vec![s.policy],
+                freqs_mhz: Vec::new(),
+                channels: Vec::new(),
+                duration_ms: Some(duration_ms),
+                threads: 1,
+                parallel_channels: parallel,
+            };
+            let mut best = f64::INFINITY;
+            for _ in 0..repeat {
+                let start = Instant::now();
+                run_matrix(&one, &spec).map_err(|e| CliError::Failure(e.message().to_string()))?;
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            Ok(best)
+        };
+        let seq = time(false)?;
+        let par = time(true)?;
+        let speedup = seq / par;
+        progress.line(format!(
+            "{:<18} {} channels: sequential {seq:.3}s, parallel {par:.3}s -> {speedup:.2}x",
+            s.name, s.channels
+        ));
+        if enforce && speedup < min_speedup {
+            failures.push(format!(
+                "{}: {speedup:.2}x is below the --min-speedup floor of {min_speedup}x",
+                s.name
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Failure(format!(
+            "parallel stepping too slow on {} scenario{}:\n  {}",
+            failures.len(),
+            if failures.len() == 1 { "" } else { "s" },
+            failures.join("\n  ")
+        )))
+    }
+}
+
 /// Times every catalog scenario's policy matrix, serially, best-of
 /// `repeat`.
 fn measure(
@@ -151,20 +250,30 @@ fn measure(
     repeat: usize,
     progress: &Progress,
 ) -> Result<Vec<Measurement>, CliError> {
+    let scenarios = catalog::builtin();
+    if scenarios.is_empty() {
+        // Unreachable with the built-in catalog, but the geometric means
+        // downstream are meaningless on an empty set — fail loudly rather
+        // than emit NaN documents.
+        return Err(CliError::Failure(
+            "the scenario catalog is empty; nothing to measure".to_string(),
+        ));
+    }
     let spec = MatrixSpec {
         policies: PolicyKind::ALL.to_vec(),
         freqs_mhz: Vec::new(),
+        channels: Vec::new(),
         duration_ms: Some(duration_ms),
         threads: 1,
         parallel_channels: false,
     };
     progress.line(format!(
         "{} scenarios x {} policies, {duration_ms} ms per cell, best of {repeat}, serial",
-        catalog::builtin().len(),
+        scenarios.len(),
         spec.policies.len()
     ));
     let mut out = Vec::new();
-    for scenario in catalog::builtin() {
+    for scenario in scenarios {
         let cells = spec.policies.len();
         let scenarios = [scenario];
         let mut best = f64::INFINITY;
@@ -297,6 +406,11 @@ fn scenarios_of(doc: &Value, what: &str) -> Result<Vec<Measurement>, CliError> {
         .get("scenarios")
         .and_then(Value::as_array)
         .ok_or_else(|| bad("missing \"scenarios\" array".to_string()))?;
+    if scenarios.is_empty() {
+        // An empty list would make the geometric-mean normalisation
+        // downstream divide 0 by 0 and "pass" every comparison on NaN.
+        return Err(bad("\"scenarios\" array is empty".to_string()));
+    }
     scenarios
         .iter()
         .enumerate()
@@ -329,8 +443,11 @@ fn scenarios_of(doc: &Value, what: &str) -> Result<Vec<Measurement>, CliError> {
 
 /// Geometric mean of the scenarios' throughputs — the run-local yardstick
 /// relative gating normalises by. Positive by construction
-/// ([`scenarios_of`] rejects non-positive numbers).
+/// ([`scenarios_of`] rejects non-positive numbers and empty lists; an
+/// empty list here would otherwise yield `exp(0/0) = NaN`, which every
+/// `<` comparison silently passes).
 fn geo_mean(list: &[Measurement]) -> f64 {
+    assert!(!list.is_empty(), "geometric mean of an empty list");
     let n = list.len() as f64;
     (list.iter().map(|m| m.cells_per_sec.ln()).sum::<f64>() / n).exp()
 }
@@ -545,6 +662,19 @@ mod tests {
         let err = append_history(other.to_str().unwrap(), 0.2, &measurements).unwrap_err();
         assert!(matches!(&err, CliError::Failure(m) if m.contains("format tag")));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_scenario_lists_are_rejected_not_nan() {
+        // Regression: geo_mean on an empty list is exp(0/0) = NaN, and a
+        // NaN-normalised profile passes every tolerance check. The parser
+        // must refuse empty documents before the math runs.
+        let empty = doc(&[]);
+        let err = scenarios_of(&empty, "baseline").unwrap_err();
+        assert!(matches!(&err, CliError::Failure(m) if m.contains("empty")));
+        let measured = doc(&[("a", 6, 100.0)]);
+        assert!(compare_baseline(&measured, &empty, 2.5).is_err());
+        assert!(compare_baseline(&empty, &measured, 2.5).is_err());
     }
 
     #[test]

@@ -66,6 +66,7 @@ const COMMANDS: &[Command] = &[
             "--scenarios",
             "--policies",
             "--freqs",
+            "--channels",
             "--duration-ms",
             "--jobs",
             "--json",
@@ -117,6 +118,7 @@ const COMMANDS: &[Command] = &[
             "--max-gbs",
             "--min-cores",
             "--max-cores",
+            "--channels",
         ],
         bool_flags: &[],
     },
@@ -130,8 +132,9 @@ const COMMANDS: &[Command] = &[
             "--baseline",
             "--tolerance",
             "--history",
+            "--min-speedup",
         ],
-        bool_flags: &["--pretty"],
+        bool_flags: &["--compare-stepping", "--pretty"],
     },
     Command {
         name: "report",

@@ -9,7 +9,7 @@ use crate::commands::scenario_row;
 use crate::output::page;
 
 const USAGE: &str = "usage: sara gen [--count N] [--seed S] [--out DIR] [--overload F] \
-                     [--max-gbs G] [--min-cores N] [--max-cores N]";
+                     [--max-gbs G] [--min-cores N] [--max-cores N] [--channels N]";
 
 const HELP: &str = "\
 sara gen — generate seeded random scenarios
@@ -30,6 +30,8 @@ usage: sara gen [options]
   --max-gbs G     feasibility envelope in GB/s (default 20)
   --min-cores N   minimum distinct cores (default 4)
   --max-cores N   maximum distinct cores (default 9, at most 14)
+  --channels N    DRAM channel count for every generated scenario (power of
+                  two in 1..=256; default 2, the Table 1 part)
 
 Generated files validate and run like any catalog entry:
 `sara gen --count 8 --out fuzz && sara matrix --dir fuzz`.";
@@ -53,6 +55,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     let max_gbs = args.take_parsed::<f64>("--max-gbs")?;
     let min_cores = args.take_parsed::<usize>("--min-cores")?;
     let max_cores = args.take_parsed::<usize>("--max-cores")?;
+    let channels = args.take_parsed::<usize>("--channels")?;
     args.finish()?;
 
     if count == 0 {
@@ -81,6 +84,12 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     if !cfg.max_offered_gbs.is_finite() || cfg.max_offered_gbs <= 0.0 {
         return Err(CliError::usage(USAGE, "--max-gbs must be > 0"));
     }
+    if channels.is_some_and(|n| n == 0 || n > 256 || !n.is_power_of_two()) {
+        return Err(CliError::usage(
+            USAGE,
+            "--channels must be a power of two in 1..=256",
+        ));
+    }
 
     let end = seed.checked_add(count).ok_or_else(|| {
         CliError::usage(
@@ -93,7 +102,10 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         std::fs::create_dir_all(dir).map_err(|e| CliError::Failure(format!("{dir}: {e}")))?;
     }
     for seed in seed..end {
-        let scenario = random_scenario_with(&cfg, seed);
+        let mut scenario = random_scenario_with(&cfg, seed);
+        if let Some(n) = channels {
+            scenario = scenario.with_channels(n);
+        }
         page(scenario_row(&scenario));
         // The overload guarantee is quoted against QoS-metered demand; a
         // draw without any (possible only at min-cores 1, where the single

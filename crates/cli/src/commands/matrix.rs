@@ -2,13 +2,14 @@
 
 use sara_scenarios::{run_matrix, MatrixSpec};
 
-use crate::args::{parse_freqs, parse_policies, Args, CliError};
+use crate::args::{parse_channels, parse_freqs, parse_policies, Args, CliError};
 use crate::commands::{load_scenarios, scenario_row, take_scenario_names};
 use crate::output::{emit_value, page, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara matrix [--dir DIR | --scenarios NAMES] [--policies NAMES] \
-                     [--freqs MHZ] [--duration-ms MS] [--jobs N] [--parallel-channels] \
-                     [--json PATH|-] [--csv PATH|-] [--chrome-trace PATH|-] [--pretty]";
+                     [--freqs MHZ] [--channels COUNTS] [--duration-ms MS] [--jobs N] \
+                     [--parallel-channels] [--json PATH|-] [--csv PATH|-] \
+                     [--chrome-trace PATH|-] [--pretty]";
 
 const HELP: &str = "\
 sara matrix — run scenarios x policies x frequencies, ranked
@@ -24,6 +25,9 @@ matrix shape:
                      QoS-RB, FR-FCFS) or `all`; default all six
   --freqs MHZ        comma-separated DRAM frequency overrides; default:
                      each scenario's own frequency
+  --channels COUNTS  comma-separated DRAM channel-count overrides (powers
+                     of two in 1..=256); default: each scenario's own
+                     channel count
   --duration-ms MS   run length per cell; default: each scenario's
                      nominal duration
   --jobs N           worker threads (default: all hardware threads; the
@@ -66,6 +70,10 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         Some(raw) => parse_freqs(&raw, USAGE)?,
         None => Vec::new(),
     };
+    let channels = match args.take_opt("--channels")? {
+        Some(raw) => parse_channels(&raw, USAGE)?,
+        None => Vec::new(),
+    };
     let duration_ms = args.take_parsed::<f64>("--duration-ms")?;
     if duration_ms.is_some_and(|ms| !ms.is_finite() || ms <= 0.0) {
         return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
@@ -87,6 +95,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     let spec = MatrixSpec {
         policies,
         freqs_mhz,
+        channels,
         duration_ms,
         threads: jobs.unwrap_or_else(|| MatrixSpec::default().threads),
         parallel_channels,
@@ -97,12 +106,15 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         progress.line(scenario_row(s));
     }
     let freqs_per_scenario = spec.freqs_mhz.len().max(1);
+    let channels_per_scenario = spec.channels.len().max(1);
     progress.line(format!(
-        "\nrunning {} cells ({} scenarios x {} policies x {} frequencies) on {} threads...\n",
-        scenarios.len() * spec.policies.len() * freqs_per_scenario,
+        "\nrunning {} cells ({} scenarios x {} policies x {} frequencies x {} channel \
+         counts) on {} threads...\n",
+        scenarios.len() * spec.policies.len() * freqs_per_scenario * channels_per_scenario,
         scenarios.len(),
         spec.policies.len(),
         freqs_per_scenario,
+        channels_per_scenario,
         spec.threads.max(1)
     ));
 

@@ -39,13 +39,16 @@ same kind for regressions:
                              cores, or bandwidth down past the tolerance
                      bench   a scenario's cells/sec falling relative to
                              the run's own geometric mean
+                     history the latest records of two timelines: the
+                             geo mean dropping past the tolerance, or a
+                             scenario falling relative to its run's mean
                      govern  more failing epochs, or a QoS deficit grown
                              past the tolerance
   --tolerance F    allowed fractional drop before a numeric change
                    counts as a regression (default 0.05)
 
-Chrome traces and history timelines summarize only (no --diff). Output
-tolerates a closed pipe: `sara report big.json | head` exits cleanly.";
+Chrome traces summarize only (no --diff). Output tolerates a closed
+pipe: `sara report big.json | head` exits cleanly.";
 
 /// The document kinds `report` understands, detected by shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +229,9 @@ struct CellFacts {
     scenario: String,
     policy: String,
     freq_mhz: u64,
+    /// Channel count, when the dump carries one (older dumps predate the
+    /// channels axis and omit the key).
+    channels: Option<u64>,
     targets_met: bool,
     failed_cores: usize,
     bandwidth_gbs: f64,
@@ -233,7 +239,11 @@ struct CellFacts {
 
 impl CellFacts {
     fn key(&self) -> String {
-        format!("{} {} @{} MHz", self.scenario, self.policy, self.freq_mhz)
+        let mut key = format!("{} {} @{} MHz", self.scenario, self.policy, self.freq_mhz);
+        if let Some(channels) = self.channels {
+            key.push_str(&format!(" x{channels}ch"));
+        }
+        key
     }
 }
 
@@ -252,6 +262,7 @@ fn matrix_cells(doc: &Value, what: &str) -> Result<Vec<CellFacts>, CliError> {
                 scenario: req_str(cell, "scenario", &what)?,
                 policy: req_str(cell, "policy", &what)?,
                 freq_mhz: req_u64(cell, "freq_mhz", &what)?,
+                channels: cell.get("channels").and_then(Value::as_u64),
                 targets_met: req(report, "all_targets_met", &what)?
                     .as_bool()
                     .ok_or_else(|| {
@@ -452,6 +463,88 @@ fn summarize_history(doc: &Value) -> Result<Vec<String>, CliError> {
     Ok(lines)
 }
 
+/// The latest record of a perf timeline: its geometric mean plus the
+/// per-scenario throughputs.
+fn history_latest(doc: &Value, what: &str) -> Result<(f64, Vec<(String, f64)>), CliError> {
+    let records = req_array(doc, "records", what)?;
+    let last = records
+        .last()
+        .ok_or_else(|| CliError::Failure(format!("{what}: history has no records")))?;
+    let what = format!("{what}: records[{}]", records.len() - 1);
+    let geo = req_f64(last, "geo_mean", &what)?;
+    if geo <= 0.0 {
+        return Err(CliError::Failure(format!(
+            "{what}: \"geo_mean\" must be positive"
+        )));
+    }
+    let scenarios: Vec<(String, f64)> = req_array(last, "scenarios", &what)?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let what = format!("{what}.scenarios[{i}]");
+            let cps = req_f64(s, "cells_per_sec", &what)?;
+            if cps <= 0.0 {
+                return Err(CliError::Failure(format!(
+                    "{what}: \"cells_per_sec\" must be positive"
+                )));
+            }
+            Ok((req_str(s, "name", &what)?, cps))
+        })
+        .collect::<Result<_, _>>()?;
+    if scenarios.is_empty() {
+        return Err(CliError::Failure(format!("{what}: no scenarios")));
+    }
+    Ok((geo, scenarios))
+}
+
+/// Diffs the *latest* records of two perf timelines: the headline
+/// geometric mean must not drop past the tolerance, and no scenario may
+/// fall relative to its own run's mean (the same relative yardstick the
+/// bench gate uses, so per-scenario checks survive machine changes —
+/// the geo-mean check intentionally does not, it is the absolute
+/// same-machine trend gate).
+fn diff_history(
+    old: &Value,
+    new: &Value,
+    tol: f64,
+) -> Result<(Vec<String>, Vec<String>), CliError> {
+    let (o_geo, old) = history_latest(old, "OLD")?;
+    let (n_geo, new) = history_latest(new, "NEW")?;
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    if n_geo < o_geo * (1.0 - tol) {
+        bad.push(format!(
+            "geo mean {o_geo:.2} -> {n_geo:.2} cells/sec (down more than {:.1}%)",
+            tol * 100.0
+        ));
+    } else {
+        ok.push(format!("ok geo mean {o_geo:.2} -> {n_geo:.2} cells/sec"));
+    }
+    for (name, o_cps) in &old {
+        let Some((_, n_cps)) = new.iter().find(|(n, _)| n == name) else {
+            bad.push(format!("{name}: scenario missing from the new timeline"));
+            continue;
+        };
+        let (o_rel, n_rel) = (o_cps / o_geo, n_cps / n_geo);
+        if n_rel < o_rel * (1.0 - tol) {
+            bad.push(format!(
+                "{name}: {o_rel:.3}x of run mean -> {n_rel:.3}x (down more than {:.1}%)",
+                tol * 100.0
+            ));
+        } else {
+            ok.push(format!(
+                "ok {name:<18} {o_rel:.3}x of run mean -> {n_rel:.3}x"
+            ));
+        }
+    }
+    for (name, _) in &new {
+        if !old.iter().any(|(o, _)| o == name) {
+            ok.push(format!("new scenario {name} (not in the old timeline)"));
+        }
+    }
+    Ok((ok, bad))
+}
+
 // --- govern ------------------------------------------------------------------
 
 /// What the govern diff compares, one entry per governed run.
@@ -618,8 +711,9 @@ fn diff(
     match kind {
         Kind::Matrix => diff_matrix(old, new, tol),
         Kind::Bench => diff_bench(old, new, tol),
+        Kind::History => diff_history(old, new, tol),
         Kind::Govern => diff_govern(old, new, tol),
-        Kind::History | Kind::Chrome => Err(CliError::Failure(format!(
+        Kind::Chrome => Err(CliError::Failure(format!(
             "--diff is not supported for {} dumps (summaries only)",
             kind.name()
         ))),
@@ -806,6 +900,91 @@ mod tests {
         let (_, bad) = diff_bench(&old, &skewed, 0.05).unwrap();
         assert_eq!(bad.len(), 1);
         assert!(bad[0].starts_with("a:"), "{bad:?}");
+    }
+
+    fn history_doc(records: &[&[(&str, f64)]]) -> Value {
+        let record_values: Vec<Value> = records
+            .iter()
+            .map(|entries| {
+                let geo =
+                    (entries.iter().map(|(_, c)| c.ln()).sum::<f64>() / entries.len() as f64).exp();
+                Value::Object(vec![
+                    ("unix_ms".to_string(), 1_700_000_000_000u64.into()),
+                    ("duration_ms".to_string(), 0.2.into()),
+                    ("geo_mean".to_string(), geo.into()),
+                    (
+                        "scenarios".to_string(),
+                        Value::Array(
+                            entries
+                                .iter()
+                                .map(|&(name, cps)| {
+                                    Value::Object(vec![
+                                        ("name".to_string(), name.into()),
+                                        ("cells_per_sec".to_string(), cps.into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("format".to_string(), HISTORY_TAG.into()),
+            ("records".to_string(), Value::Array(record_values)),
+        ])
+    }
+
+    #[test]
+    fn history_diff_compares_the_latest_records() {
+        // Older records are trend context only: the diff must read the
+        // last record of each timeline.
+        let old = history_doc(&[&[("a", 10.0), ("b", 10.0)], &[("a", 100.0), ("b", 100.0)]]);
+        let same = history_doc(&[&[("a", 100.0), ("b", 100.0)]]);
+        let (ok, bad) = diff_history(&old, &same, 0.05).unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 3); // geo mean + two scenarios
+
+        // A uniform collapse trips the absolute geo-mean gate even though
+        // the relative profile is unchanged.
+        let slower = history_doc(&[&[("a", 50.0), ("b", 50.0)]]);
+        let (_, bad) = diff_history(&old, &slower, 0.05).unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("geo mean"), "{bad:?}");
+
+        // One scenario falling relative to its run flags that scenario.
+        let skewed = history_doc(&[&[("a", 40.0), ("b", 100.0)]]);
+        let (_, bad) = diff_history(&old, &skewed, 0.05).unwrap();
+        assert!(bad.iter().any(|b| b.starts_with("a:")), "{bad:?}");
+        assert!(!bad.iter().any(|b| b.starts_with("b:")), "{bad:?}");
+
+        // A scenario vanishing from the latest record is a regression.
+        let shrunk = history_doc(&[&[("a", 100.0)]]);
+        let (_, bad) = diff_history(&old, &shrunk, 0.05).unwrap();
+        assert!(bad.iter().any(|b| b.contains("missing")), "{bad:?}");
+
+        // Empty timelines refuse to diff rather than pass on NaN.
+        let empty = history_doc(&[]);
+        assert!(diff_history(&old, &empty, 0.05).is_err());
+        assert!(diff_history(&empty, &old, 0.05).is_err());
+    }
+
+    #[test]
+    fn matrix_keys_carry_channels_only_when_present() {
+        // New dumps stamp the channel count into the cell key; dumps from
+        // before the channels axis (no key) keep their old identity.
+        let mut doc = matrix_doc(&[("a", "FCFS", 1600, true, 0, 10.0)]);
+        let cells = matrix_cells(&doc, "t").unwrap();
+        assert_eq!(cells[0].key(), "a FCFS @1600 MHz");
+        if let Value::Object(members) = &mut doc {
+            if let Value::Array(cells) = &mut members[0].1 {
+                if let Value::Object(cell) = &mut cells[0] {
+                    cell.insert(1, ("channels".to_string(), 4u64.into()));
+                }
+            }
+        }
+        let cells = matrix_cells(&doc, "t").unwrap();
+        assert_eq!(cells[0].key(), "a FCFS @1600 MHz x4ch");
     }
 
     #[test]

@@ -236,11 +236,11 @@ fn export_validate_matrix_end_to_end() {
 
     let out = sara(&["export", catalog]);
     assert_eq!(code(&out), 0, "{}", stderr(&out));
-    assert!(stdout(&out).contains("8 scenario files"));
+    assert!(stdout(&out).contains("10 scenario files"));
 
     let out = sara(&["validate", catalog]);
     assert_eq!(code(&out), 0, "{}", stderr(&out));
-    assert!(stdout(&out).contains("8 scenario files valid"));
+    assert!(stdout(&out).contains("10 scenario files valid"));
 
     let out = sara(&["list", "--dir", catalog]);
     assert_eq!(code(&out), 0, "{}", stderr(&out));
@@ -263,7 +263,7 @@ fn export_validate_matrix_end_to_end() {
     assert_eq!(code(&out), 0, "{}", stderr(&out));
     let doc = json::parse(stdout(&out).trim()).expect("matrix JSON parses");
     let cells = doc.get("cells").and_then(Value::as_array).unwrap();
-    assert_eq!(cells.len(), 8 * 2, "8 scenarios x 2 policies");
+    assert_eq!(cells.len(), 10 * 2, "10 scenarios x 2 policies");
     assert!(stderr(&out).contains("running"), "progress went to stderr");
 
     // CSV sink to a file: header plus one row per cell.
@@ -281,8 +281,8 @@ fn export_validate_matrix_end_to_end() {
     ]);
     assert_eq!(code(&out), 0, "{}", stderr(&out));
     let csv = std::fs::read_to_string(&csv_path).unwrap();
-    assert_eq!(csv.lines().count(), 1 + 8);
-    assert!(csv.starts_with("scenario,policy,freq_mhz,"));
+    assert_eq!(csv.lines().count(), 1 + 10);
+    assert!(csv.starts_with("scenario,policy,freq_mhz,channels,"));
 }
 
 #[test]
@@ -509,7 +509,7 @@ fn bench_output_shape_is_deterministic() {
     // Identical shape — only the timings may differ.
     assert_eq!(zero_timings(&first), zero_timings(&second));
     let scenarios = first.get("scenarios").and_then(Value::as_array).unwrap();
-    assert_eq!(scenarios.len(), 8);
+    assert_eq!(scenarios.len(), 10);
     for s in scenarios {
         assert_eq!(s.get("cells").and_then(Value::as_u64), Some(6));
         let cps = s.get("cells_per_sec").and_then(Value::as_f64).unwrap();
@@ -708,7 +708,7 @@ fn bench_history_appends_timestamped_records() {
     assert_eq!(records.len(), 2);
     for r in records {
         let scenarios = r.get("scenarios").and_then(Value::as_array).unwrap();
-        assert_eq!(scenarios.len(), 8, "one entry per catalog scenario");
+        assert_eq!(scenarios.len(), 10, "one entry per catalog scenario");
         assert!(r.get("geo_mean").and_then(Value::as_f64).unwrap() > 0.0);
     }
     // The timeline summarizes through `sara report`.
@@ -719,6 +719,44 @@ fn bench_history_appends_timestamped_records() {
         "{}",
         stdout(&out)
     );
+    // A timeline diffed against itself is clean; collapsing the newer
+    // timeline's throughput trips the geo-mean gate with exit 1.
+    let out = sara(&[
+        "report",
+        "--diff",
+        path.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("no regressions"), "{}", stdout(&out));
+    fn collapse_throughput(doc: &Value) -> Value {
+        match doc {
+            Value::Object(members) => Value::Object(
+                members
+                    .iter()
+                    .map(|(k, v)| {
+                        if k == "geo_mean" || k == "cells_per_sec" {
+                            (k.clone(), Value::Float(v.as_f64().unwrap() * 0.1))
+                        } else {
+                            (k.clone(), collapse_throughput(v))
+                        }
+                    })
+                    .collect(),
+            ),
+            Value::Array(items) => Value::Array(items.iter().map(collapse_throughput).collect()),
+            other => other.clone(),
+        }
+    }
+    let slow = dir.join("slow.json");
+    std::fs::write(&slow, collapse_throughput(&doc).to_string_compact()).unwrap();
+    let out = sara(&[
+        "report",
+        "--diff",
+        path.to_str().unwrap(),
+        slow.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+    assert!(stderr(&out).contains("regression"), "{}", stderr(&out));
 }
 
 #[test]

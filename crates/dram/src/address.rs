@@ -2,9 +2,11 @@
 //!
 //! The mapping determines how much bank/channel parallelism and row locality
 //! a given traffic pattern enjoys, which is exactly what the paper's
-//! row-buffer-hit experiments probe. Two interleavings are provided; the
+//! row-buffer-hit experiments probe. Three interleavings are provided; the
 //! default puts the channel bit right above the burst offset so sequential
-//! streams stripe across channels while still hitting open rows.
+//! streams stripe across channels while still hitting open rows, and the
+//! XOR-skewed variant additionally hashes the channel bits with the row so
+//! wide (4+ channel) configs never let a strided stream camp on one lane.
 
 use core::fmt;
 
@@ -52,6 +54,15 @@ pub enum Interleave {
     /// Bank interleaving at burst granularity: sequential streams touch a
     /// new bank every burst (more bank parallelism, less row locality).
     RowColRankBankChan,
+    /// `row | rank | bank | col | channel^row | offset`.
+    ///
+    /// Channel-skewed variant of the default map: the channel index is the
+    /// raw channel bits XOR-hashed with the low row bits. Bit widths and the
+    /// sequential row span match [`Interleave::RowRankBankColChan`], but
+    /// strided patterns that would camp on one channel under the plain map
+    /// rotate across all channels as the row advances. Used for the wide
+    /// (4+ channel) catalog configs so every lane sees real work.
+    RowRankBankColChanXor,
 }
 
 /// Maps physical byte addresses to DRAM locations and back.
@@ -156,6 +167,22 @@ impl AddressMap {
                     col,
                 }
             }
+            Interleave::RowRankBankColChanXor => {
+                let raw_chan = take(self.chan_bits);
+                let col = take(self.col_bits) as u32;
+                let bank = take(self.bank_bits) as usize;
+                let rank = take(self.rank_bits) as usize;
+                let row = take(self.row_bits) as u32;
+                let chan_mask = (1u64 << self.chan_bits) - 1;
+                let channel = (raw_chan ^ (row as u64 & chan_mask)) as usize;
+                Location {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
         }
     }
 
@@ -182,6 +209,19 @@ impl AddressMap {
                 put(loc.col as u64, self.col_bits);
                 put(loc.row as u64, self.row_bits);
             }
+            Interleave::RowRankBankColChanXor => {
+                // Invert the XOR hash: the raw channel slot stores
+                // channel ^ (row & chan_mask), and row is stored untouched.
+                let chan_mask = (1u64 << self.chan_bits) - 1;
+                put(
+                    loc.channel as u64 ^ (loc.row as u64 & chan_mask),
+                    self.chan_bits,
+                );
+                put(loc.col as u64, self.col_bits);
+                put(loc.bank as u64, self.bank_bits);
+                put(loc.rank as u64, self.rank_bits);
+                put(loc.row as u64, self.row_bits);
+            }
         }
         Addr::new(bits << self.offset_bits)
     }
@@ -196,7 +236,7 @@ impl AddressMap {
     /// (i.e. how long a sequential stream stays in an open row).
     pub fn sequential_row_span(&self) -> u64 {
         match self.scheme {
-            Interleave::RowRankBankColChan => {
+            Interleave::RowRankBankColChan | Interleave::RowRankBankColChanXor => {
                 1u64 << (self.offset_bits + self.chan_bits + self.col_bits)
             }
             Interleave::RowColRankBankChan => 1u64 << (self.offset_bits + self.chan_bits),
@@ -298,5 +338,63 @@ mod tests {
             assert!((loc.row as usize) < 32 * 1024);
             assert!((loc.col as usize) < 16);
         }
+    }
+
+    fn wide_map(channels: usize) -> AddressMap {
+        let cfg = DramConfig::builder().channels(channels).build().unwrap();
+        AddressMap::new(&cfg, Interleave::RowRankBankColChanXor).unwrap()
+    }
+
+    #[test]
+    fn xor_skew_rotates_channel_assignment_across_rows() {
+        let m = wide_map(4);
+        // Next row, same low bits: span covers col+chan, then 8 banks x 2
+        // ranks sit between the column bits and the row bits.
+        let row_stride = m.sequential_row_span() * 8 * 2;
+        let a = m.decode(Addr::new(0));
+        let b = m.decode(Addr::new(row_stride));
+        assert_eq!(b.row, a.row + 1);
+        assert_ne!(a.channel, b.channel);
+    }
+
+    #[test]
+    fn xor_skew_roundtrips_at_4_and_8_channels() {
+        let mut rng = StdRng::seed_from_u64(0xadd2_0004);
+        for channels in [4usize, 8] {
+            let m = wide_map(channels);
+            for _ in 0..512 {
+                let addr = rng.gen_range(0u64..(8u64 << 30));
+                let aligned = addr & !127;
+                let loc = m.decode(Addr::new(addr));
+                assert_eq!(m.encode(loc).as_u64(), aligned & m.capacity_mask);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_skew_never_yields_out_of_range_channels() {
+        let mut rng = StdRng::seed_from_u64(0xadd2_0005);
+        for channels in [2usize, 4, 8, 16] {
+            let m = wide_map(channels);
+            let mut seen = vec![false; channels];
+            for _ in 0..4096 {
+                let loc = m.decode(Addr::new(rng.next_u64()));
+                assert!(
+                    loc.channel < channels,
+                    "channel {} out of range",
+                    loc.channel
+                );
+                seen[loc.channel] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "every channel should be reachable");
+        }
+    }
+
+    #[test]
+    fn xor_skew_preserves_sequential_row_span() {
+        assert_eq!(
+            wide_map(4).sequential_row_span(),
+            128 * 4 * 16 // burst * channels * cols
+        );
     }
 }

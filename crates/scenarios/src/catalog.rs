@@ -1,6 +1,6 @@
-//! The built-in scenario catalog: the paper's camcorder plus six further
-//! allocation problems spanning AR, automotive, mobile, ML offload and a
-//! deliberate saturation stress.
+//! The built-in scenario catalog: the paper's camcorder plus further
+//! allocation problems spanning AR, automotive, mobile, ML offload (at
+//! two, four and eight DRAM channels) and a deliberate saturation stress.
 //!
 //! Every scenario composes the same `TrafficSpec` × `PatternSpec` ×
 //! `MeterSpec` vocabulary the camcorder uses (via
@@ -609,6 +609,29 @@ pub fn ml_inference() -> Scenario {
     )
 }
 
+/// [`ml_inference`] on a four-channel part: the same NPU offload workload
+/// with twice the channel-level parallelism and a channel-skewed address
+/// map, so sequential weight streams spread instead of camping on one
+/// channel. The catalog's reference scale-out scenario (and the CI anchor
+/// for parallel lane stepping).
+pub fn ml_inference_4ch() -> Scenario {
+    let mut s = ml_inference().with_channels(4);
+    s.name = "ml-inference-4ch".to_string();
+    s.description =
+        "the NPU offload workload on a four-channel part with a channel-skewed map".to_string();
+    s
+}
+
+/// [`ml_inference`] on an eight-channel part — the widest catalog entry,
+/// exercising the lane runtime's scale-out path.
+pub fn ml_inference_8ch() -> Scenario {
+    let mut s = ml_inference().with_channels(8);
+    s.name = "ml-inference-8ch".to_string();
+    s.description =
+        "the NPU offload workload on an eight-channel part with a channel-skewed map".to_string();
+    s
+}
+
 /// Saturation stress: ≈ 27 GB/s of rated QoS demand plus an elastic CPU
 /// against a 1333 MHz platform with a 21.3 GB/s theoretical peak. No
 /// policy can meet every target; the scenario exists to compare *how* each
@@ -751,6 +774,8 @@ pub fn builtin() -> Vec<Scenario> {
         adas_overload(),
         smartphone_burst(),
         ml_inference(),
+        ml_inference_4ch(),
+        ml_inference_8ch(),
         saturation(),
     ]
 }
@@ -795,8 +820,8 @@ mod tests {
     #[test]
     fn registry_is_unique_and_large_enough() {
         let names = names();
-        // ≥ 6 scenarios beyond the two camcorder cases.
-        assert!(names.len() >= 8, "catalog too small: {names:?}");
+        // ≥ 8 scenarios beyond the two camcorder cases.
+        assert!(names.len() >= 10, "catalog too small: {names:?}");
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
@@ -828,6 +853,19 @@ mod tests {
         want.sort_by(|a, b| a.name.cmp(&b.name));
         assert_eq!(loaded, want);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn channel_variants_scale_the_same_workload() {
+        let base = by_name("ml-inference").unwrap();
+        for (name, channels) in [("ml-inference-4ch", 4), ("ml-inference-8ch", 8)] {
+            let s = by_name(name).unwrap();
+            assert_eq!(s.channels, channels, "{name}");
+            assert_eq!(s.cores, base.cores, "{name} must keep the workload");
+            let cfg = s.config().unwrap();
+            assert_eq!(cfg.dram.channels(), channels, "{name}");
+        }
+        assert_eq!(base.channels, 2);
     }
 
     #[test]

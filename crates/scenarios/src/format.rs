@@ -20,6 +20,7 @@
 //! | `frame_period_ns` | number | frame period in nanoseconds (> 0) |
 //! | `duration_ms` | number | nominal run length in milliseconds (> 0) |
 //! | `seed` | integer | master seed (full `u64` range round-trips) |
+//! | `channels` | integer, *optional* | DRAM channel count: a power of two in 1..=256 (absent = 2, the Table 1 part; emitted only when ≠ 2) |
 //! | `governor` | object, *optional* | online self-adaptation stanza (absent = static run) |
 //! | `cores` | array | one object per core: `kind` (Table 2 name, e.g. `"GPU"`, `"Image Proc."`) + `dmas` |
 //!
@@ -656,6 +657,11 @@ impl Scenario {
             kv("duration_ms", self.duration_ms),
             kv("seed", self.seed),
         ];
+        // Emitted only off-default, so two-channel documents keep their
+        // exact pre-channels bytes.
+        if self.channels != 2 {
+            members.push(kv("channels", self.channels as u64));
+        }
         if let Some(governor) = &self.governor {
             members.push(("governor".to_string(), governor_value(governor)));
         }
@@ -707,6 +713,7 @@ impl Scenario {
                 "frame_period_ns",
                 "duration_ms",
                 "seed",
+                "channels",
                 "governor",
                 "cores",
             ],
@@ -748,6 +755,20 @@ impl Scenario {
             .enumerate()
             .map(|(i, c)| core_from(c, &format!("{ctx}.cores[{i}]")))
             .collect::<Result<Vec<_>, _>>()?;
+        // Optional count: absent = the two-channel Table 1 part.
+        let channels = match members.iter().find(|(k, _)| k == "channels") {
+            None => 2,
+            Some(_) => {
+                let n = nonzero_u64_field(members, "channels", ctx)?;
+                if n > 256 || !n.is_power_of_two() {
+                    return Err(err(
+                        ctx,
+                        format!("\"channels\" must be a power of two in 1..=256, got {n}"),
+                    ));
+                }
+                n as usize
+            }
+        };
         // Optional stanza: absent = static run (v1 documents unchanged).
         let governor = members
             .iter()
@@ -763,6 +784,7 @@ impl Scenario {
             frame_period_ns: positive_field(members, "frame_period_ns", ctx)?,
             duration_ms: positive_field(members, "duration_ms", ctx)?,
             seed: u64_field(members, "seed", ctx)?,
+            channels,
             governor,
         })
     }
@@ -977,6 +999,31 @@ mod tests {
             assert!(base.contains(from), "test fixture drifted: {from}");
             let e = Scenario::from_json_str(&base.replacen(from, to, 1)).unwrap_err();
             assert!(e.message().contains(expect), "{from} -> {to}: {e}");
+        }
+    }
+
+    #[test]
+    fn channels_key_round_trips_and_is_optional() {
+        // Off-default counts are emitted and read back exactly.
+        let s = catalog::by_name("adas").unwrap().with_channels(8);
+        let text = s.to_json();
+        assert!(text.contains("\"channels\": 8"), "{text}");
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+
+        // The default count never appears: two-channel documents keep
+        // their pre-channels bytes, and readers default absent to 2.
+        let plain = catalog::by_name("adas").unwrap();
+        let text = plain.to_json();
+        assert!(!text.contains("\"channels\""), "{text}");
+        assert_eq!(Scenario::from_json_str(&text).unwrap().channels, 2);
+
+        // Non-power-of-two, zero and oversized counts are rejected.
+        let base = s.to_json();
+        for bad in ["\"channels\": 3", "\"channels\": 0", "\"channels\": 512"] {
+            let e = Scenario::from_json_str(&base.replacen("\"channels\": 8", bad, 1)).unwrap_err();
+            assert!(e.message().contains("channels"), "{bad}: {e}");
         }
     }
 

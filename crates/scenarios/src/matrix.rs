@@ -1,6 +1,6 @@
-//! The multi-threaded batch harness: scenario × policy × frequency runs
-//! sharded across scoped worker threads, aggregated into a ranked
-//! comparison summary.
+//! The multi-threaded batch harness: scenario × policy × frequency ×
+//! channel-count runs sharded across scoped worker threads, aggregated
+//! into a ranked comparison summary.
 //!
 //! Each cell of the matrix is one fully deterministic single-threaded
 //! simulation; workers pull cells off a shared atomic counter and write
@@ -27,6 +27,8 @@ pub struct MatrixSpec {
     pub policies: Vec<PolicyKind>,
     /// DRAM frequencies to sweep; empty means "each scenario's own".
     pub freqs_mhz: Vec<u32>,
+    /// DRAM channel counts to sweep; empty means "each scenario's own".
+    pub channels: Vec<usize>,
     /// Run length override in ms; `None` uses each scenario's nominal
     /// duration.
     pub duration_ms: Option<f64>,
@@ -43,6 +45,7 @@ impl Default for MatrixSpec {
         MatrixSpec {
             policies: PolicyKind::ALL.to_vec(),
             freqs_mhz: Vec::new(),
+            channels: Vec::new(),
             duration_ms: None,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             parallel_channels: false,
@@ -59,6 +62,8 @@ pub struct MatrixCell {
     pub policy: PolicyKind,
     /// DRAM frequency this cell ran at.
     pub freq: MegaHertz,
+    /// DRAM channel count this cell ran with.
+    pub channels: usize,
     /// The full simulation report.
     pub report: SimReport,
 }
@@ -74,6 +79,7 @@ impl MatrixCell {
             ("scenario".to_string(), self.scenario.as_str().into()),
             ("policy".to_string(), self.policy.name().into()),
             ("freq_mhz".to_string(), self.freq.as_u32().into()),
+            ("channels".to_string(), (self.channels as u64).into()),
             ("report".to_string(), self.report.to_json_value()),
         ])
     }
@@ -271,8 +277,8 @@ impl MatrixSummary {
     /// Serializes the summary as CSV: one row per cell in submission order,
     /// with each cell's rank within its scenario's policy comparison.
     ///
-    /// Columns: `scenario,policy,freq_mhz,bandwidth_gbs,row_hit_rate,`
-    /// `failures,all_met,rank`. Floats use the shortest round-trip form
+    /// Columns: `scenario,policy,freq_mhz,channels,bandwidth_gbs,`
+    /// `row_hit_rate,failures,all_met,rank`. Floats use the shortest round-trip form
     /// (the same convention as `sara_sim::sweeps`); scenario names with
     /// CSV metacharacters are RFC 4180-quoted (the format only requires a
     /// name to be non-empty, so `"adas,v2"` is a legal registry key).
@@ -285,14 +291,15 @@ impl MatrixSummary {
             }
         }
         let mut out = String::from(
-            "scenario,policy,freq_mhz,bandwidth_gbs,row_hit_rate,failures,all_met,rank\n",
+            "scenario,policy,freq_mhz,channels,bandwidth_gbs,row_hit_rate,failures,all_met,rank\n",
         );
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&c.scenario),
                 c.policy.name(),
                 c.freq.as_u32(),
+                c.channels,
                 c.report.bandwidth_gbs,
                 c.report.row_hit_rate,
                 c.failures(),
@@ -320,11 +327,13 @@ struct Job {
     scenario: usize,
     policy: PolicyKind,
     freq: MegaHertz,
+    channels: usize,
     duration_ms: f64,
 }
 
-/// Runs every scenario under every policy (× every frequency override),
-/// sharding cells across `spec.threads` scoped worker threads.
+/// Runs every scenario under every policy (× every frequency and
+/// channel-count override), sharding cells across `spec.threads` scoped
+/// worker threads.
 ///
 /// # Errors
 ///
@@ -343,12 +352,20 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
                 spec.freqs_mhz.iter().map(|&m| MegaHertz::new(m)).collect()
             };
             for freq in freqs {
-                jobs.push(Job {
-                    scenario: si,
-                    policy,
-                    freq,
-                    duration_ms: spec.duration_ms.unwrap_or(s.duration_ms),
-                });
+                let channel_counts: Vec<usize> = if spec.channels.is_empty() {
+                    vec![s.channels]
+                } else {
+                    spec.channels.clone()
+                };
+                for channels in channel_counts {
+                    jobs.push(Job {
+                        scenario: si,
+                        policy,
+                        freq,
+                        channels,
+                        duration_ms: spec.duration_ms.unwrap_or(s.duration_ms),
+                    });
+                }
             }
         }
     }
@@ -367,6 +384,7 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
             .clone()
             .with_policy(job.policy)
             .with_freq(job.freq)
+            .with_channels(job.channels)
             .build_stepped(spec.parallel_channels)?;
         let built = Instant::now();
         let end = sim.config().clock().cycles_from_ms(job.duration_ms);
@@ -416,6 +434,7 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
             scenario: scenarios[job.scenario].name.clone(),
             policy: job.policy,
             freq: job.freq,
+            channels: job.channels,
             report,
         });
         profile.push(cell_profile);
@@ -467,6 +486,7 @@ mod tests {
         let spec = MatrixSpec {
             policies: vec![PolicyKind::Fcfs, PolicyKind::Priority, PolicyKind::FrFcfs],
             freqs_mhz: Vec::new(),
+            channels: Vec::new(),
             duration_ms: Some(0.2),
             threads,
             parallel_channels: false,
@@ -552,6 +572,7 @@ mod tests {
         let spec = MatrixSpec {
             policies: vec![PolicyKind::Fcfs],
             freqs_mhz: Vec::new(),
+            channels: Vec::new(),
             duration_ms: Some(0.05),
             threads: 1,
             parallel_channels: false,
@@ -584,6 +605,7 @@ mod tests {
         let spec = MatrixSpec {
             policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
             freqs_mhz: Vec::new(),
+            channels: Vec::new(),
             duration_ms: Some(0.1),
             threads: 2,
             parallel_channels: false,
@@ -601,11 +623,37 @@ mod tests {
     }
 
     #[test]
+    fn channels_override_expands_cells() {
+        let s = vec![catalog::by_name("camcorder-b").unwrap()];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Priority],
+            freqs_mhz: Vec::new(),
+            channels: vec![2, 4],
+            duration_ms: Some(0.1),
+            threads: 2,
+            parallel_channels: false,
+        };
+        let summary = run_matrix(&s, &spec).unwrap();
+        assert_eq!(summary.cells.len(), 2);
+        assert_eq!(summary.cells[0].channels, 2);
+        assert_eq!(summary.cells[1].channels, 4);
+        // The axis reaches the sim: twice the channels, different traffic
+        // distribution, but the same workload injected.
+        let json = summary.to_json();
+        assert!(json.contains("\"channels\":2"), "{json}");
+        assert!(json.contains("\"channels\":4"), "{json}");
+        let csv = summary.to_csv();
+        assert!(csv.lines().nth(1).unwrap().contains(",1700,2,"), "{csv}");
+        assert!(csv.lines().nth(2).unwrap().contains(",1700,4,"), "{csv}");
+    }
+
+    #[test]
     fn frequency_override_expands_cells() {
         let s = vec![catalog::by_name("camcorder-b").unwrap()];
         let spec = MatrixSpec {
             policies: vec![PolicyKind::Priority],
             freqs_mhz: vec![1333, 1700],
+            channels: Vec::new(),
             duration_ms: Some(0.1),
             threads: 2,
             parallel_channels: false,

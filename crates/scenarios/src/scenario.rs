@@ -46,6 +46,10 @@ pub struct Scenario {
     pub duration_ms: f64,
     /// Master seed for all stochastic generators.
     pub seed: u64,
+    /// Number of DRAM channels (Table 1 ships 2; wider parts use a
+    /// channel-skewed address map — see
+    /// [`ScenarioParams::channels`]).
+    pub channels: usize,
     /// Optional online self-adaptation stanza (`None` = static run; the
     /// batch harness always runs scenarios statically regardless).
     pub governor: Option<GovernorSpec>,
@@ -70,6 +74,7 @@ impl Scenario {
             frame_period_ns: 1e9 / FRAMES_PER_SECOND,
             duration_ms: 5.0,
             seed: 0x5a5a_0001,
+            channels: 2,
             governor: None,
         }
     }
@@ -109,6 +114,14 @@ impl Scenario {
         self
     }
 
+    /// Replaces the DRAM channel count (power of two; 2 is the Table 1
+    /// default, wider counts lower onto a channel-skewed address map).
+    #[must_use]
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
     /// Attaches an online-governor stanza (see [`GovernorSpec`]).
     #[must_use]
     pub fn with_governor(mut self, spec: GovernorSpec) -> Self {
@@ -131,6 +144,7 @@ impl Scenario {
         ScenarioParams::new(self.freq, self.policy, self.cores.clone())
             .frame_period_ns(self.frame_period_ns)
             .seed(self.seed)
+            .channels(self.channels)
     }
 
     /// Builds a full system configuration with default substrates.
@@ -240,12 +254,15 @@ mod tests {
             .with_freq(MegaHertz::new(1333))
             .with_frame_period_ns(1e9 / 60.0)
             .with_duration_ms(2.0)
-            .with_seed(9);
+            .with_seed(9)
+            .with_channels(4);
         assert_eq!(s.policy, PolicyKind::Fcfs);
         assert_eq!(s.freq.as_u32(), 1333);
         assert_eq!(s.seed, 9);
+        assert_eq!(s.channels, 4);
         let cfg = s.config().unwrap();
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.dram.channels(), 4);
         assert_eq!(cfg.policy, PolicyKind::Fcfs);
         let expected = 1333.0e6 / 60.0;
         assert!((cfg.frame_period_cycles as f64 - expected).abs() < 2.0);

@@ -6,6 +6,11 @@ use sara_noc::{ArbiterKind, NocConfig};
 use sara_types::{Clock, ConfigError, MegaHertz, PriorityBits};
 use sara_workloads::{CoreSpec, TestCase, FRAMES_PER_SECOND};
 
+/// Default NoC→lane admission latency in cycles (see
+/// [`SystemConfig::admit_latency`]): a plausible interconnect forwarding
+/// delay that doubles as the lane look-ahead window for parallel stepping.
+pub(crate) const DEFAULT_ADMIT_LATENCY: u64 = 48;
+
 /// The NoC arbitration discipline matching a memory-controller policy, so
 /// the whole path applies one consistent QoS scheme (§2's end-to-end
 /// argument).
@@ -41,6 +46,10 @@ pub struct ScenarioParams {
     pub frame_period_ns: f64,
     /// Master seed for all stochastic generators.
     pub seed: u64,
+    /// DRAM channel count. The paper's Table 1 ships 2; wider configs
+    /// (4, 8, ...) scale out the lane-structured engine and switch to the
+    /// channel-skewed address map.
+    pub channels: usize,
 }
 
 impl ScenarioParams {
@@ -53,6 +62,7 @@ impl ScenarioParams {
             cores,
             frame_period_ns: 1e9 / FRAMES_PER_SECOND,
             seed: 0x5a5a_0001,
+            channels: 2,
         }
     }
 
@@ -67,6 +77,13 @@ impl ScenarioParams {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the DRAM channel count.
+    #[must_use]
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
         self
     }
 }
@@ -109,6 +126,13 @@ pub struct SystemConfig {
     pub warmup_cycles: u64,
     /// Extra cycles for read data to travel back through the interconnect.
     pub read_response_latency: u64,
+    /// Cycles between a NoC admission decision and the transaction
+    /// becoming visible to its channel lane. Modelling this forward
+    /// latency is also what lets decoupled lanes run that many cycles
+    /// ahead of the event drain — the look-ahead window that makes
+    /// parallel stepping profitable. Both stepping modes honour it
+    /// identically, so results stay bit-identical.
+    pub admit_latency: u64,
     /// Master seed for all stochastic generators.
     pub seed: u64,
     /// Priority encoding width k (the paper uses 3 bits; the ablation
@@ -169,6 +193,22 @@ impl SystemConfig {
         }
         let clock = Clock::new(params.freq);
         let frame_period_cycles = clock.cycles_from_ns(params.frame_period_ns).max(1);
+        // Table 1 is a 2-channel part; wider configs re-derive the same
+        // geometry per channel and adopt the channel-skewed map so strided
+        // traffic cannot camp on one lane.
+        let dram = if params.channels == 2 {
+            DramConfig::table1(params.freq)
+        } else {
+            DramConfig::builder()
+                .channels(params.channels)
+                .io_freq(params.freq)
+                .build()?
+        };
+        let interleave = if params.channels > 2 {
+            Interleave::RowRankBankColChanXor
+        } else {
+            Interleave::default()
+        };
         Ok(SystemConfig {
             freq: params.freq,
             policy: params.policy,
@@ -176,11 +216,12 @@ impl SystemConfig {
             frame_period_cycles,
             noc: NocConfig::new(arbiter_for(params.policy)),
             mc: McConfig::builder(params.policy).build()?,
-            dram: DramConfig::table1(params.freq),
-            interleave: Interleave::default(),
+            dram,
+            interleave,
             sample_period: clock.cycles_from_ns(10_000.0), // 10 µs
             warmup_cycles: clock.cycles_from_ns(1_000_000.0), // 1 ms
             read_response_latency: 10,
+            admit_latency: DEFAULT_ADMIT_LATENCY,
             seed: params.seed,
             priority_bits: PriorityBits::PAPER,
             trace_capacity: 0,
@@ -241,6 +282,40 @@ mod tests {
         )
         .frame_period_ns(0.0);
         assert!(SystemConfig::from_scenario(bad).is_err());
+    }
+
+    #[test]
+    fn channels_knob_scales_dram_and_switches_interleave() {
+        let wide = ScenarioParams::new(
+            MegaHertz::new(1866),
+            PolicyKind::Priority,
+            TestCase::A.cores(),
+        )
+        .channels(4);
+        let cfg = SystemConfig::from_scenario(wide).unwrap();
+        assert_eq!(cfg.dram.channels(), 4);
+        assert_eq!(cfg.dram.io_freq().as_u32(), 1866);
+        assert_eq!(cfg.interleave, Interleave::RowRankBankColChanXor);
+
+        let narrow = ScenarioParams::new(
+            MegaHertz::new(1866),
+            PolicyKind::Priority,
+            TestCase::A.cores(),
+        );
+        let cfg = SystemConfig::from_scenario(narrow).unwrap();
+        assert_eq!(cfg.dram.channels(), 2);
+        assert_eq!(cfg.interleave, Interleave::default());
+
+        let bad = ScenarioParams::new(
+            MegaHertz::new(1866),
+            PolicyKind::Priority,
+            TestCase::A.cores(),
+        )
+        .channels(3);
+        assert!(
+            SystemConfig::from_scenario(bad).is_err(),
+            "non-power-of-two"
+        );
     }
 
     #[test]

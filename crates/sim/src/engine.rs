@@ -15,14 +15,19 @@
 //!   adaptation update,
 //! * `Sample`  — periodic NPI/priority/bandwidth sampling.
 //!
-//! Execution is horizon-stepped: between two consecutive global events,
-//! every lane advances its own tick chain independently (DRAM command
-//! scheduling never reads anything outside its lane), then the lanes'
-//! buffered outputs — completions becoming `Deliver` events, freed
-//! shared-budget credit waking the NoC — are merged in a fixed
-//! `(cycle, lane)` order. Because lane advancement is independent and the
-//! merge order is fixed, advancing lanes sequentially or concurrently
-//! (the opt-in parallel stepping mode) produces bit-identical results.
+//! Execution is horizon-stepped with an admission-latency look-ahead: a
+//! transaction the NoC admits at cycle `e` reaches its lane at
+//! `e + admit_latency`, so when the next global event sits at `h`, every
+//! lane may advance its own tick chain through `[h, h + admit_latency)`
+//! before any event in that window is processed (DRAM command scheduling
+//! never reads anything outside its lane). The lanes' buffered outputs —
+//! completions becoming `Deliver` events, freed shared-budget credit
+//! waking the NoC — are then merged in a fixed `(cycle, lane)` order and
+//! the window's events drain in time order. Because lane advancement is
+//! independent and the merge order is fixed, advancing lanes sequentially
+//! or concurrently (the opt-in parallel stepping mode, served by a
+//! persistent per-lane worker pool, see [`crate::lanepool`]) produces
+//! bit-identical results.
 //!
 //! Wake-up suppression keeps the event count proportional to transaction
 //! count rather than simulated cycles, so a full 33 ms frame at 1866 MHz
@@ -30,8 +35,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use sara_dram::{AddressMap, Dram, DramStats};
+use sara_dram::{AddressMap, ChannelStats, Dram, DramStats};
 use sara_memctrl::{AdmissionControl, ChannelController, McStats, PolicyKind};
 use sara_noc::Noc;
 use sara_types::{
@@ -40,7 +46,8 @@ use sara_types::{
 
 use crate::config::SystemConfig;
 use crate::health::{DmaHealth, SystemHealth};
-use crate::lane::ChannelLane;
+use crate::lane::{ChannelLane, LaneCompletion};
+use crate::lanepool::LanePool;
 use crate::report::{ReportBuilder, SimReport};
 use crate::runtime::{build_dmas, DmaRuntime, BURST_BYTES};
 use crate::sampling::Samplers;
@@ -48,11 +55,11 @@ use crate::telemetry::{SimTelemetry, TelemetryReport};
 use crate::trace::{TraceRecord, TransactionTrace};
 
 /// Minimum horizon width (in cycles from the earliest pending lane tick)
-/// before the parallel stepping mode spawns threads for a window; narrower
-/// windows are advanced inline, where the synchronization cost would dwarf
-/// the work. Purely a scheduling heuristic — results are bit-identical
-/// either way.
-const PARALLEL_WINDOW_MIN: u64 = 512;
+/// before the parallel stepping mode hands a window to the worker pool;
+/// narrower windows are advanced inline, where even the park/unpark
+/// handshake would dwarf the work. Purely a scheduling heuristic — results
+/// are bit-identical either way.
+const PARALLEL_WINDOW_MIN: u64 = 16;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
@@ -95,7 +102,12 @@ pub struct Simulation {
     cfg: SystemConfig,
     clock: Clock,
     map: AddressMap,
-    lanes: Vec<ChannelLane>,
+    /// The per-channel lanes, shared with the worker pool. The mutexes are
+    /// uncontended by construction: the stepping thread touches lanes only
+    /// between pool windows, and each worker only its own lane.
+    lanes: Arc<Vec<Mutex<ChannelLane>>>,
+    /// Persistent per-lane workers, spawned on the first parallel window.
+    pool: Option<LanePool>,
     front: AdmissionControl,
     noc: Noc,
     dmas: Vec<DmaRuntime>,
@@ -117,8 +129,25 @@ pub struct Simulation {
     epoch_floor: Vec<f64>,
     /// Whether decoupled lanes advance concurrently between horizons.
     parallel: bool,
+    /// Whether this host can actually run lanes concurrently. On a
+    /// single-hardware-thread machine the pool handshake only adds
+    /// scheduler round trips, so parallel stepping silently falls back to
+    /// inline advancement — results are bit-identical either way.
+    multicore: bool,
     /// Scratch for the deterministic completion merge.
     merge_keys: Vec<(Cycle, usize, usize)>,
+    /// Per-lane completion buffers taken out of the lanes for the merge.
+    merge_scratch: Vec<Vec<LaneCompletion>>,
+    /// Per-lane window-participation scratch for the pool handoff.
+    select_scratch: Vec<bool>,
+    /// Events at or below this cycle may drain without re-entering the
+    /// lanes: every lane has already advanced past it. Raised when a new
+    /// look-ahead window opens, shrunk whenever a lane is armed (the
+    /// armed lane may now act as early as its arm cycle). Persisted across
+    /// [`Simulation::advance_until`] calls so a run cut at an epoch
+    /// boundary resumes its in-flight window exactly — stacked runs stay
+    /// equal to one uninterrupted run.
+    drain_limit: Cycle,
 }
 
 impl Simulation {
@@ -139,7 +168,7 @@ impl Simulation {
         }
         let dram = Dram::new(cfg.dram.clone(), cfg.interleave)?;
         let (_, map, channels) = dram.into_parts();
-        let lanes: Vec<ChannelLane> = channels
+        let lanes: Vec<Mutex<ChannelLane>> = channels
             .into_iter()
             .enumerate()
             .map(|(ch, chan)| {
@@ -149,8 +178,10 @@ impl Simulation {
                     chan,
                     cfg.freq,
                 )
+                .map(Mutex::new)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
+        let lanes = Arc::new(lanes);
         let front = AdmissionControl::new(&cfg.mc);
         let dmas = build_dmas(
             &cfg.cores,
@@ -167,7 +198,10 @@ impl Simulation {
         let mut sim = Simulation {
             clock,
             map,
+            merge_scratch: lanes.iter().map(|_| Vec::new()).collect(),
+            select_scratch: vec![false; lanes.len()],
             lanes,
+            pool: None,
             front,
             noc,
             dma_pending: vec![None; dmas.len()],
@@ -184,7 +218,10 @@ impl Simulation {
             telemetry: SimTelemetry::new(dmas.len(), channel_count),
             epoch_floor: vec![f64::INFINITY; dmas.len()],
             parallel: cfg.parallel_channels,
+            multicore: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                >= 2,
             merge_keys: Vec::new(),
+            drain_limit: Cycle::ZERO,
             dmas,
             cfg,
         };
@@ -228,35 +265,48 @@ impl Simulation {
     /// [`Simulation::health`] instead of paying for a full report per
     /// epoch).
     pub fn advance_until(&mut self, end: Cycle) {
+        let latency = self.cfg.admit_latency;
         loop {
             let next_global = self.heap.peek().map(|Reverse((at, _, _))| *at);
             match next_global {
                 Some(h) if h <= end => {
-                    // Advance every lane to the horizon, then process the
-                    // heap strictly in time order — the lane advance may
-                    // have surfaced delivers earlier than h.
-                    self.advance_lanes(h, false);
-                    let top = self
-                        .heap
-                        .peek()
-                        .map(|Reverse((at, _, _))| *at)
-                        .expect("event at h still queued");
-                    if top < h {
+                    if h > self.drain_limit {
+                        // Admission-latency look-ahead: nothing the NoC
+                        // decides at or after h can reach a lane before
+                        // h + latency, so every lane may run through
+                        // [h, h + latency) first. The advance may surface
+                        // completions (and with them events earlier than
+                        // h); re-peek so the heap drains strictly in time
+                        // order either way. The drain limit is the window
+                        // bound, pulled down to just past the first merged
+                        // completion (the pump may react to the freed
+                        // entry, and its admission must not land behind a
+                        // lane's frontier).
+                        let bound = h + latency;
+                        let cap = self.advance_lanes(bound);
+                        self.drain_limit = bound.min(cap);
                         continue;
                     }
-                    self.drain_events_at(h);
+                    // Every lane has advanced past the drain limit, so
+                    // events up to it dispatch without re-entering the
+                    // lanes. Fresh admissions shrink the limit (see
+                    // `Simulation::arm_lane`), closing the window early.
+                    let Reverse((at, _, kind)) = self.heap.pop().expect("peeked");
+                    debug_assert!(at >= self.now, "time went backwards");
+                    self.now = at;
+                    self.dispatch(at, kind);
                 }
                 _ => {
                     // No global event inside the window: run every lane
                     // through the end boundary (inclusive). Completions may
                     // surface new global events inside the window, so loop
                     // until quiescent.
-                    if self
+                    let busy = self
                         .lanes
                         .iter()
-                        .any(|lane| lane.has_work_before(end, true))
-                    {
-                        self.advance_lanes(end, true);
+                        .any(|slot| lock_lane(slot).has_work_below(end + 1));
+                    if busy {
+                        self.advance_lanes(end + 1);
                     } else {
                         break;
                     }
@@ -278,74 +328,81 @@ impl Simulation {
         self.run_until(end)
     }
 
-    /// Pops and dispatches every global event scheduled at exactly `h`
-    /// (handlers may push more events at `h`; they are processed too).
-    fn drain_events_at(&mut self, h: Cycle) {
-        while let Some(Reverse((at, _, _))) = self.heap.peek() {
-            if *at != h {
-                break;
-            }
-            let Reverse((at, _, kind)) = self.heap.pop().expect("peeked");
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.dispatch(at, kind);
-        }
-    }
-
-    /// Advances every lane to the horizon `h` — sequentially, or
-    /// concurrently when parallel stepping is enabled and the window is
-    /// wide enough to amortise the synchronization — then merges the
-    /// lanes' buffered outputs in a fixed order. The merge is what makes
-    /// the two strategies indistinguishable: completions are re-ordered by
-    /// `(cycle, lane)` before any global state is touched.
-    fn advance_lanes(&mut self, h: Cycle, inclusive: bool) {
+    /// Advances every lane with work below `bound` (exclusive) —
+    /// sequentially, or via the persistent worker pool when parallel
+    /// stepping is enabled and the window is wide enough to amortise the
+    /// handshake — then merges the lanes' buffered outputs in a fixed
+    /// order. The merge is what makes the two strategies
+    /// indistinguishable: completions are re-ordered by `(cycle, lane)`
+    /// before any global state is touched.
+    ///
+    /// Returns the earliest cycle a lane may still produce output before
+    /// `bound` (the first merged completion plus the admission latency),
+    /// or [`Cycle::MAX`] if the whole window completed — the caller's
+    /// event-drain limit.
+    fn advance_lanes(&mut self, bound: Cycle) -> Cycle {
+        let latency = self.cfg.admit_latency;
         let mut active = 0usize;
         let mut earliest = Cycle::MAX;
-        for lane in &self.lanes {
-            if lane.has_work_before(h, inclusive) {
+        for (i, slot) in self.lanes.iter().enumerate() {
+            let lane = lock_lane(slot);
+            let sel = lane.has_work_below(bound);
+            self.select_scratch[i] = sel;
+            if sel {
                 active += 1;
                 if let Some(t) = lane.pending {
                     earliest = earliest.min(t);
                 }
             }
         }
-        let wide = h.saturating_sub(earliest) >= PARALLEL_WINDOW_MIN;
-        if self.parallel && active >= 2 && wide {
-            std::thread::scope(|scope| {
-                for lane in self.lanes.iter_mut() {
-                    if lane.has_work_before(h, inclusive) {
-                        scope.spawn(move || lane.advance_to(h, inclusive));
+        if active > 0 {
+            let wide = bound.saturating_sub(earliest) >= PARALLEL_WINDOW_MIN;
+            if self.parallel && self.multicore && active >= 2 && wide {
+                let lanes = &self.lanes;
+                let pool = self
+                    .pool
+                    .get_or_insert_with(|| LanePool::new(Arc::clone(lanes)));
+                pool.advance(&self.select_scratch, bound, latency);
+            } else {
+                for (i, slot) in self.lanes.iter().enumerate() {
+                    if self.select_scratch[i] {
+                        lock_lane(slot).advance_to(bound, latency);
                     }
                 }
-            });
-        } else {
-            for lane in &mut self.lanes {
-                lane.advance_to(h, inclusive);
             }
         }
-        self.merge_lane_outputs();
+        self.merge_lane_outputs()
+            .map_or(Cycle::MAX, |first| first + latency)
     }
 
     /// Applies the lanes' buffered window outputs to the global state in
     /// deterministic `(cycle, lane)` order: trace records, `Deliver`
     /// events, shared-budget releases, and a NoC pump at each completion
     /// cycle (a freed controller entry may unblock the root arbiter).
-    fn merge_lane_outputs(&mut self) {
+    /// Returns the earliest merged completion cycle, if any.
+    fn merge_lane_outputs(&mut self) -> Option<Cycle> {
+        for (li, slot) in self.lanes.iter().enumerate() {
+            let mut lane = lock_lane(slot);
+            if !lane.out.is_empty() {
+                std::mem::swap(&mut lane.out, &mut self.merge_scratch[li]);
+            }
+        }
         self.merge_keys.clear();
-        for (li, lane) in self.lanes.iter().enumerate() {
-            for (i, c) in lane.out.iter().enumerate() {
+        for (li, out) in self.merge_scratch.iter().enumerate() {
+            for (i, c) in out.iter().enumerate() {
                 self.merge_keys.push((c.at, li, i));
             }
         }
         if self.merge_keys.is_empty() {
-            return;
+            return None;
         }
         // At most one command per cycle per lane makes (cycle, lane)
         // unique, so the order is total and mode-independent.
         self.merge_keys.sort_unstable();
         let keys = std::mem::take(&mut self.merge_keys);
+        let first = keys[0].0;
         for &(at, li, i) in &keys {
-            let c = self.lanes[li].out[i].completion.clone();
+            let c = self.merge_scratch[li][i].completion.clone();
             self.telemetry
                 .record_completion(li, c.txn.class, c.queued_for, c.row_hit, c.was_aged);
             if self.cfg.trace_capacity > 0 {
@@ -383,9 +440,10 @@ impl Simulation {
             self.push(at, EventKind::Release(c.txn.class.queue_index() as u8));
         }
         self.merge_keys = keys;
-        for lane in &mut self.lanes {
-            lane.out.clear();
+        for out in &mut self.merge_scratch {
+            out.clear();
         }
+        Some(first)
     }
 
     fn dispatch(&mut self, at: Cycle, kind: EventKind) {
@@ -496,8 +554,13 @@ impl Simulation {
 
     fn pump(&mut self) {
         let now = self.now;
-        let mut accepted = [false; 8];
-        let (noc, front, lanes, map) = (&mut self.noc, &mut self.front, &mut self.lanes, &self.map);
+        // Admission latency: a transaction the NoC admits now physically
+        // reaches its lane `admit_latency` cycles later — the slack that
+        // lets lanes run ahead of the event drain.
+        let admit_at = now + self.cfg.admit_latency;
+        // One bit per channel (a ChannelId addresses at most 256).
+        let mut accepted = [0u64; 4];
+        let (noc, front, lanes, map) = (&mut self.noc, &mut self.front, &self.lanes, &self.map);
         let outcome = noc.pump(now, &mut |txn| {
             let q = txn.class.queue_index();
             if !front.has_room(q) {
@@ -506,15 +569,15 @@ impl Simulation {
             }
             let loc = map.decode(txn.addr);
             front.admit(q);
-            accepted[loc.channel] = true;
-            let lane = &mut lanes[loc.channel];
+            accepted[loc.channel >> 6] |= 1u64 << (loc.channel & 63);
+            let mut lane = lock_lane(&lanes[loc.channel]);
             debug_assert_eq!(lane.id.index(), loc.channel, "lane order matches channels");
-            lane.ctrl.accept(txn, loc, now);
+            lane.ctrl.accept(txn, loc, admit_at);
             Ok(())
         });
-        for (ch, &hit) in accepted.iter().enumerate().take(self.channels) {
-            if hit {
-                self.lanes[ch].arm(now);
+        for ch in 0..self.channels {
+            if accepted[ch >> 6] & (1u64 << (ch & 63)) != 0 {
+                self.arm_lane(ch, admit_at);
             }
         }
         if let Some(at) = outcome.next_action {
@@ -555,7 +618,7 @@ impl Simulation {
     fn dram_bytes(&self) -> u64 {
         self.lanes
             .iter()
-            .map(|lane| lane.chan.stats().total_bytes())
+            .map(|slot| lock_lane(slot).chan.stats().total_bytes())
             .sum()
     }
 
@@ -592,7 +655,7 @@ impl Simulation {
     pub fn effective_dram_freq(&self) -> MegaHertz {
         self.lanes
             .iter()
-            .map(|lane| lane.effective_freq)
+            .map(|slot| lock_lane(slot).effective_freq)
             .max()
             .expect("at least one channel")
     }
@@ -600,7 +663,10 @@ impl Simulation {
     /// Effective DRAM frequency of every channel's clock domain, in
     /// channel order.
     pub fn channel_freqs(&self) -> Vec<MegaHertz> {
-        self.lanes.iter().map(|lane| lane.effective_freq).collect()
+        self.lanes
+            .iter()
+            .map(|slot| lock_lane(slot).effective_freq)
+            .collect()
     }
 
     /// Steps every channel's clock domain to `target` — the single-knob
@@ -656,21 +722,31 @@ impl Simulation {
                 self.channels
             )));
         }
-        let lane = &mut self.lanes[channel];
+        let now = self.now;
+        let beat = self.cfg.freq.as_u32() as u64;
+        let mut lane = lock_lane(&self.lanes[channel]);
         if target == lane.effective_freq {
             return Ok(());
         }
-        lane.chan
-            .set_clock(self.cfg.freq.as_u32() as u64, target.as_u32() as u64);
+        lane.chan.set_clock(beat, target.as_u32() as u64);
         lane.effective_freq = target;
         // Re-arm the lane if it has queued work: a step *up* moves legal
         // issue times earlier than any pending retry wake, and waiting for
         // the stale (late) wake would idle the faster device.
-        if lane.ctrl.queued() > 0 {
-            let now = self.now;
-            lane.arm(now);
+        let rearm = lane.ctrl.queued() > 0;
+        drop(lane);
+        if rearm {
+            self.arm_lane(channel, now);
         }
         Ok(())
+    }
+
+    /// Arms `channel`'s lane for a tick at `at` and pulls the drain limit
+    /// down to it: the lane may now produce output from `at` on, so no
+    /// later event may dispatch before the lane re-advances.
+    fn arm_lane(&mut self, channel: usize, at: Cycle) {
+        lock_lane(&self.lanes[channel]).arm(at);
+        self.drain_limit = self.drain_limit.min(at);
     }
 
     /// Switches the memory-scheduling policy mid-run (the governor's
@@ -680,8 +756,8 @@ impl Simulation {
     /// paper's QoS enforcement point.
     pub fn set_policy(&mut self, policy: PolicyKind) {
         self.cfg.policy = policy;
-        for lane in &mut self.lanes {
-            lane.ctrl.set_policy(policy);
+        for slot in self.lanes.iter() {
+            lock_lane(slot).ctrl.set_policy(policy);
         }
     }
 
@@ -712,7 +788,11 @@ impl Simulation {
             now,
             dmas,
             mc_occupancy: self.front.occupancy(),
-            queued_per_channel: self.lanes.iter().map(|lane| lane.ctrl.queued()).collect(),
+            queued_per_channel: self
+                .lanes
+                .iter()
+                .map(|slot| lock_lane(slot).ctrl.queued())
+                .collect(),
             freq_per_channel: self.channel_freqs(),
             dram_bytes: self.dram_bytes(),
             effective_freq: self.effective_dram_freq(),
@@ -733,15 +813,20 @@ impl Simulation {
     /// lane's scheduling counters.
     fn mc_stats(&self) -> McStats {
         let mut stats = self.front.stats().clone();
-        for lane in &self.lanes {
-            stats.merge_scheduling(lane.ctrl.stats());
+        for slot in self.lanes.iter() {
+            stats.merge_scheduling(lock_lane(slot).ctrl.stats());
         }
         stats
     }
 
     /// Builds a report for the elapsed window.
     pub fn report(&self) -> SimReport {
-        let dram = DramStats::from_channels(self.lanes.iter().map(|lane| lane.chan.stats()));
+        let channel_stats: Vec<ChannelStats> = self
+            .lanes
+            .iter()
+            .map(|slot| lock_lane(slot).chan.stats().clone())
+            .collect();
+        let dram = DramStats::from_channels(&channel_stats);
         let mc = self.mc_stats();
         let telemetry = TelemetryReport::new(&self.telemetry, &mc, &dram, &self.noc, &self.dmas);
         ReportBuilder {
@@ -757,6 +842,15 @@ impl Simulation {
         }
         .build()
     }
+}
+
+/// Locks a lane. The mutexes are uncontended by construction (the stepping
+/// thread and the pool workers never race for the same lane), so this
+/// never blocks; poisoning only occurs if a worker panicked, which is
+/// already fatal.
+#[inline]
+fn lock_lane(slot: &Mutex<ChannelLane>) -> MutexGuard<'_, ChannelLane> {
+    slot.lock().expect("lane mutex poisoned")
 }
 
 #[cfg(test)]
@@ -781,6 +875,31 @@ mod tests {
         for (a, b) in full.cores.iter().zip(&resumed.cores) {
             assert_eq!(a.completed, b.completed);
         }
+    }
+
+    #[test]
+    fn pool_handshake_matches_sequential_even_when_forced_on_small_hosts() {
+        // The engine skips the worker pool on a single-hardware-thread
+        // host, which would leave the handshake uncovered there; force the
+        // multicore path so the pool itself (spawn, window handoff,
+        // shutdown) runs and stays byte-identical to inline stepping.
+        let params = crate::config::ScenarioParams::new(
+            TestCase::B.dram_freq(),
+            PolicyKind::Priority,
+            TestCase::B.cores(),
+        )
+        .channels(4);
+        let cfg = SystemConfig::from_scenario(params).unwrap();
+        let mut seq = Simulation::new(cfg.clone()).unwrap();
+        let baseline = seq.run_for_ms(0.05);
+
+        let mut parallel_cfg = cfg;
+        parallel_cfg.parallel_channels = true;
+        let mut par = Simulation::new(parallel_cfg).unwrap();
+        par.multicore = true;
+        let forced = par.run_for_ms(0.05);
+        assert!(par.pool.is_some(), "forced run must have spawned the pool");
+        assert_eq!(baseline.to_json(), forced.to_json());
     }
 
     #[test]

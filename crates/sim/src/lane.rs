@@ -13,7 +13,7 @@
 
 use sara_dram::Channel;
 use sara_memctrl::{ChannelController, Completion, TickResult};
-use sara_types::{ChannelId, Cycle, MegaHertz};
+use sara_types::{ChannelId, ConfigError, Cycle, MegaHertz};
 
 /// One completion surfaced by a lane advance, stamped with the cycle its
 /// final column command issued at (the merge sort key).
@@ -53,16 +53,34 @@ pub(crate) struct ChannelLane {
 }
 
 impl ChannelLane {
-    pub(crate) fn new(id: usize, ctrl: ChannelController, chan: Channel, freq: MegaHertz) -> Self {
-        ChannelLane {
-            id: ChannelId::new(id as u8),
+    /// Builds a lane for channel `id`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects channel indices beyond what [`ChannelId`] can represent
+    /// instead of silently truncating them (two lanes sharing an id would
+    /// corrupt per-channel stats and merge ordering).
+    pub(crate) fn new(
+        id: usize,
+        ctrl: ChannelController,
+        chan: Channel,
+        freq: MegaHertz,
+    ) -> Result<Self, ConfigError> {
+        let id = u8::try_from(id).map(ChannelId::new).map_err(|_| {
+            ConfigError::new(format!(
+                "channel index {id} exceeds the {} channels a ChannelId can address",
+                usize::from(u8::MAX) + 1
+            ))
+        })?;
+        Ok(ChannelLane {
+            id,
             ctrl,
             chan,
             pending: None,
             frontier: Cycle::ZERO,
             effective_freq: freq,
             out: Vec::new(),
-        }
+        })
     }
 
     /// Requests a tick at `at` (clamped to the lane's frontier), keeping
@@ -76,30 +94,28 @@ impl ChannelLane {
         self.pending = Some(at);
     }
 
-    /// Whether this lane has a tick to run before (or, when `inclusive`,
-    /// at) the horizon `h`.
+    /// Whether this lane has a tick to run below the (exclusive) horizon.
     #[inline]
-    pub(crate) fn has_work_before(&self, h: Cycle, inclusive: bool) -> bool {
-        match self.pending {
-            Some(t) => t < h || (inclusive && t == h),
-            None => false,
-        }
+    pub(crate) fn has_work_below(&self, bound: Cycle) -> bool {
+        matches!(self.pending, Some(t) if t < bound)
     }
 
-    /// Advances this lane's tick chain up to the horizon `h` (exclusive,
-    /// or inclusive at the `end` boundary), buffering completions into
-    /// [`ChannelLane::out`]. Touches nothing outside the lane — the
-    /// property that makes concurrent advancement sound.
+    /// Advances this lane's tick chain up to `bound` (exclusive), buffering
+    /// completions into [`ChannelLane::out`]. Touches nothing outside the
+    /// lane — the property that makes concurrent advancement sound.
     ///
-    /// The advance stops after the *first* completion: a completion frees
-    /// a shared-budget entry, and the NoC must get a chance to exploit it
-    /// at that cycle (not at the far edge of the window) or a drained
-    /// controller starves behind a distant horizon. The engine re-enters
-    /// with a fresh horizon immediately after merging, so lanes still run
-    /// decoupled through every completion-free stretch.
-    pub(crate) fn advance_to(&mut self, h: Cycle, inclusive: bool) {
+    /// A completion frees a shared-budget entry, and the NoC must get a
+    /// chance to exploit it before the lane's own frontier outruns the
+    /// freed cycle. The admission latency gives the lane `cap_latency`
+    /// cycles of slack: the first completion at `t1` caps the advance at
+    /// `t1 + cap_latency` (exclusive), because anything the pump admits in
+    /// reaction reaches the lane no earlier than that. The engine re-enters
+    /// with a fresh horizon after merging, so lanes still run decoupled
+    /// through every completion-free stretch.
+    pub(crate) fn advance_to(&mut self, bound: Cycle, cap_latency: u64) {
+        let mut cap = Cycle::MAX;
         while let Some(t) = self.pending {
-            if t > h || (!inclusive && t == h) {
+            if t >= bound || t >= cap {
                 break;
             }
             self.pending = None;
@@ -109,11 +125,13 @@ impl ChannelLane {
                     // Command bus: one command per cycle per channel.
                     self.pending = Some(t + 1);
                     if let Some(c) = completed {
+                        if cap == Cycle::MAX {
+                            cap = t + cap_latency;
+                        }
                         self.out.push(LaneCompletion {
                             at: t,
                             completion: c,
                         });
-                        break;
                     }
                 }
                 TickResult::Idle { retry_at } => self.pending = retry_at,

@@ -1,0 +1,197 @@
+//! Persistent worker pool for parallel lane stepping.
+//!
+//! The lane-structured engine advances channel lanes between global events.
+//! Spawning scoped threads per window costs more than the window's work for
+//! all but the widest horizons, so the pool keeps one parked worker per lane
+//! alive for the simulation's lifetime and hands windows over with a
+//! generation counter: the stepping thread publishes the window parameters,
+//! bumps the generation, and unparks the selected workers; each worker
+//! advances its own lane (behind a mutex that is uncontended by
+//! construction — the stepping thread only touches lanes between windows)
+//! and the last one to finish unparks the stepping thread.
+//!
+//! Determinism is unaffected: workers only run [`ChannelLane::advance_to`],
+//! which touches nothing outside its lane, and the engine merges lane
+//! outputs in fixed `(cycle, lane)` order afterwards, so parallel stepping
+//! stays byte-identical to sequential stepping.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle, Thread};
+
+use sara_types::Cycle;
+
+use crate::lane::ChannelLane;
+
+/// Spin iterations before a waiter gives up and parks. Windows are a few
+/// microseconds of lane work apart, so a parked-and-woken worker (one to
+/// two futex round trips, easily the window's whole budget) would erase
+/// the gain of stepping lanes concurrently; spinning briefly keeps the
+/// handoff in the hundreds of nanoseconds. The limit bounds the burn when
+/// a simulation goes quiet — waiters fall back to parking and cost
+/// nothing until the next window.
+const SPIN_LIMIT: u32 = 8192;
+
+/// Spin budget for this host: spinning needs the peer to be making
+/// progress on another hardware thread, so a single-CPU machine gets a
+/// zero budget and every waiter parks immediately instead of burning its
+/// own scheduling quantum (the engine avoids dispatching to the pool on
+/// such hosts anyway; this keeps direct pool use safe too).
+fn spin_limit() -> u32 {
+    if std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) >= 2 {
+        SPIN_LIMIT
+    } else {
+        0
+    }
+}
+
+/// One persistent parked worker per lane, driven window-by-window.
+pub(crate) struct LanePool {
+    shared: Arc<PoolShared>,
+    /// Unpark handles, one per worker, indexed like the lanes.
+    handles: Vec<Thread>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// State shared between the stepping thread and the workers. All window
+/// parameters are published before the generation bump; workers read them
+/// only after observing the new generation (SeqCst on both sides).
+struct PoolShared {
+    lanes: Arc<Vec<Mutex<ChannelLane>>>,
+    /// Incremented once per window; workers park until it changes.
+    generation: AtomicU64,
+    /// Exclusive advance bound for the current window.
+    bound: AtomicU64,
+    /// Completion cap latency for the current window.
+    cap_latency: AtomicU64,
+    /// Which lanes participate in the current window.
+    selected: Vec<AtomicBool>,
+    /// Selected workers still running; the last one unparks the stepper.
+    remaining: AtomicUsize,
+    /// The stepping thread to unpark when the window completes.
+    stepper: Mutex<Option<Thread>>,
+    shutdown: AtomicBool,
+}
+
+impl LanePool {
+    /// Spawns one parked worker per lane.
+    pub(crate) fn new(lanes: Arc<Vec<Mutex<ChannelLane>>>) -> Self {
+        let shared = Arc::new(PoolShared {
+            selected: lanes.iter().map(|_| AtomicBool::new(false)).collect(),
+            lanes,
+            generation: AtomicU64::new(0),
+            bound: AtomicU64::new(0),
+            cap_latency: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            stepper: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers: Vec<JoinHandle<()>> = (0..shared.lanes.len())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("sara-lane-{i}"))
+                    .spawn(move || worker(&shared, i))
+                    .expect("spawn lane worker")
+            })
+            .collect();
+        let handles = workers.iter().map(|w| w.thread().clone()).collect();
+        LanePool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Advances every selected lane to `bound` (exclusive) concurrently and
+    /// blocks until all of them finish. No-op if nothing is selected.
+    pub(crate) fn advance(&self, selected: &[bool], bound: Cycle, cap_latency: u64) {
+        let shared = &self.shared;
+        let mut count = 0usize;
+        for (slot, &sel) in shared.selected.iter().zip(selected) {
+            slot.store(sel, Ordering::SeqCst);
+            count += usize::from(sel);
+        }
+        if count == 0 {
+            return;
+        }
+        shared.bound.store(bound.as_u64(), Ordering::SeqCst);
+        shared.cap_latency.store(cap_latency, Ordering::SeqCst);
+        *shared.stepper.lock().expect("stepper handle") = Some(thread::current());
+        shared.remaining.store(count, Ordering::SeqCst);
+        shared.generation.fetch_add(1, Ordering::SeqCst);
+        for (handle, &sel) in self.handles.iter().zip(selected) {
+            if sel {
+                handle.unpark();
+            }
+        }
+        let limit = spin_limit();
+        let mut spins = 0u32;
+        while shared.remaining.load(Ordering::SeqCst) != 0 {
+            if spins < limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                thread::park();
+            }
+        }
+    }
+}
+
+fn worker(shared: &PoolShared, i: usize) {
+    let limit = spin_limit();
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let generation = shared.generation.load(Ordering::SeqCst);
+            if generation != seen {
+                seen = generation;
+                break;
+            }
+            if spins < limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                thread::park();
+            }
+        }
+        if !shared.selected[i].load(Ordering::SeqCst) {
+            continue;
+        }
+        let bound = Cycle::new(shared.bound.load(Ordering::SeqCst));
+        let cap_latency = shared.cap_latency.load(Ordering::SeqCst);
+        shared.lanes[i]
+            .lock()
+            .expect("lane mutex poisoned")
+            .advance_to(bound, cap_latency);
+        if shared.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if let Some(stepper) = shared.stepper.lock().expect("stepper handle").as_ref() {
+                stepper.unpark();
+            }
+        }
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for handle in &self.handles {
+            handle.unpark();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl core::fmt::Debug for LanePool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LanePool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -51,6 +51,7 @@ pub mod experiment;
 mod health;
 pub mod json;
 mod lane;
+mod lanepool;
 mod report;
 mod runtime;
 mod sampling;

@@ -47,6 +47,34 @@ fn parallel_stepping_reports_are_byte_identical_across_the_catalog() {
     }
 }
 
+/// The stepping contract holds as the channel count scales out, pinned
+/// explicitly at 4 and 8 channels: both the catalog's channel-scaled
+/// variants and an unrelated workload re-scaled through `with_channels`
+/// must report byte-identically in both modes. Wider channel counts mean
+/// more lanes stepping concurrently (and the XOR-skewed address map), so
+/// this is where a merge-order bug would surface first.
+#[test]
+fn four_and_eight_channel_runs_are_byte_identical_across_stepping_modes() {
+    let mut subjects = Vec::new();
+    for (name, channels) in [("ml-inference-4ch", 4), ("ml-inference-8ch", 8)] {
+        let s = catalog::by_name(name).unwrap();
+        assert_eq!(s.channels, channels, "{name}: wrong channel count");
+        subjects.push(s);
+    }
+    for channels in [4usize, 8] {
+        subjects.push(catalog::by_name("adas").unwrap().with_channels(channels));
+    }
+    for s in subjects {
+        let seq = s.run_for_ms_stepped(0.4, false).unwrap().to_json();
+        let par = s.run_for_ms_stepped(0.4, true).unwrap().to_json();
+        assert_eq!(
+            seq, par,
+            "{} at {} channels: parallel stepping diverged",
+            s.name, s.channels
+        );
+    }
+}
+
 /// The telemetry layer rides the same contract, called out separately so
 /// a divergence in the metrics substrate fails loudly by name rather
 /// than as an opaque whole-report byte mismatch: for every catalog

@@ -16,6 +16,7 @@ fn every_builtin_scenario_completes_one_ms() {
     let spec = MatrixSpec {
         policies: vec![PolicyKind::Priority],
         freqs_mhz: Vec::new(),
+        channels: Vec::new(),
         duration_ms: Some(1.0),
         threads: 8,
         parallel_channels: false,
@@ -53,6 +54,7 @@ fn rankings_prefer_the_policy_that_meets_targets() {
     let spec = MatrixSpec {
         policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
         freqs_mhz: Vec::new(),
+        channels: Vec::new(),
         duration_ms: Some(1.5),
         threads: 2,
         parallel_channels: false,
@@ -91,6 +93,7 @@ fn matrix_json_identical_for_1_2_and_8_workers() {
                 PolicyKind::Priority,
             ],
             freqs_mhz: Vec::new(),
+            channels: Vec::new(),
             duration_ms: Some(0.25),
             threads,
             parallel_channels: false,
