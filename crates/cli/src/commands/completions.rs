@@ -143,6 +143,12 @@ const COMMANDS: &[Command] = &[
         bool_flags: &["--diff"],
     },
     Command {
+        name: "serve",
+        summary: "long-lived NDJSON simulation service",
+        value_flags: &["--tcp", "--unix", "--workers", "--budget", "--max-sessions"],
+        bool_flags: &["--parallel-channels"],
+    },
+    Command {
         name: "completions",
         summary: "emit a shell completion script",
         value_flags: &[],

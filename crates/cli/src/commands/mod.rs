@@ -9,6 +9,7 @@ pub mod govern;
 pub mod list;
 pub mod matrix;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 pub mod validate;
 

@@ -14,6 +14,7 @@ use json::Value;
 use crate::args::{Args, CliError};
 use crate::commands::bench::{FORMAT_TAG as BENCH_TAG, HISTORY_FORMAT_TAG as HISTORY_TAG};
 use crate::output::page;
+use sara_serve::FORMAT_TAG as SERVE_TAG;
 
 const USAGE: &str = "usage: sara report FILE | sara report --diff OLD NEW [--tolerance F]";
 
@@ -32,11 +33,16 @@ same kind for regressions:
   history   `sara bench --history` performance timelines
   govern    `sara govern --json` governed-run trace batches
   chrome    `--chrome-trace` trace-event documents
+  serve     `sara serve` session transcripts (NDJSON record streams)
 
   --diff OLD NEW   compare two dumps of the same kind; any regression in
                    NEW relative to OLD exits 1 with the offenders named:
                      matrix  QoS targets newly missed, more failed
                              cores, or bandwidth down past the tolerance
+                     serve   same cell-level checks as matrix — serve
+                             transcripts and matrix dumps diff against
+                             each other freely (the service streams the
+                             very same cells the batch harness writes)
                      bench   a scenario's cells/sec falling relative to
                              the run's own geometric mean
                      history the latest records of two timelines: the
@@ -58,6 +64,7 @@ enum Kind {
     History,
     Govern,
     Chrome,
+    Serve,
 }
 
 impl Kind {
@@ -68,7 +75,14 @@ impl Kind {
             Kind::History => "bench history",
             Kind::Govern => "govern",
             Kind::Chrome => "chrome trace",
+            Kind::Serve => "serve transcript",
         }
+    }
+
+    /// Matrix dumps and serve transcripts carry the same cells, so they
+    /// diff against each other freely.
+    fn carries_cells(self) -> bool {
+        matches!(self, Kind::Matrix | Kind::Serve)
     }
 }
 
@@ -101,14 +115,16 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         }
         let (old_doc, old_kind) = load(&files[0])?;
         let (new_doc, new_kind) = load(&files[1])?;
-        if old_kind != new_kind {
+        let compatible =
+            old_kind == new_kind || (old_kind.carries_cells() && new_kind.carries_cells());
+        if !compatible {
             return Err(CliError::Failure(format!(
                 "cannot diff a {} dump against a {} dump",
                 old_kind.name(),
                 new_kind.name()
             )));
         }
-        let (ok, regressions) = diff(&old_doc, &new_doc, old_kind, tolerance)?;
+        let (ok, regressions) = diff(&old_doc, &new_doc, old_kind, new_kind, tolerance)?;
         for line in ok {
             page(line);
         }
@@ -143,18 +159,51 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// Reads, parses and classifies one dump.
+/// Reads, parses and classifies one dump. Serve transcripts are NDJSON —
+/// one record per line — so when the whole text is not a single JSON
+/// document, the loader retries line by line and accepts the result if
+/// every line is a `sara-serve/v1` record.
 fn load(path: &str) -> Result<(Value, Kind), CliError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
-    let doc = json::parse(&text).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(whole_doc_error) => parse_ndjson(&text)
+            .ok_or_else(|| CliError::Failure(format!("{path}: {whole_doc_error}")))?,
+    };
     let kind = detect(&doc).ok_or_else(|| {
         CliError::Failure(format!(
             "{path}: unrecognized document shape (expected a sara matrix, bench, \
-             bench-history, govern, or chrome-trace dump)"
+             bench-history, govern, serve, or chrome-trace dump)"
         ))
     })?;
+    // A single saved serve record (e.g. just the summary line) classifies
+    // like a whole transcript: normalize to the array-of-records shape.
+    let doc = match (kind, &doc) {
+        (Kind::Serve, Value::Object(_)) => Value::Array(vec![doc]),
+        _ => doc,
+    };
     Ok((doc, kind))
+}
+
+/// Parses newline-delimited JSON into an array of serve records, or
+/// `None` when any line fails to parse or is not tagged `sara-serve/v1`.
+fn parse_ndjson(text: &str) -> Option<Value> {
+    let mut records = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = json::parse(line).ok()?;
+        if record.get("format").and_then(Value::as_str) != Some(SERVE_TAG) {
+            return None;
+        }
+        records.push(record);
+    }
+    if records.is_empty() {
+        return None;
+    }
+    Some(Value::Array(records))
 }
 
 /// Classifies a document by its shape.
@@ -162,6 +211,7 @@ fn detect(doc: &Value) -> Option<Kind> {
     match doc.get("format").and_then(Value::as_str) {
         Some(BENCH_TAG) => return Some(Kind::Bench),
         Some(HISTORY_TAG) => return Some(Kind::History),
+        Some(SERVE_TAG) => return Some(Kind::Serve),
         _ => {}
     }
     if doc.get("cells").is_some() && doc.get("rankings").is_some() {
@@ -169,6 +219,15 @@ fn detect(doc: &Value) -> Option<Kind> {
     }
     if doc.get("traceEvents").is_some() {
         return Some(Kind::Chrome);
+    }
+    if let Some(records) = doc.as_array() {
+        if !records.is_empty()
+            && records
+                .iter()
+                .all(|r| r.get("format").and_then(Value::as_str) == Some(SERVE_TAG))
+        {
+            return Some(Kind::Serve);
+        }
     }
     match doc.as_array() {
         Some(runs)
@@ -247,31 +306,36 @@ impl CellFacts {
     }
 }
 
+/// Extracts the comparable facts from one cell object — the shape is
+/// shared between matrix dumps (`cells[i]`) and serve transcripts
+/// (`cell` records), which is what lets the two kinds diff against each
+/// other.
+fn cell_facts(cell: &Value, what: &str) -> Result<CellFacts, CliError> {
+    let report = req(cell, "report", what)?;
+    let failed_cores = req_array(report, "cores", what)?
+        .iter()
+        .filter(|c| c.get("failed").and_then(Value::as_bool) == Some(true))
+        .count();
+    Ok(CellFacts {
+        scenario: req_str(cell, "scenario", what)?,
+        policy: req_str(cell, "policy", what)?,
+        freq_mhz: req_u64(cell, "freq_mhz", what)?,
+        channels: cell.get("channels").and_then(Value::as_u64),
+        targets_met: req(report, "all_targets_met", what)?
+            .as_bool()
+            .ok_or_else(|| {
+                CliError::Failure(format!("{what}: \"all_targets_met\" is not a bool"))
+            })?,
+        failed_cores,
+        bandwidth_gbs: req_f64(report, "bandwidth_gbs", what)?,
+    })
+}
+
 fn matrix_cells(doc: &Value, what: &str) -> Result<Vec<CellFacts>, CliError> {
     req_array(doc, "cells", what)?
         .iter()
         .enumerate()
-        .map(|(i, cell)| {
-            let what = format!("{what}: cells[{i}]");
-            let report = req(cell, "report", &what)?;
-            let failed_cores = req_array(report, "cores", &what)?
-                .iter()
-                .filter(|c| c.get("failed").and_then(Value::as_bool) == Some(true))
-                .count();
-            Ok(CellFacts {
-                scenario: req_str(cell, "scenario", &what)?,
-                policy: req_str(cell, "policy", &what)?,
-                freq_mhz: req_u64(cell, "freq_mhz", &what)?,
-                channels: cell.get("channels").and_then(Value::as_u64),
-                targets_met: req(report, "all_targets_met", &what)?
-                    .as_bool()
-                    .ok_or_else(|| {
-                        CliError::Failure(format!("{what}: \"all_targets_met\" is not a bool"))
-                    })?,
-                failed_cores,
-                bandwidth_gbs: req_f64(report, "bandwidth_gbs", &what)?,
-            })
-        })
+        .map(|(i, cell)| cell_facts(cell, &format!("{what}: cells[{i}]")))
         .collect()
 }
 
@@ -318,12 +382,12 @@ fn summarize_matrix(doc: &Value) -> Result<Vec<String>, CliError> {
     Ok(lines)
 }
 
-fn diff_matrix(old: &Value, new: &Value, tol: f64) -> Result<(Vec<String>, Vec<String>), CliError> {
-    let old = matrix_cells(old, "OLD")?;
-    let new = matrix_cells(new, "NEW")?;
+/// The cell-level regression check shared by matrix dumps and serve
+/// transcripts (in any combination).
+fn diff_cells(old: &[CellFacts], new: &[CellFacts], tol: f64) -> (Vec<String>, Vec<String>) {
     let mut ok = Vec::new();
     let mut bad = Vec::new();
-    for o in &old {
+    for o in old {
         let Some(n) = new.iter().find(|n| n.key() == o.key()) else {
             bad.push(format!("{}: cell missing from the new dump", o.key()));
             continue;
@@ -356,12 +420,76 @@ fn diff_matrix(old: &Value, new: &Value, tol: f64) -> Result<(Vec<String>, Vec<S
             bad.push(format!("{}: {}", o.key(), faults.join("; ")));
         }
     }
-    for n in &new {
+    for n in new {
         if !old.iter().any(|o| o.key() == n.key()) {
             ok.push(format!("new cell {} (not in the old dump)", n.key()));
         }
     }
-    Ok((ok, bad))
+    (ok, bad)
+}
+
+// --- serve -------------------------------------------------------------------
+
+/// The record array of a (normalized) serve transcript.
+fn serve_records<'a>(doc: &'a Value, what: &str) -> Result<&'a [Value], CliError> {
+    doc.as_array()
+        .ok_or_else(|| CliError::Failure(format!("{what}: not a serve record array")))
+}
+
+/// Every `cell` record's comparable facts, in stream order.
+fn serve_cells(doc: &Value, what: &str) -> Result<Vec<CellFacts>, CliError> {
+    serve_records(doc, what)?
+        .iter()
+        .filter(|r| r.get("type").and_then(Value::as_str) == Some("cell"))
+        .enumerate()
+        .map(|(i, cell)| cell_facts(cell, &format!("{what}: cell record [{i}]")))
+        .collect()
+}
+
+fn summarize_serve(doc: &Value) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "serve transcript";
+    let records = serve_records(doc, WHAT)?;
+    let count = |t: &str| {
+        records
+            .iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some(t))
+            .count()
+    };
+    let mut lines = vec![format!(
+        "serve transcript: {} records ({} jobs accepted, {} cells, {} summaries, {} errors)",
+        records.len(),
+        count("accepted"),
+        count("cell"),
+        count("summary"),
+        count("error"),
+    )];
+    for (i, r) in records.iter().enumerate() {
+        if r.get("type").and_then(Value::as_str) != Some("summary") {
+            continue;
+        }
+        let what = format!("{WHAT}: records[{i}]");
+        let (cells, hits, misses) = (
+            req_u64(r, "cells", &what)?,
+            req_u64(r, "cache_hits", &what)?,
+            req_u64(r, "cache_misses", &what)?,
+        );
+        lines.push(format!(
+            "  job {:<12} {cells} cells ({} targets met), cache {hits} hit{} / {misses} miss{}",
+            req_str(r, "id", &what)?,
+            req_u64(r, "targets_met", &what)?,
+            if hits == 1 { "" } else { "s" },
+            if misses == 1 { "" } else { "es" },
+        ));
+    }
+    let cells = serve_cells(doc, WHAT)?;
+    if !cells.is_empty() {
+        let met = cells.iter().filter(|c| c.targets_met).count();
+        lines.push(format!(
+            "  all targets met in {met}/{} streamed cells",
+            cells.len()
+        ));
+    }
+    Ok(lines)
 }
 
 // --- bench -------------------------------------------------------------------
@@ -699,21 +827,36 @@ fn summarize(doc: &Value, kind: Kind) -> Result<Vec<String>, CliError> {
         Kind::History => summarize_history(doc),
         Kind::Govern => summarize_govern(doc),
         Kind::Chrome => summarize_chrome(doc),
+        Kind::Serve => summarize_serve(doc),
+    }
+}
+
+/// Facts for a cell-carrying dump, by its kind.
+fn cells_of(doc: &Value, kind: Kind, what: &str) -> Result<Vec<CellFacts>, CliError> {
+    match kind {
+        Kind::Matrix => matrix_cells(doc, what),
+        Kind::Serve => serve_cells(doc, what),
+        _ => unreachable!("cells_of is only called for cell-carrying kinds"),
     }
 }
 
 fn diff(
     old: &Value,
     new: &Value,
-    kind: Kind,
+    old_kind: Kind,
+    new_kind: Kind,
     tol: f64,
 ) -> Result<(Vec<String>, Vec<String>), CliError> {
-    match kind {
-        Kind::Matrix => diff_matrix(old, new, tol),
+    if old_kind.carries_cells() && new_kind.carries_cells() {
+        let old = cells_of(old, old_kind, "OLD")?;
+        let new = cells_of(new, new_kind, "NEW")?;
+        return Ok(diff_cells(&old, &new, tol));
+    }
+    match old_kind {
         Kind::Bench => diff_bench(old, new, tol),
         Kind::History => diff_history(old, new, tol),
         Kind::Govern => diff_govern(old, new, tol),
-        Kind::Chrome => Err(CliError::Failure(format!(
+        kind => Err(CliError::Failure(format!(
             "--diff is not supported for {} dumps (summaries only)",
             kind.name()
         ))),
@@ -723,6 +866,18 @@ fn diff(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn diff_matrix(
+        old: &Value,
+        new: &Value,
+        tol: f64,
+    ) -> Result<(Vec<String>, Vec<String>), CliError> {
+        Ok(diff_cells(
+            &matrix_cells(old, "OLD")?,
+            &matrix_cells(new, "NEW")?,
+            tol,
+        ))
+    }
 
     fn matrix_doc(cells: &[(&str, &str, u64, bool, usize, f64)]) -> Value {
         let cell_values: Vec<Value> = cells
@@ -1034,7 +1189,117 @@ mod tests {
     #[test]
     fn kinds_without_numbers_refuse_to_diff() {
         let chrome = Value::Object(vec![("traceEvents".to_string(), Value::Array(vec![]))]);
-        let err = diff(&chrome, &chrome, Kind::Chrome, 0.05).unwrap_err();
+        let err = diff(&chrome, &chrome, Kind::Chrome, Kind::Chrome, 0.05).unwrap_err();
         assert!(matches!(&err, CliError::Failure(m) if m.contains("not supported")));
+    }
+
+    /// A serve transcript carrying the given cells, as the array-of-records
+    /// shape `load` normalizes to.
+    fn serve_doc(cells: &[(&str, &str, u64, bool, usize, f64)]) -> Value {
+        let matrix = matrix_doc(cells);
+        let cell_values = matrix.get("cells").unwrap().as_array().unwrap();
+        let mut records = vec![Value::Object(vec![
+            ("format".to_string(), SERVE_TAG.into()),
+            ("type".to_string(), "accepted".into()),
+            ("id".to_string(), "job-1".into()),
+            ("cells".to_string(), (cells.len() as u64).into()),
+        ])];
+        for (seq, cell) in cell_values.iter().enumerate() {
+            let mut members = vec![
+                ("format".to_string(), SERVE_TAG.into()),
+                ("type".to_string(), "cell".into()),
+                ("id".to_string(), "job-1".into()),
+                ("seq".to_string(), (seq as u64).into()),
+            ];
+            if let Value::Object(cell_members) = cell {
+                members.extend(cell_members.iter().cloned());
+            }
+            records.push(Value::Object(members));
+        }
+        let met = cells.iter().filter(|c| c.3).count() as u64;
+        records.push(Value::Object(vec![
+            ("format".to_string(), SERVE_TAG.into()),
+            ("type".to_string(), "summary".into()),
+            ("id".to_string(), "job-1".into()),
+            ("cells".to_string(), (cells.len() as u64).into()),
+            ("cache_hits".to_string(), 0u64.into()),
+            ("cache_misses".to_string(), (cells.len() as u64).into()),
+            ("targets_met".to_string(), met.into()),
+        ]));
+        Value::Array(records)
+    }
+
+    #[test]
+    fn detect_recognizes_serve_transcripts() {
+        let doc = serve_doc(&[("adas", "QoS", 1600, true, 0, 9.5)]);
+        assert_eq!(detect(&doc), Some(Kind::Serve));
+        // A single saved record (e.g. just the summary line) also counts.
+        let one = Value::Object(vec![
+            ("format".to_string(), SERVE_TAG.into()),
+            ("type".to_string(), "summary".into()),
+        ]);
+        assert_eq!(detect(&one), Some(Kind::Serve));
+        // A govern-style array without the tag stays govern, not serve.
+        assert_eq!(detect(&govern_doc(&[("a", 0, 0.0)])), Some(Kind::Govern));
+    }
+
+    #[test]
+    fn ndjson_loader_accepts_only_tagged_streams() {
+        let transcript = "\
+            {\"format\":\"sara-serve/v1\",\"type\":\"accepted\",\"id\":\"j\",\"cells\":1}\n\
+            {\"format\":\"sara-serve/v1\",\"type\":\"summary\",\"id\":\"j\"}\n";
+        let doc = parse_ndjson(transcript).expect("tagged NDJSON loads");
+        assert_eq!(doc.as_array().map(<[Value]>::len), Some(2));
+        // Untagged lines refuse: this is not a serve transcript.
+        assert!(parse_ndjson("{\"a\":1}\n{\"b\":2}\n").is_none());
+        assert!(parse_ndjson("not json\n").is_none());
+        assert!(parse_ndjson("\n\n").is_none());
+    }
+
+    #[test]
+    fn serve_summaries_render() {
+        let lines = summarize_serve(&serve_doc(&[("adas", "QoS", 1600, true, 0, 9.5)])).unwrap();
+        assert!(lines[0].contains("1 jobs accepted"), "{lines:?}");
+        assert!(lines[0].contains("1 cells"), "{lines:?}");
+        assert!(lines[1].contains("job job-1"), "{lines:?}");
+        assert!(lines[1].contains("cache 0 hits / 1 miss"), "{lines:?}");
+        assert!(lines[2].contains("1/1 streamed cells"), "{lines:?}");
+    }
+
+    #[test]
+    fn serve_transcripts_diff_like_matrix_dumps_and_against_them() {
+        let good = &[("adas", "QoS", 1600, true, 0, 9.5)][..];
+        let bad_cells = &[("adas", "QoS", 1600, false, 1, 4.0)][..];
+        // serve vs serve
+        let (_, bad) = diff(
+            &serve_doc(good),
+            &serve_doc(bad_cells),
+            Kind::Serve,
+            Kind::Serve,
+            0.05,
+        )
+        .unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("QoS targets newly missed"), "{bad:?}");
+        // matrix vs serve, both directions: the same cells compare clean.
+        let (ok, bad) = diff(
+            &matrix_doc(good),
+            &serve_doc(good),
+            Kind::Matrix,
+            Kind::Serve,
+            0.05,
+        )
+        .unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(ok.len(), 1);
+        let (_, bad) = diff(
+            &serve_doc(good),
+            &matrix_doc(bad_cells),
+            Kind::Serve,
+            Kind::Matrix,
+            0.05,
+        )
+        .unwrap();
+        assert_eq!(bad.len(), 1, "{bad:?}");
     }
 }

@@ -1,0 +1,184 @@
+//! `sara serve` — the long-lived NDJSON simulation service.
+//!
+//! A thin shim over [`sara_serve::Server`]: parse the transport and pool
+//! flags, build the server, and hand the chosen byte streams to it. All
+//! protocol behaviour (and its tests) lives in the `sara-serve` crate;
+//! the wire format is specified in `docs/serve-protocol.md`.
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpListener;
+
+use sara_serve::{ServeConfig, Server};
+
+use crate::args::{Args, CliError};
+use crate::output::page;
+
+const USAGE: &str = "usage: sara serve [--tcp ADDR | --unix PATH] [--workers N] [--budget N] \
+                     [--max-sessions N] [--parallel-channels]";
+
+const HELP: &str = "\
+sara serve — long-lived NDJSON simulation service
+
+usage: sara serve [options]
+
+Accepts `sara-serve/v1` requests as newline-delimited JSON and streams
+replies the same way (see docs/serve-protocol.md). Each submitted job is
+lowered into the same scenario x policy x frequency x channel cells as
+`sara matrix`; results are byte-identical to the batch harness for any
+worker count or cache state. A content-addressed cache guarantees no
+cell is ever simulated twice, across jobs or within one.
+
+With no transport flag the session runs over stdin/stdout (one session,
+then exit — shell-pipeline friendly):
+
+  printf '%s\\n' '{\"format\":\"sara-serve/v1\",\"type\":\"ping\"}' | sara serve
+
+  --tcp ADDR            listen on a TCP address (e.g. 127.0.0.1:7979);
+                        prints the bound address, serves until killed
+  --unix PATH           listen on a Unix socket path instead
+  --max-sessions N      with --tcp/--unix: exit after N sessions
+                        (default: serve forever)
+  --workers N           worker threads per job (default: all cores);
+                        never changes output bytes, only wall-clock
+  --budget N            per-client admission budget: max outstanding
+                        cells per client across its in-flight jobs
+                        (default 4096)
+  --parallel-channels   simulate a cell's channels on parallel lanes
+                        (same bytes, lower latency for multi-channel
+                        scenarios)
+
+Sessions are sequential: one misbehaving client cannot interleave bytes
+into another session's stream, and results within a job always arrive
+in submission order.";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage error for conflicting transports or bad values; runtime failure
+/// when the listener cannot bind or a session dies on I/O.
+pub fn run(raw: &[String]) -> Result<(), CliError> {
+    let mut args = Args::new(raw, USAGE);
+    if args.help_requested() {
+        page(HELP);
+        return Ok(());
+    }
+    let tcp = args.take_opt("--tcp")?;
+    let unix = args.take_opt("--unix")?;
+    let workers = args.take_parsed::<usize>("--workers")?.unwrap_or(0);
+    let budget = args
+        .take_parsed::<usize>("--budget")?
+        .unwrap_or_else(|| ServeConfig::default().budget);
+    let max_sessions = args.take_parsed::<usize>("--max-sessions")?;
+    let parallel_channels = args.take_flag("--parallel-channels");
+    args.finish()?;
+
+    if budget == 0 {
+        return Err(CliError::usage(USAGE, "--budget must be at least 1"));
+    }
+    if tcp.is_some() && unix.is_some() {
+        return Err(CliError::usage(
+            USAGE,
+            "--tcp and --unix are mutually exclusive",
+        ));
+    }
+    if max_sessions == Some(0) {
+        return Err(CliError::usage(USAGE, "--max-sessions must be at least 1"));
+    }
+    if max_sessions.is_some() && tcp.is_none() && unix.is_none() {
+        return Err(CliError::usage(
+            USAGE,
+            "--max-sessions needs a listener (--tcp or --unix)",
+        ));
+    }
+
+    let server = Server::new(ServeConfig {
+        workers,
+        budget,
+        parallel_channels,
+    });
+
+    if let Some(addr) = tcp {
+        let listener = TcpListener::bind(&addr)
+            .map_err(|e| CliError::Failure(format!("cannot bind {addr}: {e}")))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| CliError::Failure(format!("{addr}: {e}")))?;
+        // Stdout is free in listener mode; scripts bind port 0 and read
+        // the line back to learn the port.
+        page(format!("listening on {bound}"));
+        io::stdout().flush().ok();
+        server
+            .serve_listener(&listener, max_sessions)
+            .map_err(|e| CliError::Failure(format!("serve: {e}")))
+    } else if let Some(path) = unix {
+        serve_unix(&server, &path, max_sessions)
+    } else {
+        // Stdio mode: stdout *is* the protocol stream, so nothing else
+        // may write to it.
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        server
+            .handle_session(BufReader::new(stdin.lock()), stdout.lock())
+            .map_err(|e| CliError::Failure(format!("serve: {e}")))
+    }
+}
+
+#[cfg(unix)]
+fn serve_unix(server: &Server, path: &str, max_sessions: Option<usize>) -> Result<(), CliError> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would fail the bind with
+    // AddrInUse even though nothing is listening; binding is the rendezvous.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .map_err(|e| CliError::Failure(format!("cannot bind {path}: {e}")))?;
+    page(format!("listening on {path}"));
+    io::stdout().flush().ok();
+    let result = server
+        .serve_unix(&listener, max_sessions)
+        .map_err(|e| CliError::Failure(format!("serve: {e}")));
+    let _ = std::fs::remove_file(path);
+    result
+}
+
+#[cfg(not(unix))]
+fn serve_unix(_server: &Server, _path: &str, _max: Option<usize>) -> Result<(), CliError> {
+    Err(CliError::Failure(
+        "--unix is only supported on Unix platforms".to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn conflicting_transports_are_a_usage_error() {
+        let err = run(&argv(&["--tcp", "127.0.0.1:0", "--unix", "/tmp/x"])).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(m) if m.contains("mutually exclusive")));
+    }
+
+    #[test]
+    fn zero_budget_is_a_usage_error() {
+        let err = run(&argv(&["--budget", "0"])).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(m) if m.contains("--budget")));
+    }
+
+    #[test]
+    fn max_sessions_requires_a_listener() {
+        let err = run(&argv(&["--max-sessions", "1"])).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(m) if m.contains("--max-sessions")));
+        let err = run(&argv(&["--tcp", "127.0.0.1:0", "--max-sessions", "0"])).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(m) if m.contains("at least 1")));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = run(&argv(&["--port", "7979"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

@@ -49,7 +49,8 @@ commands:
   govern     online self-aware governor: closed-loop DVFS inside one run
   gen        generate seeded random scenarios
   bench      measure matrix throughput; emit or check a baseline
-  report     summarize or diff matrix/bench/govern JSON dumps
+  report     summarize or diff matrix/bench/govern/serve JSON dumps
+  serve      long-lived NDJSON simulation service (stdin, TCP or Unix socket)
   completions
              emit a bash/zsh/fish completion script
 
@@ -57,7 +58,7 @@ run `sara <command> --help` for per-command options.";
 
 /// One-line usage hint printed with top-level usage errors.
 const USAGE: &str = "usage: sara \
-                     <export|validate|list|matrix|sweep|govern|gen|bench|report|completions> \
+                     <export|validate|list|matrix|sweep|govern|gen|bench|report|serve|completions> \
                      [options] (see `sara --help`)";
 
 /// Runs the CLI on the given arguments (without the program name) and
@@ -109,6 +110,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "gen" => commands::gen::run(rest),
         "bench" => commands::bench::run(rest),
         "report" => commands::report::run(rest),
+        "serve" => commands::serve::run(rest),
         "completions" => commands::completions::run(rest),
         other => Err(CliError::Usage(format!(
             "unknown command \"{other}\"\n{USAGE}"

@@ -84,6 +84,7 @@ fn help_output_matches_goldens() {
     check_golden(&["bench", "--help"], "help-bench.txt");
     check_golden(&["govern", "--help"], "help-govern.txt");
     check_golden(&["report", "--help"], "help-report.txt");
+    check_golden(&["serve", "--help"], "help-serve.txt");
 }
 
 #[test]
@@ -112,6 +113,7 @@ fn completion_scripts_match_goldens() {
             "gen",
             "bench",
             "report",
+            "serve",
             "completions",
         ] {
             assert!(text.contains(cmd), "{shell} script missing {cmd}");
@@ -135,6 +137,7 @@ fn every_subcommand_answers_help() {
         "gen",
         "bench",
         "report",
+        "serve",
         "completions",
     ] {
         let out = sara(&[cmd, "--help"]);
@@ -867,4 +870,128 @@ fn bench_baseline_update_check_and_regression() {
     let err = stderr(&out);
     assert!(err.contains("throughput regression"), "{err}");
     assert!(err.contains("SARA_UPDATE_BASELINE"), "{err}");
+}
+
+// --- serve: the service mode end to end --------------------------------------
+
+/// Runs `sara serve` (stdio mode) with the given NDJSON session piped in.
+fn sara_serve_session(input: &str) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sara"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sara serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(input.as_bytes())
+        .expect("write session");
+    child.wait_with_output().expect("serve session")
+}
+
+#[test]
+fn serve_transcripts_are_matrix_identical_and_reportable() {
+    let dir = scratch("serve-e2e");
+    let artifact = dir.join("served.json");
+    let session = format!(
+        concat!(
+            r#"{{"format":"sara-serve/v1","type":"submit","id":"e2e","scenarios":["camcorder-b"],"#,
+            r#""policies":["FCFS","QoS"],"duration_ms":0.05,"json_out":"{}"}}"#,
+            "\n",
+            r#"{{"format":"sara-serve/v1","type":"shutdown"}}"#,
+            "\n"
+        ),
+        artifact.display()
+    );
+    let out = sara_serve_session(&session);
+    assert_eq!(code(&out), 0, "serve failed: {}", stderr(&out));
+    let transcript = stdout(&out);
+    assert!(
+        transcript.contains("\"type\":\"summary\""),
+        "no summary record:\n{transcript}"
+    );
+
+    // The job artifact is byte-identical to the batch harness's output.
+    let matrix_json = dir.join("matrix.json");
+    let out = sara(&[
+        "matrix",
+        "--scenarios",
+        "camcorder-b",
+        "--policies",
+        "FCFS,QoS",
+        "--duration-ms",
+        "0.05",
+        "--json",
+        matrix_json.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "matrix failed: {}", stderr(&out));
+    let served_bytes = std::fs::read(&artifact).expect("served artifact");
+    let matrix_bytes = std::fs::read(&matrix_json).expect("matrix dump");
+    assert_eq!(
+        served_bytes, matrix_bytes,
+        "serve json_out must be byte-identical to `sara matrix --json`"
+    );
+
+    // `sara report` understands the transcript, and diffs it against the
+    // batch dump with no regressions (they are the same cells).
+    let transcript_path = dir.join("session.ndjson");
+    std::fs::write(&transcript_path, &transcript).expect("write transcript");
+    let out = sara(&["report", transcript_path.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "report failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("serve transcript"), "{text}");
+    assert!(text.contains("job e2e"), "{text}");
+    let out = sara(&[
+        "report",
+        "--diff",
+        transcript_path.to_str().unwrap(),
+        matrix_json.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "diff regressed: {}", stderr(&out));
+    assert!(stdout(&out).contains("no regressions"), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_rejects_protocol_garbage_with_exit_zero() {
+    // A session that only ever sends garbage still terminates cleanly on
+    // EOF: errors are records on the stream, not process failures.
+    let out = sara_serve_session("not json at all\n");
+    assert_eq!(code(&out), 0, "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"type\":\"error\""), "{text}");
+}
+
+// --- docs stay wired to the code ---------------------------------------------
+
+#[test]
+fn format_docs_name_every_tag_and_are_linked_from_the_readme() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let formats = std::fs::read_to_string(root.join("docs/formats.md")).expect("docs/formats.md");
+    // Every on-disk format tag the workspace emits is catalogued.
+    for tag in [
+        "sara-scenario/v1",
+        "sara-bench/v1",
+        "sara-bench-history/v1",
+        "sara-serve/v1",
+    ] {
+        assert!(formats.contains(tag), "docs/formats.md missing tag {tag}");
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    for link in [
+        "docs/formats.md",
+        "docs/serve-protocol.md",
+        "## Service mode",
+    ] {
+        assert!(readme.contains(link), "README.md missing {link}");
+    }
+    // The serve spec exists and declares the format tag it governs.
+    let spec = std::fs::read_to_string(root.join("docs/serve-protocol.md"))
+        .expect("docs/serve-protocol.md");
+    assert!(spec.contains("sara-serve/v1"));
 }

@@ -62,6 +62,59 @@ impl Value {
         out
     }
 
+    /// Streams the compact form directly into an `io::Write` — the NDJSON
+    /// hot path: a server emitting one record per line writes straight to
+    /// the (buffered) socket or pipe with no intermediate `String` per
+    /// record. Byte-identical to [`Value::to_string_compact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_compact_io<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        match self {
+            Value::Array(items) => {
+                w.write_all(b"[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        w.write_all(b",")?;
+                    }
+                    item.write_compact_io(w)?;
+                }
+                w.write_all(b"]")
+            }
+            Value::Object(members) => {
+                w.write_all(b"{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        w.write_all(b",")?;
+                    }
+                    w.write_all(b"\"")?;
+                    w.write_all(escape_into_string(key).as_bytes())?;
+                    w.write_all(b"\":")?;
+                    value.write_compact_io(w)?;
+                }
+                w.write_all(b"}")
+            }
+            scalar => {
+                let mut token = String::new();
+                scalar.write_scalar(&mut token);
+                w.write_all(token.as_bytes())
+            }
+        }
+    }
+
+    /// Writes the document as one newline-delimited-JSON record: the
+    /// compact form plus a trailing `\n`, streamed via
+    /// [`Value::write_compact_io`]. The caller decides when to flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_ndjson_line<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.write_compact_io(w)?;
+        w.write_all(b"\n")
+    }
+
     fn write_scalar(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -189,6 +242,47 @@ mod tests {
         assert!(text.contains("\"e2\": []"));
         assert!(text.starts_with("{\n  \"name\": \"a\\\"b\",\n"));
         assert!(!text.ends_with('\n'));
+    }
+
+    #[test]
+    fn io_streaming_matches_the_string_emitter() {
+        // The NDJSON writer must be the compact emitter, byte for byte —
+        // a protocol spec pinned against one must hold for the other.
+        for text in [
+            r#"{"name":"a\"b","n":[1,-2,2.5],"ok":true,"none":null,"empty":{},"e2":[]}"#,
+            r#"[{"k":"v"},[],{},"x",0]"#,
+            "\"lone \\n string\"",
+            "-7",
+        ] {
+            let doc = parse(text).expect("valid sample");
+            let mut streamed = Vec::new();
+            doc.write_compact_io(&mut streamed).unwrap();
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                doc.to_string_compact()
+            );
+            let mut line = Vec::new();
+            doc.write_ndjson_line(&mut line).unwrap();
+            assert_eq!(
+                String::from_utf8(line).unwrap(),
+                format!("{}\n", doc.to_string_compact())
+            );
+        }
+    }
+
+    #[test]
+    fn io_streaming_surfaces_writer_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let doc = sample();
+        assert!(doc.write_ndjson_line(&mut Broken).is_err());
     }
 
     #[test]

@@ -36,14 +36,15 @@
 //!
 //! # Examples
 //!
-//! ```no_run
+//! ```
 //! use sara_governor::{run_governed, GovernedOutcome};
 //! use sara_scenarios::catalog;
 //!
 //! let scenario = catalog::by_name("adas-overload").unwrap();
 //! // Its stanza if present, else the default ladder at its nominal clock.
 //! let spec = scenario.governor_spec();
-//! let out: GovernedOutcome = run_governed(&scenario, &spec, 2.0)?;
+//! // Five 100 µs control epochs — long runs climb further.
+//! let out: GovernedOutcome = run_governed(&scenario, &spec, 0.5)?;
 //! assert!(out.freq_changes > 0, "the overload forces the ladder up");
 //! println!("{}", out.summary_line());
 //! # Ok::<(), sara_types::ConfigError>(())

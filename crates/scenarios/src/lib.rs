@@ -23,7 +23,7 @@
 //!   `sara-governor` online control loop (absent = static run);
 //! * [`random_scenario`] — seeded fuzz-style generation from the same
 //!   traffic/pattern/meter vocabulary (same seed → same scenario);
-//! * [`format`] — `.scenario.json` file I/O: [`Scenario::to_json`] /
+//! * [`format`](mod@format) — `.scenario.json` file I/O: [`Scenario::to_json`] /
 //!   [`Scenario::from_json_str`] plus [`load_dir`] for running
 //!   user-supplied catalogs without recompiling (and
 //!   [`catalog::export_all`] for seeding such a directory);
@@ -33,20 +33,18 @@
 //!
 //! # Examples
 //!
-//! ```no_run
+//! ```
 //! use sara_memctrl::PolicyKind;
 //! use sara_scenarios::{catalog, run_matrix, MatrixSpec};
 //!
-//! let scenarios = vec![
-//!     catalog::by_name("ar-headset").unwrap(),
-//!     catalog::by_name("adas").unwrap(),
-//! ];
+//! let scenarios = vec![catalog::by_name("camcorder-b").unwrap()];
 //! let spec = MatrixSpec {
-//!     policies: PolicyKind::ALL.to_vec(),
-//!     duration_ms: Some(2.0),
+//!     policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+//!     duration_ms: Some(0.05), // longer runs are more interesting
 //!     ..MatrixSpec::default()
 //! };
 //! let summary = run_matrix(&scenarios, &spec)?;
+//! assert_eq!(summary.cells.len(), 2);
 //! println!("{}", summary.summary_table());
 //! # Ok::<(), sara_types::ConfigError>(())
 //! ```
@@ -66,5 +64,8 @@ pub use generator::{random_scenario, random_scenario_with, GeneratorConfig};
 pub use governor_spec::{
     GovernorSpec, DEFAULT_DOWN_THRESHOLD, DEFAULT_EPOCH_US, DEFAULT_PATIENCE, DEFAULT_UP_THRESHOLD,
 };
-pub use matrix::{run_matrix, CellProfile, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking};
+pub use matrix::{
+    cell_fingerprint, expand_cells, run_cell, run_matrix, summarize_cells, CellProfile, CellSpec,
+    MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking,
+};
 pub use scenario::Scenario;

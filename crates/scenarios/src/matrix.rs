@@ -74,14 +74,23 @@ impl MatrixCell {
         self.report.failed_cores().len()
     }
 
-    fn to_json_value(&self) -> Value {
-        Value::Object(vec![
+    /// The cell as one JSON object node — the exact member list and
+    /// order every `cells[i]` entry of a matrix dump carries, and (with
+    /// envelope keys prepended) the body of a `sara serve` cell record.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(self.json_members())
+    }
+
+    /// The cell's JSON members in emission order, so a wire protocol can
+    /// prepend envelope keys without re-serializing the report.
+    pub fn json_members(&self) -> Vec<(String, Value)> {
+        vec![
             ("scenario".to_string(), self.scenario.as_str().into()),
             ("policy".to_string(), self.policy.name().into()),
             ("freq_mhz".to_string(), self.freq.as_u32().into()),
             ("channels".to_string(), (self.channels as u64).into()),
             ("report".to_string(), self.report.to_json_value()),
-        ])
+        ]
     }
 }
 
@@ -321,29 +330,42 @@ fn csv_field(raw: &str) -> String {
     }
 }
 
-/// One unit of work: indices into the submitted matrix.
-#[derive(Debug, Clone)]
-struct Job {
-    scenario: usize,
-    policy: PolicyKind,
-    freq: MegaHertz,
-    channels: usize,
-    duration_ms: f64,
+/// One fully-lowered unit of work: which scenario (by index into the
+/// submitted list) runs under which policy, frequency, and channel-count
+/// override, for how long.
+///
+/// A matrix is nothing but a vector of these in deterministic submission
+/// order ([`expand_cells`]); `sara serve` shards the same specs across
+/// its own worker pool and caches each one by [`cell_fingerprint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Index into the scenario list the cell was expanded from.
+    pub scenario: usize,
+    /// Policy the cell runs under.
+    pub policy: PolicyKind,
+    /// DRAM frequency the cell runs at.
+    pub freq: MegaHertz,
+    /// DRAM channel count the cell runs with.
+    pub channels: usize,
+    /// Run length in milliseconds.
+    pub duration_ms: f64,
 }
 
-/// Runs every scenario under every policy (× every frequency and
-/// channel-count override), sharding cells across `spec.threads` scoped
-/// worker threads.
+/// Expands a matrix spec into its cells — the deterministic
+/// scenario-major submission order every harness (batch or service)
+/// agrees on, so aggregates are comparable byte for byte.
 ///
 /// # Errors
 ///
-/// Returns the [`ConfigError`] of the earliest failing cell (in submission
-/// order), or an error for an empty matrix.
-pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSummary, ConfigError> {
+/// Returns an error for an empty matrix (no scenarios or no policies).
+pub fn expand_cells(
+    scenarios: &[Scenario],
+    spec: &MatrixSpec,
+) -> Result<Vec<CellSpec>, ConfigError> {
     if scenarios.is_empty() || spec.policies.is_empty() {
         return Err(ConfigError::new("empty scenario matrix"));
     }
-    let mut jobs = Vec::new();
+    let mut cells = Vec::new();
     for (si, s) in scenarios.iter().enumerate() {
         for &policy in &spec.policies {
             let freqs: Vec<MegaHertz> = if spec.freqs_mhz.is_empty() {
@@ -358,7 +380,7 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
                     spec.channels.clone()
                 };
                 for channels in channel_counts {
-                    jobs.push(Job {
+                    cells.push(CellSpec {
                         scenario: si,
                         policy,
                         freq,
@@ -369,6 +391,171 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
             }
         }
     }
+    Ok(cells)
+}
+
+/// Runs one cell and times its harness phases. `epoch` anchors
+/// `start_ms` so all profiles of one batch share a time base.
+fn run_cell_timed(
+    scenario: &Scenario,
+    cell: &CellSpec,
+    parallel_channels: bool,
+    worker: usize,
+    epoch: Instant,
+) -> Result<(SimReport, CellProfile), ConfigError> {
+    let ms_since = |from: Instant, to: Instant| to.duration_since(from).as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let mut sim = scenario
+        .clone()
+        .with_policy(cell.policy)
+        .with_freq(cell.freq)
+        .with_channels(cell.channels)
+        .build_stepped(parallel_channels)?;
+    let built = Instant::now();
+    let end = sim.config().clock().cycles_from_ms(cell.duration_ms);
+    sim.advance_until(Cycle::new(end));
+    let advanced = Instant::now();
+    let report = sim.report();
+    let reported = Instant::now();
+    let profile = CellProfile {
+        worker,
+        start_ms: ms_since(epoch, started),
+        setup_ms: ms_since(started, built),
+        sim_ms: ms_since(built, advanced),
+        report_ms: ms_since(advanced, reported),
+    };
+    Ok((report, profile))
+}
+
+/// Runs one cell of a matrix to its report — exactly what [`run_matrix`]
+/// does per cell, so a report produced here is byte-identical (through
+/// `SimReport::to_json_value`) to the same cell inside a batch run.
+///
+/// `scenario` must be the entry `cell.scenario` indexes in the list the
+/// cell was expanded from.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of a cell whose configuration fails to
+/// lower.
+pub fn run_cell(
+    scenario: &Scenario,
+    cell: &CellSpec,
+    parallel_channels: bool,
+) -> Result<SimReport, ConfigError> {
+    run_cell_timed(scenario, cell, parallel_channels, 0, Instant::now()).map(|(report, _)| report)
+}
+
+/// Assembles completed cells into a [`MatrixSummary`] — the ranking pass
+/// shared by [`run_matrix`] and the serve cache path, so a summary built
+/// from cached reports is byte-identical to a freshly simulated one.
+///
+/// `reports` and `profile` must align with `cells` (one entry each, in
+/// expansion order).
+///
+/// # Panics
+///
+/// Panics if the slices disagree on length or a cell indexes past the
+/// scenario list.
+pub fn summarize_cells(
+    scenarios: &[Scenario],
+    specs: &[CellSpec],
+    reports: Vec<SimReport>,
+    profile: Vec<CellProfile>,
+) -> MatrixSummary {
+    assert_eq!(specs.len(), reports.len(), "one report per cell");
+    assert_eq!(specs.len(), profile.len(), "one profile per cell");
+    let cells: Vec<MatrixCell> = specs
+        .iter()
+        .zip(reports)
+        .map(|(spec, report)| MatrixCell {
+            scenario: scenarios[spec.scenario].name.clone(),
+            policy: spec.policy,
+            freq: spec.freq,
+            channels: spec.channels,
+            report,
+        })
+        .collect();
+
+    // Rank each scenario's cells, matching by submitted scenario index
+    // (not name) so two entries that happen to share a name — e.g. the
+    // same catalog scenario at two frequencies — keep separate rankings.
+    let mut rankings = Vec::with_capacity(scenarios.len());
+    for (si, s) in scenarios.iter().enumerate() {
+        let mut idxs: Vec<usize> = specs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.scenario == si)
+            .map(|(i, _)| i)
+            .collect();
+        idxs.sort_by(|&a, &b| {
+            let (ca, cb) = (&cells[a], &cells[b]);
+            cb.report
+                .all_targets_met()
+                .cmp(&ca.report.all_targets_met())
+                .then(ca.failures().cmp(&cb.failures()))
+                .then(cb.report.bandwidth_gbs.total_cmp(&ca.report.bandwidth_gbs))
+                .then(a.cmp(&b))
+        });
+        rankings.push(ScenarioRanking {
+            scenario: s.name.clone(),
+            ranked: idxs,
+        });
+    }
+
+    MatrixSummary {
+        cells,
+        rankings,
+        profile,
+    }
+}
+
+/// Content fingerprint of one cell: a 64-bit FNV-1a hash over the
+/// scenario's canonical `.scenario.json` bytes plus the cell's
+/// policy/frequency/channel/duration overrides and the engine version.
+///
+/// Two cells with equal fingerprints produce byte-identical reports (the
+/// scenario document captures every workload and platform knob, the
+/// overrides capture the rest, and the engine is deterministic), which is
+/// what lets `sara serve` return a cached report instead of simulating —
+/// the basis of its "no cell is ever simulated twice" guarantee. The
+/// engine version ties keys to the code that produced them, so persisted
+/// caches cannot leak stale reports across releases.
+pub fn cell_fingerprint(scenario: &Scenario, cell: &CellSpec, engine_version: &str) -> u64 {
+    // FNV-1a, 64-bit: tiny, dependency-free, and plenty for cache keying
+    // (collisions would need ~2^32 distinct cells in one server).
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        // Field separator: an out-of-band byte count keeps "ab"+"c"
+        // distinct from "a"+"bc".
+        hash ^= bytes.len() as u64;
+        hash = hash.wrapping_mul(PRIME);
+    };
+    eat(scenario.to_json().as_bytes());
+    eat(cell.policy.name().as_bytes());
+    eat(&cell.freq.as_u32().to_le_bytes());
+    eat(&(cell.channels as u64).to_le_bytes());
+    eat(&cell.duration_ms.to_bits().to_le_bytes());
+    eat(engine_version.as_bytes());
+    hash
+}
+
+/// Runs every scenario under every policy (× every frequency and
+/// channel-count override), sharding cells across `spec.threads` scoped
+/// worker threads.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of the earliest failing cell (in submission
+/// order), or an error for an empty matrix.
+pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSummary, ConfigError> {
+    let jobs = expand_cells(scenarios, spec)?;
 
     let workers = spec.threads.max(1).min(jobs.len());
     let next = AtomicUsize::new(0);
@@ -376,30 +563,14 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
     let slots: Vec<Mutex<Option<CellResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
     let epoch = Instant::now();
-    let ms_since = |from: Instant, to: Instant| to.duration_since(from).as_secs_f64() * 1e3;
-    let run_one = |job: &Job, worker: usize| -> CellResult {
-        let s = &scenarios[job.scenario];
-        let started = Instant::now();
-        let mut sim = s
-            .clone()
-            .with_policy(job.policy)
-            .with_freq(job.freq)
-            .with_channels(job.channels)
-            .build_stepped(spec.parallel_channels)?;
-        let built = Instant::now();
-        let end = sim.config().clock().cycles_from_ms(job.duration_ms);
-        sim.advance_until(Cycle::new(end));
-        let advanced = Instant::now();
-        let report = sim.report();
-        let reported = Instant::now();
-        let profile = CellProfile {
+    let run_one = |job: &CellSpec, worker: usize| -> CellResult {
+        run_cell_timed(
+            &scenarios[job.scenario],
+            job,
+            spec.parallel_channels,
             worker,
-            start_ms: ms_since(epoch, started),
-            setup_ms: ms_since(started, built),
-            sim_ms: ms_since(built, advanced),
-            report_ms: ms_since(advanced, reported),
-        };
-        Ok((report, profile))
+            epoch,
+        )
     };
 
     if workers <= 1 {
@@ -423,54 +594,18 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
     }
 
     // Collect in submission order; surface the earliest error.
-    let mut cells = Vec::with_capacity(jobs.len());
+    let mut reports = Vec::with_capacity(jobs.len());
     let mut profile = Vec::with_capacity(jobs.len());
-    for (job, slot) in jobs.iter().zip(slots) {
+    for slot in slots {
         let (report, cell_profile) = slot
             .into_inner()
             .expect("slot poisoned")
             .expect("worker left a cell unfilled")?;
-        cells.push(MatrixCell {
-            scenario: scenarios[job.scenario].name.clone(),
-            policy: job.policy,
-            freq: job.freq,
-            channels: job.channels,
-            report,
-        });
+        reports.push(report);
         profile.push(cell_profile);
     }
 
-    // Rank each scenario's cells, matching by submitted scenario index
-    // (not name) so two entries that happen to share a name — e.g. the
-    // same catalog scenario at two frequencies — keep separate rankings.
-    let mut rankings = Vec::with_capacity(scenarios.len());
-    for (si, s) in scenarios.iter().enumerate() {
-        let mut idxs: Vec<usize> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| j.scenario == si)
-            .map(|(i, _)| i)
-            .collect();
-        idxs.sort_by(|&a, &b| {
-            let (ca, cb) = (&cells[a], &cells[b]);
-            cb.report
-                .all_targets_met()
-                .cmp(&ca.report.all_targets_met())
-                .then(ca.failures().cmp(&cb.failures()))
-                .then(cb.report.bandwidth_gbs.total_cmp(&ca.report.bandwidth_gbs))
-                .then(a.cmp(&b))
-        });
-        rankings.push(ScenarioRanking {
-            scenario: s.name.clone(),
-            ranked: idxs,
-        });
-    }
-
-    Ok(MatrixSummary {
-        cells,
-        rankings,
-        profile,
-    })
+    Ok(summarize_cells(scenarios, &jobs, reports, profile))
 }
 
 #[cfg(test)]
@@ -645,6 +780,101 @@ mod tests {
         let csv = summary.to_csv();
         assert!(csv.lines().nth(1).unwrap().contains(",1700,2,"), "{csv}");
         assert!(csv.lines().nth(2).unwrap().contains(",1700,4,"), "{csv}");
+    }
+
+    #[test]
+    fn run_cell_matches_the_matrix_cell() {
+        // The single-cell runner is the matrix's own per-cell path, so a
+        // service that runs cells one at a time (and caches them) can
+        // guarantee byte-identical reports to a batch run.
+        let scenarios = vec![catalog::by_name("camcorder-b").unwrap()];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+            freqs_mhz: Vec::new(),
+            channels: Vec::new(),
+            duration_ms: Some(0.1),
+            threads: 2,
+            parallel_channels: false,
+        };
+        let summary = run_matrix(&scenarios, &spec).unwrap();
+        let cells = expand_cells(&scenarios, &spec).unwrap();
+        assert_eq!(cells.len(), summary.cells.len());
+        for (spec_cell, matrix_cell) in cells.iter().zip(&summary.cells) {
+            let report = run_cell(&scenarios[spec_cell.scenario], spec_cell, false).unwrap();
+            assert_eq!(
+                report.to_json_value().to_string_compact(),
+                matrix_cell.report.to_json_value().to_string_compact()
+            );
+        }
+        // Rebuilding the summary from the individual reports reproduces
+        // the batch aggregate byte for byte (profiles stay out of the
+        // JSON, so placeholder timings are fine).
+        let reports: Vec<SimReport> = cells
+            .iter()
+            .map(|c| run_cell(&scenarios[c.scenario], c, false).unwrap())
+            .collect();
+        let profile: Vec<CellProfile> = summary.profile.clone();
+        let rebuilt = summarize_cells(&scenarios, &cells, reports, profile);
+        assert_eq!(rebuilt.to_json(), summary.to_json());
+    }
+
+    #[test]
+    fn fingerprints_key_on_every_axis() {
+        let s = catalog::by_name("camcorder-b").unwrap();
+        let cell = CellSpec {
+            scenario: 0,
+            policy: PolicyKind::Fcfs,
+            freq: MegaHertz::new(1600),
+            channels: 2,
+            duration_ms: 0.5,
+        };
+        let base = cell_fingerprint(&s, &cell, "0.1.0");
+        // Stable for identical inputs.
+        assert_eq!(base, cell_fingerprint(&s, &cell, "0.1.0"));
+        // Every axis moves the key.
+        let mut other = cell.clone();
+        other.policy = PolicyKind::Priority;
+        assert_ne!(base, cell_fingerprint(&s, &other, "0.1.0"));
+        let mut other = cell.clone();
+        other.freq = MegaHertz::new(1333);
+        assert_ne!(base, cell_fingerprint(&s, &other, "0.1.0"));
+        let mut other = cell.clone();
+        other.channels = 4;
+        assert_ne!(base, cell_fingerprint(&s, &other, "0.1.0"));
+        let mut other = cell.clone();
+        other.duration_ms = 0.6;
+        assert_ne!(base, cell_fingerprint(&s, &other, "0.1.0"));
+        // A different scenario or engine version is a different key.
+        let adas = catalog::by_name("adas").unwrap();
+        assert_ne!(base, cell_fingerprint(&adas, &cell, "0.1.0"));
+        assert_ne!(base, cell_fingerprint(&s, &cell, "0.2.0"));
+    }
+
+    #[test]
+    fn expand_cells_orders_scenario_major() {
+        let scenarios = vec![
+            catalog::by_name("camcorder-b").unwrap(),
+            catalog::by_name("ar-headset").unwrap(),
+        ];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+            freqs_mhz: vec![1333, 1700],
+            channels: Vec::new(),
+            duration_ms: Some(0.1),
+            threads: 1,
+            parallel_channels: false,
+        };
+        let cells = expand_cells(&scenarios, &spec).unwrap();
+        assert_eq!(cells.len(), 2 * 2 * 2);
+        // Scenario-major, then policy, then frequency.
+        assert_eq!(cells[0].scenario, 0);
+        assert_eq!(cells[0].policy, PolicyKind::Fcfs);
+        assert_eq!(cells[0].freq.as_u32(), 1333);
+        assert_eq!(cells[1].freq.as_u32(), 1700);
+        assert_eq!(cells[2].policy, PolicyKind::Priority);
+        assert_eq!(cells[4].scenario, 1);
+        // Every cell inherits the overridden duration.
+        assert!(cells.iter().all(|c| c.duration_ms == 0.1));
     }
 
     #[test]

@@ -1,0 +1,584 @@
+//! The `sara-serve/v1` wire protocol: newline-delimited JSON records,
+//! one per line, UTF-8, over stdin/stdout or a TCP/Unix socket.
+//!
+//! Every record — request or response — is a single-line JSON object
+//! whose first member is `"format": "sara-serve/v1"` and whose second is
+//! `"type"`. Requests are parsed strictly ([`parse_request`]): an
+//! unknown key, a missing required key, or a wrong type is a protocol
+//! error, answered with an `error` record rather than guessed around.
+//! The normative spec lives in `docs/serve-protocol.md`; the
+//! [`record_keys`] table below is the single source the parser, the
+//! emitters, and the spec's drift tests all bind to, so the document
+//! cannot quietly diverge from the implementation.
+
+use std::path::PathBuf;
+
+use json::Value;
+use sara_memctrl::PolicyKind;
+use sara_scenarios::{MatrixCell, Scenario};
+
+/// The version tag carried by every request and response record.
+pub const FORMAT_TAG: &str = "sara-serve/v1";
+
+/// The required and optional top-level keys of each record type, in
+/// emission order — requests and responses alike. This is the normative
+/// key table: [`parse_request`] rejects keys outside it, the response
+/// builders emit exactly these members, and the `docs/serve-protocol.md`
+/// drift tests compare the spec's field tables against it.
+///
+/// Returns `(required, optional)`, or `None` for an unknown record type.
+pub fn record_keys(
+    record_type: &str,
+) -> Option<(&'static [&'static str], &'static [&'static str])> {
+    match record_type {
+        // Requests.
+        "submit" => Some((
+            &["format", "type", "id", "scenarios"],
+            &[
+                "client",
+                "policies",
+                "freqs_mhz",
+                "channels",
+                "duration_ms",
+                "json_out",
+            ],
+        )),
+        "stats" => Some((&["format", "type"], &[])),
+        "ping" => Some((&["format", "type"], &[])),
+        "shutdown" => Some((&["format", "type"], &[])),
+        // Responses.
+        "accepted" => Some((&["format", "type", "id", "cells"], &[])),
+        "cell" => Some((
+            &[
+                "format", "type", "id", "seq", "scenario", "policy", "freq_mhz", "channels",
+                "report",
+            ],
+            &[],
+        )),
+        "summary" => Some((
+            &[
+                "format",
+                "type",
+                "id",
+                "cells",
+                "cache_hits",
+                "cache_misses",
+                "targets_met",
+            ],
+            &["artifact"],
+        )),
+        "error" => Some((&["format", "type", "error"], &["id"])),
+        "stats-reply" => Some((&["format", "type", "counters"], &[])),
+        "pong" => Some((&["format", "type"], &[])),
+        _ => None,
+    }
+}
+
+/// The response record type answering a `stats` request. The request and
+/// the reply share the wire spelling `"stats"`; [`record_keys`] keeps
+/// them apart under this internal name.
+pub const STATS_REPLY: &str = "stats-reply";
+
+/// One parsed request record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `submit`: run a job (a scenario × policy × frequency × channels
+    /// matrix) and stream its results back.
+    Submit(Box<JobRequest>),
+    /// `stats`: report the server's cumulative counters.
+    Stats,
+    /// `ping`: liveness probe, answered with `pong`.
+    Ping,
+    /// `shutdown`: end this session (the server keeps running for
+    /// others).
+    Shutdown,
+}
+
+/// A scenario reference inside a `submit` request: a built-in catalog
+/// name, or a complete inline `sara-scenario/v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioRef {
+    /// A name resolved against the built-in catalog.
+    Catalog(String),
+    /// A full scenario object, validated on parse with the same strict
+    /// reader `.scenario.json` files go through.
+    Inline(Box<Scenario>),
+}
+
+/// A fully parsed `submit` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen job id, echoed on every response record of the job.
+    pub id: String,
+    /// Admission-budget principal; defaults to `"anonymous"`.
+    pub client: String,
+    /// What to run (non-empty).
+    pub scenarios: Vec<ScenarioRef>,
+    /// Policies to cross with (empty = all six).
+    pub policies: Vec<PolicyKind>,
+    /// DRAM frequency overrides (empty = each scenario's own).
+    pub freqs_mhz: Vec<u32>,
+    /// DRAM channel-count overrides (empty = each scenario's own).
+    pub channels: Vec<usize>,
+    /// Per-cell run length override in milliseconds.
+    pub duration_ms: Option<f64>,
+    /// Server-side path to write the job's full matrix summary to —
+    /// byte-identical to `sara matrix --json` for the same matrix.
+    pub json_out: Option<PathBuf>,
+}
+
+/// A request that could not be honoured: the offending job id when one
+/// was recoverable from the line, plus a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The `id` of the offending record, when the line carried one.
+    pub id: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(id: Option<&str>, message: impl Into<String>) -> Self {
+        ProtocolError {
+            id: id.map(str::to_string),
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line strictly.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] (carrying the job id when the line had
+/// one) for malformed JSON, a wrong or missing format tag, an unknown
+/// record type, unknown or missing keys, or out-of-range values.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let doc = json::parse(line).map_err(|e| ProtocolError::new(None, format!("bad JSON: {e}")))?;
+    let members = doc
+        .as_object()
+        .ok_or_else(|| ProtocolError::new(None, "request is not a JSON object"))?;
+    // Recover the id first so even badly-shaped submits are correlatable.
+    let id = doc.get("id").and_then(Value::as_str);
+    let tag = doc
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::new(id, "missing \"format\" tag"))?;
+    if tag != FORMAT_TAG {
+        return Err(ProtocolError::new(
+            id,
+            format!("unsupported format tag {tag:?} (this server speaks {FORMAT_TAG:?})"),
+        ));
+    }
+    let rtype = doc
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ProtocolError::new(id, "missing \"type\""))?;
+    let (required, optional) = match rtype {
+        "submit" | "stats" | "ping" | "shutdown" => {
+            record_keys(rtype).expect("request types are in the key table")
+        }
+        other => {
+            return Err(ProtocolError::new(
+                id,
+                format!(
+                    "unknown request type {other:?} (expected submit, stats, ping or shutdown)"
+                ),
+            ))
+        }
+    };
+    for (key, _) in members {
+        if !required.contains(&key.as_str()) && !optional.contains(&key.as_str()) {
+            return Err(ProtocolError::new(
+                id,
+                format!("unknown key {key:?} in a {rtype:?} request"),
+            ));
+        }
+    }
+    for key in required {
+        if doc.get(key).is_none() {
+            return Err(ProtocolError::new(
+                id,
+                format!("{rtype:?} request is missing required key {key:?}"),
+            ));
+        }
+    }
+    match rtype {
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => parse_submit(&doc, id).map(|job| Request::Submit(Box::new(job))),
+        _ => unreachable!("handled above"),
+    }
+}
+
+fn parse_submit(doc: &Value, id: Option<&str>) -> Result<JobRequest, ProtocolError> {
+    let err = |msg: String| ProtocolError::new(id, msg);
+    let job_id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| err("\"id\" must be a non-empty string".to_string()))?
+        .to_string();
+    let client = match doc.get("client") {
+        None => "anonymous".to_string(),
+        Some(v) => v
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err("\"client\" must be a non-empty string".to_string()))?
+            .to_string(),
+    };
+    let raw_scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .ok_or_else(|| err("\"scenarios\" must be an array".to_string()))?;
+    if raw_scenarios.is_empty() {
+        return Err(err("\"scenarios\" must be non-empty".to_string()));
+    }
+    let scenarios = raw_scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| match entry {
+            Value::Str(name) if !name.is_empty() => Ok(ScenarioRef::Catalog(name.clone())),
+            Value::Object(_) => Scenario::from_json_value(entry)
+                .map(|s| ScenarioRef::Inline(Box::new(s)))
+                .map_err(|e| err(format!("scenarios[{i}]: {}", e.message()))),
+            other => Err(err(format!(
+                "scenarios[{i}]: expected a catalog name or a scenario object, got {}",
+                other.type_name()
+            ))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let policies = match doc.get("policies") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| err("\"policies\" must be an array of policy names".to_string()))?
+            .iter()
+            .map(|p| {
+                p.as_str().and_then(PolicyKind::from_name).ok_or_else(|| {
+                    let known: Vec<&str> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+                    err(format!(
+                        "bad policy {} (expected one of: {})",
+                        p.to_string_compact(),
+                        known.join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let freqs_mhz = match doc.get("freqs_mhz") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| err("\"freqs_mhz\" must be an array of MHz integers".to_string()))?
+            .iter()
+            .map(|f| match f.as_u64() {
+                Some(mhz) if mhz > 0 && mhz <= u64::from(u32::MAX) => Ok(mhz as u32),
+                _ => Err(err(format!(
+                    "bad frequency {} (expected a positive MHz integer)",
+                    f.to_string_compact()
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let channels = match doc.get("channels") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| err("\"channels\" must be an array of channel counts".to_string()))?
+            .iter()
+            .map(|c| match c.as_u64() {
+                Some(n) if n > 0 && n <= 256 && n.is_power_of_two() => Ok(n as usize),
+                _ => Err(err(format!(
+                    "bad channel count {} (expected a power of two in 1..=256)",
+                    c.to_string_compact()
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let duration_ms = match doc.get("duration_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v
+                .as_f64()
+                .filter(|ms| ms.is_finite() && *ms > 0.0)
+                .ok_or_else(|| err("\"duration_ms\" must be a number > 0".to_string()))?;
+            Some(ms)
+        }
+    };
+    let json_out = match doc.get("json_out") {
+        None => None,
+        Some(v) => Some(PathBuf::from(
+            v.as_str()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| err("\"json_out\" must be a non-empty path".to_string()))?,
+        )),
+    };
+    Ok(JobRequest {
+        id: job_id,
+        client,
+        scenarios,
+        policies,
+        freqs_mhz,
+        channels,
+        duration_ms,
+        json_out,
+    })
+}
+
+// --- response builders -------------------------------------------------------
+
+fn kv(key: &str, value: impl Into<Value>) -> (String, Value) {
+    (key.to_string(), value.into())
+}
+
+fn envelope(record_type: &str) -> Vec<(String, Value)> {
+    vec![kv("format", FORMAT_TAG), kv("type", record_type)]
+}
+
+/// The per-job outcome counters a `summary` record carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSummary {
+    /// Total cells in the job.
+    pub cells: usize,
+    /// Cells answered from the result cache (or deduplicated within the
+    /// job) instead of simulated.
+    pub cache_hits: usize,
+    /// Cells that had to be simulated.
+    pub cache_misses: usize,
+    /// Cells whose report met every QoS target.
+    pub targets_met: usize,
+    /// The `json_out` artifact path, echoed when one was written.
+    pub artifact: Option<String>,
+}
+
+/// Builds an `accepted` record: the job passed admission and expands to
+/// `cells` cells.
+pub fn accepted_record(id: &str, cells: usize) -> Value {
+    let mut members = envelope("accepted");
+    members.push(kv("id", id));
+    members.push(kv("cells", cells as u64));
+    Value::Object(members)
+}
+
+/// Builds a `cell` record: envelope plus the exact member list a
+/// `sara matrix` dump's `cells[seq]` entry carries, so the payload is
+/// byte-identical to the batch harness's output for the same cell.
+pub fn cell_record(id: &str, seq: usize, cell: &MatrixCell) -> Value {
+    let mut members = envelope("cell");
+    members.push(kv("id", id));
+    members.push(kv("seq", seq as u64));
+    members.extend(cell.json_members());
+    Value::Object(members)
+}
+
+/// Builds a job's final `summary` record.
+pub fn summary_record(id: &str, summary: &JobSummary) -> Value {
+    let mut members = envelope("summary");
+    members.push(kv("id", id));
+    members.push(kv("cells", summary.cells as u64));
+    members.push(kv("cache_hits", summary.cache_hits as u64));
+    members.push(kv("cache_misses", summary.cache_misses as u64));
+    members.push(kv("targets_met", summary.targets_met as u64));
+    if let Some(artifact) = &summary.artifact {
+        members.push(kv("artifact", artifact.as_str()));
+    }
+    Value::Object(members)
+}
+
+/// Builds an `error` record; `id` is included when the failing request
+/// was correlatable.
+pub fn error_record(id: Option<&str>, message: &str) -> Value {
+    let mut members = envelope("error");
+    if let Some(id) = id {
+        members.push(kv("id", id));
+    }
+    members.push(kv("error", message));
+    Value::Object(members)
+}
+
+/// Builds the reply to a `stats` request around a counters snapshot
+/// (a `sara_telemetry::Registry` JSON object).
+pub fn stats_record(counters: Value) -> Value {
+    let mut members = envelope("stats");
+    members.push(("counters".to_string(), counters));
+    Value::Object(members)
+}
+
+/// Builds the `pong` reply to a `ping`.
+pub fn pong_record() -> Value {
+    Value::Object(envelope("pong"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit_with(scenarios: &str, extra: &str) -> String {
+        format!(
+            "{{\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"j1\",\
+             \"scenarios\":{scenarios}{extra}}}"
+        )
+    }
+
+    fn submit_line(extra: &str) -> String {
+        submit_with("[\"adas\"]", extra)
+    }
+
+    #[test]
+    fn bare_requests_parse() {
+        for (rtype, want) in [
+            ("stats", Request::Stats),
+            ("ping", Request::Ping),
+            ("shutdown", Request::Shutdown),
+        ] {
+            let line = format!("{{\"format\":\"sara-serve/v1\",\"type\":\"{rtype}\"}}");
+            assert_eq!(parse_request(&line).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn submit_parses_with_defaults_and_overrides() {
+        let Request::Submit(job) = parse_request(&submit_line("")).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(job.id, "j1");
+        assert_eq!(job.client, "anonymous");
+        assert_eq!(job.scenarios, vec![ScenarioRef::Catalog("adas".into())]);
+        assert!(job.policies.is_empty() && job.freqs_mhz.is_empty() && job.channels.is_empty());
+        assert_eq!(job.duration_ms, None);
+        assert_eq!(job.json_out, None);
+
+        let line = submit_line(
+            ",\"client\":\"ci\",\"policies\":[\"QoS\",\"FCFS\"],\"freqs_mhz\":[1333,1700],\
+             \"channels\":[2,4],\"duration_ms\":0.5,\"json_out\":\"/tmp/out.json\"",
+        );
+        let Request::Submit(job) = parse_request(&line).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(job.client, "ci");
+        assert_eq!(
+            job.policies,
+            vec![PolicyKind::Priority, PolicyKind::Fcfs],
+            "policy names use the report spellings"
+        );
+        assert_eq!(job.freqs_mhz, vec![1333, 1700]);
+        assert_eq!(job.channels, vec![2, 4]);
+        assert_eq!(job.duration_ms, Some(0.5));
+        assert_eq!(
+            job.json_out.as_deref(),
+            Some(std::path::Path::new("/tmp/out.json"))
+        );
+    }
+
+    #[test]
+    fn submit_accepts_inline_scenarios_and_rejects_bad_ones() {
+        let scenario = sara_scenarios::catalog::by_name("camcorder-b").unwrap();
+        let inline = scenario.to_json_value().to_string_compact();
+        let line = submit_with(&format!("[{inline}]"), "");
+        let Request::Submit(job) = parse_request(&line).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(job.scenarios, vec![ScenarioRef::Inline(Box::new(scenario))]);
+        // An inline object goes through the strict scenario reader.
+        let line = submit_with("[{\"format\":\"sara-scenario/v1\"}]", "");
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("j1"));
+        assert!(err.message.contains("scenarios[0]"), "{err:?}");
+    }
+
+    #[test]
+    fn strictness_rejects_unknown_and_missing_keys() {
+        let err = parse_request(&submit_line(",\"bogus\":1")).unwrap_err();
+        assert!(err.message.contains("unknown key \"bogus\""), "{err:?}");
+        assert_eq!(err.id.as_deref(), Some("j1"));
+
+        let err = parse_request("{\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"j2\"}")
+            .unwrap_err();
+        assert!(err.message.contains("\"scenarios\""), "{err:?}");
+
+        let err = parse_request("{\"format\":\"sara-serve/v0\",\"type\":\"ping\"}").unwrap_err();
+        assert!(err.message.contains("unsupported format tag"), "{err:?}");
+
+        let err = parse_request("{\"type\":\"ping\"}").unwrap_err();
+        assert!(err.message.contains("missing \"format\""), "{err:?}");
+
+        let err = parse_request("{\"format\":\"sara-serve/v1\",\"type\":\"dance\"}").unwrap_err();
+        assert!(err.message.contains("unknown request type"), "{err:?}");
+
+        let err = parse_request("not json at all").unwrap_err();
+        assert!(err.message.contains("bad JSON"), "{err:?}");
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn submit_validates_value_ranges() {
+        for (extra, needle) in [
+            (",\"duration_ms\":0", "duration_ms"),
+            (",\"duration_ms\":\"fast\"", "duration_ms"),
+            (",\"freqs_mhz\":[0]", "frequency"),
+            (",\"channels\":[3]", "channel count"),
+            (",\"channels\":[512]", "channel count"),
+            (",\"policies\":[\"qos\"]", "bad policy"),
+            (",\"json_out\":\"\"", "json_out"),
+            (",\"client\":\"\"", "client"),
+        ] {
+            let err = parse_request(&submit_line(extra)).unwrap_err();
+            assert!(err.message.contains(needle), "{extra}: {err:?}");
+        }
+        for (scenarios, needle) in [("[]", "scenarios"), ("[42]", "scenarios[0]")] {
+            let err = parse_request(&submit_with(scenarios, "")).unwrap_err();
+            assert!(err.message.contains(needle), "{scenarios}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn response_builders_emit_the_documented_keys() {
+        let keys = |v: &Value| -> Vec<String> {
+            v.as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect()
+        };
+        assert_eq!(
+            keys(&accepted_record("j", 3)),
+            record_keys("accepted").unwrap().0
+        );
+        let summary = JobSummary {
+            cells: 3,
+            cache_hits: 1,
+            cache_misses: 2,
+            targets_met: 3,
+            artifact: Some("/tmp/x.json".into()),
+        };
+        let (required, optional) = record_keys("summary").unwrap();
+        let mut want: Vec<&str> = required.to_vec();
+        want.extend(optional);
+        assert_eq!(keys(&summary_record("j", &summary)), want);
+        let bare = JobSummary {
+            artifact: None,
+            ..summary
+        };
+        assert_eq!(keys(&summary_record("j", &bare)), required);
+
+        assert_eq!(
+            keys(&error_record(Some("j"), "boom")),
+            ["format", "type", "id", "error"]
+        );
+        assert_eq!(
+            keys(&error_record(None, "boom")),
+            ["format", "type", "error"]
+        );
+        assert_eq!(
+            keys(&stats_record(Value::Object(vec![]))),
+            record_keys(STATS_REPLY).unwrap().0
+        );
+        assert_eq!(keys(&pong_record()), record_keys("pong").unwrap().0);
+        // Every record leads with the format tag.
+        assert!(pong_record()
+            .to_string_compact()
+            .starts_with("{\"format\":\"sara-serve/v1\",\"type\":\"pong\""));
+    }
+}

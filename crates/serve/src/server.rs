@@ -1,0 +1,523 @@
+//! The long-lived simulation server: sessions, admission, job execution.
+//!
+//! A [`Server`] owns the process-wide state — the content-addressed
+//! [`ResultCache`], the telemetry [`Registry`], and the per-client
+//! admission ledger — and [`Server::handle_session`] runs one client
+//! conversation over any `BufRead`/`Write` pair: stdin/stdout, a TCP
+//! stream, or a Unix socket. Each `submit` is lowered through the exact
+//! same primitives as `sara matrix` (`expand_cells` → `run_cell` →
+//! `summarize_cells`), which is what makes a served job byte-identical
+//! to the equivalent batch run no matter the worker count, the cache
+//! state, or the order jobs arrive in.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use json::Value;
+use sara_memctrl::PolicyKind;
+use sara_scenarios::{
+    catalog, cell_fingerprint, expand_cells, run_cell, summarize_cells, CellProfile, CellSpec,
+    MatrixCell, MatrixSpec, Scenario,
+};
+use sara_sim::{SimReport, ENGINE_VERSION};
+use sara_telemetry::Registry;
+use sara_types::ConfigError;
+
+use crate::cache::ResultCache;
+use crate::protocol::{self, JobRequest, JobSummary, Request, ScenarioRef};
+
+/// The server's cumulative counters, registered in this order at
+/// construction so `stats` replies list them deterministically.
+pub const COUNTERS: [&str; 7] = [
+    "jobs_accepted",
+    "jobs_rejected",
+    "jobs_failed",
+    "cells_total",
+    "cache_hits",
+    "cache_misses",
+    "protocol_errors",
+];
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads per job (0 = one per available core). Never changes
+    /// results, only wall-clock.
+    pub workers: usize,
+    /// Per-client admission budget: the most cells one client may have
+    /// outstanding across its in-flight jobs.
+    pub budget: usize,
+    /// Parallel channel stepping *within* each cell (bit-identical either
+    /// way; see `MatrixSpec::parallel_channels`).
+    pub parallel_channels: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            budget: 4096,
+            parallel_channels: false,
+        }
+    }
+}
+
+/// A running service instance; shared by every session.
+#[derive(Debug)]
+pub struct Server {
+    config: ServeConfig,
+    workers: usize,
+    cache: Mutex<ResultCache>,
+    registry: Mutex<Registry>,
+    outstanding: Mutex<HashMap<String, usize>>,
+}
+
+/// Where a cell's report comes from, decided up front so the hit/miss
+/// accounting is a pure function of the job and the cache state.
+enum CellSource {
+    /// Served from the result cache.
+    Cached(Box<SimReport>),
+    /// A within-job duplicate of an earlier cell (by fingerprint); filled
+    /// from that cell's report, never simulated.
+    DupOf(usize),
+    /// Simulated by the worker pool.
+    Run,
+}
+
+/// Releases a client's admitted cells when the job leaves the server,
+/// however it leaves (completion, failure, or I/O error).
+struct BudgetGuard<'a> {
+    server: &'a Server,
+    client: String,
+    cells: usize,
+}
+
+impl Drop for BudgetGuard<'_> {
+    fn drop(&mut self) {
+        let mut outstanding = self.server.outstanding.lock().expect("admission ledger");
+        if let Some(n) = outstanding.get_mut(&self.client) {
+            *n = n.saturating_sub(self.cells);
+            if *n == 0 {
+                outstanding.remove(&self.client);
+            }
+        }
+    }
+}
+
+impl Server {
+    /// Builds a server, registering every counter in [`COUNTERS`] order.
+    pub fn new(config: ServeConfig) -> Server {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let mut registry = Registry::new();
+        for name in COUNTERS {
+            registry.counter(name);
+        }
+        Server {
+            config,
+            workers,
+            cache: Mutex::new(ResultCache::new()),
+            registry: Mutex::new(registry),
+            outstanding: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Snapshot of the counters as the JSON object `stats` replies carry.
+    pub fn counters(&self) -> Value {
+        self.registry.lock().expect("registry").to_json_value()
+    }
+
+    /// Number of distinct cells in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache").len()
+    }
+
+    fn bump(&self, name: &str, by: u64) {
+        self.registry
+            .lock()
+            .expect("registry")
+            .counter(name)
+            .add(by);
+    }
+
+    /// Runs one client session: reads request lines until EOF or a
+    /// `shutdown` request, writing response records as they become ready.
+    /// Blank lines are ignored; malformed lines get an `error` record and
+    /// the session continues. A client that disconnects mid-stream
+    /// (`BrokenPipe`) ends the session cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than `BrokenPipe` from the transport.
+    pub fn handle_session<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> io::Result<()> {
+        match self.session_loop(reader, &mut writer) {
+            Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Ok(()),
+            other => other,
+        }
+    }
+
+    fn session_loop<R: BufRead, W: Write>(&self, reader: R, writer: &mut W) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match protocol::parse_request(&line) {
+                Err(err) => {
+                    self.bump("protocol_errors", 1);
+                    protocol::error_record(err.id.as_deref(), &err.message)
+                        .write_ndjson_line(writer)?;
+                    writer.flush()?;
+                }
+                Ok(Request::Ping) => {
+                    protocol::pong_record().write_ndjson_line(writer)?;
+                    writer.flush()?;
+                }
+                Ok(Request::Stats) => {
+                    protocol::stats_record(self.counters()).write_ndjson_line(writer)?;
+                    writer.flush()?;
+                }
+                Ok(Request::Shutdown) => return Ok(()),
+                Ok(Request::Submit(job)) => self.run_job(&job, writer)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Accepts TCP connections until `max_sessions` have been served
+    /// (forever when `None`), one thread per session. Returns once every
+    /// accepted session has drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first `accept` error.
+    pub fn serve_listener(
+        &self,
+        listener: &TcpListener,
+        max_sessions: Option<usize>,
+    ) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            let mut served = 0usize;
+            while max_sessions.is_none_or(|max| served < max) {
+                let (stream, _addr) = listener.accept()?;
+                served += 1;
+                scope.spawn(move || {
+                    if let Ok(read_half) = stream.try_clone() {
+                        let _ = self.handle_session(BufReader::new(read_half), stream);
+                    }
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// [`Server::serve_listener`] over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first `accept` error.
+    #[cfg(unix)]
+    pub fn serve_unix(
+        &self,
+        listener: &std::os::unix::net::UnixListener,
+        max_sessions: Option<usize>,
+    ) -> io::Result<()> {
+        std::thread::scope(|scope| {
+            let mut served = 0usize;
+            while max_sessions.is_none_or(|max| served < max) {
+                let (stream, _addr) = listener.accept()?;
+                served += 1;
+                scope.spawn(move || {
+                    if let Ok(read_half) = stream.try_clone() {
+                        let _ = self.handle_session(BufReader::new(read_half), stream);
+                    }
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Reserves `cells` of `client`'s budget, or refuses.
+    fn admit(&self, client: &str, cells: usize) -> Option<BudgetGuard<'_>> {
+        let mut outstanding = self.outstanding.lock().expect("admission ledger");
+        let used = outstanding.get(client).copied().unwrap_or(0);
+        if used.saturating_add(cells) > self.config.budget {
+            return None;
+        }
+        *outstanding.entry(client.to_string()).or_insert(0) += cells;
+        Some(BudgetGuard {
+            server: self,
+            client: client.to_string(),
+            cells,
+        })
+    }
+
+    fn refuse<W: Write>(
+        &self,
+        counter: &str,
+        id: &str,
+        message: &str,
+        writer: &mut W,
+    ) -> io::Result<()> {
+        self.bump(counter, 1);
+        protocol::error_record(Some(id), message).write_ndjson_line(writer)?;
+        writer.flush()
+    }
+
+    fn run_job<W: Write>(&self, job: &JobRequest, writer: &mut W) -> io::Result<()> {
+        // Lower the job exactly as `sara matrix` would: resolve scenarios,
+        // then expand the cross product in scenario-major order.
+        let mut scenarios: Vec<Scenario> = Vec::with_capacity(job.scenarios.len());
+        for sref in &job.scenarios {
+            match sref {
+                ScenarioRef::Inline(s) => scenarios.push((**s).clone()),
+                ScenarioRef::Catalog(name) => match catalog::by_name(name) {
+                    Some(s) => scenarios.push(s),
+                    None => {
+                        return self.refuse(
+                            "jobs_failed",
+                            &job.id,
+                            &format!(
+                                "unknown scenario {name:?} (catalog: {})",
+                                catalog::names().join(", ")
+                            ),
+                            writer,
+                        )
+                    }
+                },
+            }
+        }
+        let spec = MatrixSpec {
+            policies: if job.policies.is_empty() {
+                PolicyKind::ALL.to_vec()
+            } else {
+                job.policies.clone()
+            },
+            freqs_mhz: job.freqs_mhz.clone(),
+            channels: job.channels.clone(),
+            duration_ms: job.duration_ms,
+            threads: 1, // sharding happens on the serve pool, not in run_matrix
+            parallel_channels: self.config.parallel_channels,
+        };
+        let cells = match expand_cells(&scenarios, &spec) {
+            Ok(cells) => cells,
+            Err(e) => return self.refuse("jobs_failed", &job.id, e.message(), writer),
+        };
+
+        let Some(_budget) = self.admit(&job.client, cells.len()) else {
+            return self.refuse(
+                "jobs_rejected",
+                &job.id,
+                &format!(
+                    "admission refused: {} cells would exceed client {:?}'s budget of {}",
+                    cells.len(),
+                    job.client,
+                    self.config.budget
+                ),
+                writer,
+            );
+        };
+        self.bump("jobs_accepted", 1);
+        self.bump("cells_total", cells.len() as u64);
+        protocol::accepted_record(&job.id, cells.len()).write_ndjson_line(writer)?;
+        writer.flush()?;
+
+        // Classify every cell against the cache under one lock, so the
+        // hit/miss split is a pure function of job + cache state (no
+        // worker-pool races in the accounting).
+        let fingerprints: Vec<u64> = cells
+            .iter()
+            .map(|c| cell_fingerprint(&scenarios[c.scenario], c, ENGINE_VERSION))
+            .collect();
+        let mut sources: Vec<CellSource> = Vec::with_capacity(cells.len());
+        let mut first_seen: HashMap<u64, usize> = HashMap::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        {
+            let mut cache = self.cache.lock().expect("cache");
+            for (i, &fp) in fingerprints.iter().enumerate() {
+                if let Some(&j) = first_seen.get(&fp) {
+                    hits += 1;
+                    sources.push(CellSource::DupOf(j));
+                } else if let Some(report) = cache.lookup(fp) {
+                    hits += 1;
+                    first_seen.insert(fp, i);
+                    sources.push(CellSource::Cached(Box::new(report)));
+                } else {
+                    misses += 1;
+                    first_seen.insert(fp, i);
+                    sources.push(CellSource::Run);
+                }
+            }
+        }
+        self.bump("cache_hits", hits);
+        self.bump("cache_misses", misses);
+
+        // Shard the misses across the pool; stream every cell record the
+        // moment it and all its predecessors are ready. Emission order is
+        // submission order, so the byte stream is independent of worker
+        // count and completion order.
+        let run_indices: Vec<usize> = sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, CellSource::Run))
+            .map(|(i, _)| i)
+            .collect();
+        type CellResult = Result<SimReport, ConfigError>;
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let filled = (Mutex::new(()), Condvar::new());
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let pool_width = self.workers.min(run_indices.len());
+
+        let reports: Option<Vec<SimReport>> = std::thread::scope(|scope| {
+            for _ in 0..pool_width {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= run_indices.len() {
+                        break;
+                    }
+                    let i = run_indices[k];
+                    let result = run_cell(
+                        &scenarios[cells[i].scenario],
+                        &cells[i],
+                        self.config.parallel_channels,
+                    );
+                    *slots[i].lock().expect("cell slot") = Some(result);
+                    let _hold = filled.0.lock().expect("completion lock");
+                    filled.1.notify_all();
+                });
+            }
+            let outcome =
+                self.emit_cells(job, &scenarios, &cells, &sources, &slots, &filled, writer);
+            abort.store(true, Ordering::Relaxed);
+            outcome
+        })?;
+        let Some(reports) = reports else {
+            return Ok(()); // a cell failed; the error record is already out
+        };
+
+        // Publish fresh results so no future job simulates these cells.
+        {
+            let mut cache = self.cache.lock().expect("cache");
+            for &i in &run_indices {
+                cache.insert(fingerprints[i], reports[i].clone());
+            }
+        }
+
+        let targets_met = reports.iter().filter(|r| r.all_targets_met()).count();
+        let artifact = match &job.json_out {
+            None => None,
+            Some(path) => {
+                // The artifact is the exact `sara matrix --json` document
+                // for this job's matrix: same cells, same rankings, same
+                // bytes (profiles are wall-clock and stay out of the JSON,
+                // so zeroed placeholders are invisible).
+                let profile = vec![
+                    CellProfile {
+                        worker: 0,
+                        start_ms: 0.0,
+                        setup_ms: 0.0,
+                        sim_ms: 0.0,
+                        report_ms: 0.0,
+                    };
+                    cells.len()
+                ];
+                let summary = summarize_cells(&scenarios, &cells, reports, profile);
+                let write =
+                    std::fs::File::create(path).and_then(|mut f| summary.to_json_writer(&mut f));
+                if let Err(e) = write {
+                    return self.refuse(
+                        "jobs_failed",
+                        &job.id,
+                        &format!("failed to write artifact {}: {e}", path.display()),
+                        writer,
+                    );
+                }
+                Some(path.display().to_string())
+            }
+        };
+
+        protocol::summary_record(
+            &job.id,
+            &JobSummary {
+                cells: cells.len(),
+                cache_hits: hits as usize,
+                cache_misses: misses as usize,
+                targets_met,
+                artifact,
+            },
+        )
+        .write_ndjson_line(writer)?;
+        writer.flush()
+    }
+
+    /// Streams the job's cell records in submission order, waiting on the
+    /// pool for cells still simulating. Returns the reports (aligned with
+    /// the cells) or `None` after emitting the error record of the first
+    /// failing cell.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_cells<W: Write>(
+        &self,
+        job: &JobRequest,
+        scenarios: &[Scenario],
+        cells: &[CellSpec],
+        sources: &[CellSource],
+        slots: &[Mutex<Option<Result<SimReport, ConfigError>>>],
+        filled: &(Mutex<()>, Condvar),
+        writer: &mut W,
+    ) -> io::Result<Option<Vec<SimReport>>> {
+        let mut reports: Vec<SimReport> = Vec::with_capacity(cells.len());
+        for (i, source) in sources.iter().enumerate() {
+            let report = match source {
+                CellSource::Cached(report) => (**report).clone(),
+                CellSource::DupOf(j) => reports[*j].clone(),
+                CellSource::Run => {
+                    let result = loop {
+                        if let Some(result) = slots[i].lock().expect("cell slot").take() {
+                            break result;
+                        }
+                        let guard = filled.0.lock().expect("completion lock");
+                        // Re-check under the notify lock: a worker that
+                        // filled the slot in between will have notified
+                        // already, and we must not sleep through it.
+                        if slots[i].lock().expect("cell slot").is_some() {
+                            continue;
+                        }
+                        drop(filled.1.wait(guard).expect("completion wait"));
+                    };
+                    match result {
+                        Ok(report) => report,
+                        Err(e) => {
+                            self.bump("jobs_failed", 1);
+                            protocol::error_record(Some(&job.id), e.message())
+                                .write_ndjson_line(writer)?;
+                            writer.flush()?;
+                            return Ok(None);
+                        }
+                    }
+                }
+            };
+            let cell = MatrixCell {
+                scenario: scenarios[cells[i].scenario].name.clone(),
+                policy: cells[i].policy,
+                freq: cells[i].freq,
+                channels: cells[i].channels,
+                report,
+            };
+            protocol::cell_record(&job.id, i, &cell).write_ndjson_line(writer)?;
+            writer.flush()?;
+            reports.push(cell.report);
+        }
+        Ok(Some(reports))
+    }
+}

@@ -1,0 +1,365 @@
+//! End-to-end tests of the service against its two core guarantees:
+//! byte-identity with `sara matrix` (for any worker count, cache state,
+//! or arrival order) and "no cell is ever simulated twice" (proved by
+//! the cache-hit accounting), plus admission control and the TCP
+//! transport.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use json::Value;
+use sara_memctrl::PolicyKind;
+use sara_scenarios::{catalog, run_matrix, MatrixSpec};
+use sara_serve::{ServeConfig, Server, FORMAT_TAG};
+
+/// Runs one in-process session and returns its reply stream.
+fn run_session(server: &Server, input: &str) -> String {
+    let mut out = Vec::new();
+    server
+        .handle_session(input.as_bytes(), &mut out)
+        .expect("session I/O");
+    String::from_utf8(out).expect("utf-8 replies")
+}
+
+/// A canonical small-job submit line: camcorder-b × {FCFS, QoS} at 0.05 ms.
+fn submit(id: &str, extra: &str) -> String {
+    format!(
+        "{{\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"{id}\",\
+         \"scenarios\":[\"camcorder-b\"],\"policies\":[\"FCFS\",\"QoS\"],\
+         \"duration_ms\":0.05{extra}}}\n"
+    )
+}
+
+/// The MatrixSpec equivalent of [`submit`], for batch-harness comparison.
+fn submit_spec() -> MatrixSpec {
+    MatrixSpec {
+        policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+        freqs_mhz: Vec::new(),
+        channels: Vec::new(),
+        duration_ms: Some(0.05),
+        threads: 1,
+        parallel_channels: false,
+    }
+}
+
+/// The result lines of a transcript — everything except `summary`
+/// records, whose cache_hits/cache_misses fields legitimately depend on
+/// cache state (that dependence is the whole point of the counters).
+fn result_lines(transcript: &str) -> String {
+    transcript
+        .lines()
+        .filter(|l| !l.contains("\"type\":\"summary\""))
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        })
+}
+
+fn records(transcript: &str) -> Vec<Value> {
+    transcript
+        .lines()
+        .map(|l| json::parse(l).expect("every reply line is valid JSON"))
+        .collect()
+}
+
+fn of_type<'a>(records: &'a [Value], rtype: &str) -> Vec<&'a Value> {
+    records
+        .iter()
+        .filter(|r| r.get("type").and_then(Value::as_str) == Some(rtype))
+        .collect()
+}
+
+fn u64_field(record: &Value, key: &str) -> u64 {
+    record
+        .get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing {key} in {record:?}"))
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sara-serve-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn double_submit_simulates_each_cell_exactly_once() {
+    let server = Server::new(ServeConfig::default());
+    let first = run_session(&server, &submit("a", ""));
+    let second = run_session(&server, &submit("b", ""));
+
+    let first_summary = of_type(&records(&first), "summary")[0].clone();
+    assert_eq!(u64_field(&first_summary, "cells"), 2);
+    assert_eq!(u64_field(&first_summary, "cache_hits"), 0);
+    assert_eq!(u64_field(&first_summary, "cache_misses"), 2);
+
+    let second_summary = of_type(&records(&second), "summary")[0].clone();
+    assert_eq!(
+        u64_field(&second_summary, "cache_hits"),
+        2,
+        "a resubmitted job must be served entirely from cache"
+    );
+    assert_eq!(u64_field(&second_summary, "cache_misses"), 0);
+    assert_eq!(server.cache_len(), 2, "only distinct cells are stored");
+
+    // Cached replies are byte-identical to simulated ones (only the job
+    // id — and the summary's hit/miss split, by design — differs).
+    assert_eq!(
+        result_lines(&second.replace("\"id\":\"b\"", "\"id\":\"a\"")),
+        result_lines(&first)
+    );
+
+    // The server-wide counters agree with the per-job summaries.
+    let stats = records(&run_session(
+        &server,
+        "{\"format\":\"sara-serve/v1\",\"type\":\"stats\"}\n",
+    ));
+    let counters = stats[0].get("counters").expect("counters object");
+    assert_eq!(u64_field(counters, "jobs_accepted"), 2);
+    assert_eq!(u64_field(counters, "cells_total"), 4);
+    assert_eq!(u64_field(counters, "cache_hits"), 2);
+    assert_eq!(u64_field(counters, "cache_misses"), 2);
+}
+
+#[test]
+fn worker_count_and_cache_state_never_change_the_byte_stream() {
+    // A bigger job so the pool actually shards: 1 scenario × 6 policies.
+    let all = "{\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"w\",\
+               \"scenarios\":[\"camcorder-b\"],\"duration_ms\":0.05}\n";
+    let serial = run_session(
+        &Server::new(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        }),
+        all,
+    );
+    let wide = run_session(
+        &Server::new(ServeConfig {
+            workers: 8,
+            ..Default::default()
+        }),
+        all,
+    );
+    assert_eq!(serial, wide, "worker count leaked into the byte stream");
+
+    // A warmed cache must replay the same result bytes too (only the
+    // summary's hit/miss split moves, by design).
+    let warmed = Server::new(ServeConfig::default());
+    run_session(&warmed, all);
+    assert_eq!(
+        result_lines(&run_session(&warmed, all)),
+        result_lines(&serial)
+    );
+}
+
+#[test]
+fn served_cells_and_artifact_match_the_batch_harness_byte_for_byte() {
+    let scenarios = vec![catalog::by_name("camcorder-b").unwrap()];
+    let batch = run_matrix(&scenarios, &submit_spec()).unwrap();
+
+    let dir = scratch("artifact");
+    let artifact = dir.join("job.json");
+    let server = Server::new(ServeConfig::default());
+    let transcript = run_session(
+        &server,
+        &submit("m", &format!(",\"json_out\":\"{}\"", artifact.display())),
+    );
+
+    // Every streamed cell record is the batch cell plus the envelope.
+    let replies = records(&transcript);
+    let cells = of_type(&replies, "cell");
+    assert_eq!(cells.len(), batch.cells.len());
+    for (seq, (record, batch_cell)) in cells.iter().zip(&batch.cells).enumerate() {
+        let mut members = vec![
+            ("format".to_string(), Value::from(FORMAT_TAG)),
+            ("type".to_string(), Value::from("cell")),
+            ("id".to_string(), Value::from("m")),
+            ("seq".to_string(), Value::from(seq as u64)),
+        ];
+        members.extend(batch_cell.json_members());
+        assert_eq!(
+            record.to_string_compact(),
+            Value::Object(members).to_string_compact(),
+            "cell {seq} drifted from the batch harness"
+        );
+    }
+
+    // The artifact is exactly what `sara matrix --json` writes.
+    let served_bytes = std::fs::read_to_string(&artifact).expect("artifact written");
+    assert_eq!(served_bytes, format!("{}\n", batch.to_json()));
+    let summary = of_type(&replies, "summary")[0];
+    assert_eq!(
+        summary.get("artifact").and_then(Value::as_str),
+        Some(artifact.display().to_string().as_str())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_cells_within_one_job_simulate_once() {
+    // The same frequency twice expands to two fingerprint-identical
+    // cells; the second must come from the first, not the pool.
+    let server = Server::new(ServeConfig::default());
+    let transcript = run_session(&server, &submit("d", ",\"freqs_mhz\":[1700,1700]"));
+    let replies = records(&transcript);
+    let summary = of_type(&replies, "summary")[0];
+    assert_eq!(u64_field(summary, "cells"), 4); // 2 policies × 2 freqs
+    assert_eq!(u64_field(summary, "cache_hits"), 2);
+    assert_eq!(u64_field(summary, "cache_misses"), 2);
+    // Both copies of each cell carry identical payloads.
+    let cells = of_type(&replies, "cell");
+    let body = |v: &Value| {
+        let mut members = v.as_object().unwrap().to_vec();
+        members.retain(|(k, _)| k != "seq");
+        Value::Object(members).to_string_compact()
+    };
+    assert_eq!(body(cells[0]), body(cells[1]));
+    assert_eq!(body(cells[2]), body(cells[3]));
+}
+
+#[test]
+fn admission_budget_bounds_each_client() {
+    let server = Server::new(ServeConfig {
+        budget: 3,
+        ..Default::default()
+    });
+    // 6 policies × 1 scenario = 6 cells > 3: refused before simulating.
+    let refused = run_session(
+        &server,
+        "{\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"big\",\
+         \"scenarios\":[\"camcorder-b\"],\"duration_ms\":0.05}\n",
+    );
+    let replies = records(&refused);
+    assert_eq!(replies.len(), 1, "{refused}");
+    let error = of_type(&replies, "error")[0];
+    assert!(
+        error
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("budget"),
+        "{refused}"
+    );
+    // Within budget still works, proving the refusal released nothing.
+    let ok = run_session(&server, &submit("small", ""));
+    assert_eq!(of_type(&records(&ok), "summary").len(), 1);
+    let stats = records(&run_session(
+        &server,
+        "{\"format\":\"sara-serve/v1\",\"type\":\"stats\"}\n",
+    ));
+    let counters = stats[0].get("counters").expect("counters object");
+    assert_eq!(u64_field(counters, "jobs_rejected"), 1);
+    assert_eq!(u64_field(counters, "jobs_accepted"), 1);
+}
+
+#[test]
+fn protocol_errors_answer_without_killing_the_session() {
+    let server = Server::new(ServeConfig::default());
+    let transcript = run_session(
+        &server,
+        "this is not json\n\
+         {\"format\":\"sara-serve/v1\",\"type\":\"dance\"}\n\
+         \n\
+         {\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"x\",\
+          \"scenarios\":[\"no-such-scenario\"]}\n\
+         {\"format\":\"sara-serve/v1\",\"type\":\"ping\"}\n",
+    );
+    let replies = records(&transcript);
+    assert_eq!(of_type(&replies, "error").len(), 3);
+    assert_eq!(of_type(&replies, "pong").len(), 1, "session survived");
+    let unknown = of_type(&replies, "error")[2];
+    assert_eq!(unknown.get("id").and_then(Value::as_str), Some("x"));
+    assert!(
+        unknown
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("unknown scenario"),
+        "{transcript}"
+    );
+}
+
+#[test]
+fn tcp_sessions_stream_the_same_bytes_as_stdio() {
+    let server = Server::new(ServeConfig::default());
+    let stdio = run_session(&server, &submit("t", ""));
+
+    let fresh = Server::new(ServeConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let transcript = std::thread::scope(|scope| {
+        let service = scope.spawn(|| fresh.serve_listener(&listener, Some(1)));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(submit("t", "").as_bytes()).expect("send");
+        stream
+            .write_all(b"{\"format\":\"sara-serve/v1\",\"type\":\"shutdown\"}\n")
+            .expect("send shutdown");
+        let mut transcript = String::new();
+        BufReader::new(&stream)
+            .read_to_string(&mut transcript)
+            .expect("read replies");
+        service
+            .join()
+            .expect("service thread")
+            .expect("accept loop");
+        transcript
+    });
+    assert_eq!(transcript, stdio, "transport leaked into the byte stream");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_sessions_work() {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    let dir = scratch("unix");
+    let path = dir.join("sara.sock");
+    let server = Server::new(ServeConfig::default());
+    let listener = UnixListener::bind(&path).expect("bind unix socket");
+    let reply = std::thread::scope(|scope| {
+        let service = scope.spawn(|| server.serve_unix(&listener, Some(1)));
+        let mut stream = UnixStream::connect(&path).expect("connect");
+        stream
+            .write_all(
+                b"{\"format\":\"sara-serve/v1\",\"type\":\"ping\"}\n\
+                  {\"format\":\"sara-serve/v1\",\"type\":\"shutdown\"}\n",
+            )
+            .expect("send");
+        let mut reply = String::new();
+        BufReader::new(&stream)
+            .read_to_string(&mut reply)
+            .expect("read");
+        service
+            .join()
+            .expect("service thread")
+            .expect("accept loop");
+        reply
+    });
+    assert_eq!(
+        reply,
+        format!("{{\"format\":\"{FORMAT_TAG}\",\"type\":\"pong\"}}\n")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn accepted_precedes_cells_and_streaming_is_in_submission_order() {
+    let server = Server::new(ServeConfig::default());
+    let replies = records(&run_session(&server, &submit("o", "")));
+    let kinds: Vec<&str> = replies
+        .iter()
+        .map(|r| r.get("type").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(kinds, ["accepted", "cell", "cell", "summary"]);
+    assert_eq!(u64_field(&replies[0], "cells"), 2);
+    for (i, cell) in of_type(&replies, "cell").iter().enumerate() {
+        assert_eq!(u64_field(cell, "seq"), i as u64);
+    }
+    // Submission order is scenario-major: both cells name the scenario,
+    // policies in request order.
+    let cells = of_type(&replies, "cell");
+    assert_eq!(cells[0].get("policy").and_then(Value::as_str), Some("FCFS"));
+    assert_eq!(cells[1].get("policy").and_then(Value::as_str), Some("QoS"));
+}

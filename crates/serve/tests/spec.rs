@@ -1,0 +1,281 @@
+//! The spec drift gate: `docs/serve-protocol.md` is parsed and compared
+//! against the implementation, in both directions. If the document's
+//! field tables or examples disagree with `protocol::record_keys` — or
+//! with the records a live session actually emits — the build fails,
+//! which is what keeps the prose normative.
+
+use std::collections::BTreeSet;
+
+use json::Value;
+use sara_serve::protocol::{record_keys, STATS_REPLY};
+use sara_serve::{ServeConfig, Server, FORMAT_TAG};
+
+/// One `### \`type\`` section of the spec.
+#[derive(Debug, Default)]
+struct Section {
+    /// `true` under `## Requests`, `false` under `## Responses`.
+    request: bool,
+    required: BTreeSet<String>,
+    optional: BTreeSet<String>,
+    examples: Vec<String>,
+}
+
+/// The record-type name `record_keys` uses for a documented section: the
+/// `stats` *reply* shares its wire spelling with the request, so the
+/// key table stores it under [`STATS_REPLY`].
+fn lookup_name(name: &str, request: bool) -> String {
+    if !request && name == "stats" {
+        STATS_REPLY.to_string()
+    } else {
+        name.to_string()
+    }
+}
+
+fn spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/serve-protocol.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Parses the spec's record sections: heading, field table, examples.
+fn parse_spec(text: &str) -> Vec<(String, Section)> {
+    let mut sections: Vec<(String, Section)> = Vec::new();
+    let mut in_requests = false;
+    let mut in_responses = false;
+    let mut in_json = false;
+    let mut json_buf = String::new();
+    for line in text.lines() {
+        if in_json {
+            if line.trim() == "```" {
+                in_json = false;
+                if let Some((_, section)) = sections.last_mut() {
+                    section.examples.push(json_buf.clone());
+                }
+            } else {
+                json_buf.push_str(line);
+                json_buf.push('\n');
+            }
+            continue;
+        }
+        if let Some(heading) = line.strip_prefix("## ") {
+            in_requests = heading.trim() == "Requests";
+            in_responses = heading.trim() == "Responses";
+            continue;
+        }
+        if !in_requests && !in_responses {
+            continue;
+        }
+        if let Some(heading) = line.strip_prefix("### ") {
+            let name = heading.trim().trim_matches('`').to_string();
+            sections.push((
+                name,
+                Section {
+                    request: in_requests,
+                    ..Section::default()
+                },
+            ));
+            continue;
+        }
+        if line.trim() == "```json" {
+            in_json = true;
+            json_buf.clear();
+            continue;
+        }
+        // A field-table row: `| \`name\` | yes | ... |`.
+        if let Some(rest) = line.strip_prefix("| `") {
+            let Some((field, rest)) = rest.split_once('`') else {
+                continue;
+            };
+            let second = rest
+                .trim_start_matches(' ')
+                .trim_start_matches('|')
+                .split('|')
+                .next()
+                .map(str::trim)
+                .unwrap_or("");
+            let (_, section) = sections.last_mut().expect("table row before any section");
+            match second {
+                "yes" => {
+                    section.required.insert(field.to_string());
+                }
+                "no" => {
+                    section.optional.insert(field.to_string());
+                }
+                other => {
+                    panic!("spec row for `{field}` has required-column \"{other}\" (want yes/no)")
+                }
+            }
+        }
+    }
+    sections
+}
+
+#[test]
+fn spec_field_tables_match_the_implementation() {
+    let text = spec_text();
+    let sections = parse_spec(&text);
+    assert!(
+        sections.len() >= 10,
+        "spec parser found only {} record sections — did the heading or \
+         table format change?",
+        sections.len()
+    );
+    let mut documented = BTreeSet::new();
+    for (name, section) in &sections {
+        let key = lookup_name(name, section.request);
+        let (required, optional) = record_keys(&key)
+            .unwrap_or_else(|| panic!("spec documents unknown record type `{name}`"));
+        let want_required: BTreeSet<String> = required.iter().map(|s| s.to_string()).collect();
+        let want_optional: BTreeSet<String> = optional.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            section.required, want_required,
+            "`{name}` required fields: spec vs record_keys"
+        );
+        assert_eq!(
+            section.optional, want_optional,
+            "`{name}` optional fields: spec vs record_keys"
+        );
+        documented.insert(key);
+    }
+    // ...and every type the implementation knows is documented.
+    for key in [
+        "submit",
+        "stats",
+        "ping",
+        "shutdown",
+        "accepted",
+        "cell",
+        "summary",
+        "error",
+        STATS_REPLY,
+        "pong",
+    ] {
+        assert!(documented.contains(key), "record type `{key}` undocumented");
+    }
+}
+
+#[test]
+fn spec_examples_are_valid_records() {
+    let text = spec_text();
+    for (name, section) in parse_spec(&text) {
+        let key = lookup_name(&name, section.request);
+        let (required, optional) = record_keys(&key).expect("known type");
+        assert!(
+            !section.examples.is_empty(),
+            "`{name}` has no ```json example"
+        );
+        for example in &section.examples {
+            let record = json::parse(example)
+                .unwrap_or_else(|e| panic!("`{name}` example does not parse: {e}\n{example}"));
+            assert_eq!(
+                record.get("format").and_then(Value::as_str),
+                Some(FORMAT_TAG),
+                "`{name}` example format tag"
+            );
+            // The reply to `stats` shares the request's wire spelling.
+            let wire_type = if key == STATS_REPLY { "stats" } else { &key };
+            assert_eq!(
+                record.get("type").and_then(Value::as_str),
+                Some(wire_type),
+                "`{name}` example type"
+            );
+            let keys: BTreeSet<String> = record
+                .as_object()
+                .expect("example is an object")
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect();
+            for field in required {
+                assert!(
+                    keys.contains(*field),
+                    "`{name}` example missing required `{field}`"
+                );
+            }
+            for k in &keys {
+                assert!(
+                    required.contains(&k.as_str()) || optional.contains(&k.as_str()),
+                    "`{name}` example carries undocumented key `{k}`"
+                );
+            }
+            // Request examples must actually be accepted by the parser
+            // (responses carry illustrative values, requests are strict).
+            if section.request {
+                sara_serve::protocol::parse_request(example)
+                    .unwrap_or_else(|e| panic!("`{name}` example rejected: {}", e.message));
+            }
+        }
+    }
+}
+
+#[test]
+fn live_session_records_obey_the_spec() {
+    let text = spec_text();
+    let sections = parse_spec(&text);
+    let server = Server::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let session = concat!(
+        r#"{"format":"sara-serve/v1","type":"ping"}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"format":"sara-serve/v1","type":"submit","id":"spec","scenarios":["camcorder-b"],"policies":["FCFS"],"duration_ms":0.05}"#,
+        "\n",
+        r#"{"format":"sara-serve/v1","type":"stats"}"#,
+        "\n",
+        r#"{"format":"sara-serve/v1","type":"shutdown"}"#,
+        "\n",
+    );
+    let mut replies = Vec::new();
+    server
+        .handle_session(session.as_bytes(), &mut replies)
+        .expect("session");
+    let replies = String::from_utf8(replies).expect("utf-8");
+    let mut seen = BTreeSet::new();
+    for line in replies.lines() {
+        let record = json::parse(line).expect("reply parses");
+        let wire_type = record
+            .get("type")
+            .and_then(Value::as_str)
+            .expect("reply type")
+            .to_string();
+        let key = lookup_name(&wire_type, false);
+        let (required, optional) = record_keys(&key)
+            .unwrap_or_else(|| panic!("server emitted unknown type `{wire_type}`"));
+        let keys: Vec<String> = record
+            .as_object()
+            .expect("reply is an object")
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect();
+        for field in required {
+            assert!(
+                keys.iter().any(|k| k == field),
+                "`{wire_type}` missing `{field}`: {line}"
+            );
+        }
+        for k in &keys {
+            assert!(
+                required.contains(&k.as_str()) || optional.contains(&k.as_str()),
+                "`{wire_type}` emitted undocumented key `{k}`: {line}"
+            );
+        }
+        // The record type must have a Responses section in the spec.
+        assert!(
+            sections
+                .iter()
+                .any(|(n, s)| !s.request && lookup_name(n, false) == key),
+            "server emitted `{wire_type}` but the spec has no section for it"
+        );
+        seen.insert(key);
+    }
+    // The session above exercises every response type the spec documents.
+    for (name, section) in &sections {
+        if !section.request {
+            let key = lookup_name(name, false);
+            assert!(
+                seen.contains(&key),
+                "documented response `{name}` never emitted by the probe session"
+            );
+        }
+    }
+}

@@ -30,13 +30,14 @@
 //!
 //! # Examples
 //!
-//! ```no_run
+//! ```
 //! use sara_memctrl::PolicyKind;
 //! use sara_sim::experiment::run_camcorder;
 //! use sara_workloads::TestCase;
 //!
-//! // One 33 ms camcorder frame under the SARA policy (Fig. 5d).
-//! let report = run_camcorder(TestCase::A, PolicyKind::Priority, 33.3)?;
+//! // A 2 ms camcorder slice under the SARA policy — long enough for
+//! // the meters to settle (full frames are 33 ms; Fig. 5d uses 33.3).
+//! let report = run_camcorder(TestCase::A, PolicyKind::Priority, 2.0)?;
 //! println!("{}", report.summary());
 //! assert!(report.all_targets_met());
 //! # Ok::<(), sara_types::ConfigError>(())
@@ -58,6 +59,13 @@ mod sampling;
 pub mod sweeps;
 pub mod telemetry;
 mod trace;
+
+/// The engine's version string, stamped into content-addressed result
+/// caches (see `sara_scenarios::cell_fingerprint`): a report is only
+/// reusable by the exact engine build line that produced it, so cached
+/// cells can never leak across releases with different simulation
+/// behavior.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 pub use config::{arbiter_for, ScenarioParams, SystemConfig};
 pub use engine::Simulation;

@@ -6,7 +6,8 @@
 //! delay, per-lane row-hit counters) and the `Deliver` handler (per-class
 //! and per-DMA end-to-end latency). Both paths run on the engine thread in
 //! the fixed `(cycle, lane)` merge order, and every accumulator is an
-//! integer [`Counter`] or log2 [`Histogram`] with exact merge, so the
+//! integer [`Counter`](sara_telemetry::Counter) or log2 [`Histogram`]
+//! with exact merge, so the
 //! recorder's state — and the JSON it snapshots to — is byte-identical
 //! between sequential and parallel lane stepping (pinned by the
 //! determinism suite).

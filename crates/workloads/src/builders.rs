@@ -1,5 +1,5 @@
 //! Composable spec constructors, public so workload catalogs outside this
-//! crate (notably `sara-scenarios`) can assemble [`CoreSpec`]s from the
+//! crate (notably `sara-scenarios`) can assemble [`CoreSpec`](crate::CoreSpec)s from the
 //! same vocabulary the built-in camcorder uses, without re-spelling the
 //! enum plumbing at every call site.
 //!
