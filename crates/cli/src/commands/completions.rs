@@ -145,7 +145,16 @@ const COMMANDS: &[Command] = &[
     Command {
         name: "serve",
         summary: "long-lived NDJSON simulation service",
-        value_flags: &["--tcp", "--unix", "--workers", "--budget", "--max-sessions"],
+        value_flags: &[
+            "--tcp",
+            "--unix",
+            "--workers",
+            "--budget",
+            "--max-sessions",
+            "--journal",
+            "--metrics",
+            "--chrome-trace",
+        ],
         bool_flags: &["--parallel-channels"],
     },
     Command {

@@ -15,6 +15,7 @@ use crate::args::{Args, CliError};
 use crate::commands::bench::{FORMAT_TAG as BENCH_TAG, HISTORY_FORMAT_TAG as HISTORY_TAG};
 use crate::output::page;
 use sara_serve::FORMAT_TAG as SERVE_TAG;
+use sara_serve::JOURNAL_TAG;
 
 const USAGE: &str = "usage: sara report FILE | sara report --diff OLD NEW [--tolerance F]";
 
@@ -34,6 +35,12 @@ same kind for regressions:
   govern    `sara govern --json` governed-run trace batches
   chrome    `--chrome-trace` trace-event documents
   serve     `sara serve` session transcripts (NDJSON record streams)
+  journal   `sara serve --journal` event journals: per-stage wall-clock
+            latency quantiles (p50/p95/p99), per-client job and cell
+            counts, and the cache hit rate
+  prometheus  `sara serve --metrics` text expositions, checked strictly
+            against the Prometheus 0.0.4 text format (TYPE/HELP
+            present, histogram buckets cumulative and +Inf-terminated)
 
   --diff OLD NEW   compare two dumps of the same kind; any regression in
                    NEW relative to OLD exits 1 with the offenders named:
@@ -50,11 +57,16 @@ same kind for regressions:
                              scenario falling relative to its run's mean
                      govern  more failing epochs, or a QoS deficit grown
                              past the tolerance
+                     journal a stage's p50/p95/p99 growing past the
+                             tolerance (plus a 50 us jitter allowance),
+                             or the cache hit rate dropping more than
+                             the tolerance
   --tolerance F    allowed fractional drop before a numeric change
                    counts as a regression (default 0.05)
 
-Chrome traces summarize only (no --diff). Output tolerates a closed
-pipe: `sara report big.json | head` exits cleanly.";
+Chrome traces and Prometheus expositions summarize only (no --diff).
+Output tolerates a closed pipe: `sara report big.json | head` exits
+cleanly.";
 
 /// The document kinds `report` understands, detected by shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +77,8 @@ enum Kind {
     Govern,
     Chrome,
     Serve,
+    Journal,
+    Prometheus,
 }
 
 impl Kind {
@@ -76,6 +90,8 @@ impl Kind {
             Kind::Govern => "govern",
             Kind::Chrome => "chrome trace",
             Kind::Serve => "serve transcript",
+            Kind::Journal => "serve journal",
+            Kind::Prometheus => "prometheus exposition",
         }
     }
 
@@ -168,35 +184,52 @@ fn load(path: &str) -> Result<(Value, Kind), CliError> {
         std::fs::read_to_string(path).map_err(|e| CliError::Failure(format!("{path}: {e}")))?;
     let doc = match json::parse(&text) {
         Ok(doc) => doc,
-        Err(whole_doc_error) => parse_ndjson(&text)
-            .ok_or_else(|| CliError::Failure(format!("{path}: {whole_doc_error}")))?,
+        Err(whole_doc_error) => match parse_ndjson(&text) {
+            Some(doc) => doc,
+            // Not JSON at all: a Prometheus text exposition is the one
+            // non-JSON artifact `sara serve` produces.
+            None if text.lines().any(|l| l.starts_with("# TYPE ")) => {
+                return Ok((Value::Str(text), Kind::Prometheus));
+            }
+            None => return Err(CliError::Failure(format!("{path}: {whole_doc_error}"))),
+        },
     };
     let kind = detect(&doc).ok_or_else(|| {
         CliError::Failure(format!(
             "{path}: unrecognized document shape (expected a sara matrix, bench, \
-             bench-history, govern, serve, or chrome-trace dump)"
+             bench-history, govern, serve, serve-journal, prometheus, or \
+             chrome-trace dump)"
         ))
     })?;
-    // A single saved serve record (e.g. just the summary line) classifies
-    // like a whole transcript: normalize to the array-of-records shape.
+    // A single saved serve or journal record (e.g. just the summary line)
+    // classifies like a whole stream: normalize to the array-of-records
+    // shape.
     let doc = match (kind, &doc) {
-        (Kind::Serve, Value::Object(_)) => Value::Array(vec![doc]),
+        (Kind::Serve | Kind::Journal, Value::Object(_)) => Value::Array(vec![doc]),
         _ => doc,
     };
     Ok((doc, kind))
 }
 
-/// Parses newline-delimited JSON into an array of serve records, or
-/// `None` when any line fails to parse or is not tagged `sara-serve/v1`.
+/// Parses newline-delimited JSON into an array of records, or `None`
+/// when any line fails to parse or the lines are not uniformly tagged
+/// `sara-serve/v1` (a transcript) or `sara-serve-journal/v1` (a journal).
 fn parse_ndjson(text: &str) -> Option<Value> {
     let mut records = Vec::new();
+    let mut tag: Option<String> = None;
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
         let record = json::parse(line).ok()?;
-        if record.get("format").and_then(Value::as_str) != Some(SERVE_TAG) {
+        let format = record.get("format").and_then(Value::as_str)?.to_string();
+        if format != SERVE_TAG && format != JOURNAL_TAG {
             return None;
+        }
+        match &tag {
+            None => tag = Some(format),
+            Some(t) if *t == format => {}
+            Some(_) => return None,
         }
         records.push(record);
     }
@@ -212,6 +245,7 @@ fn detect(doc: &Value) -> Option<Kind> {
         Some(BENCH_TAG) => return Some(Kind::Bench),
         Some(HISTORY_TAG) => return Some(Kind::History),
         Some(SERVE_TAG) => return Some(Kind::Serve),
+        Some(JOURNAL_TAG) => return Some(Kind::Journal),
         _ => {}
     }
     if doc.get("cells").is_some() && doc.get("rankings").is_some() {
@@ -221,12 +255,18 @@ fn detect(doc: &Value) -> Option<Kind> {
         return Some(Kind::Chrome);
     }
     if let Some(records) = doc.as_array() {
-        if !records.is_empty()
-            && records
-                .iter()
-                .all(|r| r.get("format").and_then(Value::as_str) == Some(SERVE_TAG))
-        {
-            return Some(Kind::Serve);
+        if !records.is_empty() {
+            let all_tagged = |tag| {
+                records
+                    .iter()
+                    .all(|r| r.get("format").and_then(Value::as_str) == Some(tag))
+            };
+            if all_tagged(SERVE_TAG) {
+                return Some(Kind::Serve);
+            }
+            if all_tagged(JOURNAL_TAG) {
+                return Some(Kind::Journal);
+            }
         }
     }
     match doc.as_array() {
@@ -782,6 +822,486 @@ fn diff_govern(old: &Value, new: &Value, tol: f64) -> Result<(Vec<String>, Vec<S
     Ok((ok, bad))
 }
 
+// --- serve journal -----------------------------------------------------------
+
+/// The four wall-clock stages a journal samples, in pipeline order, and
+/// the event that carries each stage's `dur_us`.
+const JOURNAL_STAGES: [(&str, &str); 4] = [
+    ("cache lookup", "cache"),
+    ("queue wait", "sim_start"),
+    ("sim", "sim_end"),
+    ("emit", "emitted"),
+];
+
+/// What a journal summary and diff work from.
+struct JournalFacts {
+    events: usize,
+    accepted: u64,
+    rejected: u64,
+    cells: u64,
+    hits: u64,
+    misses: u64,
+    /// Stage name → ascending-sorted `dur_us` samples, in pipeline order.
+    stages: Vec<(&'static str, Vec<u64>)>,
+    /// Client → (jobs, cells), in first-appearance order.
+    clients: Vec<(String, u64, u64)>,
+}
+
+impl JournalFacts {
+    /// Cache hit rate as a fraction, when any lookup happened.
+    fn hit_rate(&self) -> Option<f64> {
+        let lookups = self.hits + self.misses;
+        (lookups > 0).then(|| self.hits as f64 / lookups as f64)
+    }
+}
+
+fn journal_facts(doc: &Value, what: &str) -> Result<JournalFacts, CliError> {
+    let records = doc
+        .as_array()
+        .ok_or_else(|| CliError::Failure(format!("{what}: not a journal event array")))?;
+    let mut facts = JournalFacts {
+        events: records.len(),
+        accepted: 0,
+        rejected: 0,
+        cells: 0,
+        hits: 0,
+        misses: 0,
+        stages: JOURNAL_STAGES
+            .iter()
+            .map(|(s, _)| (*s, Vec::new()))
+            .collect(),
+        clients: Vec::new(),
+    };
+    let mut sample = |stage: &str, dur: u64| {
+        if let Some((_, samples)) = facts.stages.iter_mut().find(|(s, _)| *s == stage) {
+            samples.push(dur);
+        }
+    };
+    for (i, r) in records.iter().enumerate() {
+        let what = format!("{what}: events[{i}]");
+        let event = req_str(r, "event", &what)?;
+        let dur = || req_u64(r, "dur_us", &what);
+        match event.as_str() {
+            "accepted" => {
+                facts.accepted += 1;
+                let cells = req_u64(r, "cells", &what)?;
+                facts.cells += cells;
+                let client = req_str(r, "client", &what)?;
+                match facts.clients.iter_mut().find(|(c, _, _)| *c == client) {
+                    Some((_, jobs, total)) => {
+                        *jobs += 1;
+                        *total += cells;
+                    }
+                    None => facts.clients.push((client, 1, cells)),
+                }
+            }
+            "rejected" => facts.rejected += 1,
+            "queued" => {}
+            "cache_hit" => {
+                facts.hits += 1;
+                sample("cache lookup", dur()?);
+            }
+            "cache_miss" => {
+                facts.misses += 1;
+                sample("cache lookup", dur()?);
+            }
+            "sim_start" => sample("queue wait", dur()?),
+            "sim_end" => sample("sim", dur()?),
+            "emitted" => sample("emit", dur()?),
+            other => {
+                return Err(CliError::Failure(format!(
+                    "{what}: unknown journal event \"{other}\""
+                )))
+            }
+        }
+    }
+    for (_, samples) in &mut facts.stages {
+        samples.sort_unstable();
+    }
+    Ok(facts)
+}
+
+/// Nearest-rank quantile of an ascending-sorted, non-empty sample set.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize_journal(doc: &Value) -> Result<Vec<String>, CliError> {
+    let facts = journal_facts(doc, "serve journal")?;
+    let mut lines = vec![match facts.hit_rate() {
+        Some(rate) => format!(
+            "serve journal: {} events; {} jobs accepted, {} rejected, {} cells; \
+             cache hit rate {:.1}% ({}/{} lookups)",
+            facts.events,
+            facts.accepted,
+            facts.rejected,
+            facts.cells,
+            rate * 100.0,
+            facts.hits,
+            facts.hits + facts.misses
+        ),
+        None => format!(
+            "serve journal: {} events; {} jobs accepted, {} rejected, {} cells",
+            facts.events, facts.accepted, facts.rejected, facts.cells
+        ),
+    }];
+    for (stage, samples) in &facts.stages {
+        if samples.is_empty() {
+            continue;
+        }
+        lines.push(format!(
+            "  {stage:<13} p50 {:>8} us  p95 {:>8} us  p99 {:>8} us  ({} sample{})",
+            quantile(samples, 0.50),
+            quantile(samples, 0.95),
+            quantile(samples, 0.99),
+            samples.len(),
+            if samples.len() == 1 { "" } else { "s" }
+        ));
+    }
+    for (client, jobs, cells) in &facts.clients {
+        lines.push(format!(
+            "  client {client:<12} {jobs} job{}, {cells} cell{}",
+            if *jobs == 1 { "" } else { "s" },
+            if *cells == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(lines)
+}
+
+/// Diffs two journals: per-stage latency quantiles must not grow past
+/// the tolerance (plus a small absolute allowance, so microsecond jitter
+/// on near-zero stages never flags), and the cache hit rate must not
+/// drop more than the tolerance.
+fn diff_journal(
+    old: &Value,
+    new: &Value,
+    tol: f64,
+) -> Result<(Vec<String>, Vec<String>), CliError> {
+    const SLACK_US: f64 = 50.0;
+    let old = journal_facts(old, "OLD")?;
+    let new = journal_facts(new, "NEW")?;
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (stage, o_samples) in &old.stages {
+        if o_samples.is_empty() {
+            continue;
+        }
+        let Some((_, n_samples)) = new.stages.iter().find(|(s, _)| s == stage) else {
+            unreachable!("both fact sets carry every stage")
+        };
+        if n_samples.is_empty() {
+            ok.push(format!("stage {stage} absent from the new journal"));
+            continue;
+        }
+        let mut faults = Vec::new();
+        for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let (o_q, n_q) = (quantile(o_samples, q), quantile(n_samples, q));
+            if n_q as f64 > o_q as f64 * (1.0 + tol) + SLACK_US {
+                faults.push(format!("{label} {o_q} -> {n_q} us"));
+            }
+        }
+        if faults.is_empty() {
+            ok.push(format!(
+                "ok {stage:<13} p95 {} -> {} us",
+                quantile(o_samples, 0.95),
+                quantile(n_samples, 0.95)
+            ));
+        } else {
+            bad.push(format!("{stage}: {}", faults.join("; ")));
+        }
+    }
+    if let (Some(o_rate), Some(n_rate)) = (old.hit_rate(), new.hit_rate()) {
+        if n_rate < o_rate - tol {
+            bad.push(format!(
+                "cache hit rate {:.1}% -> {:.1}% (down more than {:.1} points)",
+                o_rate * 100.0,
+                n_rate * 100.0,
+                tol * 100.0
+            ));
+        } else {
+            ok.push(format!(
+                "ok cache hit rate {:.1}% -> {:.1}%",
+                o_rate * 100.0,
+                n_rate * 100.0
+            ));
+        }
+    }
+    Ok((ok, bad))
+}
+
+// --- prometheus --------------------------------------------------------------
+
+/// Is `name` a valid metric-family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `name` a valid label name (`[a-zA-Z_][a-zA-Z0-9_]*`)?
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a `key="value",...` label body (escapes: `\\`, `\"`, `\n`).
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    loop {
+        let eq = rest.find("=\"")?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return None;
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest[eq + 2..].char_indices() {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(eq + 2 + i + 1);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        labels.push((key.to_string(), value));
+        rest = &rest[end?..];
+        if rest.is_empty() {
+            return Some(labels);
+        }
+        rest = rest.strip_prefix(',')?;
+    }
+}
+
+/// Parsed `key="value"` label pairs of one sample, in line order.
+type Labels = Vec<(String, String)>;
+
+/// Parses one sample line into (member name, labels, value).
+fn parse_sample(line: &str) -> Option<(String, Labels, f64)> {
+    let (name_labels, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let (name, labels) = match name_labels.split_once('{') {
+        Some((name, rest)) => (name, parse_labels(rest.strip_suffix('}')?)?),
+        None => (name_labels, Vec::new()),
+    };
+    if !valid_metric_name(name) {
+        return None;
+    }
+    Some((name.to_string(), labels, value))
+}
+
+/// One parsed sample, tagged with the family its name resolved to.
+struct Sample {
+    name: String,
+    family: String,
+    labels: Labels,
+    value: f64,
+}
+
+/// Validates a Prometheus text exposition (format 0.0.4) strictly:
+/// every family has `# HELP` and exactly one `# TYPE` before its
+/// samples, sample lines parse, and histogram families carry cumulative
+/// `le`-ascending buckets terminated by `+Inf` whose count matches
+/// `_count`, plus `_sum`. Returns a one-line summary on success.
+fn check_prometheus(text: &str) -> Result<Vec<String>, CliError> {
+    const WHAT: &str = "prometheus exposition";
+    let mut helps: Vec<String> = Vec::new();
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let fail =
+            |msg: &str| CliError::Failure(format!("{WHAT}: line {}: {msg}: {line:?}", no + 1));
+        if line.trim().is_empty() {
+            return Err(fail("blank line"));
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| fail("HELP without text"))?;
+            if !valid_metric_name(name) || help.is_empty() {
+                return Err(fail("malformed HELP"));
+            }
+            helps.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| fail("TYPE without kind"))?;
+            if !valid_metric_name(name) {
+                return Err(fail("malformed TYPE name"));
+            }
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(fail("unknown TYPE kind"));
+            }
+            if types.iter().any(|(n, _)| n == name) {
+                return Err(fail("duplicate TYPE for family"));
+            }
+            types.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(fail("unknown comment directive"));
+        }
+        let (name, labels, value) = parse_sample(line).ok_or_else(|| fail("malformed sample"))?;
+        if !value.is_finite() {
+            return Err(fail("non-finite sample value"));
+        }
+        // Resolve the family the sample belongs to: histogram members
+        // wear `_bucket`/`_sum`/`_count` suffixes, everything else
+        // matches its family name exactly.
+        let family = if let Some((f, kind)) = types.iter().find(|(n, _)| *n == name) {
+            if kind == "histogram" {
+                return Err(fail("bare sample under a histogram TYPE"));
+            }
+            f.clone()
+        } else {
+            ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = name.strip_suffix(suffix)?;
+                    types
+                        .iter()
+                        .find(|(n, k)| n == base && k == "histogram")
+                        .map(|(n, _)| n.clone())
+                })
+                .ok_or_else(|| fail("sample precedes its # TYPE"))?
+        };
+        samples.push(Sample {
+            name,
+            family,
+            labels,
+            value,
+        });
+    }
+    let (mut counters, mut gauges, mut histograms) = (0usize, 0usize, 0usize);
+    for (family, kind) in &types {
+        if !helps.contains(family) {
+            return Err(CliError::Failure(format!(
+                "{WHAT}: family {family} has no # HELP"
+            )));
+        }
+        let members: Vec<&Sample> = samples.iter().filter(|s| s.family == *family).collect();
+        if members.is_empty() {
+            return Err(CliError::Failure(format!(
+                "{WHAT}: family {family} has no samples"
+            )));
+        }
+        match kind.as_str() {
+            "counter" => counters += 1,
+            "gauge" => gauges += 1,
+            "histogram" => {
+                histograms += 1;
+                check_histogram(family, &members)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(vec![format!(
+        "prometheus exposition: {} families ({counters} counter{}, {gauges} gauge{}, \
+         {histograms} histogram{}), {} samples — format checks passed",
+        types.len(),
+        if counters == 1 { "" } else { "s" },
+        if gauges == 1 { "" } else { "s" },
+        if histograms == 1 { "" } else { "s" },
+        samples.len()
+    )])
+}
+
+/// The histogram-specific consistency checks, per label series.
+fn check_histogram(family: &str, members: &[&Sample]) -> Result<(), CliError> {
+    const WHAT: &str = "prometheus exposition";
+    let fail = |msg: String| CliError::Failure(format!("{WHAT}: histogram {family}: {msg}"));
+    // Group by label set minus `le` — one logical series each:
+    // (base labels, (le, count) buckets, sum, count).
+    type HistSeries = (Labels, Vec<(f64, f64)>, Option<f64>, Option<f64>);
+    let mut series: Vec<HistSeries> = Vec::new();
+    for m in members {
+        let base: Labels = m
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        let idx = match series.iter().position(|(b, ..)| *b == base) {
+            Some(i) => i,
+            None => {
+                series.push((base, Vec::new(), None, None));
+                series.len() - 1
+            }
+        };
+        let (_, buckets, sum, count) = &mut series[idx];
+        if m.name.ends_with("_bucket") {
+            let le = m
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| fail("bucket without an le label".to_string()))?;
+            let upper = match le.1.as_str() {
+                "+Inf" => f64::INFINITY,
+                other => other
+                    .parse()
+                    .map_err(|_| fail(format!("bad le value {:?}", le.1)))?,
+            };
+            buckets.push((upper, m.value));
+        } else if m.name.ends_with("_sum") {
+            *sum = Some(m.value);
+        } else {
+            *count = Some(m.value);
+        }
+    }
+    for (base, buckets, sum, count) in &series {
+        let series_name = if base.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " ({})",
+                base.iter()
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            )
+        };
+        if buckets.is_empty() {
+            return Err(fail(format!("series{series_name} has no buckets")));
+        }
+        for pair in buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(fail(format!("series{series_name} le values not ascending")));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(fail(format!("series{series_name} buckets not cumulative")));
+            }
+        }
+        let (last_le, last_n) = buckets[buckets.len() - 1];
+        if last_le != f64::INFINITY {
+            return Err(fail(format!("series{series_name} missing the +Inf bucket")));
+        }
+        let count =
+            count.ok_or_else(|| fail(format!("series{series_name} missing {family}_count")))?;
+        if sum.is_none() {
+            return Err(fail(format!("series{series_name} missing {family}_sum")));
+        }
+        if last_n != count {
+            return Err(fail(format!(
+                "series{series_name} +Inf bucket {last_n} != count {count}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 // --- chrome ------------------------------------------------------------------
 
 fn summarize_chrome(doc: &Value) -> Result<Vec<String>, CliError> {
@@ -828,6 +1348,10 @@ fn summarize(doc: &Value, kind: Kind) -> Result<Vec<String>, CliError> {
         Kind::Govern => summarize_govern(doc),
         Kind::Chrome => summarize_chrome(doc),
         Kind::Serve => summarize_serve(doc),
+        Kind::Journal => summarize_journal(doc),
+        Kind::Prometheus => check_prometheus(doc.as_str().ok_or_else(|| {
+            CliError::Failure("prometheus exposition: not a text document".to_string())
+        })?),
     }
 }
 
@@ -856,6 +1380,7 @@ fn diff(
         Kind::Bench => diff_bench(old, new, tol),
         Kind::History => diff_history(old, new, tol),
         Kind::Govern => diff_govern(old, new, tol),
+        Kind::Journal => diff_journal(old, new, tol),
         kind => Err(CliError::Failure(format!(
             "--diff is not supported for {} dumps (summaries only)",
             kind.name()
@@ -1301,5 +1826,200 @@ mod tests {
         )
         .unwrap();
         assert_eq!(bad.len(), 1, "{bad:?}");
+    }
+
+    /// A journal with one accepted 2-cell job (miss + hit) whose stage
+    /// durations are all scaled by `scale`.
+    fn journal_doc(client: &str, scale: u64) -> Value {
+        let event = |members: Vec<(&str, Value)>| {
+            let mut full = vec![("format".to_string(), JOURNAL_TAG.into())];
+            full.extend(members.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Value::Object(full)
+        };
+        Value::Array(vec![
+            event(vec![
+                ("event", "accepted".into()),
+                ("id", "j".into()),
+                ("client", client.into()),
+                ("cells", 2u64.into()),
+            ]),
+            event(vec![("event", "queued".into())]),
+            event(vec![
+                ("event", "cache_miss".into()),
+                ("dur_us", (3 * scale).into()),
+            ]),
+            event(vec![("event", "queued".into())]),
+            event(vec![
+                ("event", "cache_hit".into()),
+                ("dur_us", (2 * scale).into()),
+            ]),
+            event(vec![
+                ("event", "sim_start".into()),
+                ("dur_us", (40 * scale).into()),
+            ]),
+            event(vec![
+                ("event", "sim_end".into()),
+                ("dur_us", (9000 * scale).into()),
+            ]),
+            event(vec![
+                ("event", "emitted".into()),
+                ("dur_us", (70 * scale).into()),
+            ]),
+            event(vec![
+                ("event", "emitted".into()),
+                ("dur_us", (80 * scale).into()),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn detect_recognizes_journals() {
+        assert_eq!(detect(&journal_doc("ci", 1)), Some(Kind::Journal));
+        let one = Value::Object(vec![
+            ("format".to_string(), JOURNAL_TAG.into()),
+            ("event".to_string(), "queued".into()),
+        ]);
+        assert_eq!(detect(&one), Some(Kind::Journal));
+    }
+
+    #[test]
+    fn ndjson_loader_accepts_journals_but_not_mixed_tags() {
+        let journal = "\
+            {\"format\":\"sara-serve-journal/v1\",\"event\":\"queued\"}\n\
+            {\"format\":\"sara-serve-journal/v1\",\"event\":\"emitted\",\"dur_us\":5}\n";
+        let doc = parse_ndjson(journal).expect("journal NDJSON loads");
+        assert_eq!(detect(&doc), Some(Kind::Journal));
+        let mixed = "\
+            {\"format\":\"sara-serve-journal/v1\",\"event\":\"queued\"}\n\
+            {\"format\":\"sara-serve/v1\",\"type\":\"pong\"}\n";
+        assert!(parse_ndjson(mixed).is_none());
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&samples, 0.50), 50);
+        assert_eq!(quantile(&samples, 0.95), 95);
+        assert_eq!(quantile(&samples, 0.99), 99);
+        assert_eq!(quantile(&[7], 0.50), 7);
+        assert_eq!(quantile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn journal_summaries_render_stages_clients_and_hit_rate() {
+        let lines = summarize_journal(&journal_doc("ci", 1)).unwrap();
+        assert!(lines[0].contains("1 jobs accepted"), "{lines:?}");
+        assert!(
+            lines[0].contains("cache hit rate 50.0% (1/2 lookups)"),
+            "{lines:?}"
+        );
+        let stages: Vec<&String> = lines.iter().filter(|l| l.contains(" p95 ")).collect();
+        assert_eq!(stages.len(), 4, "{lines:?}");
+        assert!(stages[2].contains("sim"), "{lines:?}");
+        assert!(lines.last().unwrap().contains("client ci"), "{lines:?}");
+        assert!(
+            lines.last().unwrap().contains("1 job, 2 cells"),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn journal_diff_flags_latency_growth_but_absorbs_jitter() {
+        let base = journal_doc("ci", 1);
+        // Identical journals are clean even at zero tolerance.
+        let (_, bad) = diff_journal(&base, &base, 0.0).unwrap();
+        assert!(bad.is_empty(), "{bad:?}");
+        // 10x slower stages trip the gate.
+        let (_, bad) = diff_journal(&base, &journal_doc("ci", 10), 0.05).unwrap();
+        assert!(bad.iter().any(|b| b.starts_with("sim:")), "{bad:?}");
+        assert!(bad.iter().any(|b| b.contains("p95")), "{bad:?}");
+        // ...but the near-zero cache-lookup stage (3 us -> 30 us) stays
+        // inside the absolute jitter allowance.
+        assert!(
+            !bad.iter().any(|b| b.starts_with("cache lookup:")),
+            "{bad:?}"
+        );
+    }
+
+    #[test]
+    fn journal_diff_flags_hit_rate_drops() {
+        let mut cold = journal_doc("ci", 1);
+        // Turn the hit into a second miss: the rate halves.
+        if let Value::Array(events) = &mut cold {
+            if let Value::Object(members) = &mut events[4] {
+                members[1].1 = "cache_miss".into();
+            }
+        }
+        let (_, bad) = diff_journal(&journal_doc("ci", 1), &cold, 0.05).unwrap();
+        assert!(bad.iter().any(|b| b.contains("cache hit rate")), "{bad:?}");
+    }
+
+    /// A valid exposition in the encoder's own shape.
+    const EXPOSITION: &str = "\
+# HELP jobs_accepted monotonic event count\n\
+# TYPE jobs_accepted counter\n\
+jobs_accepted 2\n\
+# HELP jobs monotonic event count\n\
+# TYPE jobs counter\n\
+jobs{client=\"ci\"} 2\n\
+# HELP sim_us log2-bucketed distribution\n\
+# TYPE sim_us histogram\n\
+sim_us_bucket{le=\"127\"} 1\n\
+sim_us_bucket{le=\"255\"} 2\n\
+sim_us_bucket{le=\"+Inf\"} 2\n\
+sim_us_sum 300\n\
+sim_us_count 2\n";
+
+    #[test]
+    fn prometheus_checker_accepts_the_encoders_shape() {
+        let lines = check_prometheus(EXPOSITION).unwrap();
+        assert!(lines[0].contains("3 families"), "{lines:?}");
+        assert!(lines[0].contains("2 counters"), "{lines:?}");
+        assert!(lines[0].contains("1 histogram"), "{lines:?}");
+        assert!(lines[0].contains("format checks passed"), "{lines:?}");
+    }
+
+    #[test]
+    fn prometheus_checker_rejects_malformed_expositions() {
+        let cases: &[(&str, &str)] = &[
+            ("jobs 1\n", "precedes its # TYPE"),
+            ("# TYPE jobs counter\njobs 1\n", "no # HELP"),
+            ("# HELP jobs x\n# TYPE jobs counter\n", "no samples"),
+            (
+                "# HELP jobs x\n# TYPE jobs counter\n# TYPE jobs counter\njobs 1\n",
+                "duplicate TYPE",
+            ),
+            (
+                "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+                "not cumulative",
+            ),
+            (
+                "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+                "missing the +Inf bucket",
+            ),
+            (
+                "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+                "+Inf bucket 3 != count 2",
+            ),
+            ("# HELP jobs x\n# TYPE jobs counter\njobs one\n", "malformed sample"),
+            ("# HELP jobs x\n# TYPE jobs widget\njobs 1\n", "unknown TYPE kind"),
+        ];
+        for (text, want) in cases {
+            let err = check_prometheus(text).unwrap_err();
+            assert!(
+                matches!(&err, CliError::Failure(m) if m.contains(want)),
+                "{text:?} should fail with {want:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_label_values_may_carry_escapes_and_spaces() {
+        let text = "\
+# HELP jobs monotonic event count\n\
+# TYPE jobs counter\n\
+jobs{client=\"a b\\\"c\\\\d\"} 1\n";
+        let lines = check_prometheus(text).unwrap();
+        assert!(lines[0].contains("1 families"), "{lines:?}");
     }
 }

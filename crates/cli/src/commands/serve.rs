@@ -5,16 +5,19 @@
 //! protocol behaviour (and its tests) lives in the `sara-serve` crate;
 //! the wire format is specified in `docs/serve-protocol.md`.
 
-use std::io::{self, BufReader, Write};
-use std::net::TcpListener;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 
-use sara_serve::{ServeConfig, Server};
+use sara_serve::{journal, Journal, ServeConfig, Server};
 
 use crate::args::{Args, CliError};
-use crate::output::page;
+use crate::output::{emit_value, page};
 
 const USAGE: &str = "usage: sara serve [--tcp ADDR | --unix PATH] [--workers N] [--budget N] \
-                     [--max-sessions N] [--parallel-channels]";
+                     [--max-sessions N] [--parallel-channels] [--journal PATH] \
+                     [--metrics ADDR] [--chrome-trace PATH]";
 
 const HELP: &str = "\
 sara serve — long-lived NDJSON simulation service
@@ -47,6 +50,23 @@ then exit — shell-pipeline friendly):
                         (same bytes, lower latency for multi-channel
                         scenarios)
 
+Observability (see docs/observability.md):
+
+  --journal PATH        write one `sara-serve-journal/v1` NDJSON event
+                        per job/cell lifecycle transition (accepted,
+                        queued, cache hit/miss, sim start/end, emitted,
+                        rejected); feed the file to `sara report` for
+                        per-stage latency quantiles
+  --metrics ADDR        serve the full metrics registry — stats counters,
+                        wall-clock stage histograms, per-client series —
+                        as a Prometheus text exposition over HTTP
+                        (e.g. 127.0.0.1:9590); the bound address is
+                        printed to stderr so port 0 works in scripts
+  --chrome-trace PATH   when the service exits, write a Chrome
+                        trace-event view of the whole session: one track
+                        per worker with simulation spans, plus a session
+                        track with emit spans and admission markers
+
 Sessions are sequential: one misbehaving client cannot interleave bytes
 into another session's stream, and results within a job always arrive
 in submission order.";
@@ -71,6 +91,9 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         .unwrap_or_else(|| ServeConfig::default().budget);
     let max_sessions = args.take_parsed::<usize>("--max-sessions")?;
     let parallel_channels = args.take_flag("--parallel-channels");
+    let journal_path = args.take_opt("--journal")?;
+    let metrics_addr = args.take_opt("--metrics")?;
+    let chrome_path = args.take_opt("--chrome-trace")?;
     args.finish()?;
 
     if budget == 0 {
@@ -92,12 +115,57 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         ));
     }
 
-    let server = Server::new(ServeConfig {
-        workers,
-        budget,
-        parallel_channels,
-    });
+    let journal = if journal_path.is_some() || chrome_path.is_some() {
+        let writer: Option<Box<dyn Write + Send>> = match &journal_path {
+            Some(path) => Some(Box::new(File::create(path).map_err(|e| {
+                CliError::Failure(format!("cannot create journal {path}: {e}"))
+            })?)),
+            None => None,
+        };
+        // The Chrome export replays the whole session, so it needs the
+        // events retained in memory.
+        Journal::new(writer, chrome_path.is_some())
+    } else {
+        Journal::disabled()
+    };
 
+    let server = Arc::new(
+        Server::new(ServeConfig {
+            workers,
+            budget,
+            parallel_channels,
+        })
+        .with_journal(journal),
+    );
+
+    if let Some(addr) = &metrics_addr {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| CliError::Failure(format!("cannot bind metrics {addr}: {e}")))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| CliError::Failure(format!("{addr}: {e}")))?;
+        // Stderr, not stdout: in stdio mode stdout is the protocol stream.
+        eprintln!("metrics on {bound}");
+        let scrape_target = Arc::clone(&server);
+        std::thread::spawn(move || serve_metrics(&listener, &scrape_target));
+    }
+
+    let result = serve(&server, tcp, unix, max_sessions);
+
+    if let Some(path) = &chrome_path {
+        let doc = journal::chrome_trace_of(&server.journal_events()).to_value();
+        std::fs::write(path, emit_value(&doc, false))
+            .map_err(|e| CliError::Failure(format!("cannot write trace {path}: {e}")))?;
+    }
+    result
+}
+
+fn serve(
+    server: &Server,
+    tcp: Option<String>,
+    unix: Option<String>,
+    max_sessions: Option<usize>,
+) -> Result<(), CliError> {
     if let Some(addr) = tcp {
         let listener = TcpListener::bind(&addr)
             .map_err(|e| CliError::Failure(format!("cannot bind {addr}: {e}")))?;
@@ -112,7 +180,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
             .serve_listener(&listener, max_sessions)
             .map_err(|e| CliError::Failure(format!("serve: {e}")))
     } else if let Some(path) = unix {
-        serve_unix(&server, &path, max_sessions)
+        serve_unix(server, &path, max_sessions)
     } else {
         // Stdio mode: stdout *is* the protocol stream, so nothing else
         // may write to it.
@@ -122,6 +190,40 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
             .handle_session(BufReader::new(stdin.lock()), stdout.lock())
             .map_err(|e| CliError::Failure(format!("serve: {e}")))
     }
+}
+
+/// Answers every HTTP request on `listener` with the server's current
+/// Prometheus text exposition. Runs on a detached thread; process exit
+/// reaps it.
+fn serve_metrics(listener: &TcpListener, server: &Server) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let _ = answer_scrape(stream, server);
+    }
+}
+
+fn answer_scrape(stream: TcpStream, server: &Server) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    // Drain the request head; the path is irrelevant — every request
+    // gets the exposition.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 {
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        line.clear();
+    }
+    let body = server.prometheus_text();
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(unix)]

@@ -876,10 +876,16 @@ fn bench_baseline_update_check_and_regression() {
 
 /// Runs `sara serve` (stdio mode) with the given NDJSON session piped in.
 fn sara_serve_session(input: &str) -> Output {
+    sara_serve_session_with(&[], input)
+}
+
+/// Like [`sara_serve_session`], with extra `sara serve` flags.
+fn sara_serve_session_with(extra: &[&str], input: &str) -> Output {
     use std::io::Write;
     use std::process::Stdio;
     let mut child = Command::new(env!("CARGO_BIN_EXE_sara"))
         .arg("serve")
+        .args(extra)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -967,6 +973,186 @@ fn serve_rejects_protocol_garbage_with_exit_zero() {
     assert!(text.contains("\"type\":\"error\""), "{text}");
 }
 
+// --- serve observability: journal, metrics endpoint, chrome trace ------------
+
+#[test]
+fn serve_observability_journal_metrics_and_trace() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let dir = scratch("serve-observability");
+    let journal = dir.join("session.journal");
+    let trace = dir.join("trace.json");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sara"))
+        .args([
+            "serve",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--metrics",
+            "127.0.0.1:0",
+            "--chrome-trace",
+            trace.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sara serve");
+
+    // The bound metrics address goes to stderr (stdout is the protocol),
+    // which is how scripts — and this test — discover a port-0 bind.
+    let mut child_stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    let mut line = String::new();
+    child_stderr.read_line(&mut line).expect("metrics line");
+    let addr = line
+        .trim()
+        .strip_prefix("metrics on ")
+        .unwrap_or_else(|| panic!("unexpected stderr line: {line:?}"))
+        .to_string();
+
+    let mut stdin = child.stdin.take().expect("stdin");
+    stdin
+        .write_all(
+            concat!(
+                r#"{"format":"sara-serve/v1","type":"submit","id":"obs","client":"ci","#,
+                r#""scenarios":["camcorder-b"],"policies":["FCFS","QoS"],"duration_ms":0.05}"#,
+                "\n"
+            )
+            .as_bytes(),
+        )
+        .expect("submit");
+    stdin.flush().unwrap();
+    let mut child_stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let last = loop {
+        let mut reply = String::new();
+        assert!(
+            child_stdout.read_line(&mut reply).expect("reply") > 0,
+            "stream ended before the summary"
+        );
+        if reply.contains("\"type\":\"summary\"") {
+            break reply;
+        }
+    };
+    // The summary carries its wall-clock elapsed time.
+    let summary = json::parse(last.trim()).expect("summary parses");
+    assert!(
+        summary.get("elapsed_us").and_then(Value::as_u64).is_some(),
+        "{summary:?}"
+    );
+
+    // Scrape the Prometheus endpoint mid-session.
+    let mut scrape = TcpStream::connect(&addr).expect("connect metrics");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: sara\r\n\r\n")
+        .expect("GET");
+    let mut response = String::new();
+    scrape.read_to_string(&mut response).expect("scrape");
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{response}"
+    );
+    let body = response.split_once("\r\n\r\n").expect("header/body").1;
+    assert!(body.contains("# TYPE cache_misses counter\n"), "{body}");
+    assert!(body.contains("cache_misses 2\n"), "{body}");
+    assert!(body.contains("sim_us_bucket{le=\""), "{body}");
+    assert!(body.contains("jobs{client=\"ci\"} 1\n"), "{body}");
+
+    // The strict checker in `sara report` validates the scrape.
+    let exposition = dir.join("metrics.txt");
+    std::fs::write(&exposition, body).unwrap();
+    let out = sara(&["report", exposition.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("format checks passed"),
+        "{}",
+        stdout(&out)
+    );
+
+    drop(stdin); // EOF ends the stdio session
+    let status = child.wait().expect("serve exit");
+    assert!(status.success());
+
+    // The journal landed on disk and reports per-stage quantiles.
+    let out = sara(&["report", journal.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("serve journal"), "{text}");
+    assert!(text.contains("cache hit rate 0.0% (0/2 lookups)"), "{text}");
+    assert!(text.contains("sim"), "{text}");
+    assert!(text.contains("client ci"), "{text}");
+
+    // The Chrome trace landed and `sara report` recognizes it.
+    let doc = json::parse(std::fs::read_to_string(&trace).unwrap().trim()).expect("trace parses");
+    let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert!(!events.is_empty());
+    let out = sara(&["report", trace.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("chrome trace"), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_diff_gates_on_latency_regressions() {
+    let dir = scratch("journal-diff");
+    let journal = dir.join("base.journal");
+    let session = concat!(
+        r#"{"format":"sara-serve/v1","type":"submit","id":"d","scenarios":["camcorder-b"],"#,
+        r#""policies":["FCFS","QoS"],"duration_ms":0.05}"#,
+        "\n",
+        r#"{"format":"sara-serve/v1","type":"shutdown"}"#,
+        "\n",
+    );
+    let out = sara_serve_session_with(&["--journal", journal.to_str().unwrap()], session);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+
+    // Identical journals diff clean.
+    let out = sara(&[
+        "report",
+        "--diff",
+        journal.to_str().unwrap(),
+        journal.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stdout(&out).contains("no regressions"), "{}", stdout(&out));
+
+    // Injecting a latency regression into every stage trips the gate.
+    let slow = dir.join("slow.journal");
+    let scaled: String = std::fs::read_to_string(&journal)
+        .unwrap()
+        .lines()
+        .map(|line| {
+            let event = json::parse(line).expect("journal line parses");
+            let members = event
+                .as_object()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| {
+                    if k == "dur_us" {
+                        (k.clone(), Value::UInt(v.as_u64().unwrap() * 10 + 10_000))
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect();
+            Value::Object(members).to_string_compact() + "\n"
+        })
+        .collect();
+    std::fs::write(&slow, scaled).unwrap();
+    let out = sara(&[
+        "report",
+        "--diff",
+        journal.to_str().unwrap(),
+        slow.to_str().unwrap(),
+    ]);
+    assert_eq!(code(&out), 1, "{}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains("regression"), "{err}");
+    assert!(err.contains("sim:"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // --- docs stay wired to the code ---------------------------------------------
 
 #[test]
@@ -979,13 +1165,19 @@ fn format_docs_name_every_tag_and_are_linked_from_the_readme() {
         "sara-bench/v1",
         "sara-bench-history/v1",
         "sara-serve/v1",
+        "sara-serve-journal/v1",
     ] {
         assert!(formats.contains(tag), "docs/formats.md missing tag {tag}");
     }
+    assert!(
+        formats.contains("observability.md"),
+        "docs/formats.md missing the observability cross-link"
+    );
     let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
     for link in [
         "docs/formats.md",
         "docs/serve-protocol.md",
+        "docs/observability.md",
         "## Service mode",
     ] {
         assert!(readme.contains(link), "README.md missing {link}");
@@ -994,4 +1186,19 @@ fn format_docs_name_every_tag_and_are_linked_from_the_readme() {
     let spec = std::fs::read_to_string(root.join("docs/serve-protocol.md"))
         .expect("docs/serve-protocol.md");
     assert!(spec.contains("sara-serve/v1"));
+    // The observability doc covers the journal, the metrics endpoint and
+    // the trace exports it claims to consolidate.
+    let observability =
+        std::fs::read_to_string(root.join("docs/observability.md")).expect("docs/observability.md");
+    for needle in [
+        "sara-serve-journal/v1",
+        "--metrics",
+        "--journal",
+        "--chrome-trace",
+    ] {
+        assert!(
+            observability.contains(needle),
+            "docs/observability.md missing {needle}"
+        );
+    }
 }

@@ -54,9 +54,11 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+pub mod journal;
 pub mod protocol;
 mod server;
 
 pub use cache::ResultCache;
+pub use journal::{Journal, JOURNAL_TAG};
 pub use protocol::{JobRequest, JobSummary, ProtocolError, Request, ScenarioRef, FORMAT_TAG};
-pub use server::{ServeConfig, Server, COUNTERS};
+pub use server::{ServeConfig, Server, COUNTERS, STAGE_HISTOGRAMS};

@@ -44,6 +44,7 @@ pub fn record_keys(
             ],
         )),
         "stats" => Some((&["format", "type"], &[])),
+        "metrics" => Some((&["format", "type"], &[])),
         "ping" => Some((&["format", "type"], &[])),
         "shutdown" => Some((&["format", "type"], &[])),
         // Responses.
@@ -64,11 +65,13 @@ pub fn record_keys(
                 "cache_hits",
                 "cache_misses",
                 "targets_met",
+                "elapsed_us",
             ],
             &["artifact"],
         )),
         "error" => Some((&["format", "type", "error"], &["id"])),
         "stats-reply" => Some((&["format", "type", "counters"], &[])),
+        "metrics-reply" => Some((&["format", "type", "exposition"], &[])),
         "pong" => Some((&["format", "type"], &[])),
         _ => None,
     }
@@ -79,6 +82,10 @@ pub fn record_keys(
 /// them apart under this internal name.
 pub const STATS_REPLY: &str = "stats-reply";
 
+/// The response record type answering a `metrics` request (same
+/// request/reply wire-spelling situation as [`STATS_REPLY`]).
+pub const METRICS_REPLY: &str = "metrics-reply";
+
 /// One parsed request record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -87,6 +94,9 @@ pub enum Request {
     Submit(Box<JobRequest>),
     /// `stats`: report the server's cumulative counters.
     Stats,
+    /// `metrics`: report the full metrics registry (counters, per-client
+    /// series, latency histograms) as Prometheus text exposition.
+    Metrics,
     /// `ping`: liveness probe, answered with `pong`.
     Ping,
     /// `shutdown`: end this session (the server keeps running for
@@ -175,14 +185,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         .and_then(Value::as_str)
         .ok_or_else(|| ProtocolError::new(id, "missing \"type\""))?;
     let (required, optional) = match rtype {
-        "submit" | "stats" | "ping" | "shutdown" => {
+        "submit" | "stats" | "metrics" | "ping" | "shutdown" => {
             record_keys(rtype).expect("request types are in the key table")
         }
         other => {
             return Err(ProtocolError::new(
                 id,
                 format!(
-                    "unknown request type {other:?} (expected submit, stats, ping or shutdown)"
+                    "unknown request type {other:?} (expected submit, stats, metrics, ping or shutdown)"
                 ),
             ))
         }
@@ -205,6 +215,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     }
     match rtype {
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         "submit" => parse_submit(&doc, id).map(|job| Request::Submit(Box::new(job))),
@@ -349,6 +360,10 @@ pub struct JobSummary {
     pub cache_misses: usize,
     /// Cells whose report met every QoS target.
     pub targets_met: usize,
+    /// Wall-clock microseconds from admission to this summary. The one
+    /// wall-clock field in the reply stream: masked by the determinism
+    /// suites, invaluable to clients watching service latency.
+    pub elapsed_us: u64,
     /// The `json_out` artifact path, echoed when one was written.
     pub artifact: Option<String>,
 }
@@ -381,6 +396,7 @@ pub fn summary_record(id: &str, summary: &JobSummary) -> Value {
     members.push(kv("cache_hits", summary.cache_hits as u64));
     members.push(kv("cache_misses", summary.cache_misses as u64));
     members.push(kv("targets_met", summary.targets_met as u64));
+    members.push(kv("elapsed_us", summary.elapsed_us));
     if let Some(artifact) = &summary.artifact {
         members.push(kv("artifact", artifact.as_str()));
     }
@@ -403,6 +419,14 @@ pub fn error_record(id: Option<&str>, message: &str) -> Value {
 pub fn stats_record(counters: Value) -> Value {
     let mut members = envelope("stats");
     members.push(("counters".to_string(), counters));
+    Value::Object(members)
+}
+
+/// Builds the reply to a `metrics` request: the registry rendered as
+/// Prometheus text exposition, carried as one JSON string.
+pub fn metrics_record(exposition: &str) -> Value {
+    let mut members = envelope("metrics");
+    members.push(kv("exposition", exposition));
     Value::Object(members)
 }
 
@@ -430,6 +454,7 @@ mod tests {
     fn bare_requests_parse() {
         for (rtype, want) in [
             ("stats", Request::Stats),
+            ("metrics", Request::Metrics),
             ("ping", Request::Ping),
             ("shutdown", Request::Shutdown),
         ] {
@@ -551,6 +576,7 @@ mod tests {
             cache_hits: 1,
             cache_misses: 2,
             targets_met: 3,
+            elapsed_us: 12_345,
             artifact: Some("/tmp/x.json".into()),
         };
         let (required, optional) = record_keys("summary").unwrap();
@@ -574,6 +600,10 @@ mod tests {
         assert_eq!(
             keys(&stats_record(Value::Object(vec![]))),
             record_keys(STATS_REPLY).unwrap().0
+        );
+        assert_eq!(
+            keys(&metrics_record("# TYPE x counter\nx 1\n")),
+            record_keys(METRICS_REPLY).unwrap().0
         );
         assert_eq!(keys(&pong_record()), record_keys("pong").unwrap().0);
         // Every record leads with the format tag.

@@ -23,10 +23,11 @@ use sara_scenarios::{
     MatrixCell, MatrixSpec, Scenario,
 };
 use sara_sim::{SimReport, ENGINE_VERSION};
-use sara_telemetry::Registry;
+use sara_telemetry::{prometheus, Metric, Registry, TimeSource, WallClock};
 use sara_types::ConfigError;
 
 use crate::cache::ResultCache;
+use crate::journal::Journal;
 use crate::protocol::{self, JobRequest, JobSummary, Request, ScenarioRef};
 
 /// The server's cumulative counters, registered in this order at
@@ -65,11 +66,20 @@ impl Default for ServeConfig {
     }
 }
 
+/// The wall-clock service histograms, one per job stage, all in
+/// microseconds: cache classification, queue wait (classification →
+/// sim start), simulation, and result write. Registered lazily on
+/// first sample; the fixed [`COUNTERS`] stay ahead of them in the
+/// registry, so `stats` replies are unaffected.
+pub const STAGE_HISTOGRAMS: [&str; 4] = ["cache_lookup_us", "queue_wait_us", "sim_us", "emit_us"];
+
 /// A running service instance; shared by every session.
 #[derive(Debug)]
 pub struct Server {
     config: ServeConfig,
     workers: usize,
+    clock: Box<dyn TimeSource>,
+    journal: Journal,
     cache: Mutex<ResultCache>,
     registry: Mutex<Registry>,
     outstanding: Mutex<HashMap<String, usize>>,
@@ -85,6 +95,18 @@ enum CellSource {
     DupOf(usize),
     /// Simulated by the worker pool.
     Run,
+}
+
+/// A simulated cell's outcome with its capture context: which worker ran
+/// it and when. Workers only fill these; all journaling and histogram
+/// recording happens later on the session thread in submission order,
+/// which is what keeps the journal's event sequence independent of the
+/// pool's completion order.
+struct TimedResult {
+    result: Result<SimReport, ConfigError>,
+    worker: usize,
+    start_us: u64,
+    end_us: u64,
 }
 
 /// Releases a client's admitted cells when the job leaves the server,
@@ -109,6 +131,8 @@ impl Drop for BudgetGuard<'_> {
 
 impl Server {
     /// Builds a server, registering every counter in [`COUNTERS`] order.
+    /// Timing uses the real [`WallClock`] and no journal is recorded;
+    /// see [`Server::with_clock`] and [`Server::with_journal`].
     pub fn new(config: ServeConfig) -> Server {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -122,15 +146,57 @@ impl Server {
         Server {
             config,
             workers,
+            clock: Box::new(WallClock::new()),
+            journal: Journal::disabled(),
             cache: Mutex::new(ResultCache::new()),
             registry: Mutex::new(registry),
             outstanding: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Snapshot of the counters as the JSON object `stats` replies carry.
+    /// Replaces the time source (builder-style). Tests substitute a
+    /// `MockClock` to make journals and `elapsed_us` deterministic.
+    pub fn with_clock(mut self, clock: Box<dyn TimeSource>) -> Server {
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the event journal (builder-style).
+    pub fn with_journal(mut self, journal: Journal) -> Server {
+        self.journal = journal;
+        self
+    }
+
+    /// Snapshot of the fixed [`COUNTERS`] as the JSON object `stats`
+    /// replies carry. Deliberately *excludes* the wall-clock stage
+    /// histograms and per-client series — `stats` replies stay
+    /// deterministic; the full registry is what `metrics` is for.
     pub fn counters(&self) -> Value {
-        self.registry.lock().expect("registry").to_json_value()
+        let registry = self.registry.lock().expect("registry");
+        Value::Object(
+            COUNTERS
+                .iter()
+                .map(|name| {
+                    let count = match registry.get(name) {
+                        Some(Metric::Counter(c)) => c.get(),
+                        _ => 0,
+                    };
+                    (name.to_string(), count.into())
+                })
+                .collect(),
+        )
+    }
+
+    /// The full metrics registry — counters, per-client series, stage
+    /// histograms — as Prometheus text exposition (format 0.0.4).
+    pub fn prometheus_text(&self) -> String {
+        prometheus::encode(&self.registry.lock().expect("registry"))
+    }
+
+    /// A copy of the journal's retained events (empty unless the journal
+    /// was built to retain them).
+    pub fn journal_events(&self) -> Vec<Value> {
+        self.journal.events()
     }
 
     /// Number of distinct cells in the result cache.
@@ -144,6 +210,25 @@ impl Server {
             .expect("registry")
             .counter(name)
             .add(by);
+    }
+
+    /// Records one sample into a stage histogram.
+    fn observe(&self, name: &str, v: u64) {
+        self.registry
+            .lock()
+            .expect("registry")
+            .histogram(name)
+            .record(v);
+    }
+
+    /// Bumps a per-client counter series (`kind{client="…"}`), escaping
+    /// the client name into Prometheus label-value syntax.
+    fn bump_client(&self, kind: &str, client: &str, by: u64) {
+        let escaped = client
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        self.bump(&format!("{kind}{{client=\"{escaped}\"}}"), by);
     }
 
     /// Runs one client session: reads request lines until EOF or a
@@ -181,6 +266,10 @@ impl Server {
                 }
                 Ok(Request::Stats) => {
                     protocol::stats_record(self.counters()).write_ndjson_line(writer)?;
+                    writer.flush()?;
+                }
+                Ok(Request::Metrics) => {
+                    protocol::metrics_record(&self.prometheus_text()).write_ndjson_line(writer)?;
                     writer.flush()?;
                 }
                 Ok(Request::Shutdown) => return Ok(()),
@@ -271,6 +360,8 @@ impl Server {
     }
 
     fn run_job<W: Write>(&self, job: &JobRequest, writer: &mut W) -> io::Result<()> {
+        let job_no = self.journal.next_job();
+        let t_accept = self.clock.now_us();
         // Lower the job exactly as `sara matrix` would: resolve scenarios,
         // then expand the cross product in scenario-major order.
         let mut scenarios: Vec<Scenario> = Vec::with_capacity(job.scenarios.len());
@@ -280,6 +371,13 @@ impl Server {
                 ScenarioRef::Catalog(name) => match catalog::by_name(name) {
                     Some(s) => scenarios.push(s),
                     None => {
+                        self.journal.job_rejected(
+                            job_no,
+                            &job.id,
+                            &job.client,
+                            "unknown-scenario",
+                            self.clock.now_us(),
+                        );
                         return self.refuse(
                             "jobs_failed",
                             &job.id,
@@ -288,7 +386,7 @@ impl Server {
                                 catalog::names().join(", ")
                             ),
                             writer,
-                        )
+                        );
                     }
                 },
             }
@@ -307,10 +405,21 @@ impl Server {
         };
         let cells = match expand_cells(&scenarios, &spec) {
             Ok(cells) => cells,
-            Err(e) => return self.refuse("jobs_failed", &job.id, e.message(), writer),
+            Err(e) => {
+                self.journal.job_rejected(
+                    job_no,
+                    &job.id,
+                    &job.client,
+                    "bad-matrix",
+                    self.clock.now_us(),
+                );
+                return self.refuse("jobs_failed", &job.id, e.message(), writer);
+            }
         };
 
         let Some(_budget) = self.admit(&job.client, cells.len()) else {
+            self.journal
+                .job_rejected(job_no, &job.id, &job.client, "budget", self.clock.now_us());
             return self.refuse(
                 "jobs_rejected",
                 &job.id,
@@ -325,6 +434,10 @@ impl Server {
         };
         self.bump("jobs_accepted", 1);
         self.bump("cells_total", cells.len() as u64);
+        self.bump_client("jobs", &job.client, 1);
+        self.bump_client("cells", &job.client, cells.len() as u64);
+        self.journal
+            .job_accepted(job_no, &job.id, &job.client, cells.len(), t_accept);
         protocol::accepted_record(&job.id, cells.len()).write_ndjson_line(writer)?;
         writer.flush()?;
 
@@ -338,21 +451,35 @@ impl Server {
         let mut sources: Vec<CellSource> = Vec::with_capacity(cells.len());
         let mut first_seen: HashMap<u64, usize> = HashMap::new();
         let (mut hits, mut misses) = (0u64, 0u64);
+        // Per-cell timestamp of classification completion: the moment the
+        // cell became runnable, the origin of its queue-wait measurement.
+        let mut queued_us: Vec<u64> = Vec::with_capacity(cells.len());
         {
             let mut cache = self.cache.lock().expect("cache");
             for (i, &fp) in fingerprints.iter().enumerate() {
-                if let Some(&j) = first_seen.get(&fp) {
+                let t_queued = self.clock.now_us();
+                self.journal.cell_queued(job_no, &job.id, i, t_queued);
+                let hit = if let Some(&j) = first_seen.get(&fp) {
                     hits += 1;
                     sources.push(CellSource::DupOf(j));
+                    true
                 } else if let Some(report) = cache.lookup(fp) {
                     hits += 1;
                     first_seen.insert(fp, i);
                     sources.push(CellSource::Cached(Box::new(report)));
+                    true
                 } else {
                     misses += 1;
                     first_seen.insert(fp, i);
                     sources.push(CellSource::Run);
-                }
+                    false
+                };
+                let t_classified = self.clock.now_us();
+                let lookup_us = t_classified.saturating_sub(t_queued);
+                self.observe("cache_lookup_us", lookup_us);
+                self.journal
+                    .cell_cache(job_no, &job.id, i, hit, lookup_us, t_classified);
+                queued_us.push(t_classified);
             }
         }
         self.bump("cache_hits", hits);
@@ -368,37 +495,55 @@ impl Server {
             .filter(|(_, s)| matches!(s, CellSource::Run))
             .map(|(i, _)| i)
             .collect();
-        type CellResult = Result<SimReport, ConfigError>;
-        let slots: Vec<Mutex<Option<CellResult>>> =
+        let slots: Vec<Mutex<Option<TimedResult>>> =
             cells.iter().map(|_| Mutex::new(None)).collect();
         let filled = (Mutex::new(()), Condvar::new());
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        // With one worker (or a single runnable cell) the session thread
+        // runs the cells itself at emission time: no pool threads means
+        // every clock read happens on one thread in canonical order,
+        // which is what makes a mock-clock journal byte-identical across
+        // runs. Results are identical either way.
         let pool_width = self.workers.min(run_indices.len());
+        let inline = pool_width <= 1;
 
         let reports: Option<Vec<SimReport>> = std::thread::scope(|scope| {
-            for _ in 0..pool_width {
-                scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= run_indices.len() {
-                        break;
-                    }
-                    let i = run_indices[k];
-                    let result = run_cell(
-                        &scenarios[cells[i].scenario],
-                        &cells[i],
-                        self.config.parallel_channels,
-                    );
-                    *slots[i].lock().expect("cell slot") = Some(result);
-                    let _hold = filled.0.lock().expect("completion lock");
-                    filled.1.notify_all();
-                });
+            if !inline {
+                for worker in 0..pool_width {
+                    let (slots, filled, next, abort) = (&slots, &filled, &next, &abort);
+                    let (run_indices, cells, scenarios) = (&run_indices, &cells, &scenarios);
+                    scope.spawn(move || loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= run_indices.len() {
+                            break;
+                        }
+                        let i = run_indices[k];
+                        let start_us = self.clock.now_us();
+                        let result = run_cell(
+                            &scenarios[cells[i].scenario],
+                            &cells[i],
+                            self.config.parallel_channels,
+                        );
+                        let end_us = self.clock.now_us();
+                        *slots[i].lock().expect("cell slot") = Some(TimedResult {
+                            result,
+                            worker,
+                            start_us,
+                            end_us,
+                        });
+                        let _hold = filled.0.lock().expect("completion lock");
+                        filled.1.notify_all();
+                    });
+                }
             }
-            let outcome =
-                self.emit_cells(job, &scenarios, &cells, &sources, &slots, &filled, writer);
+            let outcome = self.emit_cells(
+                job, job_no, &scenarios, &cells, &sources, &queued_us, &slots, &filled, inline,
+                writer,
+            );
             abort.store(true, Ordering::Relaxed);
             outcome
         })?;
@@ -454,6 +599,7 @@ impl Server {
                 cache_hits: hits as usize,
                 cache_misses: misses as usize,
                 targets_met,
+                elapsed_us: self.clock.now_us().saturating_sub(t_accept),
                 artifact,
             },
         )
@@ -462,18 +608,21 @@ impl Server {
     }
 
     /// Streams the job's cell records in submission order, waiting on the
-    /// pool for cells still simulating. Returns the reports (aligned with
-    /// the cells) or `None` after emitting the error record of the first
-    /// failing cell.
+    /// pool for cells still simulating (or, in `inline` mode, running
+    /// them right here). Returns the reports (aligned with the cells) or
+    /// `None` after emitting the error record of the first failing cell.
     #[allow(clippy::too_many_arguments)]
     fn emit_cells<W: Write>(
         &self,
         job: &JobRequest,
+        job_no: u64,
         scenarios: &[Scenario],
         cells: &[CellSpec],
         sources: &[CellSource],
-        slots: &[Mutex<Option<Result<SimReport, ConfigError>>>],
+        queued_us: &[u64],
+        slots: &[Mutex<Option<TimedResult>>],
         filled: &(Mutex<()>, Condvar),
+        inline: bool,
         writer: &mut W,
     ) -> io::Result<Option<Vec<SimReport>>> {
         let mut reports: Vec<SimReport> = Vec::with_capacity(cells.len());
@@ -482,20 +631,56 @@ impl Server {
                 CellSource::Cached(report) => (**report).clone(),
                 CellSource::DupOf(j) => reports[*j].clone(),
                 CellSource::Run => {
-                    let result = loop {
-                        if let Some(result) = slots[i].lock().expect("cell slot").take() {
-                            break result;
+                    let timed = if inline {
+                        let start_us = self.clock.now_us();
+                        let result = run_cell(
+                            &scenarios[cells[i].scenario],
+                            &cells[i],
+                            self.config.parallel_channels,
+                        );
+                        let end_us = self.clock.now_us();
+                        TimedResult {
+                            result,
+                            worker: 0,
+                            start_us,
+                            end_us,
                         }
-                        let guard = filled.0.lock().expect("completion lock");
-                        // Re-check under the notify lock: a worker that
-                        // filled the slot in between will have notified
-                        // already, and we must not sleep through it.
-                        if slots[i].lock().expect("cell slot").is_some() {
-                            continue;
+                    } else {
+                        loop {
+                            if let Some(timed) = slots[i].lock().expect("cell slot").take() {
+                                break timed;
+                            }
+                            let guard = filled.0.lock().expect("completion lock");
+                            // Re-check under the notify lock: a worker that
+                            // filled the slot in between will have notified
+                            // already, and we must not sleep through it.
+                            if slots[i].lock().expect("cell slot").is_some() {
+                                continue;
+                            }
+                            drop(filled.1.wait(guard).expect("completion wait"));
                         }
-                        drop(filled.1.wait(guard).expect("completion wait"));
                     };
-                    match result {
+                    let wait_us = timed.start_us.saturating_sub(queued_us[i]);
+                    let sim_us = timed.end_us.saturating_sub(timed.start_us);
+                    self.observe("queue_wait_us", wait_us);
+                    self.observe("sim_us", sim_us);
+                    self.journal.sim_started(
+                        job_no,
+                        &job.id,
+                        i,
+                        timed.worker,
+                        wait_us,
+                        timed.start_us,
+                    );
+                    self.journal.sim_finished(
+                        job_no,
+                        &job.id,
+                        i,
+                        timed.worker,
+                        sim_us,
+                        timed.end_us,
+                    );
+                    match timed.result {
                         Ok(report) => report,
                         Err(e) => {
                             self.bump("jobs_failed", 1);
@@ -514,8 +699,14 @@ impl Server {
                 channels: cells[i].channels,
                 report,
             };
+            let t_emit = self.clock.now_us();
             protocol::cell_record(&job.id, i, &cell).write_ndjson_line(writer)?;
             writer.flush()?;
+            let t_done = self.clock.now_us();
+            let emit_us = t_done.saturating_sub(t_emit);
+            self.observe("emit_us", emit_us);
+            self.journal
+                .cell_emitted(job_no, &job.id, i, emit_us, t_done);
             reports.push(cell.report);
         }
         Ok(Some(reports))

@@ -7,7 +7,7 @@
 use std::collections::BTreeSet;
 
 use json::Value;
-use sara_serve::protocol::{record_keys, STATS_REPLY};
+use sara_serve::protocol::{record_keys, METRICS_REPLY, STATS_REPLY};
 use sara_serve::{ServeConfig, Server, FORMAT_TAG};
 
 /// One `### \`type\`` section of the spec.
@@ -21,13 +21,14 @@ struct Section {
 }
 
 /// The record-type name `record_keys` uses for a documented section: the
-/// `stats` *reply* shares its wire spelling with the request, so the
-/// key table stores it under [`STATS_REPLY`].
+/// `stats` and `metrics` *replies* share their wire spelling with the
+/// matching request, so the key table stores them under [`STATS_REPLY`]
+/// and [`METRICS_REPLY`].
 fn lookup_name(name: &str, request: bool) -> String {
-    if !request && name == "stats" {
-        STATS_REPLY.to_string()
-    } else {
-        name.to_string()
+    match (request, name) {
+        (false, "stats") => STATS_REPLY.to_string(),
+        (false, "metrics") => METRICS_REPLY.to_string(),
+        _ => name.to_string(),
     }
 }
 
@@ -114,7 +115,7 @@ fn spec_field_tables_match_the_implementation() {
     let text = spec_text();
     let sections = parse_spec(&text);
     assert!(
-        sections.len() >= 10,
+        sections.len() >= 12,
         "spec parser found only {} record sections — did the heading or \
          table format change?",
         sections.len()
@@ -140,6 +141,7 @@ fn spec_field_tables_match_the_implementation() {
     for key in [
         "submit",
         "stats",
+        "metrics",
         "ping",
         "shutdown",
         "accepted",
@@ -147,6 +149,7 @@ fn spec_field_tables_match_the_implementation() {
         "summary",
         "error",
         STATS_REPLY,
+        METRICS_REPLY,
         "pong",
     ] {
         assert!(documented.contains(key), "record type `{key}` undocumented");
@@ -171,8 +174,9 @@ fn spec_examples_are_valid_records() {
                 Some(FORMAT_TAG),
                 "`{name}` example format tag"
             );
-            // The reply to `stats` shares the request's wire spelling.
-            let wire_type = if key == STATS_REPLY { "stats" } else { &key };
+            // Replies to `stats` and `metrics` share their request's
+            // wire spelling; the key table suffixes them.
+            let wire_type = key.strip_suffix("-reply").unwrap_or(&key);
             assert_eq!(
                 record.get("type").and_then(Value::as_str),
                 Some(wire_type),
@@ -221,6 +225,8 @@ fn live_session_records_obey_the_spec() {
         r#"{"format":"sara-serve/v1","type":"submit","id":"spec","scenarios":["camcorder-b"],"policies":["FCFS"],"duration_ms":0.05}"#,
         "\n",
         r#"{"format":"sara-serve/v1","type":"stats"}"#,
+        "\n",
+        r#"{"format":"sara-serve/v1","type":"metrics"}"#,
         "\n",
         r#"{"format":"sara-serve/v1","type":"shutdown"}"#,
         "\n",

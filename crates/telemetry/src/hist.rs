@@ -181,6 +181,18 @@ impl Histogram {
         self.max
     }
 
+    /// The non-empty buckets as `(lower, upper, count)` triples in
+    /// ascending order (bounds inclusive). This is the raw material for
+    /// alternative emissions — the Prometheus encoder turns it into
+    /// cumulative `le` series.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (bucket_lower_bound(k), bucket_upper_bound(k), n))
+    }
+
     /// The histogram as one JSON object node.
     ///
     /// Summary fields first, then the non-empty buckets as

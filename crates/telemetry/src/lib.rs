@@ -21,6 +21,16 @@
 //!   (`chrome://tracing`, <https://ui.perfetto.dev>), used by
 //!   `sara govern --chrome-trace` and `sara matrix --chrome-trace`.
 //!
+//! The *service* layer (`sara serve`) additionally measures wall-clock
+//! time, which deterministic simulation never may. Two modules keep that
+//! boundary crisp:
+//!
+//! * [`TimeSource`] / [`WallClock`] / [`MockClock`] — pluggable
+//!   microsecond clocks, so service timing is testable under a
+//!   deterministic mock;
+//! * [`prometheus`] — text exposition (format 0.0.4) of a [`Registry`]
+//!   snapshot for scraping, histograms as cumulative `le` series.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,9 +58,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chrome;
+mod clock;
 mod hist;
+pub mod prometheus;
 
 pub use chrome::ChromeTrace;
+pub use clock::{MockClock, TimeSource, WallClock};
 pub use hist::Histogram;
 
 use ::json::Value;
@@ -206,6 +219,11 @@ impl Registry {
     /// Reads a metric back.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.metrics.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Iterates `(name, metric)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(n, m)| (n.as_str(), m))
     }
 
     /// Folds another registry into this one: counters add, histograms

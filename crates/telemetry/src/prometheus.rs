@@ -1,0 +1,209 @@
+//! Prometheus text exposition (format 0.0.4) for [`Registry`] snapshots.
+//!
+//! [`encode`] renders every registered metric as `# HELP`/`# TYPE`
+//! comments plus sample lines. Metric names may carry a label set in
+//! Prometheus syntax (`jobs{client="ci"}`): the part before the first
+//! `{` names the family, the rest rides along on each sample line, so a
+//! registry can hold per-label series without a dedicated label model.
+//! Histograms become the conventional cumulative `_bucket{le="…"}`
+//! series over the non-empty log2 buckets, closed by `le="+Inf"`,
+//! `_sum` and `_count`.
+//!
+//! The output is deterministic: families appear in first-registration
+//! order, samples in registration order within a family.
+
+use std::fmt::Write as _;
+
+use crate::{Histogram, Metric, Registry};
+
+/// Splits a registry metric name into `(family, labels)` where `labels`
+/// keeps its braces (`{client="ci"}`) or is empty.
+fn split_name(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Maps a family name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), replacing anything else with `_`.
+fn sanitize(family: &str) -> String {
+    let mut out = String::with_capacity(family.len());
+    for (i, c) in family.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn kind_of(m: &Metric) -> (&'static str, &'static str) {
+    match m {
+        Metric::Counter(_) => ("counter", "monotonic event count"),
+        Metric::Gauge(_) => ("gauge", "last-value reading"),
+        Metric::Histogram(_) => ("histogram", "log2-bucketed distribution"),
+    }
+}
+
+/// Appends one histogram's cumulative bucket series. `labels` is the
+/// metric's own label set with braces, or empty.
+fn encode_histogram(out: &mut String, family: &str, labels: &str, h: &Histogram) {
+    let inner = labels
+        .strip_prefix('{')
+        .and_then(|l| l.strip_suffix('}'))
+        .unwrap_or("");
+    let mut cumulative = 0u64;
+    for (_, upper, n) in h.buckets() {
+        cumulative += n;
+        if inner.is_empty() {
+            let _ = writeln!(out, "{family}_bucket{{le=\"{upper}\"}} {cumulative}");
+        } else {
+            let _ = writeln!(
+                out,
+                "{family}_bucket{{{inner},le=\"{upper}\"}} {cumulative}"
+            );
+        }
+    }
+    if inner.is_empty() {
+        let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(
+            out,
+            "{family}_sum {}",
+            u64::try_from(h.sum()).unwrap_or(u64::MAX)
+        );
+        let _ = writeln!(out, "{family}_count {}", h.count());
+    } else {
+        let _ = writeln!(out, "{family}_bucket{{{inner},le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(
+            out,
+            "{family}_sum{labels} {}",
+            u64::try_from(h.sum()).unwrap_or(u64::MAX)
+        );
+        let _ = writeln!(out, "{family}_count{labels} {}", h.count());
+    }
+}
+
+/// Renders a registry snapshot as Prometheus text exposition 0.0.4.
+///
+/// # Examples
+///
+/// ```
+/// use sara_telemetry::{prometheus, Registry};
+///
+/// let mut r = Registry::new();
+/// r.counter("cache_hits").add(3);
+/// r.counter("jobs{client=\"ci\"}").add(2);
+/// r.histogram("sim_us").record(130);
+/// let text = prometheus::encode(&r);
+/// assert!(text.contains("# TYPE cache_hits counter\ncache_hits 3\n"));
+/// assert!(text.contains("jobs{client=\"ci\"} 2\n"));
+/// assert!(text.contains("sim_us_bucket{le=\"255\"} 1\n"));
+/// ```
+pub fn encode(registry: &Registry) -> String {
+    // Group by family in first-appearance order: the format requires all
+    // samples of one family to form a single block.
+    let mut families: Vec<(String, Vec<(&str, &Metric)>)> = Vec::new();
+    for (name, metric) in registry.iter() {
+        let (family, labels) = split_name(name);
+        let family = sanitize(family);
+        match families.iter_mut().find(|(f, _)| *f == family) {
+            Some((_, members)) => members.push((labels, metric)),
+            None => families.push((family, vec![(labels, metric)])),
+        }
+    }
+    let mut out = String::new();
+    for (family, members) in &families {
+        let (kind, help) = kind_of(members[0].1);
+        let _ = writeln!(out, "# HELP {family} {help}");
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        for (labels, metric) in members {
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{family}{labels} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{family}{labels} {}", g.get());
+                }
+                Metric::Histogram(h) => encode_histogram(&mut out, family, labels, h),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_expose_one_sample_each() {
+        let mut r = Registry::new();
+        r.counter("jobs_accepted").add(2);
+        r.gauge("depth").set(2.5);
+        let text = encode(&r);
+        assert_eq!(
+            text,
+            "# HELP jobs_accepted monotonic event count\n\
+             # TYPE jobs_accepted counter\n\
+             jobs_accepted 2\n\
+             # HELP depth last-value reading\n\
+             # TYPE depth gauge\n\
+             depth 2.5\n"
+        );
+    }
+
+    #[test]
+    fn labelled_series_share_one_family_block() {
+        let mut r = Registry::new();
+        r.counter("jobs{client=\"ci\"}").add(1);
+        r.counter("other").inc();
+        r.counter("jobs{client=\"dev\"}").add(4);
+        let text = encode(&r);
+        // Both `jobs` series sit in one block even though `other` was
+        // registered between them.
+        let jobs_block = "# TYPE jobs counter\n\
+                          jobs{client=\"ci\"} 1\n\
+                          jobs{client=\"dev\"} 4\n";
+        assert!(text.contains(jobs_block), "{text}");
+        assert_eq!(text.matches("# TYPE jobs counter").count(), 1);
+    }
+
+    #[test]
+    fn histograms_emit_cumulative_le_series() {
+        let mut r = Registry::new();
+        let h = r.histogram("lat_us");
+        h.record(3); // bucket [2,3]
+        h.record(9); // bucket [8,15]
+        h.record(9);
+        let text = encode(&r);
+        assert!(text.contains("# TYPE lat_us histogram\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"3\"} 1\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"15\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_sum 21\n"), "{text}");
+        assert!(text.contains("lat_us_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn family_names_are_sanitized() {
+        let mut r = Registry::new();
+        r.counter("weird-name.9").inc();
+        let text = encode(&r);
+        assert!(text.contains("# TYPE weird_name_9 counter\n"), "{text}");
+        assert!(text.contains("weird_name_9 1\n"), "{text}");
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let build = || {
+            let mut r = Registry::new();
+            r.counter("a").inc();
+            r.histogram("h").record(100);
+            r.counter("b{client=\"x\"}").add(7);
+            encode(&r)
+        };
+        assert_eq!(build(), build());
+    }
+}
