@@ -23,14 +23,14 @@ use std::time::Instant;
 
 use json::Value;
 use sara_memctrl::PolicyKind;
-use sara_scenarios::{catalog, run_matrix, MatrixSpec};
+use sara_scenarios::{catalog, run_matrix, MatrixSpec, ScreenMode};
 
 use crate::args::{Args, CliError};
 use crate::output::{emit_value, page, Progress, Sink};
 
 const USAGE: &str = "usage: sara bench [--duration-ms MS] [--repeat N] [--json PATH|-] \
                      [--pretty] [--baseline PATH] [--tolerance F] [--history PATH] \
-                     [--compare-stepping] [--min-speedup F]";
+                     [--compare-stepping] [--screen] [--min-speedup F]";
 
 const HELP: &str = "\
 sara bench — measure matrix throughput; emit or check a baseline
@@ -52,13 +52,21 @@ usage: sara bench [options]
                      PATH on first use; summarize it with `sara report`
   --compare-stepping time sequential vs parallel lane stepping on every
                      multi-channel catalog scenario instead of the normal
-                     measurement (exclusive mode; only --duration-ms,
-                     --repeat and --min-speedup apply)
-  --min-speedup F    with --compare-stepping, fail unless parallel
-                     stepping is at least F times faster than sequential
-                     on every compared scenario (default 0: report only;
-                     not enforced on single-hardware-thread hosts, where
-                     both modes step inline)
+                     measurement (exclusive mode; --duration-ms, --repeat,
+                     --min-speedup, --json and --pretty apply; the JSON
+                     document carries `\"advisory\": true` on hosts where
+                     the floor is not enforced)
+  --screen           time the overload catalog scenarios (saturation,
+                     adas-overload) across downclocked frequencies with
+                     analytic pre-screening off vs prune, instead of the
+                     normal measurement (exclusive mode; --duration-ms,
+                     --repeat, --min-speedup, --json and --pretty apply)
+  --min-speedup F    with --compare-stepping or --screen, fail unless the
+                     compared mode is at least F times faster on every
+                     scenario (default 0: report only; for
+                     --compare-stepping, not enforced on
+                     single-hardware-thread hosts, where both modes step
+                     inline)
 
 Every catalog scenario runs all six policies serially; throughput is
 matrix cells per second. The output shape (keys, scenario order, cell
@@ -77,6 +85,12 @@ pub const FORMAT_TAG: &str = "sara-bench/v1";
 
 /// The `format` tag carried by `--history` perf-timeline documents.
 pub const HISTORY_FORMAT_TAG: &str = "sara-bench-history/v1";
+
+/// The `format` tag carried by `--compare-stepping --json` documents.
+pub const STEPPING_FORMAT_TAG: &str = "sara-bench-stepping/v1";
+
+/// The `format` tag carried by `--screen --json` documents.
+pub const SCREEN_FORMAT_TAG: &str = "sara-bench-screen/v1";
 
 /// One scenario's measured throughput.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +126,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     }
     let history_path = args.take_opt("--history")?;
     let compare_stepping = args.take_flag("--compare-stepping");
+    let screen = args.take_flag("--screen");
     let min_speedup = args.take_parsed::<f64>("--min-speedup")?.unwrap_or(0.0);
     if !min_speedup.is_finite() || min_speedup < 0.0 {
         return Err(CliError::usage(USAGE, "--min-speedup must be ≥ 0"));
@@ -119,14 +134,38 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     args.finish()?;
 
     let progress = Progress::new(&[json_sink.as_ref()]);
-    if compare_stepping {
-        if json_sink.is_some() || baseline_path.is_some() || history_path.is_some() {
+    if compare_stepping && screen {
+        return Err(CliError::usage(
+            USAGE,
+            "--compare-stepping and --screen are each exclusive modes; pick one",
+        ));
+    }
+    if compare_stepping || screen {
+        if baseline_path.is_some() || history_path.is_some() {
             return Err(CliError::usage(
                 USAGE,
-                "--compare-stepping is an exclusive mode; drop --json/--baseline/--history",
+                "--compare-stepping/--screen are exclusive modes; drop --baseline/--history",
             ));
         }
-        return compare_stepping_run(duration_ms, repeat, min_speedup, &progress);
+        return if compare_stepping {
+            compare_stepping_run(
+                duration_ms,
+                repeat,
+                min_speedup,
+                json_sink.as_ref(),
+                pretty,
+                &progress,
+            )
+        } else {
+            screen_bench_run(
+                duration_ms,
+                repeat,
+                min_speedup,
+                json_sink.as_ref(),
+                pretty,
+                &progress,
+            )
+        };
     }
     let measurements = measure(duration_ms, repeat, &progress)?;
     let doc = to_value(duration_ms, &measurements);
@@ -177,6 +216,8 @@ fn compare_stepping_run(
     duration_ms: f64,
     repeat: usize,
     min_speedup: f64,
+    json_sink: Option<&Sink>,
+    pretty: bool,
     progress: &Progress,
 ) -> Result<(), CliError> {
     let scenarios: Vec<_> = catalog::builtin()
@@ -198,6 +239,7 @@ fn compare_stepping_run(
         );
     }
     let mut failures = Vec::new();
+    let mut rows = Vec::new();
     for s in scenarios {
         let one = [s.clone()];
         let time = |parallel: bool| -> Result<f64, CliError> {
@@ -208,6 +250,7 @@ fn compare_stepping_run(
                 duration_ms: Some(duration_ms),
                 threads: 1,
                 parallel_channels: parallel,
+                screen: ScreenMode::Off,
             };
             let mut best = f64::INFINITY;
             for _ in 0..repeat {
@@ -230,12 +273,154 @@ fn compare_stepping_run(
                 s.name
             ));
         }
+        rows.push(Value::Object(vec![
+            ("name".to_string(), s.name.as_str().into()),
+            ("channels".to_string(), s.channels.into()),
+            ("sequential_s".to_string(), seq.into()),
+            ("parallel_s".to_string(), par.into()),
+            ("speedup".to_string(), speedup.into()),
+        ]));
+    }
+    if let Some(sink) = json_sink {
+        let doc = Value::Object(vec![
+            ("format".to_string(), STEPPING_FORMAT_TAG.into()),
+            ("duration_ms".to_string(), duration_ms.into()),
+            ("advisory".to_string(), Value::Bool(!enforce)),
+            ("min_speedup".to_string(), min_speedup.into()),
+            ("scenarios".to_string(), Value::Array(rows)),
+        ]);
+        sink.write(&emit_value(&doc, pretty))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
     }
     if failures.is_empty() {
         Ok(())
     } else {
         Err(CliError::Failure(format!(
             "parallel stepping too slow on {} scenario{}:\n  {}",
+            failures.len(),
+            if failures.len() == 1 { "" } else { "s" },
+            failures.join("\n  ")
+        )))
+    }
+}
+
+/// The downclocked frequency ladder `--screen` sweeps: every rung sits
+/// below both overload scenarios' provable-feasibility boundary (rated
+/// demand exceeds the analytic bound by more than the screener's
+/// margin), so pruning answers every cell and the benchmark measures the
+/// closed-form fast path head-to-head against cycle-accurate simulation
+/// — the deep-downclock regime the screening tier exists for.
+const SCREEN_BENCH_FREQS: [u32; 3] = [266, 333, 400];
+
+/// Times the overload catalog scenarios' full policy matrices across
+/// [`SCREEN_BENCH_FREQS`] with screening off vs prune (one worker thread,
+/// best-of `repeat`), failing if any prune-mode speedup lands under
+/// `min_speedup`. The cell count is identical in both modes — pruned
+/// cells are still emitted, as synthetic screened cells — so cells/sec is
+/// directly comparable.
+fn screen_bench_run(
+    duration_ms: f64,
+    repeat: usize,
+    min_speedup: f64,
+    json_sink: Option<&Sink>,
+    pretty: bool,
+    progress: &Progress,
+) -> Result<(), CliError> {
+    let scenarios: Vec<_> = ["saturation", "adas-overload"]
+        .iter()
+        .map(|name| {
+            catalog::by_name(name)
+                .ok_or_else(|| CliError::Failure(format!("catalog scenario \"{name}\" is missing")))
+        })
+        .collect::<Result<_, _>>()?;
+    let spec = |screen: ScreenMode| MatrixSpec {
+        policies: PolicyKind::ALL.to_vec(),
+        freqs_mhz: SCREEN_BENCH_FREQS.to_vec(),
+        channels: Vec::new(),
+        duration_ms: Some(duration_ms),
+        threads: 1,
+        parallel_channels: false,
+        screen,
+    };
+    progress.line(format!(
+        "screening benchmark: saturation + adas-overload x {} policies x {:?} MHz, \
+         {duration_ms} ms per cell, best of {repeat}, serial",
+        PolicyKind::ALL.len(),
+        SCREEN_BENCH_FREQS
+    ));
+    let mut failures = Vec::new();
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let one = [s.clone()];
+        let time = |mode: ScreenMode| -> Result<(f64, usize, usize), CliError> {
+            let mut best = f64::INFINITY;
+            let mut cells = 0;
+            let mut screened = 0;
+            for _ in 0..repeat {
+                let start = Instant::now();
+                let summary = run_matrix(&one, &spec(mode))
+                    .map_err(|e| CliError::Failure(e.message().to_string()))?;
+                best = best.min(start.elapsed().as_secs_f64());
+                cells = summary.cells.len();
+                screened = summary
+                    .cells
+                    .iter()
+                    .filter(|c| c.screened().is_some())
+                    .count();
+            }
+            Ok((best, cells, screened))
+        };
+        let (off_s, cells, _) = time(ScreenMode::Off)?;
+        let (prune_s, prune_cells, screened) = time(ScreenMode::Prune)?;
+        debug_assert_eq!(cells, prune_cells);
+        let off_cps = cells as f64 / off_s;
+        let prune_cps = cells as f64 / prune_s;
+        let speedup = off_s / prune_s;
+        progress.line(format!(
+            "{:<18} {cells} cells ({screened} pruned): off {off_cps:.2} cells/sec, \
+             prune {prune_cps:.2} cells/sec -> {speedup:.2}x",
+            s.name
+        ));
+        if speedup < min_speedup {
+            failures.push(format!(
+                "{}: {speedup:.2}x is below the --min-speedup floor of {min_speedup}x",
+                s.name
+            ));
+        }
+        rows.push(Value::Object(vec![
+            ("name".to_string(), s.name.as_str().into()),
+            ("cells".to_string(), cells.into()),
+            ("screened".to_string(), screened.into()),
+            ("off_s".to_string(), off_s.into()),
+            ("prune_s".to_string(), prune_s.into()),
+            ("off_cells_per_sec".to_string(), off_cps.into()),
+            ("prune_cells_per_sec".to_string(), prune_cps.into()),
+            ("speedup".to_string(), speedup.into()),
+        ]));
+    }
+    if let Some(sink) = json_sink {
+        let doc = Value::Object(vec![
+            ("format".to_string(), SCREEN_FORMAT_TAG.into()),
+            ("duration_ms".to_string(), duration_ms.into()),
+            (
+                "freqs_mhz".to_string(),
+                Value::Array(SCREEN_BENCH_FREQS.iter().map(|&f| f.into()).collect()),
+            ),
+            ("min_speedup".to_string(), min_speedup.into()),
+            ("scenarios".to_string(), Value::Array(rows)),
+        ]);
+        sink.write(&emit_value(&doc, pretty))?;
+        if !sink.is_stdout() {
+            progress.line(format!("wrote {}", sink.describe()));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Failure(format!(
+            "screening speedup too low on {} scenario{}:\n  {}",
             failures.len(),
             if failures.len() == 1 { "" } else { "s" },
             failures.join("\n  ")
@@ -266,6 +451,7 @@ fn measure(
         duration_ms: Some(duration_ms),
         threads: 1,
         parallel_channels: false,
+        screen: ScreenMode::Off,
     };
     progress.line(format!(
         "{} scenarios x {} policies, {duration_ms} ms per cell, best of {repeat}, serial",

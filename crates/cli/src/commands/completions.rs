@@ -69,6 +69,7 @@ const COMMANDS: &[Command] = &[
             "--channels",
             "--duration-ms",
             "--jobs",
+            "--screen",
             "--json",
             "--csv",
             "--chrome-trace",
@@ -88,7 +89,7 @@ const COMMANDS: &[Command] = &[
             "--csv",
             "--json",
         ],
-        bool_flags: &["--dvfs"],
+        bool_flags: &["--dvfs", "--screen"],
     },
     Command {
         name: "govern",
@@ -134,7 +135,7 @@ const COMMANDS: &[Command] = &[
             "--history",
             "--min-speedup",
         ],
-        bool_flags: &["--compare-stepping", "--pretty"],
+        bool_flags: &["--compare-stepping", "--screen", "--pretty"],
     },
     Command {
         name: "report",
@@ -152,6 +153,7 @@ const COMMANDS: &[Command] = &[
             "--budget",
             "--max-sessions",
             "--journal",
+            "--journal-max-bytes",
             "--metrics",
             "--chrome-trace",
         ],

@@ -1,6 +1,6 @@
 //! `sara matrix` — the scenario × policy × frequency batch harness.
 
-use sara_scenarios::{run_matrix, MatrixSpec};
+use sara_scenarios::{run_matrix, MatrixSpec, ScreenMode};
 
 use crate::args::{parse_channels, parse_freqs, parse_policies, Args, CliError};
 use crate::commands::{load_scenarios, scenario_row, take_scenario_names};
@@ -8,8 +8,8 @@ use crate::output::{emit_value, page, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara matrix [--dir DIR | --scenarios NAMES] [--policies NAMES] \
                      [--freqs MHZ] [--channels COUNTS] [--duration-ms MS] [--jobs N] \
-                     [--parallel-channels] [--json PATH|-] [--csv PATH|-] \
-                     [--chrome-trace PATH|-] [--pretty]";
+                     [--parallel-channels] [--screen off|prune|verify] [--json PATH|-] \
+                     [--csv PATH|-] [--chrome-trace PATH|-] [--pretty]";
 
 const HELP: &str = "\
 sara matrix — run scenarios x policies x frequencies, ranked
@@ -36,6 +36,13 @@ matrix shape:
                      step decoupled DRAM-channel lanes concurrently inside
                      each cell's simulation; results are byte-identical to
                      the default sequential stepping
+  --screen MODE      analytic pre-screening: `off` (default) simulates
+                     every cell; `prune` skips provably-decided cells and
+                     emits them as synthetic `screened` cells carrying the
+                     closed-form bound (unpruned cells are byte-identical
+                     to `off`); `verify` simulates everything anyway and
+                     hard-errors if the engine ever contradicts a verdict
+                     or exceeds a bound
 
 output:
   --json PATH|-      write the full summary (cells + rankings) as JSON
@@ -80,6 +87,11 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     }
     let jobs = args.take_parsed::<usize>("--jobs")?;
     let parallel_channels = args.take_flag("--parallel-channels");
+    let screen = match args.take_opt("--screen")? {
+        None => ScreenMode::Off,
+        Some(raw) => ScreenMode::parse(&raw)
+            .ok_or_else(|| CliError::usage(USAGE, "--screen must be one of: off, prune, verify"))?,
+    };
     let json_sink = args.take_opt("--json")?.map(|raw| Sink::parse(&raw));
     let csv_sink = args.take_opt("--csv")?.map(|raw| Sink::parse(&raw));
     let chrome_sink = args
@@ -99,6 +111,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         duration_ms,
         threads: jobs.unwrap_or_else(|| MatrixSpec::default().threads),
         parallel_channels,
+        screen,
     };
 
     let progress = Progress::new(&[json_sink.as_ref(), csv_sink.as_ref(), chrome_sink.as_ref()]);

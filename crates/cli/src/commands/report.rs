@@ -334,6 +334,16 @@ struct CellFacts {
     targets_met: bool,
     failed_cores: usize,
     bandwidth_gbs: f64,
+    /// The screening verdict (`infeasible`/`trivial`) of a pruned cell
+    /// that was never simulated; `None` for simulated cells.
+    screened: Option<String>,
+    /// The closed-form bandwidth bound, when the dump carries one (either
+    /// a screened cell's verdict bound or a simulated report's `analytic`
+    /// section).
+    bound_gbs: Option<f64>,
+    /// Achieved bandwidth as a fraction of the bound (simulated cells
+    /// with an `analytic` section only).
+    achieved_over_bound: Option<f64>,
 }
 
 impl CellFacts {
@@ -351,16 +361,39 @@ impl CellFacts {
 /// (`cell` records), which is what lets the two kinds diff against each
 /// other.
 fn cell_facts(cell: &Value, what: &str) -> Result<CellFacts, CliError> {
+    let scenario = req_str(cell, "scenario", what)?;
+    let policy = req_str(cell, "policy", what)?;
+    let freq_mhz = req_u64(cell, "freq_mhz", what)?;
+    let channels = cell.get("channels").and_then(Value::as_u64);
+    // A pruned cell was never simulated: it carries a screening verdict
+    // and the closed-form evaluation instead of a report.
+    if let Some(verdict) = cell.get("screened").and_then(Value::as_str) {
+        let analytic = req(cell, "analytic", what)?;
+        let bound_gbs = req_f64(analytic, "bound_gbs", what)?;
+        return Ok(CellFacts {
+            scenario,
+            policy,
+            freq_mhz,
+            channels,
+            targets_met: verdict == "trivial",
+            failed_cores: 0,
+            bandwidth_gbs: bound_gbs,
+            screened: Some(verdict.to_string()),
+            bound_gbs: Some(bound_gbs),
+            achieved_over_bound: None,
+        });
+    }
     let report = req(cell, "report", what)?;
     let failed_cores = req_array(report, "cores", what)?
         .iter()
         .filter(|c| c.get("failed").and_then(Value::as_bool) == Some(true))
         .count();
+    let analytic = report.get("analytic");
     Ok(CellFacts {
-        scenario: req_str(cell, "scenario", what)?,
-        policy: req_str(cell, "policy", what)?,
-        freq_mhz: req_u64(cell, "freq_mhz", what)?,
-        channels: cell.get("channels").and_then(Value::as_u64),
+        scenario,
+        policy,
+        freq_mhz,
+        channels,
         targets_met: req(report, "all_targets_met", what)?
             .as_bool()
             .ok_or_else(|| {
@@ -368,6 +401,13 @@ fn cell_facts(cell: &Value, what: &str) -> Result<CellFacts, CliError> {
             })?,
         failed_cores,
         bandwidth_gbs: req_f64(report, "bandwidth_gbs", what)?,
+        screened: None,
+        bound_gbs: analytic
+            .and_then(|a| a.get("bound_gbs"))
+            .and_then(Value::as_f64),
+        achieved_over_bound: analytic
+            .and_then(|a| a.get("achieved_over_bound"))
+            .and_then(Value::as_f64),
     })
 }
 
@@ -379,16 +419,27 @@ fn matrix_cells(doc: &Value, what: &str) -> Result<Vec<CellFacts>, CliError> {
         .collect()
 }
 
+/// Achieved bandwidth within this fraction of the analytic bound is
+/// flagged: the engine is running into the closed-form ceiling, so the
+/// cell's performance is bus-limited, not policy-limited.
+const NEAR_BOUND: f64 = 0.98;
+
 fn summarize_matrix(doc: &Value) -> Result<Vec<String>, CliError> {
     const WHAT: &str = "matrix dump";
     let cells = matrix_cells(doc, WHAT)?;
     let rankings = req_array(doc, "rankings", WHAT)?;
     let met = cells.iter().filter(|c| c.targets_met).count();
+    let screened = cells.iter().filter(|c| c.screened.is_some()).count();
     let mut lines = vec![format!(
-        "matrix dump: {} cells across {} scenarios; all targets met in {met}/{} cells",
+        "matrix dump: {} cells across {} scenarios; all targets met in {met}/{} cells{}",
         cells.len(),
         rankings.len(),
-        cells.len()
+        cells.len(),
+        if screened > 0 {
+            format!(" ({screened} screened without simulation)")
+        } else {
+            String::new()
+        }
     )];
     for r in rankings {
         let scenario = req_str(r, "scenario", WHAT)?;
@@ -405,7 +456,7 @@ fn summarize_matrix(doc: &Value) -> Result<Vec<String>, CliError> {
             })?;
         let c = &cells[best];
         lines.push(format!(
-            "  {:<18} best {:<8} @{} MHz  {:>7.2} GB/s  {} failed core{}{}",
+            "  {:<18} best {:<8} @{} MHz  {:>7.2} GB/s  {} failed core{}{}{}",
             scenario,
             c.policy,
             c.freq_mhz,
@@ -416,8 +467,33 @@ fn summarize_matrix(doc: &Value) -> Result<Vec<String>, CliError> {
                 "  (all targets met)"
             } else {
                 ""
+            },
+            match c.achieved_over_bound {
+                Some(r) => format!("  ({:.1}% of analytic bound)", r * 100.0),
+                None => String::new(),
             }
         ));
+    }
+    let near: Vec<&CellFacts> = cells
+        .iter()
+        .filter(|c| c.achieved_over_bound.is_some_and(|r| r >= NEAR_BOUND))
+        .collect();
+    if !near.is_empty() {
+        lines.push(format!(
+            "  {} cell{} within {:.0}% of the analytic bound (bus-limited):",
+            near.len(),
+            if near.len() == 1 { "" } else { "s" },
+            (1.0 - NEAR_BOUND) * 100.0
+        ));
+        for c in near {
+            lines.push(format!(
+                "    {:<36} {:.2} GB/s achieved vs {:.2} GB/s bound ({:.1}%)",
+                c.key(),
+                c.bandwidth_gbs,
+                c.bound_gbs.unwrap_or(f64::NAN),
+                c.achieved_over_bound.unwrap_or(f64::NAN) * 100.0
+            ));
+        }
     }
     Ok(lines)
 }
@@ -442,20 +518,39 @@ fn diff_cells(old: &[CellFacts], new: &[CellFacts], tol: f64) -> (Vec<String>, V
                 o.failed_cores, n.failed_cores
             ));
         }
+        // A screened cell carries its analytic *bound*, not an achieved
+        // bandwidth — comparing the two across prune/off dumps would flag
+        // every achieved-under-bound cell, so the bandwidth floor only
+        // applies when both sides were simulated.
+        let comparable = o.screened.is_none() && n.screened.is_none();
         let floor = o.bandwidth_gbs * (1.0 - tol);
-        if n.bandwidth_gbs < floor {
+        if comparable && n.bandwidth_gbs < floor {
             faults.push(format!(
                 "bandwidth {:.3} -> {:.3} GB/s (below the {floor:.3} GB/s floor)",
                 o.bandwidth_gbs, n.bandwidth_gbs
             ));
         }
+        if let (Some(ov), Some(nv)) = (&o.screened, &n.screened) {
+            if ov != nv {
+                faults.push(format!("screening verdict {ov} -> {nv}"));
+            }
+        }
         if faults.is_empty() {
-            ok.push(format!(
-                "ok {:<36} {:.3} -> {:.3} GB/s",
-                o.key(),
-                o.bandwidth_gbs,
-                n.bandwidth_gbs
-            ));
+            ok.push(if comparable {
+                format!(
+                    "ok {:<36} {:.3} -> {:.3} GB/s",
+                    o.key(),
+                    o.bandwidth_gbs,
+                    n.bandwidth_gbs
+                )
+            } else {
+                format!(
+                    "ok {:<36} screened ({} -> {})",
+                    o.key(),
+                    o.screened.as_deref().unwrap_or("simulated"),
+                    n.screened.as_deref().unwrap_or("simulated")
+                )
+            });
         } else {
             bad.push(format!("{}: {}", o.key(), faults.join("; ")));
         }
@@ -513,20 +608,32 @@ fn summarize_serve(doc: &Value) -> Result<Vec<String>, CliError> {
             req_u64(r, "cache_hits", &what)?,
             req_u64(r, "cache_misses", &what)?,
         );
+        let screened = r.get("screened").and_then(Value::as_u64).unwrap_or(0);
         lines.push(format!(
-            "  job {:<12} {cells} cells ({} targets met), cache {hits} hit{} / {misses} miss{}",
+            "  job {:<12} {cells} cells ({} targets met), cache {hits} hit{} / {misses} miss{}{}",
             req_str(r, "id", &what)?,
             req_u64(r, "targets_met", &what)?,
             if hits == 1 { "" } else { "s" },
             if misses == 1 { "" } else { "es" },
+            if screened > 0 {
+                format!(", {screened} screened")
+            } else {
+                String::new()
+            }
         ));
     }
     let cells = serve_cells(doc, WHAT)?;
     if !cells.is_empty() {
         let met = cells.iter().filter(|c| c.targets_met).count();
+        let screened = cells.iter().filter(|c| c.screened.is_some()).count();
         lines.push(format!(
-            "  all targets met in {met}/{} streamed cells",
-            cells.len()
+            "  all targets met in {met}/{} streamed cells{}",
+            cells.len(),
+            if screened > 0 {
+                format!(" ({screened} screened without simulation)")
+            } else {
+                String::new()
+            }
         ));
     }
     Ok(lines)
@@ -748,16 +855,51 @@ fn summarize_govern(doc: &Value) -> Result<Vec<String>, CliError> {
     for (i, run) in runs.iter().enumerate() {
         let what = format!("{WHAT}: runs[{i}]");
         let outcome = req(run, "outcome", &what)?;
+        let trace = req_array(run, "trace", &what)?;
         lines.push(format!(
             "  {:<18} {} epochs, final {} MHz {}, {} freq changes, {} failing epochs, deficit {:.4}",
             req_str(run, "scenario", &what)?,
-            req_array(run, "trace", &what)?.len(),
+            trace.len(),
             req_u64(outcome, "final_mhz", &what)?,
             req_str(outcome, "final_policy", &what)?,
             req_u64(outcome, "freq_changes", &what)?,
             req_u64(outcome, "failing_epochs", &what)?,
             req_f64(outcome, "qos_deficit", &what)?
         ));
+        // Achieved-vs-bound per epoch, when the trace carries analytic
+        // bounds: achieved = epoch bytes over the epoch's wall-clock
+        // share, bound = the closed-form ceiling at the epoch's operating
+        // point.
+        let mut ratios = Vec::new();
+        let mut prev_ms = 0.0;
+        for e in trace {
+            let end_ms = e.get("end_ms").and_then(Value::as_f64).unwrap_or(prev_ms);
+            let span_s = (end_ms - prev_ms) / 1e3;
+            prev_ms = end_ms;
+            let (Some(bound), Some(bytes)) = (
+                e.get("bound_gbs").and_then(Value::as_f64),
+                e.get("bytes").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            if span_s > 0.0 && bound > 0.0 {
+                let achieved_gbs = bytes as f64 / span_s / 1e9;
+                ratios.push(achieved_gbs / bound);
+            }
+        }
+        if !ratios.is_empty() {
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let peak = ratios.iter().cloned().fold(f64::MIN, f64::max);
+            let near = ratios.iter().filter(|&&r| r >= NEAR_BOUND).count();
+            lines.push(format!(
+                "    achieved vs analytic bound: mean {:.1}%, peak {:.1}% \
+                 ({near}/{} epochs within {:.0}% of bound)",
+                mean * 100.0,
+                peak * 100.0,
+                ratios.len(),
+                (1.0 - NEAR_BOUND) * 100.0
+            ));
+        }
         if let Some(baseline) = run.get("baseline") {
             let b = req(baseline, "outcome", &what)?;
             let (b_deficit, g_deficit) = (
@@ -841,6 +983,8 @@ struct JournalFacts {
     cells: u64,
     hits: u64,
     misses: u64,
+    /// Cells answered by the analytic screener without simulation.
+    screened: u64,
     /// Stage name → ascending-sorted `dur_us` samples, in pipeline order.
     stages: Vec<(&'static str, Vec<u64>)>,
     /// Client → (jobs, cells), in first-appearance order.
@@ -866,6 +1010,7 @@ fn journal_facts(doc: &Value, what: &str) -> Result<JournalFacts, CliError> {
         cells: 0,
         hits: 0,
         misses: 0,
+        screened: 0,
         stages: JOURNAL_STAGES
             .iter()
             .map(|(s, _)| (*s, Vec::new()))
@@ -905,6 +1050,7 @@ fn journal_facts(doc: &Value, what: &str) -> Result<JournalFacts, CliError> {
                 facts.misses += 1;
                 sample("cache lookup", dur()?);
             }
+            "screened" => facts.screened += 1,
             "sim_start" => sample("queue wait", dur()?),
             "sim_end" => sample("sim", dur()?),
             "emitted" => sample("emit", dur()?),
@@ -929,9 +1075,14 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 
 fn summarize_journal(doc: &Value) -> Result<Vec<String>, CliError> {
     let facts = journal_facts(doc, "serve journal")?;
+    let screened_note = if facts.screened > 0 {
+        format!(" ({} screened without simulation)", facts.screened)
+    } else {
+        String::new()
+    };
     let mut lines = vec![match facts.hit_rate() {
         Some(rate) => format!(
-            "serve journal: {} events; {} jobs accepted, {} rejected, {} cells; \
+            "serve journal: {} events; {} jobs accepted, {} rejected, {} cells{screened_note}; \
              cache hit rate {:.1}% ({}/{} lookups)",
             facts.events,
             facts.accepted,
@@ -942,7 +1093,7 @@ fn summarize_journal(doc: &Value) -> Result<Vec<String>, CliError> {
             facts.hits + facts.misses
         ),
         None => format!(
-            "serve journal: {} events; {} jobs accepted, {} rejected, {} cells",
+            "serve journal: {} events; {} jobs accepted, {} rejected, {} cells{screened_note}",
             facts.events, facts.accepted, facts.rejected, facts.cells
         ),
     }];

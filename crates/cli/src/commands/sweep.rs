@@ -8,7 +8,8 @@ use sara_sim::sweeps::{
     freq_points_json, DVFS_CSV_COLUMNS,
 };
 use sara_sim::MAX_LEVELS;
-use sara_types::CoreKind;
+use sara_sim::{analytic_report, ScreenVerdict};
+use sara_types::{ConfigError, CoreKind, MegaHertz};
 use sara_workloads::TestCase;
 
 use crate::args::{parse_freqs_ascending, Args, CliError};
@@ -16,7 +17,7 @@ use crate::commands::{load_scenarios, take_scenario_names};
 use crate::output::{page, reject_double_stdout, Progress, Sink};
 
 const USAGE: &str = "usage: sara sweep [--dvfs] [--core NAME] [--case A|B] \
-                     [--dir DIR | --scenarios NAMES] [--freqs MHZ] \
+                     [--dir DIR | --scenarios NAMES] [--freqs MHZ] [--screen] \
                      [--duration-ms MS] [--csv PATH|-] [--json PATH|-]";
 
 const HELP: &str = "\
@@ -35,6 +36,11 @@ which every core meets its target):
   --scenarios NAMES  comma-separated catalog names to search instead
   --dir DIR          search every *.scenario.json in DIR instead
   --freqs MHZ        candidate frequencies (default: 1333,1600,1700,1866)
+  --screen           drop provably-infeasible candidate frequencies
+                     (closed-form analytic bound under the rated demand by
+                     a safe margin) before simulating; sound because an
+                     infeasible candidate can never be the lowest passing
+                     frequency (scenario searches only)
 
 common:
   --duration-ms MS   run length per point (default: 6; scenario searches
@@ -63,6 +69,7 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
     let dir = args.take_opt("--dir")?;
     let names = take_scenario_names(&mut args, USAGE)?;
     let freqs = args.take_opt("--freqs")?;
+    let screen = args.take_flag("--screen");
     let duration_flag = args.take_parsed::<f64>("--duration-ms")?;
     if duration_flag.is_some_and(|ms| !ms.is_finite() || ms <= 0.0) {
         return Err(CliError::usage(USAGE, "--duration-ms must be > 0"));
@@ -78,6 +85,12 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
         return Err(CliError::usage(
             USAGE,
             "--dir/--scenarios only apply with --dvfs (the Fig. 7 sweep is camcorder-only)",
+        ));
+    }
+    if screen && !scenario_mode {
+        return Err(CliError::usage(
+            USAGE,
+            "--screen only applies to --dvfs scenario searches (--dir/--scenarios)",
         ));
     }
 
@@ -98,15 +111,48 @@ pub fn run(raw: &[String]) -> Result<(), CliError> {
                 ));
             }
             let scenarios = load_scenarios(dir.as_deref(), &names, USAGE)?;
-            let mut search = GovernorSearch::new(freqs);
-            if let Some(ms) = duration_flag {
-                search = search.with_duration_ms(ms);
-            }
             let mut outcomes = Vec::with_capacity(scenarios.len());
             for s in &scenarios {
-                let outcome = search
-                    .run(s)
-                    .map_err(|e| CliError::Failure(format!("{}: {}", s.name, e.message())))?;
+                let fail =
+                    |e: ConfigError| CliError::Failure(format!("{}: {}", s.name, e.message()));
+                let mut candidates = freqs.clone();
+                if screen {
+                    let mut kept = Vec::with_capacity(candidates.len());
+                    for f in candidates {
+                        let cfg = s
+                            .clone()
+                            .with_freq(MegaHertz::new(f))
+                            .config()
+                            .map_err(fail)?;
+                        let report = analytic_report(&cfg);
+                        if report.verdict == ScreenVerdict::ProvablyInfeasible {
+                            progress.line(format!(
+                                "{}: screened out {f} MHz ({})",
+                                s.name, report.reason
+                            ));
+                        } else {
+                            kept.push(f);
+                        }
+                    }
+                    candidates = kept;
+                }
+                let outcome = if candidates.is_empty() {
+                    progress.line(format!(
+                        "{}: every candidate frequency is provably infeasible",
+                        s.name
+                    ));
+                    sara_governor::SearchOutcome {
+                        scenario: s.name.clone(),
+                        points: Vec::new(),
+                        chosen: None,
+                    }
+                } else {
+                    let mut search = GovernorSearch::new(candidates);
+                    if let Some(ms) = duration_flag {
+                        search = search.with_duration_ms(ms);
+                    }
+                    search.run(s).map_err(fail)?
+                };
                 progress.line(format!("{}:", s.name));
                 print_dvfs_table(&progress, &outcome.points);
                 match outcome.chosen_mhz() {

@@ -3,7 +3,7 @@
 
 use sara_memctrl::PolicyKind;
 use sara_scenarios::{GovernorSpec, Scenario};
-use sara_sim::{ScenarioParams, SimReport, Simulation, SystemConfig};
+use sara_sim::{channel_bound_bytes_per_s, ScenarioParams, SimReport, Simulation, SystemConfig};
 use sara_types::{ConfigError, Cycle, MegaHertz};
 
 use crate::controller::{Governor, GovernorAction};
@@ -36,6 +36,10 @@ pub struct EpochRecord {
     pub queued_per_channel: Vec<u32>,
     /// DRAM bytes transferred during the epoch.
     pub bytes: u64,
+    /// Closed-form aggregate bandwidth bound at the operating point in
+    /// force during the epoch (sum over channels of the analytic
+    /// per-channel ceiling at each lane's stretched timings), GB/s.
+    pub bound_gbs: Option<f64>,
     /// The governor's decision at the epoch's end (applies to the next
     /// epoch).
     pub action: GovernorAction,
@@ -255,6 +259,19 @@ fn run_at_beat(
     let clock = sim.config().clock();
     let epoch_cycles = clock.cycles_from_ns(spec.epoch_us * 1e3).max(1);
     let end = Cycle::new(clock.cycles_from_ms(duration_ms));
+    // The analytic per-channel ceiling is priced at each lane's *stretched*
+    // timings: the engine keeps one beat-clock domain and rescales DRAM
+    // timings by beat/target, so the same rescale reproduces each lane's
+    // effective timing set exactly.
+    let (ref_timing, burst_bytes, beat_u, beat_hz) = {
+        let dram = &sim.config().dram;
+        (
+            dram.timing().clone(),
+            dram.burst_bytes(),
+            u64::from(beat.as_u32()),
+            f64::from(beat.as_u32()) * 1e6,
+        )
+    };
 
     let mut trace = Vec::new();
     let mut freq_changes = 0u32;
@@ -320,6 +337,19 @@ fn run_at_beat(
                 }
             }
         }
+        let bound_gbs = Some(
+            freqs_during
+                .iter()
+                .map(|&f| {
+                    channel_bound_bytes_per_s(
+                        &ref_timing.rescaled(beat_u, u64::from(f)),
+                        burst_bytes,
+                        beat_hz,
+                    )
+                })
+                .sum::<f64>()
+                / 1e9,
+        );
         trace.push(EpochRecord {
             epoch,
             end_ms: clock.ns_from_cycles(epoch_end.as_u64()) / 1e6,
@@ -335,6 +365,7 @@ fn run_at_beat(
                 .map(|&q| q as u32)
                 .collect(),
             bytes: health.dram_bytes - prev_bytes,
+            bound_gbs,
             action,
             action_lane: match action {
                 GovernorAction::Hold => None,

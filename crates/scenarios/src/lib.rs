@@ -65,7 +65,8 @@ pub use governor_spec::{
     GovernorSpec, DEFAULT_DOWN_THRESHOLD, DEFAULT_EPOCH_US, DEFAULT_PATIENCE, DEFAULT_UP_THRESHOLD,
 };
 pub use matrix::{
-    cell_fingerprint, expand_cells, run_cell, run_matrix, summarize_cells, CellProfile, CellSpec,
-    MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking,
+    cell_fingerprint, expand_cells, run_cell, run_matrix, screen_cell, summarize_cells,
+    CellOutcome, CellProfile, CellSpec, MatrixCell, MatrixSpec, MatrixSummary, ScenarioRanking,
+    ScreenMode,
 };
 pub use scenario::Scenario;

@@ -14,11 +14,47 @@ use std::time::Instant;
 
 use json::Value;
 use sara_memctrl::PolicyKind;
-use sara_sim::SimReport;
+use sara_sim::{AnalyticReport, ScreenVerdict, SimReport};
 use sara_telemetry::ChromeTrace;
 use sara_types::{ConfigError, Cycle, MegaHertz};
 
 use crate::scenario::Scenario;
+
+/// How the analytic pre-screener participates in a matrix run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScreenMode {
+    /// No screening: every cell is simulated (the historical behaviour).
+    #[default]
+    Off,
+    /// Provably-decided cells skip simulation and are emitted as
+    /// synthetic `screened` cells carrying the analytic bound.
+    Prune,
+    /// Every cell is simulated *and* screened, and the run hard-errors
+    /// if simulation ever contradicts a verdict or exceeds a bound —
+    /// the correctness harness for the analytic model.
+    Verify,
+}
+
+impl ScreenMode {
+    /// Parses the CLI spelling (`off` / `prune` / `verify`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(ScreenMode::Off),
+            "prune" => Some(ScreenMode::Prune),
+            "verify" => Some(ScreenMode::Verify),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScreenMode::Off => "off",
+            ScreenMode::Prune => "prune",
+            ScreenMode::Verify => "verify",
+        }
+    }
+}
 
 /// What to cross with the scenario list.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +74,8 @@ pub struct MatrixSpec {
     /// complementary axis to `threads`, which parallelises *across*
     /// cells). Bit-identical results either way.
     pub parallel_channels: bool,
+    /// Analytic pre-screening mode (see [`ScreenMode`]).
+    pub screen: ScreenMode,
 }
 
 impl Default for MatrixSpec {
@@ -49,8 +87,21 @@ impl Default for MatrixSpec {
             duration_ms: None,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             parallel_channels: false,
+            screen: ScreenMode::Off,
         }
     }
+}
+
+/// How one cell was resolved: by the engine, or by the closed-form
+/// screener without ever simulating.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell was simulated; the full report.
+    Simulated(Box<SimReport>),
+    /// The cell was pruned by `--screen=prune`; the analytic evaluation
+    /// (whose verdict is never [`ScreenVerdict::NeedsSim`]) stands in
+    /// for the simulated numbers.
+    Screened(AnalyticReport),
 }
 
 /// One completed cell of the matrix.
@@ -64,14 +115,72 @@ pub struct MatrixCell {
     pub freq: MegaHertz,
     /// DRAM channel count this cell ran with.
     pub channels: usize,
-    /// The full simulation report.
-    pub report: SimReport,
+    /// How the cell was resolved.
+    pub outcome: CellOutcome,
 }
 
 impl MatrixCell {
-    /// Number of cores that missed their targets.
+    /// The full simulation report, if the cell was simulated.
+    pub fn report(&self) -> Option<&SimReport> {
+        match &self.outcome {
+            CellOutcome::Simulated(r) => Some(r),
+            CellOutcome::Screened(_) => None,
+        }
+    }
+
+    /// The closed-form evaluation of the cell — the screener's report for
+    /// pruned cells, the `analytic` section for simulated ones.
+    pub fn analytic(&self) -> &AnalyticReport {
+        match &self.outcome {
+            CellOutcome::Simulated(r) => &r.analytic,
+            CellOutcome::Screened(a) => a,
+        }
+    }
+
+    /// The wire label of a pruned cell (`"infeasible"` / `"trivial"`),
+    /// `None` for simulated cells.
+    pub fn screened(&self) -> Option<&'static str> {
+        match &self.outcome {
+            CellOutcome::Simulated(_) => None,
+            CellOutcome::Screened(a) => a.verdict.label(),
+        }
+    }
+
+    /// Whether every core met its target: the engine's verdict for
+    /// simulated cells, the proof's for screened ones.
+    pub fn all_targets_met(&self) -> bool {
+        match &self.outcome {
+            CellOutcome::Simulated(r) => r.all_targets_met(),
+            CellOutcome::Screened(a) => a.verdict == ScreenVerdict::ProvablyTrivial,
+        }
+    }
+
+    /// Number of cores that missed their targets. For screened-infeasible
+    /// cells this is the rated-core count — a deterministic pessimistic
+    /// stand-in (at least one of them must fail; the exact set is
+    /// unknowable without simulating).
     pub fn failures(&self) -> usize {
-        self.report.failed_cores().len()
+        match &self.outcome {
+            CellOutcome::Simulated(r) => r.failed_cores().len(),
+            CellOutcome::Screened(a) => match a.verdict {
+                ScreenVerdict::ProvablyTrivial => 0,
+                _ => a
+                    .static_alloc
+                    .iter()
+                    .filter(|s| s.demand_gbs > 0.0)
+                    .count()
+                    .max(1),
+            },
+        }
+    }
+
+    /// Delivered bandwidth for simulated cells; the analytic bound for
+    /// screened ones (the only bandwidth figure a pruned cell has).
+    pub fn bandwidth_gbs(&self) -> f64 {
+        match &self.outcome {
+            CellOutcome::Simulated(r) => r.bandwidth_gbs,
+            CellOutcome::Screened(a) => a.bound_gbs,
+        }
     }
 
     /// The cell as one JSON object node — the exact member list and
@@ -83,14 +192,29 @@ impl MatrixCell {
 
     /// The cell's JSON members in emission order, so a wire protocol can
     /// prepend envelope keys without re-serializing the report.
+    ///
+    /// Simulated cells carry a `report` member with the identical bytes
+    /// they had before screening existed; pruned cells replace it with
+    /// `screened` (the verdict label) plus `analytic` (the closed-form
+    /// evaluation).
     pub fn json_members(&self) -> Vec<(String, Value)> {
-        vec![
+        let mut members = vec![
             ("scenario".to_string(), self.scenario.as_str().into()),
             ("policy".to_string(), self.policy.name().into()),
             ("freq_mhz".to_string(), self.freq.as_u32().into()),
             ("channels".to_string(), (self.channels as u64).into()),
-            ("report".to_string(), self.report.to_json_value()),
-        ]
+        ];
+        match &self.outcome {
+            CellOutcome::Simulated(r) => {
+                members.push(("report".to_string(), r.to_json_value()));
+            }
+            CellOutcome::Screened(a) => {
+                let label = a.verdict.label().unwrap_or("needs-sim");
+                members.push(("screened".to_string(), label.into()));
+                members.push(("analytic".to_string(), a.to_json_value()));
+            }
+        }
+        members
     }
 }
 
@@ -169,15 +293,26 @@ impl MatrixSummary {
             ));
             for (rank, &i) in ranking.ranked.iter().enumerate() {
                 let c = &self.cells[i];
-                out.push_str(&format!(
-                    "{:<6} {:<10} {:>6} {:>8.2} {:>9.1} {:>10}\n",
-                    rank + 1,
-                    c.policy.name(),
-                    c.freq.as_u32(),
-                    c.report.bandwidth_gbs,
-                    c.report.row_hit_rate * 100.0,
-                    c.failures()
-                ));
+                match &c.outcome {
+                    CellOutcome::Simulated(r) => out.push_str(&format!(
+                        "{:<6} {:<10} {:>6} {:>8.2} {:>9.1} {:>10}\n",
+                        rank + 1,
+                        c.policy.name(),
+                        c.freq.as_u32(),
+                        r.bandwidth_gbs,
+                        r.row_hit_rate * 100.0,
+                        c.failures()
+                    )),
+                    CellOutcome::Screened(a) => out.push_str(&format!(
+                        "{:<6} {:<10} {:>6} {:>8.2} {:>9} {:>10}\n",
+                        rank + 1,
+                        c.policy.name(),
+                        c.freq.as_u32(),
+                        a.bound_gbs,
+                        "-",
+                        c.screened().unwrap_or("screened")
+                    )),
+                }
             }
         }
         out
@@ -255,8 +390,8 @@ impl MatrixSummary {
                 start,
                 us(p.total_ms()),
                 &[
-                    ("bandwidth_gbs", cell.report.bandwidth_gbs.into()),
-                    ("all_targets_met", cell.report.all_targets_met().into()),
+                    ("bandwidth_gbs", cell.bandwidth_gbs().into()),
+                    ("all_targets_met", cell.all_targets_met().into()),
                     ("failures", cell.failures().into()),
                 ],
             );
@@ -287,10 +422,13 @@ impl MatrixSummary {
     /// with each cell's rank within its scenario's policy comparison.
     ///
     /// Columns: `scenario,policy,freq_mhz,channels,bandwidth_gbs,`
-    /// `row_hit_rate,failures,all_met,rank`. Floats use the shortest round-trip form
-    /// (the same convention as `sara_sim::sweeps`); scenario names with
-    /// CSV metacharacters are RFC 4180-quoted (the format only requires a
-    /// name to be non-empty, so `"adas,v2"` is a legal registry key).
+    /// `row_hit_rate,failures,all_met,screened,rank`. Floats use the
+    /// shortest round-trip form (the same convention as
+    /// `sara_sim::sweeps`); scenario names with CSV metacharacters are
+    /// RFC 4180-quoted (the format only requires a name to be non-empty,
+    /// so `"adas,v2"` is a legal registry key). Pruned cells carry the
+    /// analytic bound in the bandwidth column, an empty `row_hit_rate`,
+    /// and their verdict label in `screened` (empty for simulated cells).
     pub fn to_csv(&self) -> String {
         // rank[i] = 1-based position of cell i within its scenario.
         let mut rank = vec![0usize; self.cells.len()];
@@ -300,19 +438,24 @@ impl MatrixSummary {
             }
         }
         let mut out = String::from(
-            "scenario,policy,freq_mhz,channels,bandwidth_gbs,row_hit_rate,failures,all_met,rank\n",
+            "scenario,policy,freq_mhz,channels,bandwidth_gbs,row_hit_rate,failures,all_met,screened,rank\n",
         );
         for (i, c) in self.cells.iter().enumerate() {
+            let row_hit = c
+                .report()
+                .map(|r| r.row_hit_rate.to_string())
+                .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&c.scenario),
                 c.policy.name(),
                 c.freq.as_u32(),
                 c.channels,
-                c.report.bandwidth_gbs,
-                c.report.row_hit_rate,
+                c.bandwidth_gbs(),
+                row_hit,
                 c.failures(),
-                c.report.all_targets_met(),
+                c.all_targets_met(),
+                c.screened().unwrap_or(""),
                 rank[i]
             ));
         }
@@ -460,26 +603,29 @@ pub fn run_cell(
 pub fn summarize_cells(
     scenarios: &[Scenario],
     specs: &[CellSpec],
-    reports: Vec<SimReport>,
+    outcomes: Vec<CellOutcome>,
     profile: Vec<CellProfile>,
 ) -> MatrixSummary {
-    assert_eq!(specs.len(), reports.len(), "one report per cell");
+    assert_eq!(specs.len(), outcomes.len(), "one outcome per cell");
     assert_eq!(specs.len(), profile.len(), "one profile per cell");
     let cells: Vec<MatrixCell> = specs
         .iter()
-        .zip(reports)
-        .map(|(spec, report)| MatrixCell {
+        .zip(outcomes)
+        .map(|(spec, outcome)| MatrixCell {
             scenario: scenarios[spec.scenario].name.clone(),
             policy: spec.policy,
             freq: spec.freq,
             channels: spec.channels,
-            report,
+            outcome,
         })
         .collect();
 
     // Rank each scenario's cells, matching by submitted scenario index
     // (not name) so two entries that happen to share a name — e.g. the
     // same catalog scenario at two frequencies — keep separate rankings.
+    // Screened cells rank through their synthetic keys: provably-trivial
+    // counts as met, provably-infeasible as not, and the analytic bound
+    // stands in for delivered bandwidth.
     let mut rankings = Vec::with_capacity(scenarios.len());
     for (si, s) in scenarios.iter().enumerate() {
         let mut idxs: Vec<usize> = specs
@@ -490,11 +636,10 @@ pub fn summarize_cells(
             .collect();
         idxs.sort_by(|&a, &b| {
             let (ca, cb) = (&cells[a], &cells[b]);
-            cb.report
-                .all_targets_met()
-                .cmp(&ca.report.all_targets_met())
+            cb.all_targets_met()
+                .cmp(&ca.all_targets_met())
                 .then(ca.failures().cmp(&cb.failures()))
-                .then(cb.report.bandwidth_gbs.total_cmp(&ca.report.bandwidth_gbs))
+                .then(cb.bandwidth_gbs().total_cmp(&ca.bandwidth_gbs()))
                 .then(a.cmp(&b))
         });
         rankings.push(ScenarioRanking {
@@ -546,23 +691,111 @@ pub fn cell_fingerprint(scenario: &Scenario, cell: &CellSpec, engine_version: &s
     hash
 }
 
+/// Evaluates the closed-form screener for one cell: lowers the scenario
+/// with the cell's policy/frequency/channel overrides and prices it in
+/// microseconds — no simulator state is built.
+///
+/// # Errors
+///
+/// Returns the [`ConfigError`] of a cell whose configuration fails to
+/// lower (the same error simulation would have surfaced).
+pub fn screen_cell(scenario: &Scenario, cell: &CellSpec) -> Result<AnalyticReport, ConfigError> {
+    let cfg = scenario
+        .clone()
+        .with_policy(cell.policy)
+        .with_freq(cell.freq)
+        .with_channels(cell.channels)
+        .config()?;
+    Ok(sara_sim::analytic_report(&cfg))
+}
+
+/// `--screen=verify`'s per-cell contract: simulation must never
+/// contradict the screener. A violation is a model bug, not a workload
+/// property, so it is a hard error.
+fn verify_screened_cell(
+    scenario: &str,
+    job: &CellSpec,
+    analytic: &AnalyticReport,
+    report: &SimReport,
+) -> Result<(), ConfigError> {
+    let at = format!(
+        "{scenario} {} @{}MHz x{}ch",
+        job.policy.name(),
+        job.freq.as_u32(),
+        job.channels
+    );
+    // Tiny epsilon absorbs decimal round-tripping, nothing more: the
+    // bound itself must already dominate every schedule.
+    if report.bandwidth_gbs > analytic.bound_gbs * (1.0 + 1e-9) {
+        return Err(ConfigError::new(format!(
+            "analytic bound violated at {at}: simulated {} GB/s > bound {} GB/s",
+            report.bandwidth_gbs, analytic.bound_gbs
+        )));
+    }
+    match analytic.verdict {
+        ScreenVerdict::ProvablyInfeasible if report.all_targets_met() => {
+            Err(ConfigError::new(format!(
+                "screener unsound at {at}: ProvablyInfeasible cell met all targets ({})",
+                analytic.reason
+            )))
+        }
+        ScreenVerdict::ProvablyTrivial if !report.all_targets_met() => {
+            Err(ConfigError::new(format!(
+                "screener unsound at {at}: ProvablyTrivial cell missed targets ({})",
+                analytic.reason
+            )))
+        }
+        _ => Ok(()),
+    }
+}
+
 /// Runs every scenario under every policy (× every frequency and
 /// channel-count override), sharding cells across `spec.threads` scoped
 /// worker threads.
 ///
+/// With `spec.screen == ScreenMode::Prune`, provably-decided cells skip
+/// simulation entirely and surface as [`CellOutcome::Screened`]; the
+/// remaining cells' JSON is byte-identical to an unscreened run. With
+/// `ScreenMode::Verify`, everything simulates and any disagreement
+/// between screener and engine is an error.
+///
 /// # Errors
 ///
 /// Returns the [`ConfigError`] of the earliest failing cell (in submission
-/// order), or an error for an empty matrix.
+/// order), an error for an empty matrix, or a screening contradiction
+/// under `ScreenMode::Verify`.
 pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSummary, ConfigError> {
     let jobs = expand_cells(scenarios, spec)?;
+    let epoch = Instant::now();
 
-    let workers = spec.threads.max(1).min(jobs.len());
+    // Screening pass: serial on purpose — the whole pass costs
+    // microseconds per cell, and a fixed evaluation order keeps the
+    // emitted floats trivially deterministic.
+    let mut screens: Vec<Option<(AnalyticReport, f64)>> = Vec::with_capacity(jobs.len());
+    if spec.screen == ScreenMode::Off {
+        screens.resize_with(jobs.len(), || None);
+    } else {
+        for job in &jobs {
+            let started = Instant::now();
+            let report = screen_cell(&scenarios[job.scenario], job)?;
+            let screen_ms = started.elapsed().as_secs_f64() * 1e3;
+            screens.push(Some((report, screen_ms)));
+        }
+    }
+    let pruned: Vec<bool> = screens
+        .iter()
+        .map(|s| {
+            spec.screen == ScreenMode::Prune
+                && s.as_ref().is_some_and(|(r, _)| !r.verdict.needs_sim())
+        })
+        .collect();
+
+    let simulated_jobs = pruned.iter().filter(|&&p| !p).count();
+    let workers = spec.threads.max(1).min(simulated_jobs.max(1));
     let next = AtomicUsize::new(0);
     type CellResult = Result<(SimReport, CellProfile), ConfigError>;
     let slots: Vec<Mutex<Option<CellResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    let epoch = Instant::now();
     let run_one = |job: &CellSpec, worker: usize| -> CellResult {
         run_cell_timed(
             &scenarios[job.scenario],
@@ -574,17 +807,23 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
     };
 
     if workers <= 1 {
-        for (job, slot) in jobs.iter().zip(&slots) {
+        for (i, (job, slot)) in jobs.iter().zip(&slots).enumerate() {
+            if pruned[i] {
+                continue;
+            }
             *slot.lock().expect("slot poisoned") = Some(run_one(job, 0));
         }
     } else {
         std::thread::scope(|scope| {
-            let (jobs, slots, next, run_one) = (&jobs, &slots, &next, &run_one);
+            let (jobs, slots, next, run_one, pruned) = (&jobs, &slots, &next, &run_one, &pruned);
             for worker in 0..workers {
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
+                    }
+                    if pruned[i] {
+                        continue;
                     }
                     let result = run_one(&jobs[i], worker);
                     *slots[i].lock().expect("slot poisoned") = Some(result);
@@ -594,18 +833,39 @@ pub fn run_matrix(scenarios: &[Scenario], spec: &MatrixSpec) -> Result<MatrixSum
     }
 
     // Collect in submission order; surface the earliest error.
-    let mut reports = Vec::with_capacity(jobs.len());
+    let mut outcomes = Vec::with_capacity(jobs.len());
     let mut profile = Vec::with_capacity(jobs.len());
-    for slot in slots {
+    for (i, slot) in slots.into_iter().enumerate() {
+        if pruned[i] {
+            let (analytic, screen_ms) = screens[i].take().expect("pruned cell was screened");
+            outcomes.push(CellOutcome::Screened(analytic));
+            profile.push(CellProfile {
+                worker: 0,
+                start_ms: 0.0,
+                setup_ms: screen_ms,
+                sim_ms: 0.0,
+                report_ms: 0.0,
+            });
+            continue;
+        }
         let (report, cell_profile) = slot
             .into_inner()
             .expect("slot poisoned")
             .expect("worker left a cell unfilled")?;
-        reports.push(report);
+        if spec.screen == ScreenMode::Verify {
+            let (analytic, _) = screens[i].as_ref().expect("verify screened every cell");
+            verify_screened_cell(
+                &scenarios[jobs[i].scenario].name,
+                &jobs[i],
+                analytic,
+                &report,
+            )?;
+        }
+        outcomes.push(CellOutcome::Simulated(Box::new(report)));
         profile.push(cell_profile);
     }
 
-    Ok(summarize_cells(scenarios, &jobs, reports, profile))
+    Ok(summarize_cells(scenarios, &jobs, outcomes, profile))
 }
 
 #[cfg(test)]
@@ -625,6 +885,7 @@ mod tests {
             duration_ms: Some(0.2),
             threads,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         run_matrix(&scenarios, &spec).unwrap()
     }
@@ -711,6 +972,7 @@ mod tests {
             duration_ms: Some(0.05),
             threads: 1,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         let summary = run_matrix(&[s], &spec).unwrap();
         let csv = summary.to_csv();
@@ -744,6 +1006,7 @@ mod tests {
             duration_ms: Some(0.1),
             threads: 2,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         let summary = run_matrix(&scenarios, &spec).unwrap();
         assert_eq!(summary.cells.len(), 4);
@@ -767,6 +1030,7 @@ mod tests {
             duration_ms: Some(0.1),
             threads: 2,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         let summary = run_matrix(&s, &spec).unwrap();
         assert_eq!(summary.cells.len(), 2);
@@ -795,6 +1059,7 @@ mod tests {
             duration_ms: Some(0.1),
             threads: 2,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         let summary = run_matrix(&scenarios, &spec).unwrap();
         let cells = expand_cells(&scenarios, &spec).unwrap();
@@ -803,18 +1068,26 @@ mod tests {
             let report = run_cell(&scenarios[spec_cell.scenario], spec_cell, false).unwrap();
             assert_eq!(
                 report.to_json_value().to_string_compact(),
-                matrix_cell.report.to_json_value().to_string_compact()
+                matrix_cell
+                    .report()
+                    .expect("unscreened matrix simulates every cell")
+                    .to_json_value()
+                    .to_string_compact()
             );
         }
         // Rebuilding the summary from the individual reports reproduces
         // the batch aggregate byte for byte (profiles stay out of the
         // JSON, so placeholder timings are fine).
-        let reports: Vec<SimReport> = cells
+        let outcomes: Vec<CellOutcome> = cells
             .iter()
-            .map(|c| run_cell(&scenarios[c.scenario], c, false).unwrap())
+            .map(|c| {
+                CellOutcome::Simulated(Box::new(
+                    run_cell(&scenarios[c.scenario], c, false).unwrap(),
+                ))
+            })
             .collect();
         let profile: Vec<CellProfile> = summary.profile.clone();
-        let rebuilt = summarize_cells(&scenarios, &cells, reports, profile);
+        let rebuilt = summarize_cells(&scenarios, &cells, outcomes, profile);
         assert_eq!(rebuilt.to_json(), summary.to_json());
     }
 
@@ -863,6 +1136,7 @@ mod tests {
             duration_ms: Some(0.1),
             threads: 1,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         let cells = expand_cells(&scenarios, &spec).unwrap();
         assert_eq!(cells.len(), 2 * 2 * 2);
@@ -878,6 +1152,121 @@ mod tests {
     }
 
     #[test]
+    fn screen_prune_keeps_unpruned_cells_byte_identical() {
+        use sara_sim::ScreenVerdict;
+        // saturation (~27 GB/s rated) at 400 MHz is provably infeasible
+        // (~5.9 GB/s bound); at its native point it needs simulation —
+        // one matrix exercising both paths.
+        let scenarios = vec![catalog::by_name("saturation").unwrap()];
+        let base = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+            freqs_mhz: vec![400, 1866],
+            channels: vec![2],
+            duration_ms: Some(0.1),
+            threads: 2,
+            parallel_channels: false,
+            screen: ScreenMode::Off,
+        };
+        let off = run_matrix(&scenarios, &base).unwrap();
+        let pruned = run_matrix(
+            &scenarios,
+            &MatrixSpec {
+                screen: ScreenMode::Prune,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+
+        assert_eq!(off.cells.len(), pruned.cells.len());
+        let labels: Vec<Option<&str>> = pruned.cells.iter().map(MatrixCell::screened).collect();
+        assert!(
+            labels.iter().any(Option::is_some) && labels.iter().any(Option::is_none),
+            "matrix must mix pruned and simulated cells: {labels:?}"
+        );
+        for (o, p) in off.cells.iter().zip(&pruned.cells) {
+            match p.screened() {
+                // Unpruned cells: byte-identical to the unscreened run.
+                None => assert_eq!(
+                    o.to_json_value().to_string_compact(),
+                    p.to_json_value().to_string_compact()
+                ),
+                // Pruned cells: the verdict label, the analytic payload,
+                // and agreement with the screener re-evaluated directly.
+                Some(label) => {
+                    assert_eq!(label, "infeasible");
+                    assert_eq!(p.analytic().verdict, ScreenVerdict::ProvablyInfeasible);
+                    assert!(!p.all_targets_met());
+                    let json = p.to_json_value().to_string_compact();
+                    assert!(json.contains("\"screened\":\"infeasible\""), "{json}");
+                    assert!(json.contains("\"bound_gbs\""), "{json}");
+                    assert!(!json.contains("\"report\""), "{json}");
+                }
+            }
+        }
+        // The screened column rides before `rank`, so rank stays last.
+        let csv = pruned.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with(",screened,rank"));
+        assert!(csv.contains(",infeasible,"), "{csv}");
+    }
+
+    #[test]
+    fn screen_prune_is_deterministic_across_thread_counts() {
+        let scenarios = vec![catalog::by_name("saturation").unwrap()];
+        let spec = |threads| MatrixSpec {
+            policies: vec![PolicyKind::Fcfs, PolicyKind::Priority],
+            freqs_mhz: vec![400, 1866],
+            channels: vec![2],
+            duration_ms: Some(0.1),
+            threads,
+            parallel_channels: false,
+            screen: ScreenMode::Prune,
+        };
+        let one = run_matrix(&scenarios, &spec(1)).unwrap().to_json();
+        let eight = run_matrix(&scenarios, &spec(8)).unwrap().to_json();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn screen_verify_agrees_with_the_engine() {
+        // An infeasible point simulated with verify on: the engine must
+        // confirm the verdict (targets missed, bound respected) or the
+        // run errors — this is the in-tree slice of the CI-wide check.
+        let scenarios = vec![catalog::by_name("saturation").unwrap()];
+        let spec = MatrixSpec {
+            policies: vec![PolicyKind::Fcfs],
+            freqs_mhz: vec![400],
+            channels: vec![2],
+            duration_ms: Some(2.0),
+            threads: 2,
+            parallel_channels: false,
+            screen: ScreenMode::Verify,
+        };
+        let summary = run_matrix(&scenarios, &spec).unwrap();
+        // Verify simulates everything: no synthetic cells in the output.
+        assert!(summary.cells.iter().all(|c| c.screened().is_none()));
+        let report = summary.cells[0].report().unwrap();
+        assert!(report.bandwidth_gbs <= report.analytic.bound_gbs);
+        assert!(!report.all_targets_met());
+    }
+
+    #[test]
+    fn screen_cell_matches_simulated_analytic_section() {
+        // One model, one lowering: the screener's evaluation is the
+        // same object the simulated report embeds.
+        let s = catalog::by_name("camcorder-b").unwrap();
+        let cell = CellSpec {
+            scenario: 0,
+            policy: PolicyKind::Priority,
+            freq: s.freq,
+            channels: s.channels,
+            duration_ms: 0.1,
+        };
+        let screened = screen_cell(&s, &cell).unwrap();
+        let simulated = run_cell(&s, &cell, false).unwrap();
+        assert_eq!(screened, simulated.analytic);
+    }
+
+    #[test]
     fn frequency_override_expands_cells() {
         let s = vec![catalog::by_name("camcorder-b").unwrap()];
         let spec = MatrixSpec {
@@ -887,6 +1276,7 @@ mod tests {
             duration_ms: Some(0.1),
             threads: 2,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         let summary = run_matrix(&s, &spec).unwrap();
         assert_eq!(summary.cells.len(), 2);

@@ -17,6 +17,7 @@
 //! |---|---|---|---|
 //! | `accepted` | job | `client`, `cells` | — |
 //! | `queued` | cell | `seq` | — |
+//! | `screened` | cell | `seq`, `verdict` | analytic screening |
 //! | `cache_hit` / `cache_miss` | cell | `seq` | cache classification |
 //! | `sim_start` | cell | `seq`, `worker` | queue wait |
 //! | `sim_end` | cell | `seq`, `worker` | simulation |
@@ -183,6 +184,32 @@ impl Journal {
         );
     }
 
+    /// Cell `seq` was provably decided by the analytic screener
+    /// (`verdict`: `"infeasible"` or `"trivial"`) and will never be
+    /// simulated; `dur_us` is the screening time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cell_screened(
+        &self,
+        job: u64,
+        id: &str,
+        seq: usize,
+        verdict: &str,
+        dur_us: u64,
+        ts_us: u64,
+    ) {
+        self.append(
+            "screened",
+            vec![
+                Self::kv("job", job),
+                Self::kv("id", id),
+                Self::kv("seq", seq as u64),
+                Self::kv("verdict", verdict),
+                Self::kv("dur_us", dur_us),
+                Self::kv("ts_us", ts_us),
+            ],
+        );
+    }
+
     /// Cell `seq` was classified against the result cache; `dur_us` is
     /// the lookup time.
     pub fn cell_cache(&self, job: u64, id: &str, seq: usize, hit: bool, dur_us: u64, ts_us: u64) {
@@ -330,7 +357,7 @@ pub fn chrome_trace_of(events: &[Value]) -> ChromeTrace {
             "emitted" => {
                 trace.complete(0, 0, &label, "emit", ts.saturating_sub(dur), dur, &arg_refs);
             }
-            "accepted" | "rejected" | "cache_hit" | "cache_miss" => {
+            "accepted" | "rejected" | "cache_hit" | "cache_miss" | "screened" => {
                 trace.instant(0, 0, &format!("{event}:{label}"), event, ts, &arg_refs);
             }
             // queued/sim_start carry no span of their own: the queue

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 use json::Value;
 use sara_memctrl::PolicyKind;
-use sara_scenarios::{MatrixCell, Scenario};
+use sara_scenarios::{MatrixCell, Scenario, ScreenMode};
 
 /// The version tag carried by every request and response record.
 pub const FORMAT_TAG: &str = "sara-serve/v1";
@@ -40,6 +40,7 @@ pub fn record_keys(
                 "freqs_mhz",
                 "channels",
                 "duration_ms",
+                "screen",
                 "json_out",
             ],
         )),
@@ -52,9 +53,11 @@ pub fn record_keys(
         "cell" => Some((
             &[
                 "format", "type", "id", "seq", "scenario", "policy", "freq_mhz", "channels",
-                "report",
             ],
-            &[],
+            // A simulated cell carries `report`; a pruned cell carries
+            // `screened` (the verdict label) plus `analytic` (the
+            // closed-form evaluation) instead.
+            &["report", "screened", "analytic"],
         )),
         "summary" => Some((
             &[
@@ -67,7 +70,7 @@ pub fn record_keys(
                 "targets_met",
                 "elapsed_us",
             ],
-            &["artifact"],
+            &["screened", "artifact"],
         )),
         "error" => Some((&["format", "type", "error"], &["id"])),
         "stats-reply" => Some((&["format", "type", "counters"], &[])),
@@ -132,6 +135,11 @@ pub struct JobRequest {
     pub channels: Vec<usize>,
     /// Per-cell run length override in milliseconds.
     pub duration_ms: Option<f64>,
+    /// Analytic pre-screening: `Prune` answers provably-decided cells
+    /// from the closed-form model without simulating (or caching) them.
+    /// Defaults to `Off`. (`verify` is a batch-harness mode and is not
+    /// accepted over the wire.)
+    pub screen: ScreenMode,
     /// Server-side path to write the job's full matrix summary to —
     /// byte-identical to `sara matrix --json` for the same matrix.
     pub json_out: Option<PathBuf>,
@@ -318,6 +326,19 @@ fn parse_submit(doc: &Value, id: Option<&str>) -> Result<JobRequest, ProtocolErr
             Some(ms)
         }
     };
+    let screen = match doc.get("screen") {
+        None => ScreenMode::Off,
+        Some(v) => match v.as_str() {
+            Some("off") => ScreenMode::Off,
+            Some("prune") => ScreenMode::Prune,
+            _ => {
+                return Err(err(format!(
+                    "bad screen mode {} (expected \"off\" or \"prune\")",
+                    v.to_string_compact()
+                )))
+            }
+        },
+    };
     let json_out = match doc.get("json_out") {
         None => None,
         Some(v) => Some(PathBuf::from(
@@ -334,6 +355,7 @@ fn parse_submit(doc: &Value, id: Option<&str>) -> Result<JobRequest, ProtocolErr
         freqs_mhz,
         channels,
         duration_ms,
+        screen,
         json_out,
     })
 }
@@ -358,7 +380,11 @@ pub struct JobSummary {
     pub cache_hits: usize,
     /// Cells that had to be simulated.
     pub cache_misses: usize,
-    /// Cells whose report met every QoS target.
+    /// Cells answered by the analytic screener (`"screen": "prune"`)
+    /// without consulting the cache or the pool.
+    pub screened: usize,
+    /// Cells whose report met every QoS target (a pruned cell counts as
+    /// its verdict proves: trivial met, infeasible not).
     pub targets_met: usize,
     /// Wall-clock microseconds from admission to this summary. The one
     /// wall-clock field in the reply stream: masked by the determinism
@@ -397,6 +423,11 @@ pub fn summary_record(id: &str, summary: &JobSummary) -> Value {
     members.push(kv("cache_misses", summary.cache_misses as u64));
     members.push(kv("targets_met", summary.targets_met as u64));
     members.push(kv("elapsed_us", summary.elapsed_us));
+    // Omitted for unscreened jobs, so their summary bytes are identical
+    // to what pre-screening servers emitted.
+    if summary.screened > 0 {
+        members.push(kv("screened", summary.screened as u64));
+    }
     if let Some(artifact) = &summary.artifact {
         members.push(kv("artifact", artifact.as_str()));
     }
@@ -473,11 +504,13 @@ mod tests {
         assert_eq!(job.scenarios, vec![ScenarioRef::Catalog("adas".into())]);
         assert!(job.policies.is_empty() && job.freqs_mhz.is_empty() && job.channels.is_empty());
         assert_eq!(job.duration_ms, None);
+        assert_eq!(job.screen, ScreenMode::Off);
         assert_eq!(job.json_out, None);
 
         let line = submit_line(
             ",\"client\":\"ci\",\"policies\":[\"QoS\",\"FCFS\"],\"freqs_mhz\":[1333,1700],\
-             \"channels\":[2,4],\"duration_ms\":0.5,\"json_out\":\"/tmp/out.json\"",
+             \"channels\":[2,4],\"duration_ms\":0.5,\"screen\":\"prune\",\
+             \"json_out\":\"/tmp/out.json\"",
         );
         let Request::Submit(job) = parse_request(&line).unwrap() else {
             panic!("not a submit");
@@ -491,6 +524,7 @@ mod tests {
         assert_eq!(job.freqs_mhz, vec![1333, 1700]);
         assert_eq!(job.channels, vec![2, 4]);
         assert_eq!(job.duration_ms, Some(0.5));
+        assert_eq!(job.screen, ScreenMode::Prune);
         assert_eq!(
             job.json_out.as_deref(),
             Some(std::path::Path::new("/tmp/out.json"))
@@ -546,6 +580,8 @@ mod tests {
             (",\"channels\":[3]", "channel count"),
             (",\"channels\":[512]", "channel count"),
             (",\"policies\":[\"qos\"]", "bad policy"),
+            (",\"screen\":\"verify\"", "screen mode"),
+            (",\"screen\":1", "screen mode"),
             (",\"json_out\":\"\"", "json_out"),
             (",\"client\":\"\"", "client"),
         ] {
@@ -574,7 +610,8 @@ mod tests {
         let summary = JobSummary {
             cells: 3,
             cache_hits: 1,
-            cache_misses: 2,
+            cache_misses: 1,
+            screened: 1,
             targets_met: 3,
             elapsed_us: 12_345,
             artifact: Some("/tmp/x.json".into()),
@@ -584,6 +621,7 @@ mod tests {
         want.extend(optional);
         assert_eq!(keys(&summary_record("j", &summary)), want);
         let bare = JobSummary {
+            screened: 0,
             artifact: None,
             ..summary
         };

@@ -19,9 +19,10 @@ use std::sync::{Condvar, Mutex};
 use json::Value;
 use sara_memctrl::PolicyKind;
 use sara_scenarios::{
-    catalog, cell_fingerprint, expand_cells, run_cell, summarize_cells, CellProfile, CellSpec,
-    MatrixCell, MatrixSpec, Scenario,
+    catalog, cell_fingerprint, expand_cells, run_cell, screen_cell, summarize_cells, CellOutcome,
+    CellProfile, CellSpec, MatrixCell, MatrixSpec, Scenario, ScreenMode,
 };
+use sara_sim::{AnalyticReport, ScreenVerdict};
 use sara_sim::{SimReport, ENGINE_VERSION};
 use sara_telemetry::{prometheus, Metric, Registry, TimeSource, WallClock};
 use sara_types::ConfigError;
@@ -32,11 +33,12 @@ use crate::protocol::{self, JobRequest, JobSummary, Request, ScenarioRef};
 
 /// The server's cumulative counters, registered in this order at
 /// construction so `stats` replies list them deterministically.
-pub const COUNTERS: [&str; 7] = [
+pub const COUNTERS: [&str; 8] = [
     "jobs_accepted",
     "jobs_rejected",
     "jobs_failed",
     "cells_total",
+    "cells_screened",
     "cache_hits",
     "cache_misses",
     "protocol_errors",
@@ -93,6 +95,10 @@ enum CellSource {
     /// A within-job duplicate of an earlier cell (by fingerprint); filled
     /// from that cell's report, never simulated.
     DupOf(usize),
+    /// Provably decided by the analytic screener (`"screen": "prune"`)
+    /// before the cache was even consulted; never simulated and never
+    /// counted as a hit or a miss.
+    Screened(Box<AnalyticReport>),
     /// Simulated by the worker pool.
     Run,
 }
@@ -402,6 +408,7 @@ impl Server {
             duration_ms: job.duration_ms,
             threads: 1, // sharding happens on the serve pool, not in run_matrix
             parallel_channels: self.config.parallel_channels,
+            screen: job.screen,
         };
         let cells = match expand_cells(&scenarios, &spec) {
             Ok(cells) => cells,
@@ -443,14 +450,16 @@ impl Server {
 
         // Classify every cell against the cache under one lock, so the
         // hit/miss split is a pure function of job + cache state (no
-        // worker-pool races in the accounting).
+        // worker-pool races in the accounting). With `"screen": "prune"`
+        // the closed-form screener runs first: a provably-decided cell
+        // never reaches the cache (or the pool) at all.
         let fingerprints: Vec<u64> = cells
             .iter()
             .map(|c| cell_fingerprint(&scenarios[c.scenario], c, ENGINE_VERSION))
             .collect();
         let mut sources: Vec<CellSource> = Vec::with_capacity(cells.len());
         let mut first_seen: HashMap<u64, usize> = HashMap::new();
-        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut hits, mut misses, mut screened) = (0u64, 0u64, 0u64);
         // Per-cell timestamp of classification completion: the moment the
         // cell became runnable, the origin of its queue-wait measurement.
         let mut queued_us: Vec<u64> = Vec::with_capacity(cells.len());
@@ -459,6 +468,27 @@ impl Server {
             for (i, &fp) in fingerprints.iter().enumerate() {
                 let t_queued = self.clock.now_us();
                 self.journal.cell_queued(job_no, &job.id, i, t_queued);
+                if job.screen == ScreenMode::Prune {
+                    if let Ok(analytic) = screen_cell(&scenarios[cells[i].scenario], &cells[i]) {
+                        if !analytic.verdict.needs_sim() {
+                            screened += 1;
+                            let t_screened = self.clock.now_us();
+                            let screen_us = t_screened.saturating_sub(t_queued);
+                            self.observe("cache_lookup_us", screen_us);
+                            self.journal.cell_screened(
+                                job_no,
+                                &job.id,
+                                i,
+                                analytic.verdict.label().unwrap_or("needs-sim"),
+                                screen_us,
+                                t_screened,
+                            );
+                            sources.push(CellSource::Screened(Box::new(analytic)));
+                            queued_us.push(t_screened);
+                            continue;
+                        }
+                    }
+                }
                 let hit = if let Some(&j) = first_seen.get(&fp) {
                     hits += 1;
                     sources.push(CellSource::DupOf(j));
@@ -482,6 +512,7 @@ impl Server {
                 queued_us.push(t_classified);
             }
         }
+        self.bump("cells_screened", screened);
         self.bump("cache_hits", hits);
         self.bump("cache_misses", misses);
 
@@ -508,7 +539,7 @@ impl Server {
         let pool_width = self.workers.min(run_indices.len());
         let inline = pool_width <= 1;
 
-        let reports: Option<Vec<SimReport>> = std::thread::scope(|scope| {
+        let outcomes: Option<Vec<CellOutcome>> = std::thread::scope(|scope| {
             if !inline {
                 for worker in 0..pool_width {
                     let (slots, filled, next, abort) = (&slots, &filled, &next, &abort);
@@ -547,7 +578,7 @@ impl Server {
             abort.store(true, Ordering::Relaxed);
             outcome
         })?;
-        let Some(reports) = reports else {
+        let Some(outcomes) = outcomes else {
             return Ok(()); // a cell failed; the error record is already out
         };
 
@@ -555,11 +586,21 @@ impl Server {
         {
             let mut cache = self.cache.lock().expect("cache");
             for &i in &run_indices {
-                cache.insert(fingerprints[i], reports[i].clone());
+                if let CellOutcome::Simulated(report) = &outcomes[i] {
+                    cache.insert(fingerprints[i], (**report).clone());
+                }
             }
         }
 
-        let targets_met = reports.iter().filter(|r| r.all_targets_met()).count();
+        let targets_met = outcomes
+            .iter()
+            .filter(|o| match o {
+                CellOutcome::Simulated(r) => r.all_targets_met(),
+                // A pruned cell counts exactly as its verdict proves:
+                // trivial cells meet every target, infeasible ones don't.
+                CellOutcome::Screened(a) => a.verdict == ScreenVerdict::ProvablyTrivial,
+            })
+            .count();
         let artifact = match &job.json_out {
             None => None,
             Some(path) => {
@@ -577,7 +618,7 @@ impl Server {
                     };
                     cells.len()
                 ];
-                let summary = summarize_cells(&scenarios, &cells, reports, profile);
+                let summary = summarize_cells(&scenarios, &cells, outcomes.clone(), profile);
                 let write =
                     std::fs::File::create(path).and_then(|mut f| summary.to_json_writer(&mut f));
                 if let Err(e) = write {
@@ -598,6 +639,7 @@ impl Server {
                 cells: cells.len(),
                 cache_hits: hits as usize,
                 cache_misses: misses as usize,
+                screened: screened as usize,
                 targets_met,
                 elapsed_us: self.clock.now_us().saturating_sub(t_accept),
                 artifact,
@@ -609,8 +651,9 @@ impl Server {
 
     /// Streams the job's cell records in submission order, waiting on the
     /// pool for cells still simulating (or, in `inline` mode, running
-    /// them right here). Returns the reports (aligned with the cells) or
-    /// `None` after emitting the error record of the first failing cell.
+    /// them right here). Returns the cell outcomes (aligned with the
+    /// cells) or `None` after emitting the error record of the first
+    /// failing cell.
     #[allow(clippy::too_many_arguments)]
     fn emit_cells<W: Write>(
         &self,
@@ -624,12 +667,13 @@ impl Server {
         filled: &(Mutex<()>, Condvar),
         inline: bool,
         writer: &mut W,
-    ) -> io::Result<Option<Vec<SimReport>>> {
-        let mut reports: Vec<SimReport> = Vec::with_capacity(cells.len());
+    ) -> io::Result<Option<Vec<CellOutcome>>> {
+        let mut outcomes: Vec<CellOutcome> = Vec::with_capacity(cells.len());
         for (i, source) in sources.iter().enumerate() {
-            let report = match source {
-                CellSource::Cached(report) => (**report).clone(),
-                CellSource::DupOf(j) => reports[*j].clone(),
+            let outcome = match source {
+                CellSource::Cached(report) => CellOutcome::Simulated(report.clone()),
+                CellSource::DupOf(j) => outcomes[*j].clone(),
+                CellSource::Screened(analytic) => CellOutcome::Screened((**analytic).clone()),
                 CellSource::Run => {
                     let timed = if inline {
                         let start_us = self.clock.now_us();
@@ -681,7 +725,7 @@ impl Server {
                         timed.end_us,
                     );
                     match timed.result {
-                        Ok(report) => report,
+                        Ok(report) => CellOutcome::Simulated(Box::new(report)),
                         Err(e) => {
                             self.bump("jobs_failed", 1);
                             protocol::error_record(Some(&job.id), e.message())
@@ -697,7 +741,7 @@ impl Server {
                 policy: cells[i].policy,
                 freq: cells[i].freq,
                 channels: cells[i].channels,
-                report,
+                outcome,
             };
             let t_emit = self.clock.now_us();
             protocol::cell_record(&job.id, i, &cell).write_ndjson_line(writer)?;
@@ -707,8 +751,8 @@ impl Server {
             self.observe("emit_us", emit_us);
             self.journal
                 .cell_emitted(job_no, &job.id, i, emit_us, t_done);
-            reports.push(cell.report);
+            outcomes.push(cell.outcome);
         }
-        Ok(Some(reports))
+        Ok(Some(outcomes))
     }
 }

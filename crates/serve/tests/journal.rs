@@ -235,14 +235,14 @@ fn metrics_reply_carries_prometheus_exposition() {
         exposition.contains("cells{client=\"ci\"} 2\n"),
         "{exposition}"
     );
-    // `stats` stays the fixed seven counters — wall-clock data must not
+    // `stats` stays the fixed eight counters — wall-clock data must not
     // leak into the deterministic reply.
     let stats = records(&run_session(
         &server,
         "{\"format\":\"sara-serve/v1\",\"type\":\"stats\"}\n",
     ));
     let counters = stats[0].get("counters").expect("counters object");
-    assert_eq!(counters.as_object().unwrap().len(), 7);
+    assert_eq!(counters.as_object().unwrap().len(), 8);
     assert!(counters.get("sim_us").is_none());
 }
 

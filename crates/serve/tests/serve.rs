@@ -10,7 +10,7 @@ use std::path::PathBuf;
 
 use json::Value;
 use sara_memctrl::PolicyKind;
-use sara_scenarios::{catalog, run_matrix, MatrixSpec};
+use sara_scenarios::{catalog, run_matrix, MatrixSpec, ScreenMode};
 use sara_serve::{ServeConfig, Server, FORMAT_TAG};
 
 /// Runs one in-process session and returns its reply stream.
@@ -40,6 +40,7 @@ fn submit_spec() -> MatrixSpec {
         duration_ms: Some(0.05),
         threads: 1,
         parallel_channels: false,
+        screen: ScreenMode::Off,
     }
 }
 
@@ -390,4 +391,75 @@ fn accepted_precedes_cells_and_streaming_is_in_submission_order() {
     let cells = of_type(&replies, "cell");
     assert_eq!(cells[0].get("policy").and_then(Value::as_str), Some("FCFS"));
     assert_eq!(cells[1].get("policy").and_then(Value::as_str), Some("QoS"));
+}
+
+#[test]
+fn screened_cells_stream_verdicts_and_skip_the_cache() {
+    let server = Server::new(ServeConfig::default());
+    let line = "{\"format\":\"sara-serve/v1\",\"type\":\"submit\",\"id\":\"scr\",\
+                \"scenarios\":[\"saturation\"],\"policies\":[\"FCFS\"],\
+                \"freqs_mhz\":[400,1866],\"duration_ms\":0.05,\"screen\":\"prune\"}\n";
+    let replies = records(&run_session(&server, line));
+    let cells = of_type(&replies, "cell");
+    assert_eq!(cells.len(), 2);
+    for cell in &cells {
+        match u64_field(cell, "freq_mhz") {
+            // Saturation's 23.8 GB/s demand is provably infeasible at
+            // 400 MHz: answered analytically, no simulation report.
+            400 => {
+                assert_eq!(
+                    cell.get("screened").and_then(Value::as_str),
+                    Some("infeasible")
+                );
+                assert!(cell.get("report").is_none());
+                let analytic = cell.get("analytic").expect("screened cells carry the eval");
+                assert!(analytic.get("bound_gbs").and_then(Value::as_f64).unwrap() > 0.0);
+            }
+            // At the top rung the model cannot decide: a normal cell.
+            1866 => {
+                assert!(cell.get("screened").is_none());
+                assert!(cell.get("report").is_some());
+            }
+            other => panic!("unexpected cell frequency {other}"),
+        }
+    }
+
+    let summary = of_type(&replies, "summary")[0].clone();
+    assert_eq!(u64_field(&summary, "cells"), 2);
+    assert_eq!(u64_field(&summary, "screened"), 1);
+    assert_eq!(
+        u64_field(&summary, "cache_hits") + u64_field(&summary, "cache_misses"),
+        1,
+        "screened cells count toward neither cache bucket"
+    );
+    assert_eq!(
+        server.cache_len(),
+        1,
+        "screened cells never enter the cache"
+    );
+
+    // Resubmitting screens the pruned cell again (deterministically) and
+    // serves the simulated one from cache.
+    let again = records(&run_session(&server, &line.replace("\"scr\"", "\"scr2\"")));
+    let again_summary = of_type(&again, "summary")[0].clone();
+    assert_eq!(u64_field(&again_summary, "screened"), 1);
+    assert_eq!(u64_field(&again_summary, "cache_hits"), 1);
+
+    // The server-wide counter tracks both jobs; an unscreened summary
+    // omits the key entirely.
+    let stats = records(&run_session(
+        &server,
+        "{\"format\":\"sara-serve/v1\",\"type\":\"stats\"}\n",
+    ));
+    let counters = stats[0].get("counters").unwrap();
+    assert_eq!(
+        counters.get("cells_screened").and_then(Value::as_u64),
+        Some(2)
+    );
+    let plain = records(&run_session(&server, &submit("off", "")));
+    assert!(of_type(&plain, "summary")[0].get("screened").is_none());
+
+    // The batch harness's verify mode is batch-only over the wire.
+    let err = records(&run_session(&server, &line.replace("prune", "verify")));
+    assert_eq!(err[0].get("type").and_then(Value::as_str), Some("error"));
 }

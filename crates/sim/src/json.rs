@@ -61,6 +61,16 @@ impl SimReport {
                 Value::Array(self.cores.iter().map(core_value).collect()),
             ),
             ("telemetry".to_string(), self.telemetry.to_json_value()),
+            // The closed-form yardstick, appended last so every earlier
+            // byte of the report is identical to pre-analytic consumers.
+            ("analytic".to_string(), {
+                let mut members = self.analytic.summary_members();
+                members.push((
+                    "achieved_over_bound".to_string(),
+                    self.achieved_over_bound().into(),
+                ));
+                Value::Object(members)
+            }),
         ])
     }
 

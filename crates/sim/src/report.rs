@@ -75,6 +75,10 @@ pub struct SimReport {
     /// The telemetry snapshot: latency/queue-delay distributions and
     /// per-class / per-DMA / per-lane / NoC counters.
     pub telemetry: TelemetryReport,
+    /// The closed-form evaluation of the same cell: optimistic bandwidth
+    /// bound, rated demand, and the screening verdict — the absolute
+    /// yardstick `achieved/bound` comparisons are made against.
+    pub analytic: sara_analytic::AnalyticReport,
 }
 
 impl SimReport {
@@ -95,6 +99,13 @@ impl SimReport {
     /// Report for one core.
     pub fn core(&self, kind: CoreKind) -> Option<&CoreReport> {
         self.cores.iter().find(|c| c.kind == kind)
+    }
+
+    /// Delivered bandwidth as a fraction of the analytic bound (`NaN` if
+    /// the bound is degenerate) — how close the schedule came to the
+    /// theoretical ceiling.
+    pub fn achieved_over_bound(&self) -> f64 {
+        self.bandwidth_gbs / self.analytic.bound_gbs
     }
 
     /// A human-readable summary table.
@@ -280,6 +291,7 @@ impl ReportBuilder<'_> {
 
         let dram_stats = self.dram;
         let bandwidth_gbs = dram_stats.bandwidth_bytes_per_s(self.cfg.freq.as_hz(), elapsed) / 1e9;
+        let analytic = crate::analytic::analytic_report(self.cfg);
         SimReport {
             policy: self.cfg.policy,
             freq: self.cfg.freq,
@@ -293,6 +305,7 @@ impl ReportBuilder<'_> {
             npi_series,
             bandwidth_series: self.samplers.bandwidth_series(),
             telemetry: self.telemetry,
+            analytic,
             cores,
             bandwidth_gbs,
         }

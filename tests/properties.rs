@@ -192,3 +192,71 @@ fn per_dma_accounting_is_consistent() {
         assert!(usb.mean_latency > 0.0, "case {case_seed}");
     }
 }
+
+/// Screener soundness over generated workloads: at every catalog
+/// frequency/channel point, a cell the closed-form model classifies
+/// `ProvablyInfeasible` must miss its targets under simulation, and a
+/// `ProvablyTrivial` cell must meet them. `NeedsSim` cells claim
+/// nothing and are skipped — that asymmetry is the screener's whole
+/// contract (`sara matrix --screen=verify` enforces the same thing over
+/// the built-in catalog; this covers the generated-workload space).
+#[test]
+fn analytic_screener_is_sound_under_simulation() {
+    use sara::scenarios::random_scenario;
+    use sara::sim::{analytic_report, ScreenVerdict};
+
+    // The frequency and channel points the built-in catalog exercises
+    // (catalog.rs scenario definitions and the ml-inference variants).
+    const CATALOG_FREQS: [u32; 4] = [1333, 1600, 1700, 1866];
+    const CATALOG_CHANNELS: [usize; 3] = [2, 4, 8];
+
+    let mut decided = 0usize;
+    for seed in 0u64..64 {
+        let scenario = random_scenario(seed);
+        for freq in CATALOG_FREQS {
+            for channels in CATALOG_CHANNELS {
+                let cfg = scenario
+                    .clone()
+                    .with_freq(MegaHertz::new(freq))
+                    .with_channels(channels)
+                    .config()
+                    .unwrap_or_else(|e| panic!("seed {seed} @{freq}x{channels}: {e}"));
+                let analytic = analytic_report(&cfg);
+                if analytic.verdict == ScreenVerdict::NeedsSim {
+                    continue;
+                }
+                decided += 1;
+                let at = format!(
+                    "seed {seed} @{freq} MHz x{channels}ch ({})",
+                    analytic.reason
+                );
+                let report = Simulation::new(cfg)
+                    .unwrap_or_else(|e| panic!("{at}: {e}"))
+                    .run_for_ms(0.1);
+                assert!(
+                    report.bandwidth_gbs <= analytic.bound_gbs * (1.0 + 1e-9),
+                    "{at}: simulated {} GB/s above the analytic bound {} GB/s",
+                    report.bandwidth_gbs,
+                    analytic.bound_gbs
+                );
+                match analytic.verdict {
+                    ScreenVerdict::ProvablyInfeasible => assert!(
+                        !report.all_targets_met(),
+                        "{at}: ProvablyInfeasible cell met every target"
+                    ),
+                    ScreenVerdict::ProvablyTrivial => assert!(
+                        report.all_targets_met(),
+                        "{at}: ProvablyTrivial cell missed a target"
+                    ),
+                    ScreenVerdict::NeedsSim => unreachable!(),
+                }
+            }
+        }
+    }
+    // The sweep must actually exercise both sides of the contract, not
+    // vacuously pass because nothing was decided.
+    assert!(
+        decided >= 32,
+        "only {decided} of 768 points were provably decided; the screener margins drifted"
+    );
+}

@@ -4,7 +4,7 @@
 //! identically regardless of worker-thread count.
 
 use sara::memctrl::PolicyKind;
-use sara::scenarios::{catalog, random_scenario, run_matrix, MatrixSpec, Scenario};
+use sara::scenarios::{catalog, random_scenario, run_matrix, MatrixSpec, Scenario, ScreenMode};
 
 /// Every catalog entry builds and survives a 1 ms window under its default
 /// policy without panicking. Runs through the harness with 8 workers so
@@ -20,27 +20,28 @@ fn every_builtin_scenario_completes_one_ms() {
         duration_ms: Some(1.0),
         threads: 8,
         parallel_channels: false,
+        screen: ScreenMode::Off,
     };
     let summary = run_matrix(&scenarios, &spec).expect("matrix must run");
     assert_eq!(summary.cells.len(), scenarios.len());
     for (cell, scenario) in summary.cells.iter().zip(&scenarios) {
         assert_eq!(cell.scenario, scenario.name);
         assert!(
-            cell.report.mc.total_completed() > 0,
+            cell.report().unwrap().mc.total_completed() > 0,
             "{}: no transactions completed",
             cell.scenario
         );
         assert_eq!(
-            cell.report.cores.len(),
+            cell.report().unwrap().cores.len(),
             scenario.cores.len(),
             "{}: report lost cores",
             cell.scenario
         );
         assert!(
-            (cell.report.elapsed_ms - 1.0).abs() < 1e-6,
+            (cell.report().unwrap().elapsed_ms - 1.0).abs() < 1e-6,
             "{}: ran {} ms",
             cell.scenario,
-            cell.report.elapsed_ms
+            cell.report().unwrap().elapsed_ms
         );
     }
 }
@@ -58,11 +59,12 @@ fn rankings_prefer_the_policy_that_meets_targets() {
         duration_ms: Some(1.5),
         threads: 2,
         parallel_channels: false,
+        screen: ScreenMode::Off,
     };
     let summary = run_matrix(&scenarios, &spec).unwrap();
     let best = summary.best("camcorder-b").unwrap();
     assert_eq!(best.policy, PolicyKind::Priority);
-    assert!(best.report.all_targets_met());
+    assert!(best.report().unwrap().all_targets_met());
 }
 
 #[test]
@@ -97,6 +99,7 @@ fn matrix_json_identical_for_1_2_and_8_workers() {
             duration_ms: Some(0.25),
             threads,
             parallel_channels: false,
+            screen: ScreenMode::Off,
         };
         run_matrix(&scenarios, &spec).unwrap().to_json()
     };
